@@ -1,0 +1,28 @@
+"""Benchmark scale budgets, shared by conftest and benchmark modules.
+
+``REPRO_BENCH_SCALE=quick`` (default) regenerates everything in minutes;
+``full`` uses the budgets recorded in EXPERIMENTS.md.
+"""
+
+import os
+
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "quick")
+
+_BUDGETS = {
+    "quick": dict(pretrain_steps=300, finetune_scenes=6, finetune_epochs=1,
+                  eval_frames=4),
+    "full": dict(pretrain_steps=6400, finetune_scenes=24, finetune_epochs=3,
+                 eval_frames=12),
+}
+# SMOKE steps cost ~3× PointPillars steps; trim its budget accordingly.
+_SMOKE_BUDGETS = {
+    "quick": dict(pretrain_steps=200, finetune_scenes=4, finetune_epochs=1,
+                  eval_frames=4),
+    "full": dict(pretrain_steps=1500, finetune_scenes=24, finetune_epochs=3,
+                 eval_frames=10),
+}
+
+
+def budget(model_name: str = "pointpillars") -> dict:
+    table = _SMOKE_BUDGETS if model_name == "smoke" else _BUDGETS
+    return dict(table[SCALE])

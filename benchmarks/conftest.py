@@ -1,0 +1,28 @@
+"""Shared fixtures for the benchmark harness.
+
+Scale is controlled by ``REPRO_BENCH_SCALE`` (see ``bench_config``).
+"""
+
+import os
+import sys
+
+import pytest
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+sys.path.insert(0, os.path.join(_HERE, "..", "src"))
+sys.path.insert(0, _HERE)
+
+from bench_config import budget  # noqa: E402
+from repro.harness import Table2Config, run_table2  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def table2_pointpillars():
+    """Table 2 rows for PointPillars (shared by table + figure benches)."""
+    return run_table2(Table2Config(model_name="pointpillars", **budget()))
+
+
+@pytest.fixture(scope="session")
+def table2_smoke():
+    """Table 2 rows for SMOKE."""
+    return run_table2(Table2Config(model_name="smoke", **budget("smoke")))

@@ -1,0 +1,150 @@
+"""Ablations of UPAQ's design choices (DESIGN.md §6).
+
+Each ablation switches off one mechanism the paper motivates and checks
+the expected consequence:
+
+* efficiency-score weights (α/β/γ) — latency-biased vs accuracy-biased
+  selection changes the chosen bitwidths/latency.
+* 1×1 transformation (Algorithm 5) on/off — turning it off loses the
+  sparsity of 1×1-heavy layers.
+* root-group sharing (Algorithm 1) on/off — grouping shrinks the search
+  (fewer scored candidates) at equal-or-better wall time.
+* pattern families (Algorithm 2) — restricting the generator narrows
+  the searched mask space and cannot beat the full family's E_s.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (EfficiencyWeights, UPAQCompressor, hck_config)
+from repro.hardware import compile_model, default_devices
+from repro.models import PointPillars
+
+MODEL = PointPillars(seed=0)
+INPUTS = MODEL.example_inputs()
+JETSON = default_devices()["jetson"]
+
+
+def _latency_ms(report):
+    return JETSON.latency(compile_model(report.model, *INPUTS)) * 1e3
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_efficiency_weights(benchmark):
+    latency_biased = hck_config(
+        weights=EfficiencyWeights(alpha=0.05, beta=0.8, gamma=0.15),
+        quant_bits=(4, 8, 16))
+    accuracy_biased = hck_config(
+        weights=EfficiencyWeights(alpha=0.9, beta=0.05, gamma=0.05),
+        quant_bits=(4, 8, 16))
+
+    fast = UPAQCompressor(latency_biased).compress(MODEL, *INPUTS)
+    accurate = benchmark.pedantic(
+        lambda: UPAQCompressor(accuracy_biased).compress(MODEL, *INPUTS),
+        rounds=1, iterations=1)
+
+    fast_bits = np.mean([c.bits for c in fast.choices])
+    accurate_bits = np.mean([c.bits for c in accurate.choices])
+    print(f"\nES ablation: latency-biased mean bits {fast_bits:.1f} "
+          f"({_latency_ms(fast):.3f} ms) vs accuracy-biased "
+          f"{accurate_bits:.1f} ({_latency_ms(accurate):.3f} ms)")
+    assert fast_bits < accurate_bits
+    assert _latency_ms(fast) <= _latency_ms(accurate) + 1e-6
+    # Accuracy-biased selection preserves more signal (higher SQNR).
+    assert np.mean([c.sqnr_db for c in accurate.choices]) > \
+        np.mean([c.sqnr_db for c in fast.choices])
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_1x1_transformation(benchmark):
+    with_transform = benchmark.pedantic(
+        lambda: UPAQCompressor(
+            hck_config(compress_1x1_layers=True)).compress(MODEL, *INPUTS),
+        rounds=1, iterations=1)
+    without = UPAQCompressor(hck_config()).compress(MODEL, *INPUTS)
+
+    one_by_one = [c.layer for c in with_transform.choices
+                  if with_transform.choice_for(c.layer).sparsity > 0
+                  and c.layer in ("pfn.conv", "head.cls_head",
+                                  "head.reg_head")]
+    print(f"\n1x1 ablation: with transform ratio="
+          f"{with_transform.compression_ratio:.2f}x, without="
+          f"{without.compression_ratio:.2f}x "
+          f"(1x1 layers pruned: {one_by_one})")
+    # Algorithm 5 prunes the pillar feature network's 1×1 kernels...
+    assert with_transform.choice_for("pfn.conv").sparsity > 0.5
+    # ... which the quantize-only default does not.
+    assert without.choice_for("pfn.conv").sparsity == 0.0
+    # Both variants land in the HCK compression class.  (The overall
+    # ratios are within noise of each other: 1×1 layers hold <1% of the
+    # weights, and the tile metadata can offset the pruned values.)
+    assert with_transform.compression_ratio > 3.0
+    assert without.compression_ratio > 3.0
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_root_groups(benchmark):
+    grouped = benchmark.pedantic(
+        lambda: UPAQCompressor(hck_config()).compress(MODEL, *INPUTS),
+        rounds=1, iterations=1)
+    ungrouped = UPAQCompressor(
+        hck_config(use_root_groups=False)).compress(MODEL, *INPUTS)
+
+    searched_grouped = len(grouped.groups.groups)
+    searched_ungrouped = len(ungrouped.groups.groups)
+    print(f"\ngroup ablation: {searched_grouped} searched roots with "
+          f"grouping vs {searched_ungrouped} without "
+          f"(ratios {grouped.compression_ratio:.2f}x / "
+          f"{ungrouped.compression_ratio:.2f}x)")
+    # Grouping must shrink the number of independently searched layers
+    # (the paper's stated purpose of Algorithm 1)...
+    assert searched_grouped < searched_ungrouped
+    # ...while both still compress every layer.
+    assert len(grouped.choices) == len(ungrouped.choices)
+    assert grouped.compression_ratio > 3.0
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_pattern_families(benchmark):
+    full_family = benchmark.pedantic(
+        lambda: UPAQCompressor(
+            hck_config(num_patterns=12)).compress(MODEL, *INPUTS),
+        rounds=1, iterations=1)
+    diagonals_only = UPAQCompressor(
+        hck_config(num_patterns=12,
+                   pattern_types=("main_diagonal",
+                                  "anti_diagonal"))).compress(MODEL, *INPUTS)
+    rows_only = UPAQCompressor(
+        hck_config(num_patterns=12,
+                   pattern_types=("row",))).compress(MODEL, *INPUTS)
+
+    def mean_score(report):
+        return float(np.mean([c.score for c in report.choices
+                              if np.isfinite(c.score)]))
+
+    print(f"\npattern ablation: full-family E_s {mean_score(full_family):.3f} "
+          f"vs diagonals-only {mean_score(diagonals_only):.3f} "
+          f"vs rows-only {mean_score(rows_only):.3f}")
+    # The richer family can only match-or-beat any restricted subset.
+    assert mean_score(full_family) >= mean_score(diagonals_only) - 1e-6
+    assert mean_score(full_family) >= mean_score(rows_only) - 1e-6
+    for report in (diagonals_only, rows_only):
+        assert report.compression_ratio > 3.0
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_connectivity_pruning(benchmark):
+    """§III.A: connectivity pruning raises sparsity but costs fidelity."""
+    plain = benchmark.pedantic(
+        lambda: UPAQCompressor(hck_config()).compress(MODEL, *INPUTS),
+        rounds=1, iterations=1)
+    connected = UPAQCompressor(
+        hck_config(connectivity_percentile=30)).compress(MODEL, *INPUTS)
+
+    plain_sqnr = np.mean([c.sqnr_db for c in plain.choices])
+    connected_sqnr = np.mean([c.sqnr_db for c in connected.choices])
+    print(f"\nconnectivity ablation: sparsity "
+          f"{plain.overall_sparsity:.3f} → {connected.overall_sparsity:.3f}, "
+          f"mean SQNR {plain_sqnr:.1f} dB → {connected_sqnr:.1f} dB")
+    assert connected.overall_sparsity > plain.overall_sparsity
+    assert connected_sqnr < plain_sqnr

@@ -1,0 +1,24 @@
+"""Regenerates Fig 4: inference speedups on the Jetson Orin Nano."""
+
+import pytest
+
+from repro.harness import format_fig4, speedups
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4_speedups_pointpillars(benchmark, table2_pointpillars):
+    factors = benchmark(speedups, table2_pointpillars)
+    print("\n" + format_fig4("PointPillars", table2_pointpillars))
+    # Paper Fig 4(a): UPAQ variants are the fastest; R-TOSS ≈ 1×.
+    assert factors["UPAQ (HCK)"] >= factors["UPAQ (LCK)"] * 0.99
+    assert factors["UPAQ (LCK)"] > factors["LiDAR-PTQ"]
+    assert factors["UPAQ (HCK)"] > 1.4
+    assert abs(factors["R-TOSS"] - 1.0) < 0.15
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4_speedups_smoke(benchmark, table2_smoke):
+    factors = benchmark(speedups, table2_smoke)
+    print("\n" + format_fig4("SMOKE", table2_smoke))
+    assert factors["UPAQ (HCK)"] >= factors["UPAQ (LCK)"] * 0.99
+    assert factors["UPAQ (HCK)"] > 1.4

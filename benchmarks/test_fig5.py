@@ -1,0 +1,24 @@
+"""Regenerates Fig 5: energy-usage reductions on the Jetson Orin Nano."""
+
+import pytest
+
+from repro.harness import energy_reductions, format_fig5
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_energy_pointpillars(benchmark, table2_pointpillars):
+    factors = benchmark(energy_reductions, table2_pointpillars)
+    print("\n" + format_fig5("PointPillars", table2_pointpillars))
+    # Paper Fig 5(a): UPAQ most efficient (≈2×); R-TOSS ≈ 1×.
+    assert factors["UPAQ (HCK)"] == max(factors.values())
+    assert factors["UPAQ (HCK)"] > 1.5
+    assert abs(factors["R-TOSS"] - 1.0) < 0.15
+    assert factors["UPAQ (LCK)"] > factors["Ps&Qs"]
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_energy_smoke(benchmark, table2_smoke):
+    factors = benchmark(energy_reductions, table2_smoke)
+    print("\n" + format_fig5("SMOKE", table2_smoke))
+    assert factors["UPAQ (HCK)"] >= factors["UPAQ (LCK)"] * 0.99
+    assert factors["UPAQ (HCK)"] > 1.4

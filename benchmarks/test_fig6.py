@@ -1,0 +1,70 @@
+"""Regenerates Fig 6: qualitative BEV detections vs ground truth.
+
+Compares the base PointPillars with R-TOSS and both UPAQ variants on a
+held-out scene — ASCII bird's-eye views plus alignment statistics
+(detected count, center error, extraneous predictions), quantifying the
+paper's visual claims.
+"""
+
+import pytest
+
+from repro.baselines import RToss
+from repro.core import UPAQCompressor, hck_config, lck_config
+from repro.harness import (alignment_report, format_fig6, get_pretrained,
+                           TrainConfig, training_scenes, validation_scenes)
+
+from bench_config import budget
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_qualitative_bev(benchmark):
+    b = budget()
+    model, _ = get_pretrained(
+        "pointpillars", TrainConfig(steps=b["pretrain_steps"]))
+    inputs = model.example_inputs()
+    scene = validation_scenes(3, with_image=False)[-1]
+    finetune = training_scenes(b["finetune_scenes"], with_image=False,
+                               start=500_000)
+
+    # A permissive score threshold keeps the qualitative figure
+    # populated even for lightly trained quick-scale checkpoints.
+    model.score_threshold = 0.05
+    predictions = {"Base Model": model.predict(scene).boxes}
+    for name, framework in (
+            ("R-TOSS", RToss()),
+            ("UPAQ (LCK)", UPAQCompressor(lck_config())),
+            ("UPAQ (HCK)", UPAQCompressor(hck_config()))):
+        report = framework.compress(model, *inputs)
+        framework.finetune(report, finetune, epochs=b["finetune_epochs"])
+        report.model.score_threshold = 0.05
+        predictions[name] = report.model.predict(scene).boxes
+
+    print("\n" + format_fig6(scene, predictions))
+
+    # Also emit the figure as actual images (artifacts/figures/*.ppm).
+    import os
+    from repro.viz import render_fig6_image
+    fig_dir = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                           "..", "artifacts", "figures")
+    for name, boxes in predictions.items():
+        slug = name.lower().replace(" ", "_").replace("(", "") \
+            .replace(")", "")
+        render_fig6_image(scene, boxes,
+                          os.path.join(fig_dir, f"fig6_{slug}.ppm"))
+    print(f"(PPM renderings written to {os.path.normpath(fig_dir)})")
+
+    stats = {name: alignment_report(name, scene.boxes, boxes)
+             for name, boxes in predictions.items()}
+    # At full scale every variant produces predictions on the scene; a
+    # 300-step quick-scale checkpoint may stay below threshold.
+    from bench_config import SCALE
+    if SCALE == "full":
+        for name, stat in stats.items():
+            assert stat.detected + stat.extraneous > 0, \
+                f"{name} went silent"
+    else:
+        assert any(stat.detected + stat.extraneous > 0
+                   for stat in stats.values())
+
+    benchmark(lambda: alignment_report(
+        "Base Model", scene.boxes, predictions["Base Model"]))

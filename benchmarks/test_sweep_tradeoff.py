@@ -1,0 +1,68 @@
+"""The size/fidelity trade-off sweep behind the paper's motivation.
+
+§II closes on "the trade-offs between model size and performance remain
+critical".  This bench sweeps UPAQ's two knobs — non-zeros per kernel
+and the quantization bit range — and prints the resulting frontier of
+compression ratio vs weight-space SQNR and Jetson latency, verifying
+both axes move monotonically with the knob.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import UPAQCompressor, UPAQConfig
+from repro.hardware import compile_model, default_devices
+from repro.models import PointPillars
+
+MODEL = PointPillars(seed=0)
+INPUTS = MODEL.example_inputs()
+JETSON = default_devices()["jetson"]
+
+
+def _point(n_nonzero: int, bits: tuple) -> dict:
+    config = UPAQConfig(n_nonzero_kxk=n_nonzero, quant_bits=bits)
+    report = UPAQCompressor(config).compress(MODEL, *INPUTS)
+    plan = compile_model(report.model, *INPUTS)
+    return {
+        "n": n_nonzero,
+        "bits": bits,
+        "ratio": report.compression_ratio,
+        "sqnr_db": float(np.mean([c.sqnr_db for c in report.choices])),
+        "jetson_ms": JETSON.latency(plan) * 1e3,
+    }
+
+
+@pytest.mark.benchmark(group="sweep")
+def test_sparsity_fidelity_frontier(benchmark):
+    points = [_point(n, (8,)) for n in (1, 2, 3)]
+    benchmark.pedantic(_point, args=(2, (8,)), rounds=1, iterations=1)
+
+    print(f"\n{'n/kernel':>8s} {'ratio':>7s} {'SQNR dB':>8s} "
+          f"{'Jetson ms':>10s}")
+    for p in points:
+        print(f"{p['n']:8d} {p['ratio']:6.2f}x {p['sqnr_db']:8.1f} "
+              f"{p['jetson_ms']:10.3f}")
+
+    # More retained weights → lower compression but higher fidelity.
+    ratios = [p["ratio"] for p in points]
+    sqnrs = [p["sqnr_db"] for p in points]
+    assert ratios[0] > ratios[1] > ratios[2]
+    assert sqnrs[0] < sqnrs[1] < sqnrs[2]
+
+
+@pytest.mark.benchmark(group="sweep")
+def test_bitwidth_latency_frontier(benchmark):
+    points = [_point(3, (bits,)) for bits in (4, 8, 16)]
+    benchmark.pedantic(_point, args=(3, (8,)), rounds=1, iterations=1)
+
+    print(f"\n{'bits':>5s} {'ratio':>7s} {'SQNR dB':>8s} {'Jetson ms':>10s}")
+    for p in points:
+        print(f"{p['bits'][0]:5d} {p['ratio']:6.2f}x {p['sqnr_db']:8.1f} "
+              f"{p['jetson_ms']:10.3f}")
+
+    # Fewer bits → smaller and faster but noisier, monotonically.
+    assert points[0]["ratio"] > points[1]["ratio"] > points[2]["ratio"]
+    assert points[0]["jetson_ms"] <= points[1]["jetson_ms"] \
+        <= points[2]["jetson_ms"] + 1e-9
+    assert points[0]["sqnr_db"] < points[1]["sqnr_db"] \
+        < points[2]["sqnr_db"]

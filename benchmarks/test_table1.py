@@ -1,0 +1,21 @@
+"""Regenerates Table 1: model size vs execution time for all five ODs."""
+
+import pytest
+
+from repro.harness import format_table1, run_table1
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_model_size_vs_latency(benchmark):
+    rows = benchmark.pedantic(run_table1, rounds=1, iterations=1)
+    print("\n" + format_table1(rows))
+
+    by_name = {row.model: row for row in rows}
+    # Paper's ordering: PointPillars < SECOND < Focals Conv < SMOKE < VSC
+    # in parameters, and PointPillars fastest / VSC slowest.
+    assert by_name["PointPillars"].params < by_name["SECOND"].params
+    assert by_name["SECOND"].params < by_name["Focals Conv"].params
+    assert by_name["Focals Conv"].params < by_name["SMOKE"].params
+    assert by_name["SMOKE"].params < by_name["VSC"].params
+    assert by_name["PointPillars"].exec_ms == min(r.exec_ms for r in rows)
+    assert by_name["VSC"].exec_ms == max(r.exec_ms for r in rows)

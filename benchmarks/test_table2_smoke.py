@@ -1,0 +1,29 @@
+"""Regenerates Table 2 for SMOKE (camera-based 3D detection)."""
+
+import pytest
+
+from repro.core import UPAQCompressor, hck_config
+from repro.harness import format_table2
+from repro.models import SMOKE
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_smoke(benchmark, table2_smoke):
+    rows = table2_smoke
+    print("\n" + format_table2("SMOKE", rows))
+
+    by_name = {row.framework: row for row in rows}
+    hck = by_name["UPAQ (HCK)"]
+    lck = by_name["UPAQ (LCK)"]
+
+    assert hck.compression == max(r.compression for r in rows)
+    for name in ("Ps&Qs", "CLIP-Q", "LiDAR-PTQ"):
+        assert lck.compression > by_name[name].compression
+    assert hck.jetson_ms == min(r.jetson_ms for r in rows)
+    assert hck.jetson_j <= min(r.jetson_j for r in rows) * 1.01
+
+    model = SMOKE(seed=0)
+    inputs = model.example_inputs()
+    result = benchmark(
+        lambda: UPAQCompressor(hck_config()).compress(model, *inputs))
+    assert result.compression_ratio > 3.0

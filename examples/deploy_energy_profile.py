@@ -1,0 +1,70 @@
+"""Deployment exploration: per-layer latency, power traces, bitwidth sweep.
+
+Shows the hardware substrate the efficiency score (eq. 2) runs on: how a
+compiled plan breaks into per-layer compute/memory costs on the Jetson
+Orin Nano vs the RTX 4080, what the NVpower-style sampled power trace
+looks like, and how latency/energy respond to a uniform bitwidth sweep —
+the raw trade-off UPAQ's mixed-precision search navigates per layer.
+
+Run:  python examples/deploy_energy_profile.py
+"""
+
+from repro.hardware import (CompressionMeta, EnergyMeter, annotate_layer,
+                            compile_model, default_devices)
+from repro.models import PointPillars
+from repro.nn.graph import layer_map
+
+
+def main() -> None:
+    model = PointPillars(seed=0)
+    inputs = model.example_inputs()
+    devices = default_devices()
+
+    # 1. Per-layer cost breakdown on both devices.
+    plan = compile_model(model, *inputs)
+    print(f"{'layer':42s} {'MACs':>12s} {'Jetson µs':>10s} {'RTX µs':>8s}")
+    for layer in plan.layers:
+        jet_us = devices['jetson'].layer_latency(layer) * 1e6
+        rtx_us = devices['rtx4080'].layer_latency(layer) * 1e6
+        print(f"{layer.profile.name:42s} {layer.profile.macs:12,d} "
+              f"{jet_us:10.1f} {rtx_us:8.2f}")
+    print(f"non-kernel floor (BN/act/NMS): "
+          f"{devices['jetson'].nonkernel_time(plan) * 1e6:.1f} µs Jetson\n")
+
+    # 2. NVpower-style sampled power trace of one inference.
+    meter = EnergyMeter(devices["jetson"], sample_rate_hz=2e6)
+    energy, samples = meter.measure(plan)
+    powers = [s.power_w for s in samples]
+    print(f"power trace: {len(samples)} samples, "
+          f"min {min(powers):.1f} W, max {max(powers):.1f} W, "
+          f"kernel energy {energy * 1e3:.2f} mJ, "
+          f"avg board power {meter.average_power(plan):.1f} W\n")
+
+    # 3. Conv+BN folding: the compiler pass that removes the BN traffic.
+    from repro.hardware import fold_batchnorm
+    folded_plan = compile_model(fold_batchnorm(model), *inputs)
+    print(f"conv+BN folding: elementwise traffic "
+          f"{plan.elementwise_bytes / 1024:.0f} KiB → "
+          f"{folded_plan.elementwise_bytes / 1024:.0f} KiB, "
+          f"Jetson latency {devices['jetson'].latency(plan) * 1e3:.3f} → "
+          f"{devices['jetson'].latency(folded_plan) * 1e3:.3f} ms\n")
+
+    # 4. Uniform bitwidth sweep: the latency/energy side of eq. 2.
+    print(f"{'bits':>4s} {'Jetson ms':>10s} {'speedup':>8s} "
+          f"{'energy mJ':>10s} {'reduction':>9s}")
+    base_lat = devices["jetson"].latency(plan)
+    base_energy = devices["jetson"].energy(plan)
+    for bits in (32, 16, 8, 4):
+        for module in layer_map(model).values():
+            annotate_layer(module, CompressionMeta(
+                bits=bits, scheme="dense" if bits == 32
+                else "semi-structured"))
+        swept = compile_model(model, *inputs)
+        lat = devices["jetson"].latency(swept)
+        energy = devices["jetson"].energy(swept)
+        print(f"{bits:4d} {lat * 1e3:10.3f} {base_lat / lat:7.2f}x "
+              f"{energy * 1e3:10.2f} {base_energy / energy:8.2f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""Dataset tooling: synthetic scenes ↔ KITTI interchange format.
+
+Generates a small synthetic dataset, writes it as a KITTI-shaped
+directory tree (velodyne/*.bin, label_2/*.txt, calib/*.txt, image_2/),
+reads it back, and evaluates a detector on the reloaded split — the IO
+path a real-KITTI pipeline would use.
+
+Run:  python examples/kitti_roundtrip.py
+"""
+
+import os
+import tempfile
+
+from repro.camera import CameraModel
+from repro.detection import evaluate_map
+from repro.models import PointPillars
+from repro.pointcloud import (export_kitti, load_kitti, make_dataset)
+
+
+def main() -> None:
+    # 1. Generate and split 10 frames 80:10:10 like the paper.
+    data = make_dataset(10, seed=7, with_image=True)
+    print(f"generated {len(data['train'])} train / {len(data['val'])} val "
+          f"/ {len(data['test'])} test frames")
+
+    # 2. Write the validation+test split as a KITTI tree.
+    root = os.path.join(tempfile.gettempdir(), "repro_kitti_demo")
+    scenes = data["val"] + data["test"]
+    export_kitti(scenes, root, camera=CameraModel.kitti_like())
+    files = sorted(os.listdir(os.path.join(root, "label_2")))
+    print(f"exported to {root}: labels {files}")
+    with open(os.path.join(root, "label_2", files[0])) as handle:
+        print("first label line:", handle.readline().strip())
+
+    # 3. Round-trip: reload and verify structure.
+    reloaded = load_kitti(root)
+    assert len(reloaded) == len(scenes)
+    total_boxes = sum(len(s.boxes) for s in reloaded)
+    total_points = sum(len(s.points) for s in reloaded)
+    print(f"reloaded {len(reloaded)} frames, {total_boxes} labels, "
+          f"{total_points} LiDAR points")
+
+    # 4. Run a (randomly initialized) detector over the reloaded frames —
+    #    the same evaluation path Table 2 uses on trained checkpoints.
+    model = PointPillars(seed=0)
+    predictions = [model.predict(scene) for scene in reloaded]
+    metrics = evaluate_map(predictions, [s.boxes for s in reloaded])
+    print(f"untrained-detector sanity mAP: {metrics['mAP']:.2f} "
+          "(≈0 as expected; see compress_lidar_detector.py for training)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""Extensions tour: sensitivity analysis, structured pruning, distillation.
+
+Three capabilities beyond the paper's core pipeline:
+
+1. per-layer quantization **sensitivity analysis** (the phenomenon that
+   motivates mixed precision — §III.B);
+2. **structured pruning** as the other end of the pruning spectrum
+   (§III.A), compared against UPAQ's semi-structured patterns;
+3. **knowledge distillation** fine-tuning (listed as future work in the
+   paper), where the uncompressed teacher supervises the compressed
+   student's recovery.
+
+Run:  python examples/sensitivity_and_distillation.py
+"""
+
+from repro.baselines import StructuredPruner
+from repro.core import (DistillConfig, UPAQCompressor, analyze_sensitivity,
+                        distill_finetune, hck_config,
+                        suggest_bit_allocation)
+from repro.hardware import compile_model, default_devices
+from repro.models import PointPillars
+from repro.pointcloud import SceneGenerator
+
+
+def main() -> None:
+    model = PointPillars(seed=0)
+    inputs = model.example_inputs()
+
+    # 1. Which layers tolerate 4-bit weights?
+    profile = analyze_sensitivity(model, *inputs, quant_bits=(4, 8, 16))
+    ranked = profile.most_sensitive(bits=4)
+    print("most 4-bit-sensitive layers:", ", ".join(ranked[:3]))
+    allocation = suggest_bit_allocation(profile, max_output_error=0.05)
+    print("greedy bit suggestion:",
+          {name: bits for name, bits in list(allocation.items())[:5]}, "…")
+
+    # 2. Structured vs semi-structured at similar compute skip.
+    jetson = default_devices()["jetson"]
+    structured = StructuredPruner(prune_fraction=0.5, bits=8)
+    s_report = structured.compress(model, *inputs)
+    u_report = UPAQCompressor(hck_config()).compress(model, *inputs)
+    for name, report in (("structured 50%", s_report),
+                         ("UPAQ (HCK)", u_report)):
+        plan = compile_model(report.model, *inputs)
+        print(f"{name:15s}: {report.compression_ratio:.2f}x storage, "
+              f"{jetson.latency(plan) * 1e3:.3f} ms on Jetson")
+
+    # 3. Distill the compressed student against the dense teacher.
+    generator = SceneGenerator(seed=0)
+    scenes = [generator.generate(i, with_image=False) for i in range(4)]
+    history = distill_finetune(u_report, model, scenes,
+                               DistillConfig(epochs=2, lr=1e-3))
+    print(f"distillation loss: {history[0]:.3f} → {history[-1]:.3f} "
+          f"over {len(history)} epochs")
+
+
+if __name__ == "__main__":
+    main()

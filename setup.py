@@ -1,0 +1,8 @@
+"""Setup shim: enables legacy editable installs on offline toolchains
+(``pip install -e . --no-build-isolation --no-use-pep517``) where the
+``wheel`` package is unavailable.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

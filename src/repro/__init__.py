@@ -1,0 +1,31 @@
+"""repro — reproduction of *UPAQ: A Framework for Real-Time and
+Energy-Efficient 3D Object Detection in Autonomous Vehicles* (DATE 2025).
+
+Subpackages
+-----------
+``repro.core``
+    The UPAQ framework: pattern pruning, mixed-precision quantization,
+    root/leaf grouping, efficiency-score search, HCK/LCK presets.
+``repro.nn``
+    Numpy neural-network framework with autograd (PyTorch substitute).
+``repro.pointcloud`` / ``repro.camera``
+    Synthetic KITTI-like data substrate: LiDAR simulator, scene
+    generator, box geometry, camera projection/rendering, KITTI IO.
+``repro.detection``
+    Anchors, NMS, target assignment, KITTI-style mAP evaluation.
+``repro.models``
+    PointPillars, SMOKE, SECOND, Focals Conv, VSC detectors.
+``repro.baselines``
+    Ps&Qs, CLIP-Q, R-TOSS, LiDAR-PTQ compression baselines.
+``repro.hardware``
+    Jetson Orin Nano / RTX 4080 analytic latency+energy device models.
+``repro.harness``
+    Regenerates every table and figure of the paper.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "baselines", "camera", "cli", "core", "detection", "hardware",
+    "harness", "models", "nn", "pointcloud", "runtime", "viz",
+]

@@ -1,0 +1,29 @@
+"""``repro.baselines`` — the four state-of-the-art frameworks UPAQ is
+compared against in Table 2.
+
+* :class:`PsAndQs` — quantization-aware iterative unstructured pruning
+  with a uniform bitwidth.
+* :class:`ClipQ` — per-layer clip/partition/quantize.
+* :class:`RToss` — fixed entry-pattern semi-structured pruning with
+  L2-norm selection and connectivity pruning (no quantization).
+* :class:`LidarPTQ` — max–min calibrated INT8 PTQ with adaptive
+  rounding (no pruning, no fine-tuning).
+
+All share the :class:`CompressionFramework` interface, as does
+:class:`repro.core.UPAQCompressor`.
+"""
+
+from .base import (CompressionFramework, FRAMEWORK_REGISTRY,
+                   build_framework, register_framework)
+from .clipq import ClipQ
+from .lidar_ptq import LidarPTQ
+from .psqs import PsAndQs
+from .rtoss import ENTRY_PATTERNS, RToss
+from .structured import StructuredPruner
+
+__all__ = [
+    "CompressionFramework", "FRAMEWORK_REGISTRY", "build_framework",
+    "register_framework", "PsAndQs", "ClipQ", "RToss", "LidarPTQ",
+    "StructuredPruner",
+    "ENTRY_PATTERNS",
+]

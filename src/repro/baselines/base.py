@@ -1,0 +1,88 @@
+"""Common interface for compression frameworks (UPAQ and baselines).
+
+Every framework takes a pretrained model, returns a
+:class:`repro.core.compressor.CompressionReport` (compressed deep copy,
+per-layer choices, prune masks), and optionally fine-tunes.  The
+harness drives them all identically to fill Table 2.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import numpy as np
+
+from repro.core.compressor import CompressionReport, LayerChoice
+from repro.core.finetune import masked_finetune, requantize
+from repro.core.quantizer import sqnr_db
+from repro.hardware import (CompressionMeta, annotate_layer, compile_model)
+from repro.nn.graph import layer_map
+from repro.nn.module import Module
+
+__all__ = ["CompressionFramework", "FRAMEWORK_REGISTRY",
+           "register_framework", "build_framework"]
+
+FRAMEWORK_REGISTRY: dict[str, type] = {}
+
+
+def register_framework(key: str):
+    def decorator(cls):
+        FRAMEWORK_REGISTRY[key] = cls
+        return cls
+    return decorator
+
+
+def build_framework(key: str, **kwargs) -> "CompressionFramework":
+    normalized = key.lower().replace(" ", "").replace("-", "").replace("&", "")
+    if normalized not in FRAMEWORK_REGISTRY:
+        raise KeyError(f"unknown framework {key!r}; "
+                       f"available: {sorted(FRAMEWORK_REGISTRY)}")
+    return FRAMEWORK_REGISTRY[normalized](**kwargs)
+
+
+class CompressionFramework:
+    """Base class: deep-copy handling, reporting, fine-tune plumbing."""
+
+    name = "framework"
+    #: whether this framework fine-tunes after compression (PTQ does not)
+    uses_finetuning = True
+
+    def compress(self, model: Module, *example_inputs) -> CompressionReport:
+        compressed = copy.deepcopy(model)
+        report = CompressionReport(model=compressed)
+        self._compress_in_place(compressed, report, *example_inputs)
+        final_plan = compile_model(compressed, *example_inputs)
+        report.compression_ratio = final_plan.compression_ratio
+        return report
+
+    def _compress_in_place(self, model: Module, report: CompressionReport,
+                           *example_inputs) -> None:
+        raise NotImplementedError
+
+    def finetune(self, report: CompressionReport, scenes,
+                 epochs: int = 3, lr: float = 5e-4) -> CompressionReport:
+        if not self.uses_finetuning or epochs <= 0 or not scenes:
+            return report
+        masked_finetune(report.model, scenes, report.masks,
+                        epochs=epochs, lr=lr)
+        bits_by_layer = {c.layer: c.bits for c in report.choices
+                         if c.bits < 32}
+        requantize(report.model, bits_by_layer, report.masks)
+        return report
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _record(report: CompressionReport, module: Module, layer_name: str,
+                mask: np.ndarray, bits: int, scheme: str, sqnr: float,
+                pattern: str = "-") -> None:
+        """Annotate a layer and add its row to the report."""
+        annotate_layer(module, CompressionMeta(bits=bits, scheme=scheme))
+        report.masks[layer_name] = mask.astype(np.float32)
+        report.choices.append(LayerChoice(
+            layer=layer_name, root=layer_name, pattern=pattern, bits=bits,
+            sparsity=float((mask == 0).mean()), sqnr_db=sqnr_db(sqnr),
+            score=float("nan")))
+
+    @staticmethod
+    def _kernel_layers(model: Module) -> dict[str, Module]:
+        return layer_map(model)

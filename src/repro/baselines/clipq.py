@@ -1,0 +1,46 @@
+"""CLIP-Q: in-parallel pruning–quantization via clipping (Tung & Mori).
+
+Per-layer partitioning by magnitude clipping: weights inside the
+clipping band are pruned, survivors are quantized onto a small uniform
+codebook.  The method processes each layer independently (the UPAQ paper
+notes it "focuses on only parts of the model without considering overall
+performance"), so no global budget balances layer sensitivities.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.quantizer import mp_quantizer
+
+from .base import CompressionFramework, register_framework
+
+__all__ = ["ClipQ"]
+
+
+@register_framework("clipq")
+class ClipQ(CompressionFramework):
+    """Clip → partition → quantize, layer by layer."""
+
+    name = "CLIP-Q"
+
+    def __init__(self, clip_percentile: float = 30.0, bits: int = 8):
+        if not 0.0 <= clip_percentile < 100.0:
+            raise ValueError("clip_percentile must be in [0, 100)")
+        self.clip_percentile = clip_percentile
+        self.bits = bits
+
+    def _compress_in_place(self, model, report, *example_inputs) -> None:
+        for layer_name, module in self._kernel_layers(model).items():
+            weights = module.weight.data
+            clip_threshold = np.percentile(np.abs(weights),
+                                           self.clip_percentile)
+            mask = (np.abs(weights) > clip_threshold).astype(np.float32)
+            clipped = weights * mask
+            # Quantize survivors onto the 2^bits codebook.  CLIP-Q builds
+            # the codebook from the *clipped* distribution, which keeps
+            # the quantization grid tight around surviving magnitudes.
+            result = mp_quantizer(clipped, self.bits)
+            module.weight.data = result.values
+            self._record(report, module, layer_name, mask, self.bits,
+                         scheme="unstructured", sqnr=result.sqnr)

@@ -1,0 +1,59 @@
+"""Ps&Qs: quantization-aware pruning (Hawks et al., 2021).
+
+Iterative global unstructured magnitude pruning interleaved with
+fake-quantized weights at a single uniform bitwidth (per-layer
+quantization with the *same* width everywhere — the paper contrasts this
+with UPAQ's mixed precision).  The approach achieves modest compression:
+unstructured sparsity needs per-value indices, and a uniform bitwidth
+cannot go very low without wrecking accuracy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.quantizer import mp_quantizer
+
+from .base import CompressionFramework, register_framework
+
+__all__ = ["PsAndQs"]
+
+
+@register_framework("psqs")
+class PsAndQs(CompressionFramework):
+    """Iterative unstructured magnitude pruning + uniform QAT."""
+
+    name = "Ps&Qs"
+
+    def __init__(self, target_sparsity: float = 0.30, bits: int = 8,
+                 iterations: int = 3):
+        if not 0.0 <= target_sparsity < 1.0:
+            raise ValueError("target_sparsity must be in [0, 1)")
+        self.target_sparsity = target_sparsity
+        self.bits = bits
+        self.iterations = iterations
+
+    def _compress_in_place(self, model, report, *example_inputs) -> None:
+        layers = self._kernel_layers(model)
+        # Iterative schedule: reach the target sparsity in equal bites,
+        # recomputing the global magnitude threshold each round (weights
+        # are fake-quantized between rounds, so the ranking shifts).
+        for iteration in range(1, self.iterations + 1):
+            level = self.target_sparsity * iteration / self.iterations
+            magnitudes = np.concatenate(
+                [np.abs(m.weight.data).reshape(-1)
+                 for m in layers.values()])
+            threshold = np.quantile(magnitudes, level)
+            for module in layers.values():
+                weights = module.weight.data
+                mask = (np.abs(weights) > threshold).astype(np.float32)
+                module.weight.data = mp_quantizer(
+                    weights * mask, self.bits).values
+
+        for layer_name, module in layers.items():
+            weights = module.weight.data
+            mask = (weights != 0).astype(np.float32)
+            result = mp_quantizer(weights, self.bits)
+            module.weight.data = result.values
+            self._record(report, module, layer_name, mask, self.bits,
+                         scheme="unstructured", sqnr=result.sqnr)

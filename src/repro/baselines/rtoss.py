@@ -1,0 +1,92 @@
+"""R-TOSS: entry-pattern semi-structured pruning (Balasubramaniam et al.,
+DAC 2023) — the UPAQ authors' own prior work and its strongest baseline.
+
+Pruning only (no quantization): every k×k kernel is masked with the
+best-fitting *entry pattern* from a fixed dictionary, selected by the
+L2-norm of the surviving weights; kernels whose retained energy falls in
+the lowest percentile are removed entirely (connectivity pruning).  The
+UPAQ paper's criticisms are visible in the code: the pattern dictionary
+is fixed (no per-model pattern search), selection uses plain L2 with no
+awareness of downstream quantization noise, and 1×1 layers are left
+untouched.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import CompressionFramework, register_framework
+
+__all__ = ["RToss", "ENTRY_PATTERNS"]
+
+
+def _entry_patterns_3x3(n_entries: int) -> list[np.ndarray]:
+    """The fixed EP dictionary: centered + edge-adjacent masks."""
+    # Canonical 4-entry style patterns adapted to n entries: always keep
+    # the center, distribute the rest over cross/diagonal neighbours.
+    offsets_cross = [(0, 0), (0, 1), (1, 0), (0, -1), (-1, 0)]
+    offsets_diag = [(0, 0), (1, 1), (-1, -1), (1, -1), (-1, 1)]
+    patterns = []
+    for offsets in (offsets_cross, offsets_diag):
+        mask = np.zeros((3, 3), dtype=np.float32)
+        for dr, dc in offsets[:n_entries]:
+            mask[1 + dr, 1 + dc] = 1.0
+        patterns.append(mask)
+    # Corner-anchored variants widen the dictionary.
+    for anchor in ((0, 0), (0, 2), (2, 0), (2, 2)):
+        mask = np.zeros((3, 3), dtype=np.float32)
+        mask[anchor] = 1.0
+        mask[1, 1] = 1.0
+        remaining = [(0, 1), (1, 0), (1, 2), (2, 1)]
+        for pos in remaining[:max(n_entries - 2, 0)]:
+            mask[pos] = 1.0
+        patterns.append(mask)
+    return patterns
+
+
+ENTRY_PATTERNS = {n: _entry_patterns_3x3(n) for n in (3, 4, 5)}
+
+
+@register_framework("rtoss")
+class RToss(CompressionFramework):
+    """Fixed entry-pattern pruning + connectivity pruning, no quantization."""
+
+    name = "R-TOSS"
+
+    def __init__(self, n_entries: int = 3,
+                 connectivity_percentile: float = 25.0):
+        if n_entries not in ENTRY_PATTERNS:
+            raise ValueError(f"n_entries must be one of "
+                             f"{sorted(ENTRY_PATTERNS)}")
+        self.n_entries = n_entries
+        self.connectivity_percentile = connectivity_percentile
+
+    def _compress_in_place(self, model, report, *example_inputs) -> None:
+        patterns = ENTRY_PATTERNS[self.n_entries]
+        for layer_name, module in self._kernel_layers(model).items():
+            weights = module.weight.data
+            if weights.ndim != 4 or weights.shape[-1] != 3:
+                # R-TOSS targets 3×3 kernels; other layers pass through.
+                continue
+            out_c, in_c = weights.shape[:2]
+            flat_kernels = weights.reshape(out_c * in_c, 3, 3)
+
+            # Per-kernel best entry pattern by surviving L2-norm.
+            energies = np.stack(
+                [np.linalg.norm(flat_kernels * p, axis=(1, 2))
+                 for p in patterns])                       # (P, K)
+            best_pattern = energies.argmax(axis=0)          # (K,)
+            mask = np.stack([patterns[i] for i in best_pattern])
+
+            # Connectivity pruning: drop the weakest kernels outright.
+            retained_energy = energies.max(axis=0)
+            threshold = np.percentile(retained_energy,
+                                      self.connectivity_percentile)
+            dead = retained_energy <= threshold
+            mask[dead] = 0.0
+
+            mask = mask.reshape(weights.shape).astype(np.float32)
+            module.weight.data = weights * mask
+            self._record(report, module, layer_name, mask, bits=32,
+                         scheme="semi-structured", sqnr=float("inf"),
+                         pattern=f"EP[n={self.n_entries}]")

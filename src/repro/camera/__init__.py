@@ -1,0 +1,15 @@
+"""``repro.camera`` — pinhole projection and synthetic image rendering.
+
+Substitute for KITTI's calibrated RGB camera: provides the camera model
+used by the SMOKE detector's 2D→3D uplifting and a painter's renderer
+that turns synthetic scenes into images.
+"""
+
+from .projection import (CameraModel, box_fully_visible, project_box,
+                         project_points)
+from .render import CLASS_ALBEDO, render_scene
+
+__all__ = [
+    "CameraModel", "project_points", "project_box", "box_fully_visible",
+    "render_scene", "CLASS_ALBEDO",
+]

@@ -1,0 +1,85 @@
+"""Pinhole camera model and 3D→2D projection.
+
+Stands in for KITTI's calibrated color camera.  The camera sits at the
+LiDAR origin looking down +x (the driving direction); camera coordinates
+follow the usual convention (u right, v down, optical axis forward).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.pointcloud.boxes import Box3D
+
+__all__ = ["CameraModel", "project_points", "project_box", "box_fully_visible"]
+
+
+@dataclass
+class CameraModel:
+    """Intrinsics + mounting pose of the synthetic camera."""
+
+    width: int = 128
+    height: int = 40
+    focal: float = 72.0
+    cx: float | None = None
+    cy: float | None = None
+    mount_height: float = 1.65   # meters above ground
+
+    @staticmethod
+    def kitti_like(width: int = 128, height: int = 40) -> "CameraModel":
+        """A small camera with KITTI's wide aspect ratio (~1242x375)."""
+        return CameraModel(width=width, height=height,
+                           focal=width * 0.58)
+
+    def intrinsics(self) -> np.ndarray:
+        cx = self.cx if self.cx is not None else self.width / 2
+        cy = self.cy if self.cy is not None else self.height / 2
+        return np.array([[self.focal, 0, cx],
+                         [0, self.focal, cy],
+                         [0, 0, 1.0]])
+
+
+def _world_to_camera(points: np.ndarray, camera: CameraModel) -> np.ndarray:
+    """LiDAR/ground coords (x fwd, y left, z up) → camera coords."""
+    cam = np.empty_like(np.asarray(points, dtype=np.float64))
+    cam[:, 0] = -points[:, 1]                       # u axis: right
+    cam[:, 1] = camera.mount_height - points[:, 2]  # v axis: down
+    cam[:, 2] = points[:, 0]                        # depth: forward
+    return cam
+
+
+def project_points(points: np.ndarray,
+                   camera: CameraModel) -> tuple[np.ndarray, np.ndarray]:
+    """Project (N, 3) world points; returns (pixels (N,2), depth (N,))."""
+    cam = _world_to_camera(points, camera)
+    depth = cam[:, 2]
+    k = camera.intrinsics()
+    with np.errstate(divide="ignore", invalid="ignore"):
+        u = k[0, 0] * cam[:, 0] / depth + k[0, 2]
+        v = k[1, 1] * cam[:, 1] / depth + k[1, 2]
+    return np.stack([u, v], axis=1), depth
+
+
+def project_box(box: Box3D, camera: CameraModel) -> np.ndarray | None:
+    """Axis-aligned 2D bbox [u_min v_min u_max v_max] of a 3D box.
+
+    Returns None when the box is entirely behind the camera.
+    """
+    pixels, depth = project_points(box.corners(), camera)
+    visible = depth > 0.5
+    if not visible.any():
+        return None
+    pixels = pixels[visible]
+    return np.array([pixels[:, 0].min(), pixels[:, 1].min(),
+                     pixels[:, 0].max(), pixels[:, 1].max()])
+
+
+def box_fully_visible(box: Box3D, camera: CameraModel) -> bool:
+    """True when the whole projected box lies inside the image."""
+    bbox = project_box(box, camera)
+    if bbox is None:
+        return False
+    return (bbox[0] >= 0 and bbox[1] >= 0
+            and bbox[2] < camera.width and bbox[3] < camera.height)

@@ -1,0 +1,80 @@
+"""Synthetic camera image rendering.
+
+Produces a depth-ordered painter's rendering of a scene: sky gradient,
+road plane, then object boxes as projected shaded quads with per-class
+albedo and distance shading.  The output (3, H, W) float32 image carries
+enough structure — silhouettes at the right image position and scale —
+for a keypoint-style monocular detector (SMOKE) to learn from.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.pointcloud.boxes import Box3D
+
+from .projection import CameraModel, project_box, project_points
+
+__all__ = ["render_scene", "CLASS_ALBEDO"]
+
+CLASS_ALBEDO = {
+    "Car": np.array([0.25, 0.3, 0.75]),
+    "Pedestrian": np.array([0.75, 0.35, 0.25]),
+    "Cyclist": np.array([0.3, 0.7, 0.3]),
+}
+
+
+def _paint_background(camera: CameraModel,
+                      rng: np.random.Generator) -> np.ndarray:
+    h, w = camera.height, camera.width
+    image = np.zeros((3, h, w), dtype=np.float32)
+    horizon = int(h * 0.45)
+    # Sky: vertical gradient.
+    sky = np.linspace(0.9, 0.6, max(horizon, 1))[:, None]
+    image[2, :horizon, :] = sky
+    image[1, :horizon, :] = sky * 0.8
+    image[0, :horizon, :] = sky * 0.6
+    # Road: darker gradient with mild texture noise.
+    road_rows = h - horizon
+    road = np.linspace(0.35, 0.55, max(road_rows, 1))[:, None]
+    road = road + rng.normal(0, 0.01, size=(road_rows, w))
+    image[:, horizon:, :] = road[None].astype(np.float32)
+    return image
+
+
+def render_scene(camera: CameraModel, boxes: list[Box3D],
+                 rng: np.random.Generator | None = None) -> np.ndarray:
+    """Render boxes onto a synthetic road image, far-to-near."""
+    rng = rng or np.random.default_rng(0)
+    image = _paint_background(camera, rng)
+    h, w = camera.height, camera.width
+
+    order = np.argsort([-b.x for b in boxes])  # paint distant boxes first
+    for idx in order:
+        box = boxes[idx]
+        bbox = project_box(box, camera)
+        if bbox is None:
+            continue
+        u0 = int(np.clip(np.floor(bbox[0]), 0, w))
+        v0 = int(np.clip(np.floor(bbox[1]), 0, h))
+        u1 = int(np.clip(np.ceil(bbox[2]), 0, w))
+        v1 = int(np.clip(np.ceil(bbox[3]), 0, h))
+        if u1 <= u0 or v1 <= v0:
+            continue
+        albedo = CLASS_ALBEDO.get(box.label, np.array([0.5, 0.5, 0.5]))
+        # Shade by distance; closer objects are brighter and more textured.
+        shade = float(np.clip(1.2 - box.x / 60.0, 0.3, 1.0))
+        patch = albedo[:, None, None] * shade
+        texture = rng.normal(0, 0.02, size=(1, v1 - v0, u1 - u0))
+        image[:, v0:v1, u0:u1] = np.clip(patch + texture, 0.0, 1.0)
+        # A brighter roofline helps the keypoint head localize box tops.
+        roof_v = max(v0, v1 - max((v1 - v0) // 4, 1))
+        image[:, v0:roof_v, u0:u1] *= 0.85
+        # Mark the projected 3D center with a small highlight.
+        center_px, depth = project_points(box.center[None], camera)
+        if depth[0] > 0.5:
+            cu = int(np.clip(center_px[0, 0], 0, w - 1))
+            cv = int(np.clip(center_px[0, 1], 0, h - 1))
+            image[:, max(cv - 1, 0):cv + 1, max(cu - 1, 0):cu + 1] = \
+                np.clip(patch * 1.4, 0, 1)
+    return image.astype(np.float32)

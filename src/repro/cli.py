@@ -1,0 +1,226 @@
+"""Command-line interface for the UPAQ reproduction.
+
+Subcommands mirror the library's workflow::
+
+    python -m repro.cli generate --frames 10 --out /tmp/kitti      # dataset
+    python -m repro.cli train --model pointpillars --steps 500     # pretrain
+    python -m repro.cli compress --model pointpillars --preset hck # compress
+    python -m repro.cli evaluate --model pointpillars --frames 8   # mAP
+    python -m repro.cli table1                                     # Table 1
+    python -m repro.cli table2 --model pointpillars --scale quick  # Table 2
+    python -m repro.cli sensitivity --model pointpillars           # analysis
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_generate(args) -> int:
+    from repro.camera import CameraModel
+    from repro.pointcloud import export_kitti, make_dataset
+    data = make_dataset(args.frames, seed=args.seed, with_image=True)
+    scenes = data["train"] + data["val"] + data["test"]
+    export_kitti(scenes, args.out, camera=CameraModel.kitti_like())
+    print(f"wrote {len(scenes)} KITTI-format frames to {args.out} "
+          f"(split {len(data['train'])}/{len(data['val'])}"
+          f"/{len(data['test'])})")
+    return 0
+
+
+def _cmd_train(args) -> int:
+    from repro.harness import TrainConfig, get_pretrained
+    config = TrainConfig(steps=args.steps, seed=args.seed,
+                         with_image=(args.model == "smoke"))
+    model, result = get_pretrained(args.model, config, cache=not args.fresh)
+    if result is None:
+        print(f"loaded cached {args.model} checkpoint "
+              f"({model.num_parameters() / 1e3:.0f}k params)")
+    else:
+        print(f"trained {args.model} for {args.steps} steps; "
+              f"best mAP {result.best_map:.2f}")
+    return 0
+
+
+def _cmd_compress(args) -> int:
+    from repro.core import (UPAQCompressor, hck_config, lck_config,
+                            pack_model)
+    from repro.harness import TrainConfig, get_pretrained
+    from repro.hardware import compile_model, default_devices
+
+    config = {"hck": hck_config, "lck": lck_config}[args.preset]()
+    model, _ = get_pretrained(
+        args.model, TrainConfig(steps=args.steps,
+                                with_image=(args.model == "smoke")))
+    inputs = model.example_inputs()
+    report = UPAQCompressor(config).compress(model, *inputs)
+    plan = compile_model(report.model, *inputs)
+    device = default_devices()["jetson"]
+    print(f"{config.name} on {args.model}: "
+          f"{report.compression_ratio:.2f}x compression, "
+          f"sparsity {report.overall_sparsity:.0%}, "
+          f"mean {report.mean_bits:.1f} bits, "
+          f"Jetson latency {device.latency(plan) * 1e3:.3f} ms")
+    if args.out:
+        blob = pack_model(report.model)
+        with open(args.out, "wb") as handle:
+            handle.write(blob)
+        print(f"packed model ({len(blob) / 1024:.1f} KiB) → {args.out}")
+    return 0
+
+
+def _cmd_evaluate(args) -> int:
+    from repro.detection import evaluate_by_difficulty
+    from repro.harness import (TrainConfig, get_pretrained,
+                               validation_scenes)
+    model, _ = get_pretrained(
+        args.model, TrainConfig(steps=args.steps,
+                                with_image=(args.model == "smoke")))
+    scenes = validation_scenes(args.frames,
+                               with_image=(args.model == "smoke"))
+    predictions = [model.predict(scene) for scene in scenes]
+    result = evaluate_by_difficulty(predictions, [s.boxes for s in scenes])
+    for bucket, metrics in result.items():
+        per_class = " ".join(f"{k}={v:.1f}" for k, v in metrics.items()
+                             if k != "mAP")
+        print(f"{bucket:9s} mAP={metrics['mAP']:6.2f}  {per_class}")
+    return 0
+
+
+def _cmd_table1(args) -> int:
+    from repro.harness import format_table1, run_table1
+    print(format_table1(run_table1()))
+    return 0
+
+
+def _cmd_table2(args) -> int:
+    from repro.harness import (Table2Config, format_fig4, format_fig5,
+                               format_table2, run_table2)
+    budgets = {
+        "quick": dict(pretrain_steps=300, finetune_scenes=6,
+                      finetune_epochs=1, eval_frames=4),
+        "full": dict(pretrain_steps=6400 if args.model == "pointpillars"
+                     else 1500,
+                     finetune_scenes=24, finetune_epochs=3, eval_frames=12),
+    }
+    rows = run_table2(Table2Config(model_name=args.model,
+                                   **budgets[args.scale]))
+    label = "PointPillars" if args.model == "pointpillars" else "SMOKE"
+    print(format_table2(label, rows))
+    print()
+    print(format_fig4(label, rows))
+    print()
+    print(format_fig5(label, rows))
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.harness import RunnerConfig, run_all
+    budgets = {
+        "quick": dict(pretrain_steps=300, finetune_scenes=6,
+                      finetune_epochs=1, eval_frames=4),
+        "full": dict(pretrain_steps=6400, finetune_scenes=24,
+                     finetune_epochs=3, eval_frames=12),
+    }
+    smoke_budgets = {
+        "quick": dict(pretrain_steps=200, finetune_scenes=4,
+                      finetune_epochs=1, eval_frames=4),
+        "full": dict(pretrain_steps=1500, finetune_scenes=24,
+                     finetune_epochs=3, eval_frames=10),
+    }
+    config = RunnerConfig(output_dir=args.out,
+                          pointpillars=budgets[args.scale],
+                          smoke=smoke_budgets[args.scale],
+                          include_smoke=not args.skip_smoke)
+    results = run_all(config)
+    print(f"report written to {results['report_path']}")
+    return 0
+
+
+def _cmd_sensitivity(args) -> int:
+    from repro.core import analyze_sensitivity, suggest_bit_allocation
+    from repro.models import build_model
+    model = build_model(args.model)
+    profile = analyze_sensitivity(model, *model.example_inputs(),
+                                  quant_bits=(4, 8, 16))
+    allocation = suggest_bit_allocation(profile, args.budget)
+    print(f"{'layer':42s} {'err@4b':>8s} {'err@8b':>8s} {'suggested':>9s}")
+    for entry in profile.layers:
+        print(f"{entry.layer:42s} "
+              f"{entry.output_error_by_bits[4]:8.4f} "
+              f"{entry.output_error_by_bits[8]:8.4f} "
+              f"{allocation[entry.layer]:6d}bit")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="UPAQ reproduction command line")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("generate", help="write a synthetic KITTI dataset")
+    p.add_argument("--frames", type=int, default=10)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", required=True)
+    p.set_defaults(func=_cmd_generate)
+
+    p = sub.add_parser("train", help="pretrain a detector (cached)")
+    p.add_argument("--model", default="pointpillars",
+                   choices=["pointpillars", "smoke"])
+    p.add_argument("--steps", type=int, default=300)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--fresh", action="store_true",
+                   help="ignore the artifact cache")
+    p.set_defaults(func=_cmd_train)
+
+    p = sub.add_parser("compress", help="compress a pretrained detector")
+    p.add_argument("--model", default="pointpillars",
+                   choices=["pointpillars", "smoke"])
+    p.add_argument("--preset", default="hck", choices=["hck", "lck"])
+    p.add_argument("--steps", type=int, default=300,
+                   help="pretraining steps of the base checkpoint")
+    p.add_argument("--out", default=None,
+                   help="write the packed compressed model here")
+    p.set_defaults(func=_cmd_compress)
+
+    p = sub.add_parser("evaluate", help="stratified mAP of a checkpoint")
+    p.add_argument("--model", default="pointpillars",
+                   choices=["pointpillars", "smoke"])
+    p.add_argument("--steps", type=int, default=300)
+    p.add_argument("--frames", type=int, default=8)
+    p.set_defaults(func=_cmd_evaluate)
+
+    p = sub.add_parser("table1", help="regenerate Table 1")
+    p.set_defaults(func=_cmd_table1)
+
+    p = sub.add_parser("table2", help="regenerate Table 2 + Figs 4/5")
+    p.add_argument("--model", default="pointpillars",
+                   choices=["pointpillars", "smoke"])
+    p.add_argument("--scale", default="quick", choices=["quick", "full"])
+    p.set_defaults(func=_cmd_table2)
+
+    p = sub.add_parser("report",
+                       help="run every experiment, write results/ dir")
+    p.add_argument("--out", default="results")
+    p.add_argument("--scale", default="quick", choices=["quick", "full"])
+    p.add_argument("--skip-smoke", action="store_true")
+    p.set_defaults(func=_cmd_report)
+
+    p = sub.add_parser("sensitivity",
+                       help="per-layer quantization sensitivity")
+    p.add_argument("--model", default="pointpillars")
+    p.add_argument("--budget", type=float, default=0.05,
+                   help="max tolerated relative output error")
+    p.set_defaults(func=_cmd_sensitivity)
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

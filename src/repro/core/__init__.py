@@ -1,0 +1,46 @@
+"""``repro.core`` — the UPAQ compression framework itself.
+
+The paper's contribution: preprocessing (Algorithm 1, root→leaf layer
+grouping), randomized semi-structured pattern generation (Algorithm 2),
+the compression stage orchestrator (Algorithm 3), k×k and 1×1 kernel
+compression (Algorithms 4/5), the mixed-precision symmetric quantizer
+(Algorithm 6), and the on-device efficiency score (eq. 2) with the
+paper's HCK/LCK presets.
+"""
+
+from .compressor import CompressionReport, LayerChoice, UPAQCompressor
+from .config import UPAQConfig, hck_config, lck_config
+from .efficiency import EfficiencyScorer, EfficiencyWeights
+from .finetune import finetune_compressed, masked_finetune, requantize
+from .kernel_compression import (KernelCandidate, apply_patterns,
+                                 compress_1x1, compress_kxk)
+from .packing import (pack_bits, pack_layer, pack_model, packed_size_report,
+                      unpack_bits, unpack_layer, unpack_model)
+from .sensitivity import (LayerSensitivity, SensitivityProfile,
+                          analyze_sensitivity, suggest_bit_allocation)
+from .patterns import (KernelPattern, PATTERN_TYPES, generate_pattern,
+                       generate_patterns, pattern_mask)
+from .distill import DistillConfig, distill_finetune
+from .preprocessing import LayerGroups, find_root, preprocess_model
+from .structured import channel_prune_mask, filter_prune_mask
+from .quantizer import (QuantResult, mp_quantizer, quantize_per_kernel,
+                        quantize_to_int, sqnr_db)
+
+__all__ = [
+    "UPAQCompressor", "CompressionReport", "LayerChoice",
+    "UPAQConfig", "hck_config", "lck_config",
+    "EfficiencyScorer", "EfficiencyWeights",
+    "KernelPattern", "PATTERN_TYPES", "generate_pattern",
+    "generate_patterns", "pattern_mask",
+    "KernelCandidate", "compress_kxk", "compress_1x1", "apply_patterns",
+    "pack_bits", "unpack_bits", "pack_layer", "unpack_layer",
+    "pack_model", "unpack_model", "packed_size_report",
+    "LayerSensitivity", "SensitivityProfile", "analyze_sensitivity",
+    "suggest_bit_allocation",
+    "LayerGroups", "preprocess_model", "find_root",
+    "QuantResult", "mp_quantizer", "quantize_to_int", "sqnr_db",
+    "quantize_per_kernel",
+    "finetune_compressed", "masked_finetune", "requantize",
+    "DistillConfig", "distill_finetune",
+    "filter_prune_mask", "channel_prune_mask",
+]

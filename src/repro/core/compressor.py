@@ -1,0 +1,217 @@
+"""The UPAQ compression stage (paper Algorithm 3).
+
+Ties the pipeline together: deep-copy the pretrained model, group layers
+into root→leaf sets (Algorithm 1), and for every root layer search
+random semi-structured patterns (Algorithm 2) × candidate bitwidths
+(Algorithm 6) for the choice with the best on-device efficiency score
+(eq. 2), applying the winner to the root and replicating it onto the
+group's leaves.  Optionally fine-tunes the pruned model with frozen
+masks and re-quantizes.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.hardware import (CompressionMeta, annotate_layer, compile_model,
+                            default_devices, profile_model)
+from repro.nn.graph import layer_map
+from repro.nn.module import Module
+
+from .config import UPAQConfig
+from .efficiency import EfficiencyScorer
+from .kernel_compression import (KernelCandidate, apply_patterns,
+                                 compress_1x1, compress_kxk)
+from .preprocessing import LayerGroups, preprocess_model
+
+__all__ = ["LayerChoice", "CompressionReport", "UPAQCompressor"]
+
+
+@dataclass
+class LayerChoice:
+    """The compression decision recorded for one layer."""
+
+    layer: str
+    root: str
+    pattern: str
+    bits: int
+    sparsity: float
+    sqnr_db: float
+    score: float
+
+
+@dataclass
+class CompressionReport:
+    """Everything the compression run produced."""
+
+    model: Module
+    choices: list[LayerChoice] = field(default_factory=list)
+    masks: dict = field(default_factory=dict)     # layer name → mask array
+    groups: LayerGroups | None = None
+    compression_ratio: float = 1.0
+
+    def choice_for(self, layer_name: str) -> LayerChoice:
+        for choice in self.choices:
+            if choice.layer == layer_name:
+                return choice
+        raise KeyError(layer_name)
+
+    @property
+    def mean_bits(self) -> float:
+        return float(np.mean([c.bits for c in self.choices]))
+
+    @property
+    def overall_sparsity(self) -> float:
+        total = sum(mask.size for mask in self.masks.values())
+        zeros = sum(int((mask == 0).sum()) for mask in self.masks.values())
+        return zeros / total if total else 0.0
+
+
+class UPAQCompressor:
+    """UPAQ: semi-structured pattern pruning + mixed-precision quantization.
+
+    Usage::
+
+        compressor = UPAQCompressor(hck_config())
+        report = compressor.compress(model, *model.example_inputs())
+        compressed = report.model
+    """
+
+    def __init__(self, config: UPAQConfig | None = None):
+        self.config = config or UPAQConfig()
+
+    # ------------------------------------------------------------------
+    def compress(self, model: Module, *example_inputs) -> CompressionReport:
+        """Run the full pipeline on a pretrained model (non-destructive)."""
+        config = self.config
+        rng = np.random.default_rng(config.seed)
+
+        compressed = copy.deepcopy(model)          # paper line 1
+        layers = layer_map(compressed)
+
+        if config.use_root_groups:
+            groups = preprocess_model(compressed, *example_inputs)
+        else:
+            groups = LayerGroups(
+                groups={name: [name] for name in layers},
+                roots={name: name for name in layers})
+
+        profile = profile_model(compressed, *example_inputs)
+        plan = compile_model(compressed, *example_inputs, profile=profile)
+        device = default_devices()[config.device]
+        scorer = EfficiencyScorer(plan, device, config.weights)
+        profiled = set(scorer.layer_names())
+
+        report = CompressionReport(model=compressed, groups=groups)
+
+        for root, members in groups:
+            if root not in layers or root not in profiled:
+                continue
+            root_module = layers[root]
+            weights = root_module.weight.data
+
+            def score_fn(sqnr, bits, sparsity, _name=root):
+                return scorer.score(_name, sqnr=sqnr, bits=bits,
+                                    sparsity=sparsity)
+
+            if weights.ndim == 4 and weights.shape[-1] > 1:
+                candidate = compress_kxk(
+                    weights, config.n_nonzero_kxk, config.quant_bits,
+                    score_fn, rng, num_patterns=config.num_patterns,
+                    pattern_types=config.pattern_types,
+                    connectivity_percentile=config.connectivity_percentile)
+            elif config.compress_1x1_layers:
+                candidate = compress_1x1(
+                    weights, config.n_nonzero_1x1, config.quant_bits,
+                    score_fn, rng, tile=config.tile,
+                    num_patterns=config.num_patterns,
+                    pattern_types=config.pattern_types)
+            else:
+                # Ablation: plain per-tensor quantization of 1×1 layers.
+                candidate = self._quantize_only(weights, config.quant_bits,
+                                                score_fn)
+
+            self._apply(root_module, root, root, candidate, report)
+            for leaf in members:
+                if leaf == root or leaf not in layers:
+                    continue
+                leaf_module = layers[leaf]
+                if candidate.patterns:
+                    leaf_candidate = apply_patterns(
+                        leaf_module.weight.data, candidate.patterns,
+                        candidate.bits, tile=config.tile)
+                else:   # root was quantize-only (1×1 ablation path)
+                    leaf_candidate = self._quantize_only(
+                        leaf_module.weight.data, (candidate.bits,),
+                        lambda sqnr, bits, sparsity: sqnr)
+                self._apply(leaf_module, leaf, root, leaf_candidate, report,
+                            score=candidate.score)
+
+        final_plan = compile_model(compressed, *example_inputs)
+        report.compression_ratio = final_plan.compression_ratio
+        return report
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _quantize_only(weights: np.ndarray, quant_bits, score_fn):
+        """Mixed-precision quantization with per-output-channel scales.
+
+        The default treatment of 1×1/linear layers: the paper stresses
+        "dynamically adjusting the 1×1 kernel weights" to preserve
+        accuracy, which we realize as per-channel scale search over the
+        bitwidth range (pattern pruning of 1×1 tiles remains available
+        via ``compress_1x1_layers=True``).
+        """
+        from .quantizer import quantize_per_kernel
+        rows = weights.reshape(weights.shape[0], -1)
+        best = None
+        for bits in quant_bits:
+            values, _ = quantize_per_kernel(rows, bits)
+            noise_var = float((rows - values).var())
+            signal_var = float(rows.var())
+            sqnr = signal_var / noise_var if noise_var > 1e-20 \
+                else float("inf")
+            score = score_fn(sqnr=sqnr, bits=bits, sparsity=0.0)
+            if best is None or score > best.score:
+                best = KernelCandidate(
+                    weights=values.reshape(weights.shape),
+                    mask=np.ones_like(weights, dtype=np.float32),
+                    bits=bits, sqnr=sqnr, score=score)
+        return best
+
+    def _apply(self, module: Module, layer_name: str, root: str,
+               candidate: KernelCandidate, report: CompressionReport,
+               score: float | None = None) -> None:
+        module.weight.data = candidate.weights.astype(np.float32)
+        scheme = "semi-structured" if candidate.patterns else "dense"
+        annotate_layer(module, CompressionMeta(bits=candidate.bits,
+                                               scheme=scheme))
+        report.masks[layer_name] = candidate.mask
+        from .quantizer import sqnr_db
+        report.choices.append(LayerChoice(
+            layer=layer_name, root=root,
+            pattern=candidate.pattern_summary,
+            bits=candidate.bits,
+            sparsity=float((candidate.mask == 0).mean()),
+            sqnr_db=sqnr_db(candidate.sqnr),
+            score=candidate.score if score is None else score))
+
+    # ------------------------------------------------------------------
+    def finetune(self, report: CompressionReport, scenes,
+                 epochs: int | None = None,
+                 lr: float | None = None) -> CompressionReport:
+        """Masked fine-tuning, then re-quantization at the chosen bits.
+
+        Pruned positions stay zero (optimizer masks); after fine-tuning
+        every compressed layer is re-quantized to its selected bitwidth,
+        so the deployed weights remain on the integer grid.
+        """
+        from .finetune import finetune_compressed
+        finetune_compressed(
+            report, scenes,
+            epochs=self.config.finetune_epochs if epochs is None else epochs,
+            lr=self.config.finetune_lr if lr is None else lr)
+        return report

@@ -1,0 +1,69 @@
+"""UPAQ configuration and the paper's HCK/LCK presets."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .efficiency import EfficiencyWeights
+
+__all__ = ["UPAQConfig", "hck_config", "lck_config"]
+
+
+@dataclass
+class UPAQConfig:
+    """All knobs of the UPAQ compression pipeline.
+
+    The two presets from the paper:
+
+    * **HCK** (high-compression kernels): 2 non-zeros per 3×3 kernel,
+      aggressive 4/8-bit quantization.
+    * **LCK** (low-compression kernels): 3 non-zeros per 3×3 kernel,
+      gentler 8/16-bit quantization.
+    """
+
+    name: str = "UPAQ"
+    n_nonzero_kxk: int = 3          # retained weights per k×k kernel
+    n_nonzero_1x1: int = 3          # retained weights per lifted 1×1 tile
+    quant_bits: tuple = (4, 6, 8, 12, 16)
+    tile: int = 3                   # 1×1 → tile×tile transformation size
+    num_patterns: int = 8           # patterns drawn per root layer
+    weights: EfficiencyWeights = field(default_factory=EfficiencyWeights)
+    device: str = "jetson"          # device model scoring E_s
+    finetune_epochs: int = 3        # masked fine-tuning after compression
+    finetune_lr: float = 5e-4
+    #: Apply Algorithm 5's 1×1→k×k tile *pruning*.  Off by default:
+    #: line patterns on a 3×3 tile retain at most 3 of 9 weights, which
+    #: reduced-scale models cannot absorb in their 1×1 feature/head
+    #: layers; the default instead gives 1×1 layers the mixed-precision
+    #: per-channel quantization search ("dynamically adjusting the 1×1
+    #: kernel weights", paper §II).  Enable for the Algorithm 5 path and
+    #: the DESIGN.md §6 ablation.
+    compress_1x1_layers: bool = False
+    #: Connectivity pruning (paper §III.A): additionally remove whole
+    #: kernels whose retained (pattern-masked) energy falls in this
+    #: bottom percentile, raising sparsity beyond what patterns alone
+    #: reach.  0 disables it — the UPAQ default, since the paper notes
+    #: it "can end up reducing model accuracy by removing critical
+    #: weights"; R-TOSS relies on it.
+    connectivity_percentile: float = 0.0
+    use_root_groups: bool = True        # ablation: Algorithm 1 on/off
+    pattern_types: tuple | None = None  # ablation: restrict Algorithm 2
+    seed: int = 0
+
+
+def hck_config(**overrides) -> UPAQConfig:
+    """High-compression preset (paper's UPAQ (HCK) column)."""
+    config = UPAQConfig(name="UPAQ (HCK)", n_nonzero_kxk=2, n_nonzero_1x1=2,
+                        quant_bits=(4, 6, 8))
+    for key, value in overrides.items():
+        setattr(config, key, value)
+    return config
+
+
+def lck_config(**overrides) -> UPAQConfig:
+    """Accuracy-biased preset (paper's UPAQ (LCK) column)."""
+    config = UPAQConfig(name="UPAQ (LCK)", n_nonzero_kxk=3, n_nonzero_1x1=3,
+                        quant_bits=(8, 12, 16))
+    for key, value in overrides.items():
+        setattr(config, key, value)
+    return config

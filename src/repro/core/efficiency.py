@@ -1,0 +1,93 @@
+"""UPAQ efficiency score (paper eq. 2).
+
+``E_s = α·sqnr + β·(1/latency) + γ·(1/energy)`` with on-device latency
+and energy from the analytic device model.  The three terms live on very
+different scales, so each is normalized to O(1): SQNR in dB against a
+reference ceiling, and latency/energy as the *dense-baseline over
+candidate* ratio (so "twice as fast as the uncompressed layer" scores
+2.0).  Weights default to the paper's α=0.3, β=0.4, γ=0.3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.hardware.deploy import CompiledPlan, PlanLayer
+from repro.hardware.device import DeviceModel
+
+from .quantizer import sqnr_db
+
+__all__ = ["EfficiencyWeights", "EfficiencyScorer"]
+
+#: dB at which the SQNR term saturates: past ~50 dB, quantization noise
+#: is far below detector noise, so more bits buy no accuracy — letting
+#: the latency/energy terms break the tie toward lower precision.
+_SQNR_REFERENCE_DB = 50.0
+
+#: Speedup at which the latency/energy terms saturate.  All three E_s
+#: terms must live on the same [0, 1] scale for α/β/γ to act as real
+#: weights; an unbounded base/candidate ratio would otherwise swamp the
+#: SQNR term and drive every layer to the lowest bitwidth.  With this
+#: cap, compute-bound layers (large Δspeedup between bitwidths) go low,
+#: memory-bound layers (latency barely responds to bits) keep precision
+#: — the mixed allocation the paper describes.
+_SPEEDUP_REFERENCE = 10.0
+
+
+@dataclass(frozen=True)
+class EfficiencyWeights:
+    alpha: float = 0.3   # SQNR (accuracy retention)
+    beta: float = 0.4    # 1/latency (the paper prioritizes latency)
+    gamma: float = 0.3   # 1/energy
+
+    def __post_init__(self):
+        for value in (self.alpha, self.beta, self.gamma):
+            if not 0.0 <= value <= 1.0:
+                raise ValueError("efficiency weights must lie in [0, 1]")
+
+
+class EfficiencyScorer:
+    """Scores (bits, sparsity, scheme) candidates for one layer.
+
+    Holds the model's dense compiled plan plus a device model; scoring a
+    candidate re-prices only the affected layer, so the per-candidate
+    cost during the compression search is O(1).
+    """
+
+    def __init__(self, plan: CompiledPlan, device: DeviceModel,
+                 weights: EfficiencyWeights | None = None):
+        self.plan = plan
+        self.device = device
+        self.weights = weights or EfficiencyWeights()
+        self._dense_by_name = {layer.profile.name: layer
+                               for layer in plan.layers}
+        self._dense_latency = {name: device.layer_latency(layer)
+                               for name, layer in self._dense_by_name.items()}
+        self._dense_energy = {name: device.layer_energy(layer)
+                              for name, layer in self._dense_by_name.items()}
+
+    def candidate_layer(self, layer_name: str, bits: int, sparsity: float,
+                        scheme: str = "semi-structured") -> PlanLayer:
+        dense = self._dense_by_name[layer_name]
+        return replace(dense, bits=bits, scheme=scheme, sparsity=sparsity)
+
+    def score(self, layer_name: str, sqnr: float, bits: int,
+              sparsity: float, scheme: str = "semi-structured") -> float:
+        """E_s of applying (bits, sparsity, scheme) to ``layer_name``."""
+        candidate = self.candidate_layer(layer_name, bits, sparsity, scheme)
+        latency = self.device.layer_latency(candidate)
+        energy = self.device.layer_energy(candidate)
+        sqnr_term = min(sqnr_db(sqnr), _SQNR_REFERENCE_DB) \
+            / _SQNR_REFERENCE_DB
+        latency_gain = self._dense_latency[layer_name] / max(latency, 1e-12)
+        energy_gain = self._dense_energy[layer_name] / max(energy, 1e-12)
+        latency_term = min(latency_gain, _SPEEDUP_REFERENCE) \
+            / _SPEEDUP_REFERENCE
+        energy_term = min(energy_gain, _SPEEDUP_REFERENCE) \
+            / _SPEEDUP_REFERENCE
+        w = self.weights
+        return (w.alpha * sqnr_term + w.beta * latency_term
+                + w.gamma * energy_term)
+
+    def layer_names(self) -> list[str]:
+        return list(self._dense_by_name)

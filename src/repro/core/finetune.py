@@ -1,0 +1,79 @@
+"""Masked fine-tuning of compressed detectors.
+
+Shared by UPAQ and the baselines: train the pruned model for a few
+epochs with the optimizer's prune-mask support so zeroed weights never
+regrow, then re-quantize each compressed layer at its selected bitwidth
+so deployed weights stay on the integer grid.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import nn
+from repro.nn.graph import layer_map
+
+from .quantizer import mp_quantizer
+
+__all__ = ["finetune_compressed", "masked_finetune", "requantize"]
+
+
+def masked_finetune(model, scenes, masks: dict, epochs: int = 3,
+                    lr: float = 5e-4) -> list[float]:
+    """Fine-tune a Detector3D keeping pruned weights at zero.
+
+    Returns the per-epoch mean losses.
+    """
+    layers = layer_map(model)
+    optimizer = nn.optim.Adam(model.parameters(), lr=lr)
+    for layer_name, mask in masks.items():
+        if layer_name in layers:
+            optimizer.set_mask(layers[layer_name].weight, mask)
+    history = []
+    for _ in range(epochs):
+        losses = [model.train_step(optimizer, scene) for scene in scenes]
+        history.append(float(np.mean(losses)))
+    return history
+
+
+def requantize(model, bits_by_layer: dict, masks: dict | None = None,
+               per_kernel: bool = False) -> None:
+    """Snap each layer's weights back onto its integer grid in place.
+
+    ``per_kernel=True`` uses one scale per k×k kernel (per output row
+    for 1×1/linear layers) — matching UPAQ's deployment format; the
+    default single-scale form matches the baselines' PTQ/QAT semantics.
+    """
+    from .quantizer import quantize_per_kernel
+    layers = layer_map(model)
+    for layer_name, bits in bits_by_layer.items():
+        if layer_name not in layers:
+            continue
+        module = layers[layer_name]
+        weights = module.weight.data
+        if masks and layer_name in masks:
+            weights = weights * masks[layer_name]
+        if per_kernel:
+            if weights.ndim == 4 and weights.shape[-1] > 1:
+                k = weights.shape[-1]
+                kernels = weights.reshape(-1, k, k)
+                values, _ = quantize_per_kernel(kernels, bits)
+                module.weight.data = values.reshape(weights.shape)
+            else:
+                rows = weights.reshape(weights.shape[0], -1)
+                values, _ = quantize_per_kernel(rows, bits)
+                module.weight.data = values.reshape(weights.shape)
+        else:
+            module.weight.data = mp_quantizer(weights, bits).values
+
+
+def finetune_compressed(report, scenes, epochs: int = 3,
+                        lr: float = 5e-4) -> list[float]:
+    """Fine-tune a :class:`CompressionReport`'s model, then re-quantize."""
+    if epochs <= 0 or not scenes:
+        return []
+    history = masked_finetune(report.model, scenes, report.masks,
+                              epochs=epochs, lr=lr)
+    bits_by_layer = {choice.layer: choice.bits for choice in report.choices}
+    requantize(report.model, bits_by_layer, report.masks, per_kernel=True)
+    return history

@@ -1,0 +1,236 @@
+"""UPAQ kernel compression (paper Algorithms 4 and 5).
+
+``compress_kxk`` compresses a layer of k×k kernels *kernel-wise*: a pool
+of random semi-structured patterns (Algorithm 2) is generated for the
+layer, and every kernel picks the pattern that minimizes its combined
+pruning + quantization error — the paper's "adaptive kernel mask
+selection that accounts for quantization noise", its stated improvement
+over R-TOSS's plain L2 ranking.  The layer's bitwidth is then chosen by
+sweeping ``quant_bits`` and keeping the best efficiency score (eq. 2).
+
+``compress_1x1`` first lifts a 1×1/linear layer's weights into k×k
+tiles (the paper's 1×1→k×k transformation), applies the same kernel-wise
+machinery to the tiles, and flattens the result back.
+
+``apply_patterns`` replicates a root layer's decision onto its leaf
+layers: the leaves reuse the root's pattern pool and bitwidth, with each
+leaf kernel again picking its best mask from that pool (Algorithm 3
+lines 9/12).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .patterns import KernelPattern, generate_patterns
+from .quantizer import quantize_per_kernel
+
+__all__ = ["KernelCandidate", "compress_kxk", "compress_1x1",
+           "apply_patterns"]
+
+
+@dataclass
+class KernelCandidate:
+    """One fully evaluated compression choice for a layer."""
+
+    weights: np.ndarray          # pruned + fake-quantized layer weights
+    mask: np.ndarray             # same shape as weights; 1 = retained
+    patterns: list[KernelPattern] = field(default_factory=list)
+    pattern_index: np.ndarray | None = None    # per-kernel chosen pattern
+    bits: int = 32
+    sqnr: float = float("inf")
+    score: float = float("nan")
+
+    @property
+    def pattern_summary(self) -> str:
+        """Human-readable distribution of chosen pattern types."""
+        if self.pattern_index is None or not self.patterns:
+            return "-"
+        counts: dict[str, int] = {}
+        for idx in self.pattern_index:
+            key = self.patterns[int(idx)].pattern_type
+            counts[key] = counts.get(key, 0) + 1
+        inner = ",".join(f"{k}:{v}" for k, v in sorted(counts.items()))
+        return f"mixed[{inner}]"
+
+
+def _layer_sqnr(original: np.ndarray, compressed: np.ndarray) -> float:
+    noise_var = float((original - compressed).var())
+    signal_var = float(original.var())
+    if noise_var <= 1e-20:
+        return float("inf") if signal_var > 0 else 1.0
+    return signal_var / noise_var
+
+
+def _select_per_kernel(kernels: np.ndarray,
+                       patterns: list[KernelPattern],
+                       bits: int) -> tuple[np.ndarray, np.ndarray,
+                                           np.ndarray]:
+    """Per-kernel noise-aware mask selection at a fixed bitwidth.
+
+    For every candidate pattern the whole layer is pruned + quantized,
+    and each kernel keeps the pattern minimizing its own reconstruction
+    error ``‖W_k − Q(W_k ∘ p)‖²`` — which folds quantization noise into
+    the selection, unlike a pure L2-of-survivors ranking.
+
+    Returns (compressed kernels, masks, chosen pattern index), all with
+    the kernel axis leading.
+    """
+    n = kernels.shape[0]
+    candidate_values = []
+    candidate_masks = []
+    errors = np.empty((len(patterns), n))
+    for p_idx, pattern in enumerate(patterns):
+        mask = pattern.mask()
+        masked = kernels * mask
+        quantized, _ = quantize_per_kernel(masked, bits)
+        candidate_values.append(quantized)
+        candidate_masks.append(np.broadcast_to(mask, kernels.shape))
+        errors[p_idx] = ((kernels - quantized) ** 2).sum(axis=(1, 2))
+    choice = errors.argmin(axis=0)
+    values = np.stack(candidate_values)      # (P, N, k, k)
+    masks = np.stack(candidate_masks)
+    take = (choice, np.arange(n))
+    return (values[take].astype(np.float32),
+            masks[take].astype(np.float32),
+            choice.astype(np.int64))
+
+
+def _search_bits(kernels: np.ndarray, patterns: list[KernelPattern],
+                 quant_bits, score_fn,
+                 connectivity_percentile: float = 0.0) -> KernelCandidate:
+    """Sweep bitwidths; keep the efficiency-score winner."""
+    best: KernelCandidate | None = None
+    for bits in quant_bits:
+        values, masks, choice = _select_per_kernel(kernels, patterns, bits)
+        if connectivity_percentile > 0:
+            values, masks = _connectivity_prune(kernels, values, masks,
+                                                connectivity_percentile)
+        sqnr = _layer_sqnr(kernels, values)
+        sparsity = float((masks == 0).mean())
+        score = score_fn(sqnr=sqnr, bits=bits, sparsity=sparsity)
+        if best is None or score > best.score:
+            best = KernelCandidate(weights=values, mask=masks,
+                                   patterns=list(patterns),
+                                   pattern_index=choice, bits=bits,
+                                   sqnr=sqnr, score=score)
+    assert best is not None
+    return best
+
+
+def _connectivity_prune(kernels: np.ndarray, values: np.ndarray,
+                        masks: np.ndarray,
+                        percentile: float) -> tuple[np.ndarray, np.ndarray]:
+    """Zero out whole kernels with the least retained energy (§III.A)."""
+    energies = np.sqrt((values ** 2).sum(axis=tuple(
+        range(1, values.ndim))))
+    threshold = np.percentile(energies, percentile)
+    dead = energies <= threshold
+    values = values.copy()
+    masks = masks.copy()
+    values[dead] = 0.0
+    masks[dead] = 0.0
+    return values, masks
+
+
+def compress_kxk(weights: np.ndarray, n_nonzero: int, quant_bits,
+                 score_fn, rng: np.random.Generator,
+                 num_patterns: int = 8,
+                 pattern_types: tuple | None = None,
+                 patterns: list[KernelPattern] | None = None,
+                 connectivity_percentile: float = 0.0
+                 ) -> KernelCandidate:
+    """Algorithm 4: kernel-wise compression of a k×k layer.
+
+    Parameters
+    ----------
+    weights:
+        (out, in, k, k) conv weights (or (in, out, k, k) for deconv —
+        the mask applies over the trailing k×k axes either way).
+    n_nonzero:
+        Retained weights per kernel (the HCK/LCK knob).
+    quant_bits:
+        Iterable of candidate bitwidths.
+    score_fn:
+        ``f(sqnr, bits, sparsity) -> float`` efficiency score (eq. 2).
+    patterns:
+        Optional pre-generated pattern pool (used when replicating a
+        root layer's pool onto leaves); generated from ``rng`` otherwise.
+    """
+    k = weights.shape[-1]
+    if k <= 1:
+        raise ValueError("use compress_1x1 for 1×1 kernels")
+    if patterns is None:
+        patterns = generate_patterns(n_nonzero, k, num_patterns, rng,
+                                     pattern_types=pattern_types)
+    kernels = weights.reshape(-1, k, k).astype(np.float32)
+    candidate = _search_bits(kernels, patterns, quant_bits, score_fn,
+                             connectivity_percentile)
+    candidate.weights = candidate.weights.reshape(weights.shape)
+    candidate.mask = candidate.mask.reshape(weights.shape)
+    return candidate
+
+
+def compress_1x1(weights: np.ndarray, n_nonzero: int, quant_bits,
+                 score_fn, rng: np.random.Generator,
+                 tile: int = 3, num_patterns: int = 8,
+                 pattern_types: tuple | None = None,
+                 patterns: list[KernelPattern] | None = None
+                 ) -> KernelCandidate:
+    """Algorithm 5: lift 1×1 kernels into ``tile×tile`` groups, compress.
+
+    The layer's 1×1 weights are flattened, regrouped into k×k tiles
+    (zero-padded at the tail), pattern-pruned and quantized like ordinary
+    kernels, then flattened back into the original 1×1 layout.  This
+    gives the abundant 1×1 kernels of pillar feature networks the same
+    semi-structured treatment instead of naive per-tensor quantization.
+    """
+    original_shape = weights.shape
+    flat = weights.reshape(-1).astype(np.float32)
+    tile_elems = tile * tile
+    n_tiles = int(np.ceil(flat.size / tile_elems))
+    padded = np.zeros(n_tiles * tile_elems, dtype=np.float32)
+    padded[:flat.size] = flat
+    tiles = padded.reshape(n_tiles, tile, tile)
+
+    if patterns is None:
+        patterns = generate_patterns(n_nonzero, tile, num_patterns, rng,
+                                     pattern_types=pattern_types)
+    candidate = _search_bits(tiles, patterns, quant_bits, score_fn)
+    values = candidate.weights.reshape(-1)[:flat.size] \
+        .reshape(original_shape)
+    mask = candidate.mask.reshape(-1)[:flat.size].reshape(original_shape)
+    candidate.weights = values.astype(np.float32)
+    candidate.mask = mask.astype(np.float32)
+    return candidate
+
+
+def apply_patterns(weights: np.ndarray, patterns: list[KernelPattern],
+                   bits: int, tile: int = 3) -> KernelCandidate:
+    """Replicate a root layer's (pattern pool, bits) onto a leaf layer.
+
+    Each leaf kernel/tile picks its best mask from the root's pool at
+    the root's bitwidth (Algorithm 3 lines 9/12).
+    """
+    if not patterns:
+        raise ValueError("pattern pool is empty")
+
+    def fixed_score(sqnr, bits, sparsity):
+        return sqnr if np.isfinite(sqnr) else 1e12
+
+    if weights.ndim == 4 and weights.shape[-1] > 1:
+        if weights.shape[-1] != patterns[0].dim:
+            raise ValueError(
+                f"pattern dim {patterns[0].dim} does not fit kernel size "
+                f"{weights.shape[-1]}")
+        kernels = weights.reshape(-1, weights.shape[-1],
+                                  weights.shape[-1]).astype(np.float32)
+        candidate = _search_bits(kernels, patterns, (bits,), fixed_score)
+        candidate.weights = candidate.weights.reshape(weights.shape)
+        candidate.mask = candidate.mask.reshape(weights.shape)
+        return candidate
+    return compress_1x1(weights, 0, (bits,), fixed_score,
+                        rng=np.random.default_rng(0), tile=patterns[0].dim,
+                        patterns=patterns)

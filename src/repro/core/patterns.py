@@ -1,0 +1,115 @@
+"""UPAQ pattern generation (paper Algorithm 2).
+
+Generates randomized kernel-mask patterns that place ``n`` non-zero
+weights along one of four arrangements — main diagonal, anti-diagonal, a
+random row, or a random column — inside a ``d × d`` kernel.  Unlike a
+fixed pattern dictionary (R-TOSS's entry patterns), the randomized
+family lets the compression stage search a richer mask space while
+remaining semi-structured (hardware-friendly).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["PATTERN_TYPES", "KernelPattern", "generate_pattern",
+           "generate_patterns", "pattern_mask"]
+
+PATTERN_TYPES = ("main_diagonal", "anti_diagonal", "row", "column")
+
+
+@dataclass(frozen=True)
+class KernelPattern:
+    """A semi-structured kernel mask."""
+
+    pattern_type: str
+    positions: tuple            # tuple of (row, col) pairs
+    dim: int
+
+    @property
+    def num_nonzero(self) -> int:
+        return len(self.positions)
+
+    def mask(self) -> np.ndarray:
+        """(d, d) float mask with 1 at retained positions."""
+        mask = np.zeros((self.dim, self.dim), dtype=np.float32)
+        for row, col in self.positions:
+            mask[row, col] = 1.0
+        return mask
+
+    def __str__(self) -> str:
+        return f"{self.pattern_type}[n={self.num_nonzero}, d={self.dim}]"
+
+
+def generate_pattern(n: int, d: int,
+                     rng: np.random.Generator,
+                     pattern_type: str | None = None) -> KernelPattern:
+    """Algorithm 2: random semi-structured pattern of ``n`` non-zeros.
+
+    Parameters
+    ----------
+    n:
+        Number of non-zero weights to retain.
+    d:
+        Kernel dimension (the kernel is d × d).
+    rng:
+        Random source (pattern type, row/column placement).
+    pattern_type:
+        Force a specific arrangement instead of sampling one.
+    """
+    if n < 1:
+        raise ValueError(f"need at least one non-zero weight, got {n}")
+    if d < 1:
+        raise ValueError(f"kernel dimension must be positive, got {d}")
+    if pattern_type is None:
+        pattern_type = str(rng.choice(PATTERN_TYPES))
+    if pattern_type not in PATTERN_TYPES:
+        raise ValueError(f"unknown pattern type {pattern_type!r}")
+
+    count = min(n, d)
+    if pattern_type == "main_diagonal":
+        positions = [(i, i) for i in range(count)]
+    elif pattern_type == "anti_diagonal":
+        positions = [(i, d - i - 1) for i in range(count)]
+    elif pattern_type == "row":
+        row = int(rng.integers(0, d))
+        start_col = int(rng.integers(0, max(d - count, 0) + 1))
+        positions = [(row, start_col + i) for i in range(count)]
+    else:  # column
+        col = int(rng.integers(0, d))
+        start_row = int(rng.integers(0, max(d - count, 0) + 1))
+        positions = [(start_row + i, col) for i in range(count)]
+    return KernelPattern(pattern_type=pattern_type,
+                         positions=tuple(positions), dim=d)
+
+
+def generate_patterns(n: int, d: int, count: int,
+                      rng: np.random.Generator,
+                      pattern_types: tuple | None = None
+                      ) -> list[KernelPattern]:
+    """Sample ``count`` distinct patterns (best-effort de-duplication).
+
+    ``pattern_types`` optionally restricts the arrangements drawn from
+    (used by the pattern-family ablation).
+    """
+    allowed = pattern_types or PATTERN_TYPES
+    seen: set[tuple] = set()
+    patterns: list[KernelPattern] = []
+    attempts = 0
+    while len(patterns) < count and attempts < count * 20:
+        attempts += 1
+        pattern = generate_pattern(n, d, rng,
+                                   pattern_type=str(rng.choice(allowed)))
+        key = (pattern.pattern_type, pattern.positions)
+        if key in seen:
+            continue
+        seen.add(key)
+        patterns.append(pattern)
+    return patterns
+
+
+def pattern_mask(pattern: KernelPattern) -> np.ndarray:
+    """Convenience alias for :meth:`KernelPattern.mask`."""
+    return pattern.mask()

@@ -1,0 +1,94 @@
+"""UPAQ preprocessing stage (paper Algorithm 1).
+
+Computes the model's computational graph through a traced forward/
+backward structure (``repro.nn.compute_graph``) and runs DFS to group
+layers into *root → leaf* sets.  A layer joins the group of its nearest
+upstream layer with matching kernel properties (same spatial kernel
+size, so a k×k mask transfers); otherwise it roots its own group.
+UPAQ then searches patterns/bitwidths only on root layers and replicates
+the winning choice onto leaves, shrinking the search space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from repro.nn.graph import compute_graph, layer_map
+from repro.nn.module import Module
+
+__all__ = ["LayerGroups", "preprocess_model", "find_root"]
+
+
+@dataclass
+class LayerGroups:
+    """Root→leaves grouping of a model's kernel layers."""
+
+    groups: dict = field(default_factory=dict)   # root name → [leaf names]
+    roots: dict = field(default_factory=dict)    # layer name → root name
+
+    def group_of(self, layer_name: str) -> list[str]:
+        return self.groups[self.roots[layer_name]]
+
+    @property
+    def num_groups(self) -> int:
+        return len(self.groups)
+
+    @property
+    def num_layers(self) -> int:
+        return sum(len(members) for members in self.groups.values())
+
+    def __iter__(self):
+        return iter(self.groups.items())
+
+
+def _kernel_signature(module: Module) -> tuple:
+    """Kernel properties that must match for a pattern to transfer."""
+    kernel_size = getattr(module, "kernel_size", 1)
+    return (type(module).__name__, kernel_size)
+
+
+def find_root(graph: nx.DiGraph, layer: str, layers: dict,
+              roots: dict) -> str:
+    """DFS upward from ``layer`` for the nearest compatible ancestor root.
+
+    Mirrors the paper's ``find_root``: a layer with no compatible
+    predecessor becomes its own root; otherwise it inherits the root of
+    the closest compatible predecessor (BFS over incoming edges).
+    """
+    signature = _kernel_signature(layers[layer])
+    frontier = list(graph.predecessors(layer))
+    seen = set(frontier)
+    while frontier:
+        next_frontier: list[str] = []
+        for predecessor in frontier:
+            if _kernel_signature(layers[predecessor]) == signature \
+                    and predecessor in roots:
+                return roots[predecessor]
+            for upstream in graph.predecessors(predecessor):
+                if upstream not in seen:
+                    seen.add(upstream)
+                    next_frontier.append(upstream)
+        frontier = next_frontier
+    return layer
+
+
+def preprocess_model(model: Module, *example_inputs) -> LayerGroups:
+    """Algorithm 1: group the model's layers into root→leaf sets."""
+    graph = compute_graph(model, *example_inputs)
+    layers = layer_map(model)
+    order = list(nx.topological_sort(graph))
+
+    result = LayerGroups()
+    for layer_name in order:
+        root = find_root(graph, layer_name, layers, result.roots)
+        result.roots[layer_name] = root
+        result.groups.setdefault(root, [])
+        result.groups[root].append(layer_name)
+    # Layers outside the traced graph (should not happen, but keep total).
+    for layer_name in layers:
+        if layer_name not in result.roots:
+            result.roots[layer_name] = layer_name
+            result.groups[layer_name] = [layer_name]
+    return result

@@ -1,0 +1,55 @@
+"""Structured (channel/filter) pruning — the paper's §III.A category 2.
+
+UPAQ positions semi-structured patterns *between* unstructured and
+structured pruning.  This module supplies the structured end of that
+spectrum so the trade-off can be measured in-repo: filter pruning
+removes whole output filters (their weights zero out and downstream
+hardware drops the MACs entirely — ``SCHEMES['structured']`` skip 1.0),
+channel pruning removes input channels.  Importance is the filter/channel
+L2 norm, the standard magnitude criterion.
+
+Used by the structured-vs-semi-structured ablation bench; the
+:class:`repro.baselines.structured.StructuredPruner` framework wraps
+these masks for Table-2-style comparisons.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["filter_prune_mask", "channel_prune_mask"]
+
+
+def filter_prune_mask(weights: np.ndarray, prune_fraction: float
+                      ) -> np.ndarray:
+    """Mask that zeroes the lowest-L2 output filters of a conv layer."""
+    if not 0.0 <= prune_fraction < 1.0:
+        raise ValueError("prune_fraction must be in [0, 1)")
+    out_channels = weights.shape[0]
+    n_prune = int(np.floor(out_channels * prune_fraction))
+    mask = np.ones_like(weights, dtype=np.float32)
+    if n_prune == 0:
+        return mask
+    norms = np.sqrt((weights.reshape(out_channels, -1) ** 2).sum(axis=1))
+    victims = np.argsort(norms)[:n_prune]
+    mask[victims] = 0.0
+    return mask
+
+
+def channel_prune_mask(weights: np.ndarray, prune_fraction: float
+                       ) -> np.ndarray:
+    """Mask that zeroes the lowest-L2 *input* channels of a conv layer."""
+    if not 0.0 <= prune_fraction < 1.0:
+        raise ValueError("prune_fraction must be in [0, 1)")
+    if weights.ndim < 2:
+        return np.ones_like(weights, dtype=np.float32)
+    in_channels = weights.shape[1]
+    n_prune = int(np.floor(in_channels * prune_fraction))
+    mask = np.ones_like(weights, dtype=np.float32)
+    if n_prune == 0:
+        return mask
+    swapped = np.swapaxes(weights, 0, 1).reshape(in_channels, -1)
+    norms = np.sqrt((swapped ** 2).sum(axis=1))
+    victims = np.argsort(norms)[:n_prune]
+    mask[:, victims] = 0.0
+    return mask

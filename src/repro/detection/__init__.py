@@ -1,0 +1,19 @@
+"""``repro.detection`` — shared detection machinery.
+
+Anchor grids and box residual coding, anchor→GT target assignment,
+rotated/2D non-maximum suppression, and KITTI-style R40 AP evaluation.
+"""
+
+from .anchors import AnchorConfig, AnchorGrid, decode_boxes, encode_boxes
+from .evaluation import (DetectionResult, EvalConfig, average_precision,
+                         evaluate_by_difficulty, evaluate_map,
+                         match_detections, precision_recall_curve)
+from .nms import nms_2d, nms_bev
+from .targets import AssignedTargets, assign_targets
+
+__all__ = [
+    "AnchorConfig", "AnchorGrid", "encode_boxes", "decode_boxes",
+    "AssignedTargets", "assign_targets", "nms_bev", "nms_2d",
+    "DetectionResult", "EvalConfig", "average_precision", "evaluate_map",
+    "match_detections", "evaluate_by_difficulty", "precision_recall_curve",
+]

@@ -1,0 +1,173 @@
+"""KITTI-style average-precision evaluation for 3D detections.
+
+Implements the R40 interpolated AP used by the modern KITTI benchmark:
+detections are matched to ground truth greedily by descending score under
+a class-specific BEV IoU threshold; precision is sampled at 40 equally
+spaced recall positions.  ``evaluate_map`` averages over classes, which
+is the single mAP number the paper reports in Table 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.pointcloud.boxes import (Box3D, boxes_to_array, iou_matrix_bev,
+                                    CLASS_NAMES)
+
+__all__ = ["DetectionResult", "EvalConfig", "average_precision",
+           "evaluate_map", "match_detections", "evaluate_by_difficulty",
+           "precision_recall_curve"]
+
+_DEFAULT_IOU = {"Car": 0.5, "Pedestrian": 0.25, "Cyclist": 0.25}
+
+
+@dataclass
+class DetectionResult:
+    """Predictions for one frame."""
+
+    boxes: list[Box3D]
+    frame_id: int = 0
+
+
+@dataclass
+class EvalConfig:
+    class_names: tuple = CLASS_NAMES
+    iou_thresholds: dict = field(default_factory=lambda: dict(_DEFAULT_IOU))
+    recall_positions: int = 40
+    max_difficulty: int = 2   # include easy..hard
+
+
+def match_detections(pred: list[Box3D], gt: list[Box3D],
+                     iou_threshold: float) -> tuple[np.ndarray, int]:
+    """Greedy score-ordered matching within one frame and one class.
+
+    Returns (tp flags aligned with score-sorted predictions, num gt).
+    """
+    order = np.argsort([-b.score for b in pred])
+    pred_sorted = [pred[i] for i in order]
+    tp = np.zeros(len(pred_sorted), dtype=bool)
+    if not gt:
+        return tp, 0
+    gt_used = np.zeros(len(gt), dtype=bool)
+    if pred_sorted:
+        iou = iou_matrix_bev(boxes_to_array(pred_sorted), boxes_to_array(gt))
+        for i in range(len(pred_sorted)):
+            candidates = np.where(~gt_used & (iou[i] >= iou_threshold))[0]
+            if len(candidates) > 0:
+                best = candidates[np.argmax(iou[i][candidates])]
+                gt_used[best] = True
+                tp[i] = True
+    return tp, len(gt)
+
+
+def average_precision(predictions: list[DetectionResult],
+                      ground_truth: list[list[Box3D]],
+                      class_name: str,
+                      config: EvalConfig | None = None) -> float:
+    """R40 interpolated AP (0-100 scale) for one class."""
+    config = config or EvalConfig()
+    threshold = config.iou_thresholds[class_name]
+
+    scores: list[float] = []
+    tps: list[bool] = []
+    total_gt = 0
+    for frame_pred, frame_gt in zip(predictions, ground_truth):
+        pred = [b for b in frame_pred.boxes if b.label == class_name]
+        gt = [b for b in frame_gt if b.label == class_name
+              and b.difficulty <= config.max_difficulty]
+        tp, n_gt = match_detections(pred, gt, threshold)
+        order = np.argsort([-b.score for b in pred])
+        scores.extend(pred[i].score for i in order)
+        tps.extend(tp.tolist())
+        total_gt += n_gt
+
+    if total_gt == 0:
+        return 0.0
+    if not scores:
+        return 0.0
+
+    order = np.argsort(-np.array(scores))
+    tp_sorted = np.array(tps)[order]
+    tp_cum = np.cumsum(tp_sorted)
+    fp_cum = np.cumsum(~tp_sorted)
+    recall = tp_cum / total_gt
+    precision = tp_cum / np.maximum(tp_cum + fp_cum, 1)
+
+    # R40 interpolation: precision envelope sampled at 40 recall points.
+    ap = 0.0
+    samples = np.linspace(1.0 / config.recall_positions, 1.0,
+                          config.recall_positions)
+    for r in samples:
+        mask = recall >= r - 1e-9
+        ap += precision[mask].max() if mask.any() else 0.0
+    return 100.0 * ap / config.recall_positions
+
+
+def evaluate_map(predictions: list[DetectionResult],
+                 ground_truth: list[list[Box3D]],
+                 config: EvalConfig | None = None) -> dict:
+    """Per-class AP plus their mean (the paper's mAP)."""
+    config = config or EvalConfig()
+    result = {}
+    present = []
+    for cls in config.class_names:
+        has_gt = any(b.label == cls for frame in ground_truth for b in frame)
+        ap = average_precision(predictions, ground_truth, cls, config)
+        result[cls] = ap
+        if has_gt:
+            present.append(ap)
+    result["mAP"] = float(np.mean(present)) if present else 0.0
+    return result
+
+
+def evaluate_by_difficulty(predictions: list[DetectionResult],
+                           ground_truth: list[list[Box3D]],
+                           config: EvalConfig | None = None) -> dict:
+    """KITTI-style stratified evaluation: easy / moderate / hard mAP.
+
+    Each bucket evaluates against ground truth *up to* that difficulty
+    (easy ⊆ moderate ⊆ hard), mirroring KITTI's cumulative protocol.
+    """
+    config = config or EvalConfig()
+    buckets = {"easy": 0, "moderate": 1, "hard": 2}
+    result = {}
+    for name, max_difficulty in buckets.items():
+        stratified = EvalConfig(class_names=config.class_names,
+                                iou_thresholds=dict(config.iou_thresholds),
+                                recall_positions=config.recall_positions,
+                                max_difficulty=max_difficulty)
+        result[name] = evaluate_map(predictions, ground_truth, stratified)
+    return result
+
+
+def precision_recall_curve(predictions: list[DetectionResult],
+                           ground_truth: list[list[Box3D]],
+                           class_name: str,
+                           config: EvalConfig | None = None
+                           ) -> tuple[np.ndarray, np.ndarray]:
+    """Raw (recall, precision) points for one class, score-ordered."""
+    config = config or EvalConfig()
+    threshold = config.iou_thresholds[class_name]
+    scores: list[float] = []
+    tps: list[bool] = []
+    total_gt = 0
+    for frame_pred, frame_gt in zip(predictions, ground_truth):
+        pred = [b for b in frame_pred.boxes if b.label == class_name]
+        gt = [b for b in frame_gt if b.label == class_name
+              and b.difficulty <= config.max_difficulty]
+        tp, n_gt = match_detections(pred, gt, threshold)
+        order = np.argsort([-b.score for b in pred])
+        scores.extend(pred[i].score for i in order)
+        tps.extend(tp.tolist())
+        total_gt += n_gt
+    if total_gt == 0 or not scores:
+        return np.zeros(0), np.zeros(0)
+    order = np.argsort(-np.array(scores))
+    tp_sorted = np.array(tps)[order]
+    tp_cum = np.cumsum(tp_sorted)
+    fp_cum = np.cumsum(~tp_sorted)
+    recall = tp_cum / total_gt
+    precision = tp_cum / np.maximum(tp_cum + fp_cum, 1)
+    return recall, precision

@@ -1,0 +1,53 @@
+"""Non-maximum suppression for rotated BEV boxes and 2D boxes."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.pointcloud.boxes import iou_bev
+
+__all__ = ["nms_bev", "nms_2d"]
+
+
+def nms_bev(boxes: np.ndarray, scores: np.ndarray,
+            iou_threshold: float = 0.3,
+            max_keep: int = 100) -> np.ndarray:
+    """Greedy rotated-BEV NMS; returns indices of kept boxes."""
+    order = np.argsort(-np.asarray(scores))
+    keep: list[int] = []
+    suppressed = np.zeros(len(boxes), dtype=bool)
+    for idx in order:
+        if suppressed[idx]:
+            continue
+        keep.append(int(idx))
+        if len(keep) >= max_keep:
+            break
+        for other in order:
+            if suppressed[other] or other == idx:
+                continue
+            if iou_bev(boxes[idx], boxes[other]) > iou_threshold:
+                suppressed[other] = True
+    return np.array(keep, dtype=np.int64)
+
+
+def nms_2d(boxes: np.ndarray, scores: np.ndarray,
+           iou_threshold: float = 0.5,
+           max_keep: int = 100) -> np.ndarray:
+    """Axis-aligned 2D NMS on [x0 y0 x1 y1] boxes (vectorized)."""
+    boxes = np.asarray(boxes, dtype=np.float64)
+    order = np.argsort(-np.asarray(scores))
+    areas = (boxes[:, 2] - boxes[:, 0]) * (boxes[:, 3] - boxes[:, 1])
+    keep: list[int] = []
+    while order.size > 0 and len(keep) < max_keep:
+        idx = order[0]
+        keep.append(int(idx))
+        rest = order[1:]
+        xx0 = np.maximum(boxes[idx, 0], boxes[rest, 0])
+        yy0 = np.maximum(boxes[idx, 1], boxes[rest, 1])
+        xx1 = np.minimum(boxes[idx, 2], boxes[rest, 2])
+        yy1 = np.minimum(boxes[idx, 3], boxes[rest, 3])
+        inter = np.clip(xx1 - xx0, 0, None) * np.clip(yy1 - yy0, 0, None)
+        union = areas[idx] + areas[rest] - inter
+        iou = np.where(union > 0, inter / union, 0.0)
+        order = rest[iou <= iou_threshold]
+    return np.array(keep, dtype=np.int64)

@@ -1,0 +1,83 @@
+"""Anchor→ground-truth assignment for training SSD-style 3D heads."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.pointcloud.boxes import Box3D, boxes_to_array, iou_matrix_bev
+
+from .anchors import AnchorGrid, encode_boxes
+
+__all__ = ["AssignedTargets", "assign_targets"]
+
+
+@dataclass
+class AssignedTargets:
+    """Per-anchor training targets."""
+
+    cls_target: np.ndarray      # (A,) 1 positive, 0 negative, -1 ignore
+    reg_target: np.ndarray      # (A, 7) encoded residuals (zeros if negative)
+    matched_gt: np.ndarray      # (A,) index of the matched gt, -1 if none
+
+    @property
+    def num_positive(self) -> int:
+        return int((self.cls_target == 1).sum())
+
+
+def assign_targets(grid: AnchorGrid, gt_boxes: list[Box3D],
+                   pos_iou: float = 0.45, neg_iou: float = 0.3) -> AssignedTargets:
+    """Match anchors to ground truth by rotated BEV IoU.
+
+    An anchor is positive if its class matches and IoU ≥ ``pos_iou``, or
+    if it is the best anchor for a ground-truth box (guaranteeing every
+    object has at least one positive).  IoU in (neg, pos) is ignored.
+    """
+    num_anchors = len(grid)
+    cls_target = np.zeros(num_anchors, dtype=np.int64)
+    reg_target = np.zeros((num_anchors, 7), dtype=np.float32)
+    matched = np.full(num_anchors, -1, dtype=np.int64)
+    if not gt_boxes:
+        return AssignedTargets(cls_target, reg_target, matched)
+
+    gt_array = boxes_to_array(gt_boxes)
+    gt_labels = np.array([b.label for b in gt_boxes])
+    iou = iou_matrix_bev(grid.boxes, gt_array)           # (A, G)
+
+    # Mask out class mismatches so a Car anchor never matches a Pedestrian.
+    class_ok = grid.labels[:, None] == gt_labels[None, :]
+    iou = np.where(class_ok, iou, 0.0)
+
+    best_gt = iou.argmax(axis=1)
+    best_iou = iou.max(axis=1)
+
+    positive = best_iou >= pos_iou
+    ignore = (best_iou > neg_iou) & ~positive
+
+    # Force-match: the best anchor per gt becomes positive.  When a small
+    # object overlaps no anchor at all (coarse grids), fall back to the
+    # nearest same-class anchor center so every object stays trainable.
+    for g in range(len(gt_boxes)):
+        column = iou[:, g]
+        if column.max() > 0:
+            anchor_idx = int(column.argmax())
+        else:
+            same_class = np.where(class_ok[:, g])[0]
+            if len(same_class) == 0:
+                continue
+            centers = grid.boxes[same_class, :2]
+            target_center = gt_array[g, :2]
+            distances = np.linalg.norm(centers - target_center, axis=1)
+            anchor_idx = int(same_class[distances.argmin()])
+        positive[anchor_idx] = True
+        ignore[anchor_idx] = False
+        best_gt[anchor_idx] = g
+
+    cls_target[positive] = 1
+    cls_target[ignore] = -1
+    matched[positive] = best_gt[positive]
+    if positive.any():
+        reg_target[positive] = encode_boxes(
+            gt_array[best_gt[positive]], grid.boxes[positive])
+    return AssignedTargets(cls_target, reg_target, matched)

@@ -1,0 +1,24 @@
+"""``repro.hardware`` — simulated deployment targets.
+
+Substitute for the paper's Jetson Orin Nano + RTX 4080 + TensorRT +
+NVpower stack: per-layer compute/memory profiling, compression-aware
+compilation into a costed plan, roofline latency and energy device
+models for both boards, and a sampling energy meter.
+"""
+
+from .deploy import (CompiledPlan, CompressionMeta, PlanLayer, SCHEMES,
+                     annotate_layer, compile_model, get_annotation)
+from .device import (DeviceModel, DeviceSpec, JETSON_ORIN_NANO, RTX_4080,
+                     default_devices)
+from .energy import EnergyMeter, PowerSample
+from .fuse import count_foldable, fold_batchnorm, fold_conv_bn
+from .profile import LayerProfile, ModelProfile, profile_model
+
+__all__ = [
+    "LayerProfile", "ModelProfile", "profile_model",
+    "CompressionMeta", "PlanLayer", "CompiledPlan", "compile_model",
+    "annotate_layer", "get_annotation", "SCHEMES",
+    "DeviceSpec", "DeviceModel", "JETSON_ORIN_NANO", "RTX_4080",
+    "default_devices", "EnergyMeter", "PowerSample",
+    "fold_batchnorm", "fold_conv_bn", "count_foldable",
+]

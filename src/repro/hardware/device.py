@@ -1,0 +1,166 @@
+"""Analytic device models: latency and energy of a compiled plan.
+
+A roofline-style model: each layer takes
+``max(compute_time, memory_time)`` where compute throughput scales with
+the layer's integer bitwidth (narrow datapaths process more values per
+cycle, as Tensor Cores / DLA do) and memory time covers the compressed
+weights plus activations.  Energy integrates a fixed idle power over the
+run plus per-MAC and per-byte dynamic energies, with per-MAC energy
+shrinking quadratically-ish with operand width.
+
+The constants below are set so the *relative* behaviour — how sparsity,
+bitwidth, and model size trade into milliseconds and joules — mirrors
+the Jetson Orin Nano and RTX 4080 the paper measures.  Absolute numbers
+are calibrated per model against the paper's base-model measurements
+(see :meth:`DeviceModel.calibrate`), which is the documented substitution
+for real-hardware runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .deploy import CompiledPlan, PlanLayer
+
+__all__ = ["DeviceSpec", "DeviceModel", "JETSON_ORIN_NANO", "RTX_4080",
+           "default_devices"]
+
+#: Fraction of peak throughput realized per pruning scheme: unstructured
+#: sparsity leaves warps load-imbalanced and access patterns irregular
+#: even on the dense path (paper §III.A), semi-structured patterns keep
+#: vector lanes nearly full, structured pruning is plain dense compute.
+SCHEME_COMPUTE_EFFICIENCY = {
+    "dense": 1.0,
+    "unstructured": 0.55,
+    "semi-structured": 0.95,
+    "structured": 1.0,
+}
+
+
+@dataclass
+class DeviceSpec:
+    """Static characteristics of an inference device."""
+
+    name: str
+    peak_macs_per_s: float          # fp32 dense MAC throughput
+    memory_bandwidth: float         # bytes / s
+    layer_overhead_s: float         # scheduling cost per layer
+    idle_power_w: float             # board power at rest
+    mac_energy_j: float             # energy per fp32 MAC
+    byte_energy_j: float            # energy per byte of DRAM traffic
+    #: throughput multiplier per operand bitwidth (integer paths)
+    bitwidth_speedup: dict = field(default_factory=lambda: {
+        32: 1.0, 16: 2.0, 8: 4.0, 6: 5.0, 4: 8.0, 2: 12.0,
+    })
+
+    def speedup_for_bits(self, bits: int) -> float:
+        """Interpolate the datapath speedup for an arbitrary bitwidth."""
+        known = sorted(self.bitwidth_speedup)
+        if bits >= known[-1]:
+            return self.bitwidth_speedup[known[-1]]
+        if bits <= known[0]:
+            return self.bitwidth_speedup[known[0]]
+        for lo, hi in zip(known, known[1:]):
+            if lo <= bits <= hi:
+                frac = (bits - lo) / (hi - lo)
+                s_lo = self.bitwidth_speedup[lo]
+                s_hi = self.bitwidth_speedup[hi]
+                return s_lo + frac * (s_hi - s_lo)
+        return 1.0
+
+
+#: Jetson Orin Nano: small embedded GPU, tight memory bandwidth, low power.
+JETSON_ORIN_NANO = DeviceSpec(
+    name="Jetson Orin Nano",
+    peak_macs_per_s=0.64e12,
+    memory_bandwidth=68e9,
+    layer_overhead_s=2e-6,
+    idle_power_w=7.0,
+    mac_energy_j=4.0e-12,
+    byte_energy_j=9.0e-11,
+)
+
+#: RTX 4080 workstation: ~40× the compute, ~10× the bandwidth, hungrier.
+RTX_4080 = DeviceSpec(
+    name="RTX 4080",
+    peak_macs_per_s=24.5e12,
+    memory_bandwidth=717e9,
+    layer_overhead_s=1e-6,
+    idle_power_w=45.0,
+    mac_energy_j=1.4e-12,
+    byte_energy_j=3.0e-11,
+)
+
+
+class DeviceModel:
+    """Prices compiled plans on one device, optionally calibrated."""
+
+    def __init__(self, spec: DeviceSpec, calibration: float = 1.0):
+        self.spec = spec
+        self.calibration = calibration
+
+    # ------------------------------------------------------------------
+    # Per-layer costs
+    # ------------------------------------------------------------------
+    def layer_latency(self, layer: PlanLayer) -> float:
+        spec = self.spec
+        throughput = spec.peak_macs_per_s * spec.speedup_for_bits(layer.bits) \
+            * SCHEME_COMPUTE_EFFICIENCY[layer.scheme]
+        compute_time = layer.effective_macs / throughput
+        traffic = layer.weight_storage_bytes + layer.activation_bytes
+        memory_time = traffic / spec.memory_bandwidth
+        return (max(compute_time, memory_time)
+                + spec.layer_overhead_s) * self.calibration
+
+    def layer_energy(self, layer: PlanLayer) -> float:
+        spec = self.spec
+        # Dynamic energy per MAC falls with operand width (≈ linear in
+        # bits relative to fp32).
+        width_scale = max(layer.bits, 4) / 32.0
+        mac_energy = layer.effective_macs * spec.mac_energy_j * width_scale
+        traffic = layer.weight_storage_bytes + layer.activation_bytes
+        byte_energy = traffic * spec.byte_energy_j
+        idle = spec.idle_power_w * self.layer_latency(layer)
+        return mac_energy + byte_energy + idle
+
+    # ------------------------------------------------------------------
+    # Whole-plan costs
+    # ------------------------------------------------------------------
+    def nonkernel_time(self, plan: CompiledPlan) -> float:
+        """Time in BN/activation traffic + host-side pre/post-processing.
+
+        This floor is untouched by weight compression and is what keeps
+        end-to-end speedups well below the per-layer compute gains.
+        """
+        elementwise = plan.elementwise_bytes / self.spec.memory_bandwidth
+        postprocess = self.spec.layer_overhead_s * 10.0   # NMS/decode/copy
+        return (elementwise + postprocess) * self.calibration
+
+    def latency(self, plan: CompiledPlan) -> float:
+        """End-to-end inference latency in seconds."""
+        kernels = sum(self.layer_latency(layer) for layer in plan.layers)
+        return kernels + self.nonkernel_time(plan)
+
+    def energy(self, plan: CompiledPlan) -> float:
+        """Energy per inference in joules."""
+        kernels = sum(self.layer_energy(layer) for layer in plan.layers)
+        nonkernel = self.nonkernel_time(plan)
+        return (kernels + nonkernel * self.spec.idle_power_w
+                + plan.elementwise_bytes * self.spec.byte_energy_j)
+
+    def calibrate(self, plan: CompiledPlan,
+                  reference_latency_s: float) -> "DeviceModel":
+        """Return a copy scaled so ``plan`` costs ``reference_latency_s``.
+
+        Used to anchor the reduced-scale models to the paper's measured
+        base-model latencies, so reported milliseconds are directly
+        comparable with Table 2.
+        """
+        raw = DeviceModel(self.spec, 1.0).latency(plan)
+        return DeviceModel(self.spec, reference_latency_s / raw)
+
+
+def default_devices() -> dict[str, DeviceModel]:
+    """The two devices the paper evaluates on."""
+    return {"jetson": DeviceModel(JETSON_ORIN_NANO),
+            "rtx4080": DeviceModel(RTX_4080)}

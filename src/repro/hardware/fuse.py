@@ -1,0 +1,72 @@
+"""Conv + BatchNorm folding — the first pass of any deployment compiler.
+
+TensorRT (and every serious inference engine) folds batch-norm layers
+into the preceding convolution before quantizing:
+
+``y = γ·(conv(x) − μ)/σ + β  ≡  conv'(x)`` with
+``W' = W·γ/σ`` (per output channel) and ``b' = β + (b − μ)·γ/σ``.
+
+Folding matters to UPAQ twice over: the folded weights are what actually
+get quantized on-device, and the folded model drops the BN elementwise
+traffic the cost model charges (``CompiledPlan.elementwise_bytes``).
+``fold_batchnorm`` rewrites :class:`repro.nn.ConvBNReLU` blocks in place
+on a deep copy and returns it.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import numpy as np
+
+from repro.nn.layers import BatchNorm2d, Conv2d, ConvBNReLU, Identity
+from repro.nn.module import Module, Parameter
+
+__all__ = ["fold_conv_bn", "fold_batchnorm", "count_foldable"]
+
+
+def fold_conv_bn(conv: Conv2d, bn: BatchNorm2d) -> None:
+    """Fold ``bn``'s affine transform into ``conv`` in place.
+
+    Uses the BN running statistics (the values inference would apply);
+    after folding, the BN must be bypassed by the caller.
+    """
+    gamma = bn.weight.data.astype(np.float64)
+    beta = bn.bias.data.astype(np.float64)
+    mean = np.asarray(bn.running_mean, dtype=np.float64)
+    var = np.asarray(bn.running_var, dtype=np.float64)
+    scale = gamma / np.sqrt(var + bn.eps)
+
+    conv.weight.data = (conv.weight.data
+                        * scale[:, None, None, None]).astype(np.float32)
+    old_bias = conv.bias.data.astype(np.float64) if conv.bias is not None \
+        else np.zeros_like(mean)
+    new_bias = (beta + (old_bias - mean) * scale).astype(np.float32)
+    if conv.bias is None:
+        conv.bias = Parameter(new_bias)
+    else:
+        conv.bias.data = new_bias
+
+
+def count_foldable(model: Module) -> int:
+    """Number of ConvBNReLU blocks whose BN can fold away."""
+    return sum(1 for _, module in model.named_modules()
+               if isinstance(module, ConvBNReLU)
+               and isinstance(module.bn, BatchNorm2d))
+
+
+def fold_batchnorm(model: Module) -> Module:
+    """Return a deep copy of ``model`` with every ConvBNReLU folded.
+
+    The folded copy computes identical outputs in eval mode but carries
+    no batch-norm work: each block's BN is replaced by an Identity and
+    its statistics live inside the convolution weights.
+    """
+    folded = copy.deepcopy(model)
+    for _, module in folded.named_modules():
+        if isinstance(module, ConvBNReLU) \
+                and isinstance(module.bn, BatchNorm2d):
+            fold_conv_bn(module.conv, module.bn)
+            module.bn = Identity()
+    folded.eval()
+    return folded

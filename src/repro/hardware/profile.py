@@ -1,0 +1,148 @@
+"""Per-layer compute/memory profiling of a model forward pass.
+
+Runs the model once on example inputs while hooking every kernel-bearing
+layer, recording input/output shapes, multiply-accumulate counts, and
+weight/activation byte traffic — the quantities the analytic device
+models turn into latency and energy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.nn.graph import KERNEL_LAYER_TYPES
+from repro.nn.layers import Conv2d, ConvTranspose2d, Linear, _BatchNorm
+from repro.nn.module import Module
+
+__all__ = ["LayerProfile", "ModelProfile", "profile_model"]
+
+
+@dataclass
+class LayerProfile:
+    """Cost-relevant facts about one layer's execution."""
+
+    name: str
+    kind: str                     # "conv", "deconv", "linear"
+    kernel_size: int
+    in_channels: int
+    out_channels: int
+    output_elements: int          # spatial positions × batch
+    macs: int                     # dense multiply-accumulates
+    weight_count: int
+    input_bytes_fp32: int
+    output_bytes_fp32: int
+
+    @property
+    def weight_bytes_fp32(self) -> int:
+        return self.weight_count * 4
+
+
+@dataclass
+class ModelProfile:
+    """All profiled layers of one model, in execution order."""
+
+    model_name: str
+    layers: list[LayerProfile] = field(default_factory=list)
+    #: fp32 bytes output by normalization layers (BatchNorm1d/2d) — the
+    #: elementwise traffic that conv+BN folding eliminates
+    norm_output_bytes: int = 0
+
+    @property
+    def total_macs(self) -> int:
+        return sum(layer.macs for layer in self.layers)
+
+    @property
+    def total_weights(self) -> int:
+        return sum(layer.weight_count for layer in self.layers)
+
+    def by_name(self) -> dict[str, LayerProfile]:
+        return {layer.name: layer for layer in self.layers}
+
+
+def _layer_kind(module: Module) -> str:
+    if isinstance(module, Conv2d):
+        return "conv"
+    if isinstance(module, ConvTranspose2d):
+        return "deconv"
+    return "linear"
+
+
+def profile_model(model: Module, *example_inputs,
+                  name: str | None = None) -> ModelProfile:
+    """Trace one forward pass and collect a :class:`ModelProfile`."""
+    profile = ModelProfile(model_name=name or getattr(model, "name",
+                                                      type(model).__name__))
+    hooked: list[tuple[Module, object]] = []
+
+    def make_hook(layer_name: str, module: Module):
+        original_forward = module.forward
+
+        def hooked_forward(*args, **kwargs):
+            out = original_forward(*args, **kwargs)
+            x = args[0]
+            in_elems = int(np.prod(x.shape))
+            out_elems = int(np.prod(out.shape))
+            if isinstance(module, (Conv2d, ConvTranspose2d)):
+                k = module.kernel_size
+                if isinstance(module, Conv2d):
+                    spatial = out_elems // module.out_channels
+                    macs = spatial * module.out_channels \
+                        * module.in_channels * k * k
+                else:
+                    spatial = in_elems // module.in_channels
+                    macs = spatial * module.in_channels \
+                        * module.out_channels * k * k
+                kernel = k
+            else:
+                macs = (in_elems // module.in_features) \
+                    * module.in_features * module.out_features
+                kernel = 1
+            weight_count = module.weight.size
+            if getattr(module, "bias", None) is not None:
+                weight_count += module.bias.size
+            profile.layers.append(LayerProfile(
+                name=layer_name, kind=_layer_kind(module),
+                kernel_size=kernel,
+                in_channels=getattr(module, "in_channels",
+                                    getattr(module, "in_features", 0)),
+                out_channels=getattr(module, "out_channels",
+                                     getattr(module, "out_features", 0)),
+                output_elements=out_elems, macs=int(macs),
+                weight_count=int(weight_count),
+                input_bytes_fp32=in_elems * 4,
+                output_bytes_fp32=out_elems * 4))
+            return out
+
+        return original_forward, hooked_forward
+
+    def make_norm_hook(module: Module):
+        original_forward = module.forward
+
+        def hooked_forward(*args, **kwargs):
+            out = original_forward(*args, **kwargs)
+            profile.norm_output_bytes += int(np.prod(out.shape)) * 4
+            return out
+
+        return original_forward, hooked_forward
+
+    for layer_name, module in model.named_modules():
+        if isinstance(module, KERNEL_LAYER_TYPES):
+            original, wrapper = make_hook(layer_name, module)
+            object.__setattr__(module, "forward", wrapper)
+            hooked.append((module, original))
+        elif isinstance(module, _BatchNorm):
+            original, wrapper = make_norm_hook(module)
+            object.__setattr__(module, "forward", wrapper)
+            hooked.append((module, original))
+    try:
+        was_training = model.training
+        model.eval()
+        model(*example_inputs)
+        if was_training:
+            model.train()
+    finally:
+        for module, original in hooked:
+            object.__setattr__(module, "forward", original)
+    return profile

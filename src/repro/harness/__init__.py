@@ -1,0 +1,34 @@
+"""``repro.harness`` — regenerates every table and figure in the paper.
+
+One module per artifact: :mod:`table1` (model sizes vs latency),
+:mod:`table2` (the full framework comparison), :mod:`figures`
+(Figs 1/4/5/6), plus pretraining with artifact caching and text/CSV
+reporting.  ``benchmarks/`` drives these through pytest-benchmark.
+"""
+
+from .figures import (alignment_report, detection_count_comparison,
+                      energy_reductions, format_fig1, format_fig4,
+                      format_fig5, format_fig6, render_bev, speedups)
+from .paper_reference import FRAMEWORK_ORDER, TABLE1, TABLE2
+from .pretrain import (PretrainResult, TrainConfig, default_scene_config,
+                       get_pretrained, pretrain, training_scenes,
+                       validation_scenes)
+from .reporting import format_bar_chart, format_table, write_csv
+from .runner import RunnerConfig, run_all
+from .table1 import Table1Row, format_table1, run_table1
+from .table2 import (Table2Config, Table2Row, default_frameworks,
+                     evaluate_model_map, format_table2, run_table2)
+
+__all__ = [
+    "TrainConfig", "PretrainResult", "pretrain", "get_pretrained",
+    "default_scene_config", "training_scenes", "validation_scenes",
+    "Table1Row", "run_table1", "format_table1",
+    "Table2Config", "Table2Row", "run_table2", "format_table2",
+    "default_frameworks", "evaluate_model_map",
+    "speedups", "energy_reductions", "format_fig4", "format_fig5",
+    "render_bev", "alignment_report", "format_fig6",
+    "detection_count_comparison", "format_fig1",
+    "format_table", "format_bar_chart", "write_csv",
+    "RunnerConfig", "run_all",
+    "TABLE1", "TABLE2", "FRAMEWORK_ORDER",
+]

@@ -1,0 +1,198 @@
+"""Figures 1, 4, 5 and 6 — derived from Table 2 runs + qualitative output.
+
+* Fig 4: inference speedup on the Jetson Orin per framework (bars).
+* Fig 5: energy-usage reduction on the Jetson Orin per framework (bars).
+* Fig 6: qualitative BEV comparison — ground truth vs predictions for
+  the base model, R-TOSS and both UPAQ variants on one scene, rendered
+  as an ASCII bird's-eye view plus box-alignment statistics.
+* Fig 1 (motivation): SMOKE misses objects PointPillars detects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.pointcloud.boxes import (Box3D, boxes_to_array, iou_matrix_bev)
+
+from .paper_reference import TABLE2
+from .reporting import format_bar_chart
+from .table2 import Table2Row
+
+__all__ = ["speedups", "energy_reductions", "format_fig4", "format_fig5",
+           "BEVCanvas", "render_bev", "alignment_report", "format_fig6",
+           "detection_count_comparison", "format_fig1"]
+
+
+# ----------------------------------------------------------------------
+# Figs 4 & 5
+# ----------------------------------------------------------------------
+def speedups(rows: list[Table2Row], device: str = "jetson") -> dict:
+    """Framework → speedup over the base model."""
+    attr = "jetson_ms" if device == "jetson" else "rtx_ms"
+    base = next(r for r in rows if r.framework == "Base Model")
+    return {r.framework: getattr(base, attr) / getattr(r, attr)
+            for r in rows}
+
+
+def energy_reductions(rows: list[Table2Row], device: str = "jetson") -> dict:
+    attr = "jetson_j" if device == "jetson" else "rtx_j"
+    base = next(r for r in rows if r.framework == "Base Model")
+    return {r.framework: getattr(base, attr) / getattr(r, attr)
+            for r in rows}
+
+
+def _paper_factors(model_name: str, column: int) -> dict:
+    paper = TABLE2[model_name]
+    base = paper["Base Model"][column]
+    return {name: base / values[column] for name, values in paper.items()}
+
+
+def format_fig4(model_name: str, rows: list[Table2Row]) -> str:
+    measured = speedups(rows)
+    paper = _paper_factors(model_name, column=3)
+    labels = [f"{name} (paper {paper.get(name, 1.0):.2f}x)"
+              for name in measured]
+    return format_bar_chart(
+        labels, list(measured.values()),
+        title=f"Fig 4: Jetson Orin inference speedup — {model_name}",
+        unit="x")
+
+
+def format_fig5(model_name: str, rows: list[Table2Row]) -> str:
+    measured = energy_reductions(rows)
+    paper = _paper_factors(model_name, column=5)
+    labels = [f"{name} (paper {paper.get(name, 1.0):.2f}x)"
+              for name in measured]
+    return format_bar_chart(
+        labels, list(measured.values()),
+        title=f"Fig 5: Jetson Orin energy reduction — {model_name}",
+        unit="x")
+
+
+# ----------------------------------------------------------------------
+# Fig 6 — qualitative BEV comparison
+# ----------------------------------------------------------------------
+@dataclass
+class BEVCanvas:
+    x_range: tuple = (0.0, 51.2)
+    y_range: tuple = (-25.6, 25.6)
+    rows: int = 24
+    cols: int = 48
+
+
+def render_bev(gt_boxes: list[Box3D], pred_boxes: list[Box3D],
+               canvas: BEVCanvas | None = None) -> str:
+    """ASCII BEV: ``o`` ground truth, ``x`` prediction, ``*`` both."""
+    canvas = canvas or BEVCanvas()
+    grid = [[" "] * canvas.cols for _ in range(canvas.rows)]
+
+    def mark(boxes, symbol):
+        for box in boxes:
+            col = int((box.x - canvas.x_range[0])
+                      / (canvas.x_range[1] - canvas.x_range[0])
+                      * canvas.cols)
+            row = int((box.y - canvas.y_range[0])
+                      / (canvas.y_range[1] - canvas.y_range[0])
+                      * canvas.rows)
+            if 0 <= row < canvas.rows and 0 <= col < canvas.cols:
+                current = grid[row][col]
+                if current == " ":
+                    grid[row][col] = symbol
+                elif current != symbol:
+                    grid[row][col] = "*"
+
+    mark(gt_boxes, "o")
+    mark(pred_boxes, "x")
+    border = "+" + "-" * canvas.cols + "+"
+    body = "\n".join("|" + "".join(line) + "|" for line in grid)
+    return f"{border}\n{body}\n{border}"
+
+
+@dataclass
+class AlignmentStats:
+    name: str
+    detected: int
+    total_gt: int
+    mean_center_error: float      # meters, over matched pairs
+    mean_iou: float
+    extraneous: int               # predictions matching no ground truth
+
+
+def alignment_report(name: str, gt_boxes: list[Box3D],
+                     pred_boxes: list[Box3D],
+                     match_iou: float = 0.1) -> AlignmentStats:
+    """Quantifies Fig 6's qualitative claims (misalignment, extras)."""
+    if not pred_boxes or not gt_boxes:
+        return AlignmentStats(name=name, detected=0, total_gt=len(gt_boxes),
+                              mean_center_error=float("nan"), mean_iou=0.0,
+                              extraneous=len(pred_boxes))
+    iou = iou_matrix_bev(boxes_to_array(pred_boxes), boxes_to_array(gt_boxes))
+    matched_gt = set()
+    errors, ious = [], []
+    extraneous = 0
+    for i in np.argsort([-b.score for b in pred_boxes]):
+        j = int(iou[i].argmax())
+        if iou[i, j] >= match_iou and j not in matched_gt:
+            matched_gt.add(j)
+            gt, pred = gt_boxes[j], pred_boxes[i]
+            errors.append(float(np.hypot(pred.x - gt.x, pred.y - gt.y)))
+            ious.append(float(iou[i, j]))
+        else:
+            extraneous += 1
+    return AlignmentStats(
+        name=name, detected=len(matched_gt), total_gt=len(gt_boxes),
+        mean_center_error=float(np.mean(errors)) if errors else float("nan"),
+        mean_iou=float(np.mean(ious)) if ious else 0.0,
+        extraneous=extraneous)
+
+
+def format_fig6(scene, named_predictions: dict) -> str:
+    """Render the Fig 6 comparison for one scene.
+
+    ``named_predictions`` maps framework name → list[Box3D].
+    """
+    sections = ["Fig 6: qualitative BEV comparison "
+                "(o = ground truth, x = prediction, * = overlap)"]
+    for name, boxes in named_predictions.items():
+        stats = alignment_report(name, scene.boxes, boxes)
+        sections.append(
+            f"\n--- {name}: {stats.detected}/{stats.total_gt} objects, "
+            f"center err {stats.mean_center_error:.2f} m, "
+            f"mean IoU {stats.mean_iou:.2f}, "
+            f"{stats.extraneous} extraneous ---")
+        sections.append(render_bev(scene.boxes, boxes))
+    return "\n".join(sections)
+
+
+# ----------------------------------------------------------------------
+# Fig 1 — LiDAR vs camera motivation
+# ----------------------------------------------------------------------
+def detection_count_comparison(scenes, lidar_model, camera_model,
+                               match_iou: float = 0.1) -> dict:
+    """Count ground-truth objects each detector finds on shared scenes."""
+    results = {"total_gt": 0, "lidar_found": 0, "camera_found": 0}
+    for scene in scenes:
+        gt = scene.boxes
+        results["total_gt"] += len(gt)
+        for key, model in (("lidar_found", lidar_model),
+                           ("camera_found", camera_model)):
+            pred = model.predict(scene).boxes
+            stats = alignment_report(key, gt, pred, match_iou=match_iou)
+            results[key] += stats.detected
+    return results
+
+
+def format_fig1(counts: dict) -> str:
+    total = max(counts["total_gt"], 1)
+    return "\n".join([
+        "Fig 1: LiDAR (PointPillars) vs camera (SMOKE) coverage",
+        f"ground-truth objects : {counts['total_gt']}",
+        f"PointPillars found   : {counts['lidar_found']} "
+        f"({100 * counts['lidar_found'] / total:.0f}%)",
+        f"SMOKE found          : {counts['camera_found']} "
+        f"({100 * counts['camera_found'] / total:.0f}%)",
+        "(paper: SMOKE misses foreground/background objects that the "
+        "LiDAR detector finds)",
+    ])

@@ -1,0 +1,45 @@
+"""The paper's published numbers, for side-by-side reporting.
+
+Every harness prints measured values next to these so EXPERIMENTS.md
+can record paper-vs-measured for each table and figure.
+"""
+
+from __future__ import annotations
+
+__all__ = ["TABLE1", "TABLE2", "FRAMEWORK_ORDER"]
+
+#: Table 1 — model size (M parameters) and workstation exec time (ms).
+TABLE1 = {
+    "PointPillars": {"params_m": 4.8, "exec_ms": 6.85},
+    "SMOKE": {"params_m": 19.51, "exec_ms": 30.65},
+    "SECOND": {"params_m": 5.3, "exec_ms": 9.83},
+    "Focals Conv": {"params_m": 13.70, "exec_ms": 26.5},
+    "VSC": {"params_m": 24.5, "exec_ms": 40.56},
+}
+
+#: Column order of Table 2 / Figs 4–5.
+FRAMEWORK_ORDER = ("Base Model", "Ps&Qs", "CLIP-Q", "R-TOSS", "LiDAR-PTQ",
+                   "UPAQ (LCK)", "UPAQ (HCK)")
+
+#: Table 2 — per model, per framework:
+#: (compression ×, mAP, RTX 4080 ms, Jetson ms, RTX J, Jetson J).
+TABLE2 = {
+    "PointPillars": {
+        "Base Model": (1.00, 78.96, 5.72, 35.98, 0.875, 0.863),
+        "Ps&Qs": (1.89, 83.67, 5.17, 32.061, 0.658, 0.782),
+        "CLIP-Q": (1.84, 79.68, 5.26, 35.07, 0.716, 0.841),
+        "R-TOSS": (4.07, 85.26, 5.69, 35.94, 0.871, 0.862),
+        "LiDAR-PTQ": (3.25, 78.90, 4.25, 29.65, 0.567, 0.711),
+        "UPAQ (LCK)": (4.92, 86.15, 2.37, 19.96, 0.371, 0.472),
+        "UPAQ (HCK)": (5.62, 84.25, 1.70, 18.23, 0.327, 0.417),
+    },
+    "SMOKE": {
+        "Base Model": (1.00, 29.85, 28.36, 127.48, 8.95, 25.85),
+        "Ps&Qs": (1.95, 31.03, 23.72, 93.65, 7.79, 19.21),
+        "CLIP-Q": (1.84, 30.45, 25.48, 87.28, 8.63, 17.87),
+        "R-TOSS": (4.25, 32.56, 24.98, 98.87, 4.37, 20.84),
+        "LiDAR-PTQ": (3.57, 30.23, 12.75, 86.27, 4.79, 18.25),
+        "UPAQ (LCK)": (4.23, 36.65, 9.67, 71.35, 3.21, 15.62),
+        "UPAQ (HCK)": (5.13, 35.49, 8.23, 68.45, 2.83, 13.80),
+    },
+}

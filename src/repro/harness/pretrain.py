@@ -1,0 +1,141 @@
+"""Pretraining of baseline detectors with artifact caching.
+
+The paper compresses *pretrained* PointPillars and SMOKE checkpoints.
+This module trains them on the synthetic KITTI-like stream (fresh scenes
+every step — the generator is the dataset, so there is no overfitting to
+a fixed split), tracks validation mAP, keeps the best checkpoint, and
+caches weights under ``artifacts/`` so experiments don't retrain.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro import nn
+from repro.detection import evaluate_map
+from repro.models import build_model
+from repro.pointcloud import LidarConfig, SceneConfig, SceneGenerator
+
+__all__ = ["TrainConfig", "PretrainResult", "pretrain", "get_pretrained",
+           "default_scene_config", "validation_scenes", "training_scenes"]
+
+_ARTIFACT_DIR = os.environ.get(
+    "REPRO_ARTIFACTS",
+    os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                 "..", "..", "..", "artifacts"))
+
+#: validation frame ids live far outside the training id range
+_VAL_OFFSET = 10 ** 6
+
+
+@dataclass
+class TrainConfig:
+    """Knobs for the pretraining loop."""
+
+    steps: int = 3000
+    lr: float = 2e-3
+    lr_decay_at: tuple = (0.6, 0.85)   # fractions of total steps
+    eval_every: int = 250
+    eval_frames: int = 10
+    seed: int = 0
+    with_image: bool = False           # True for camera models (SMOKE)
+    scene_config: SceneConfig | None = None
+    #: apply LiDAR augmentation (rotation/flip/scale/jitter) per step;
+    #: incompatible with camera models (augmentation drops the image)
+    augment: bool = False
+
+
+@dataclass
+class PretrainResult:
+    model: object
+    best_map: float
+    history: list = field(default_factory=list)   # (step, loss, mAP)
+    val_scenes: list = field(default_factory=list)
+
+
+def default_scene_config() -> SceneConfig:
+    """The synthetic stand-in for KITTI used across all experiments."""
+    return SceneConfig(lidar=LidarConfig(channels=24, azimuth_steps=240))
+
+
+def validation_scenes(count: int, config: SceneConfig | None = None,
+                      seed: int = 0, with_image: bool = True) -> list:
+    generator = SceneGenerator(config or default_scene_config(), seed=seed)
+    return [generator.generate(_VAL_OFFSET + i, with_image=with_image)
+            for i in range(count)]
+
+
+def training_scenes(count: int, config: SceneConfig | None = None,
+                    seed: int = 0, with_image: bool = True,
+                    start: int = 0) -> list:
+    generator = SceneGenerator(config or default_scene_config(), seed=seed)
+    return [generator.generate(start + i, with_image=with_image)
+            for i in range(count)]
+
+
+def pretrain(model, config: TrainConfig) -> PretrainResult:
+    """Online-data training with best-checkpoint selection by val mAP."""
+    scene_config = config.scene_config or default_scene_config()
+    generator = SceneGenerator(scene_config, seed=config.seed)
+    val = validation_scenes(config.eval_frames, scene_config,
+                            seed=config.seed, with_image=config.with_image)
+
+    optimizer = nn.optim.Adam(model.parameters(), lr=config.lr)
+    from repro.nn.schedulers import StepDecay
+    scheduler = StepDecay(
+        optimizer,
+        milestones=[int(config.steps * frac) for frac in config.lr_decay_at],
+        gamma=0.4)
+
+    if config.augment and config.with_image:
+        raise ValueError("augmentation drops images; disable one of them")
+    augment_rng = np.random.default_rng(config.seed + 17)
+
+    best_map = -1.0
+    best_state = model.state_dict()
+    history = []
+    for step in range(config.steps):
+        scheduler.step()
+        scene = generator.generate(step, with_image=config.with_image)
+        if config.augment:
+            from repro.pointcloud.augment import augment_scene
+            scene = augment_scene(scene, rng=augment_rng)
+        loss = model.train_step(optimizer, scene)
+        if (step + 1) % config.eval_every == 0 or step == config.steps - 1:
+            preds = [model.predict(s) for s in val]
+            metrics = evaluate_map(preds, [s.boxes for s in val])
+            history.append((step, loss, metrics["mAP"]))
+            if metrics["mAP"] > best_map:
+                best_map = metrics["mAP"]
+                best_state = model.state_dict()
+    model.load_state_dict(best_state)
+    model.eval()
+    return PretrainResult(model=model, best_map=best_map, history=history,
+                          val_scenes=val)
+
+
+def get_pretrained(model_name: str, train_config: TrainConfig | None = None,
+                   cache: bool = True, **model_kwargs):
+    """Build + pretrain a detector, reusing a cached checkpoint if present.
+
+    Returns ``(model, PretrainResult | None)`` — the result is None on a
+    cache hit (history is not persisted).
+    """
+    train_config = train_config or TrainConfig(
+        with_image=(model_name == "smoke"))
+    model = build_model(model_name, **model_kwargs)
+    cache_key = f"{model_name}_s{train_config.steps}" \
+                f"_seed{train_config.seed}_p{model.num_parameters()}"
+    path = os.path.join(_ARTIFACT_DIR, cache_key + ".npz")
+    if cache and os.path.exists(path):
+        nn.load_model(model, path)
+        model.eval()
+        return model, None
+    result = pretrain(model, train_config)
+    if cache:
+        os.makedirs(_ARTIFACT_DIR, exist_ok=True)
+        nn.save_model(model, path)
+    return model, result

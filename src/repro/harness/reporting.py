@@ -1,0 +1,57 @@
+"""Text tables, ASCII bar charts, and CSV export for experiment results."""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["format_table", "format_bar_chart", "write_csv"]
+
+
+def format_table(headers: list[str], rows: list[list],
+                 title: str = "") -> str:
+    """Render rows as an aligned monospace table."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [max(len(h), *(len(r[i]) for r in str_rows)) if str_rows
+              else len(h)
+              for i, h in enumerate(headers)]
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append(" | ".join(cell.ljust(w)
+                                for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        if abs(cell) >= 100:
+            return f"{cell:.1f}"
+        return f"{cell:.2f}" if abs(cell) >= 1 else f"{cell:.3f}"
+    return str(cell)
+
+
+def format_bar_chart(labels: list[str], values: list[float],
+                     title: str = "", width: int = 40,
+                     unit: str = "") -> str:
+    """ASCII horizontal bar chart (the repo's stand-in for Figs 4/5)."""
+    lines = [title] if title else []
+    peak = max(values) if values else 1.0
+    label_width = max(len(label) for label in labels) if labels else 0
+    for label, value in zip(labels, values):
+        bar = "#" * max(int(round(width * value / peak)), 1) if peak > 0 \
+            else ""
+        lines.append(f"{label.ljust(label_width)} | "
+                     f"{bar} {value:.2f}{unit}")
+    return "\n".join(lines)
+
+
+def write_csv(path: str, headers: list[str], rows: list[list]) -> None:
+    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+    with open(path, "w") as handle:
+        handle.write(",".join(headers) + "\n")
+        for row in rows:
+            handle.write(",".join(_fmt(cell) for cell in row) + "\n")

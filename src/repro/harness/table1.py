@@ -1,0 +1,66 @@
+"""Table 1 — 3D OD model sizes vs execution time.
+
+Builds the five detectors, counts parameters, and prices one forward
+pass on the RTX 4080 device model (the paper measures exec time on the
+workstation).  Because our models are reduced-scale, the table reports
+both raw measurements and the paper's values; the reproduction target is
+the *ordering* and relative factors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware import compile_model, default_devices
+from repro.models import build_model
+
+from .paper_reference import TABLE1
+from .reporting import format_table
+
+__all__ = ["Table1Row", "run_table1", "format_table1"]
+
+_MODEL_KEYS = ("pointpillars", "smoke", "second", "focalsconv", "vsc")
+
+
+@dataclass
+class Table1Row:
+    model: str
+    params: int
+    exec_ms: float
+    paper_params_m: float
+    paper_exec_ms: float
+
+
+def run_table1(model_keys: tuple = _MODEL_KEYS) -> list[Table1Row]:
+    device = default_devices()["rtx4080"]
+    rows = []
+    for key in model_keys:
+        model = build_model(key)
+        plan = compile_model(model, *model.example_inputs())
+        reference = TABLE1[model.name]
+        rows.append(Table1Row(
+            model=model.name,
+            params=model.num_parameters(),
+            exec_ms=device.latency(plan) * 1e3,
+            paper_params_m=reference["params_m"],
+            paper_exec_ms=reference["exec_ms"]))
+    return rows
+
+
+def format_table1(rows: list[Table1Row]) -> str:
+    base = next(r for r in rows if r.model == "PointPillars")
+    table_rows = []
+    for row in rows:
+        table_rows.append([
+            row.model,
+            f"{row.params / 1e6:.2f}M",
+            f"{row.params / base.params:.2f}x",
+            f"{row.paper_params_m / base.paper_params_m:.2f}x",
+            f"{row.exec_ms:.3f}",
+            f"{row.exec_ms / base.exec_ms:.2f}x",
+            f"{row.paper_exec_ms / base.paper_exec_ms:.2f}x",
+        ])
+    return format_table(
+        ["Model", "Params", "Size vs PP", "(paper)",
+         "Exec ms", "Time vs PP", "(paper)"],
+        table_rows, title="Table 1: model size vs execution time")

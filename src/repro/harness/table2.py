@@ -1,0 +1,143 @@
+"""Table 2 — the paper's headline comparison.
+
+For PointPillars and SMOKE: compression ratio, mAP, inference time and
+per-inference energy on both devices, for the uncompressed base model,
+the four baselines, and both UPAQ variants.
+
+Latency/energy come from the analytic device models *anchored to the
+paper's measured base-model values* (the documented substitution for
+Jetson/RTX hardware): each device model is calibrated so the dense base
+plan costs exactly what the paper reports, and compressed variants are
+priced relative to that anchor.  mAP is measured on held-out synthetic
+scenes after each framework's own fine-tuning policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.baselines import ClipQ, LidarPTQ, PsAndQs, RToss
+from repro.core import UPAQCompressor, hck_config, lck_config
+from repro.detection import evaluate_map
+from repro.hardware import compile_model, default_devices
+from repro.models.base import Detector3D
+
+from .paper_reference import FRAMEWORK_ORDER, TABLE2
+from .pretrain import TrainConfig, get_pretrained, training_scenes, \
+    validation_scenes
+from .reporting import format_table
+
+__all__ = ["Table2Config", "Table2Row", "run_table2", "format_table2",
+           "default_frameworks", "evaluate_model_map"]
+
+
+@dataclass
+class Table2Config:
+    """Scale knobs for the Table 2 run."""
+
+    model_name: str = "pointpillars"
+    pretrain_steps: int = 3200
+    finetune_scenes: int = 24
+    finetune_epochs: int = 3
+    eval_frames: int = 12
+    seed: int = 0
+    frameworks: tuple = FRAMEWORK_ORDER[1:]   # all but the base model
+    model_kwargs: dict = field(default_factory=dict)
+
+
+@dataclass
+class Table2Row:
+    framework: str
+    compression: float
+    map_score: float
+    rtx_ms: float
+    jetson_ms: float
+    rtx_j: float
+    jetson_j: float
+
+
+def default_frameworks(seed: int = 0) -> dict:
+    """Name → compressor instance, in the paper's column order."""
+    return {
+        "Ps&Qs": PsAndQs(),
+        "CLIP-Q": ClipQ(),
+        "R-TOSS": RToss(),
+        "LiDAR-PTQ": LidarPTQ(),
+        "UPAQ (LCK)": UPAQCompressor(lck_config(seed=seed)),
+        "UPAQ (HCK)": UPAQCompressor(hck_config(seed=seed)),
+    }
+
+
+def evaluate_model_map(model: Detector3D, scenes) -> float:
+    predictions = [model.predict(scene) for scene in scenes]
+    return evaluate_map(predictions, [s.boxes for s in scenes])["mAP"]
+
+
+def run_table2(config: Table2Config) -> list[Table2Row]:
+    with_image = config.model_name == "smoke"
+    base, _ = get_pretrained(
+        config.model_name,
+        TrainConfig(steps=config.pretrain_steps, seed=config.seed,
+                    with_image=with_image),
+        **config.model_kwargs)
+    example_inputs = base.example_inputs()
+
+    eval_scenes = validation_scenes(config.eval_frames, seed=config.seed,
+                                    with_image=with_image)
+    finetune = training_scenes(config.finetune_scenes, seed=config.seed,
+                               with_image=with_image, start=500_000)
+
+    # Anchor both devices to the paper's base-model measurements.
+    paper = TABLE2[base.name]
+    base_plan = compile_model(base, *example_inputs)
+    devices = default_devices()
+    jetson = devices["jetson"].calibrate(base_plan,
+                                         paper["Base Model"][3] * 1e-3)
+    rtx = devices["rtx4080"].calibrate(base_plan,
+                                       paper["Base Model"][2] * 1e-3)
+    energy_cal_jetson = paper["Base Model"][5] / jetson.energy(base_plan)
+    energy_cal_rtx = paper["Base Model"][4] / rtx.energy(base_plan)
+
+    def row_for(name: str, model: Detector3D, compression: float,
+                map_score: float) -> Table2Row:
+        plan = compile_model(model, *example_inputs)
+        return Table2Row(
+            framework=name, compression=compression, map_score=map_score,
+            rtx_ms=rtx.latency(plan) * 1e3,
+            jetson_ms=jetson.latency(plan) * 1e3,
+            rtx_j=rtx.energy(plan) * energy_cal_rtx,
+            jetson_j=jetson.energy(plan) * energy_cal_jetson)
+
+    rows = [row_for("Base Model", base, 1.0,
+                    evaluate_model_map(base, eval_scenes))]
+    frameworks = default_frameworks(config.seed)
+    for name in config.frameworks:
+        framework = frameworks[name]
+        report = framework.compress(base, *example_inputs)
+        framework.finetune(report, finetune, epochs=config.finetune_epochs)
+        map_score = evaluate_model_map(report.model, eval_scenes)
+        rows.append(row_for(name, report.model, report.compression_ratio,
+                            map_score))
+    return rows
+
+
+def format_table2(model_name: str, rows: list[Table2Row]) -> str:
+    paper = TABLE2[model_name]
+    table_rows = []
+    for row in rows:
+        ref = paper.get(row.framework)
+        table_rows.append([
+            row.framework,
+            f"{row.compression:.2f}x", f"({ref[0]:.2f}x)",
+            f"{row.map_score:.2f}", f"({ref[1]:.2f})",
+            f"{row.rtx_ms:.2f}", f"({ref[2]:.2f})",
+            f"{row.jetson_ms:.2f}", f"({ref[3]:.2f})",
+            f"{row.rtx_j:.3f}", f"({ref[4]:.3f})",
+            f"{row.jetson_j:.3f}", f"({ref[5]:.3f})",
+        ])
+    return format_table(
+        ["Framework", "Compr", "paper", "mAP", "paper",
+         "RTX ms", "paper", "Jetson ms", "paper",
+         "RTX J", "paper", "Jetson J", "paper"],
+        table_rows,
+        title=f"Table 2 ({model_name}): measured vs (paper)")

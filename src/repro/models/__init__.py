@@ -1,0 +1,21 @@
+"""``repro.models`` — the 3D object detectors evaluated in the paper.
+
+PointPillars (LiDAR, pillar pseudo-images) and SMOKE (monocular camera,
+keypoint uplifting) are the two compression targets; SECOND, Focals Conv
+and VSC complete the Table 1 size/latency comparison.
+"""
+
+from .base import Detector3D
+from .focalsconv import FocalsConv
+from .monoflex import MonoFlex
+from .pointpillars import PointPillars
+from .registry import MODEL_REGISTRY, available_models, build_model
+from .second import SECOND
+from .smoke import SMOKE
+from .vsc import VSC
+
+__all__ = [
+    "Detector3D", "PointPillars", "SMOKE", "SECOND", "FocalsConv", "VSC",
+    "MonoFlex",
+    "MODEL_REGISTRY", "build_model", "available_models",
+]

@@ -1,0 +1,48 @@
+"""Common interface all 3D detectors in the repo implement."""
+
+from __future__ import annotations
+
+from repro import nn
+from repro.detection.evaluation import DetectionResult
+from repro.pointcloud.scenes import Scene
+
+__all__ = ["Detector3D"]
+
+
+class Detector3D(nn.Module):
+    """A trainable 3D object detector.
+
+    Subclasses provide preprocessing from a :class:`Scene` to model
+    inputs, a differentiable forward, a training loss, and box decoding.
+    ``example_inputs`` feeds graph tracing (UPAQ Algorithm 1) and the
+    hardware cost model.
+    """
+
+    #: human-readable model name used in tables
+    name: str = "detector"
+
+    def example_inputs(self) -> tuple:
+        """Representative inputs for tracing/cost analysis."""
+        raise NotImplementedError
+
+    def preprocess(self, scene: Scene) -> tuple:
+        """Convert a scene into forward() inputs."""
+        raise NotImplementedError
+
+    def predict(self, scene: Scene) -> DetectionResult:
+        """Full inference: preprocess → forward → decode → NMS."""
+        raise NotImplementedError
+
+    def loss(self, outputs, scene: Scene):
+        """Training loss for one frame."""
+        raise NotImplementedError
+
+    def train_step(self, optimizer, scene: Scene) -> float:
+        """One optimization step on one frame; returns the loss value."""
+        self.train()
+        optimizer.zero_grad()
+        outputs = self.forward(*self.preprocess(scene))
+        loss = self.loss(outputs, scene)
+        loss.backward()
+        optimizer.step()
+        return loss.item()

@@ -1,0 +1,9 @@
+"""PointPillars: pillar-encoded LiDAR 3D object detection."""
+
+from .backbone import PointPillarsBackbone
+from .head import SSDHead
+from .model import PointPillars
+from .pfn import PillarFeatureNet
+
+__all__ = ["PointPillars", "PillarFeatureNet", "PointPillarsBackbone",
+           "SSDHead"]

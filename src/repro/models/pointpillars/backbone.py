@@ -1,0 +1,69 @@
+"""The 2D CNN backbone of PointPillars.
+
+Three strided stages over the pseudo-image, each followed by a
+transposed-convolution that brings its output back to a common scale;
+the three upsampled maps are concatenated, mirroring the original
+top-down + upsample-fusion design.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import nn
+from repro.nn import Tensor
+
+__all__ = ["PointPillarsBackbone"]
+
+
+class _Stage(nn.Module):
+    """One downsampling stage: strided conv then ``depth`` 3×3 convs."""
+
+    def __init__(self, in_channels: int, out_channels: int, depth: int,
+                 stride: int, rng: np.random.Generator | None):
+        super().__init__()
+        blocks = [nn.ConvBNReLU(in_channels, out_channels, 3,
+                                stride=stride, rng=rng)]
+        for _ in range(depth):
+            blocks.append(nn.ConvBNReLU(out_channels, out_channels, 3,
+                                        rng=rng))
+        self.blocks = nn.Sequential(*blocks)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.blocks(x)
+
+
+class PointPillarsBackbone(nn.Module):
+    """Pseudo-image (1, C, H, W) → fused BEV features at H/2 × W/2."""
+
+    def __init__(self, in_channels: int = 32,
+                 stage_channels: tuple = (32, 64, 128),
+                 stage_depths: tuple = (2, 2, 2),
+                 upsample_channels: int = 32,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        self.out_channels = upsample_channels * len(stage_channels)
+        self.stage1 = _Stage(in_channels, stage_channels[0],
+                             stage_depths[0], stride=2, rng=rng)
+        self.stage2 = _Stage(stage_channels[0], stage_channels[1],
+                             stage_depths[1], stride=2, rng=rng)
+        self.stage3 = _Stage(stage_channels[1], stage_channels[2],
+                             stage_depths[2], stride=2, rng=rng)
+        self.up1 = nn.ConvTranspose2d(stage_channels[0], upsample_channels,
+                                      1, stride=1, bias=False, rng=rng)
+        self.up2 = nn.ConvTranspose2d(stage_channels[1], upsample_channels,
+                                      2, stride=2, bias=False, rng=rng)
+        self.up3 = nn.ConvTranspose2d(stage_channels[2], upsample_channels,
+                                      4, stride=4, bias=False, rng=rng)
+        self.bn1 = nn.BatchNorm2d(upsample_channels)
+        self.bn2 = nn.BatchNorm2d(upsample_channels)
+        self.bn3 = nn.BatchNorm2d(upsample_channels)
+
+    def forward(self, x: Tensor) -> Tensor:
+        s1 = self.stage1(x)
+        s2 = self.stage2(s1)
+        s3 = self.stage3(s2)
+        u1 = self.bn1(self.up1(s1)).relu()
+        u2 = self.bn2(self.up2(s2)).relu()
+        u3 = self.bn3(self.up3(s3)).relu()
+        return Tensor.concatenate([u1, u2, u3], axis=1)

@@ -1,0 +1,42 @@
+"""SSD detection head: per-anchor objectness and box residuals."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import nn
+from repro.nn import Tensor
+
+__all__ = ["SSDHead"]
+
+
+class SSDHead(nn.Module):
+    """1×1-conv head producing (A, H, W) scores and (A*7, H, W) deltas."""
+
+    BOX_DIM = 7
+
+    def __init__(self, in_channels: int, anchors_per_cell: int,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        self.anchors_per_cell = anchors_per_cell
+        self.cls_head = nn.Conv2d(in_channels, anchors_per_cell, 1, rng=rng)
+        self.reg_head = nn.Conv2d(in_channels,
+                                  anchors_per_cell * self.BOX_DIM, 1, rng=rng)
+
+    def forward(self, features: Tensor) -> dict:
+        return {"cls": self.cls_head(features),
+                "reg": self.reg_head(features)}
+
+    def flatten_outputs(self, outputs: dict) -> tuple[Tensor, Tensor]:
+        """Reshape head maps to anchor-major (A_total,) / (A_total, 7).
+
+        Ordering matches :class:`repro.detection.anchors.AnchorGrid`:
+        cell-major (row, col) then anchor-within-cell.
+        """
+        cls = outputs["cls"]
+        reg = outputs["reg"]
+        _, a, h, w = cls.shape
+        cls_flat = cls.transpose(0, 2, 3, 1).reshape(h * w * a)
+        reg_flat = reg.reshape(1, a, self.BOX_DIM, h, w) \
+            .transpose(0, 3, 4, 1, 2).reshape(h * w * a, self.BOX_DIM)
+        return cls_flat, reg_flat

@@ -1,0 +1,141 @@
+"""The full PointPillars detector.
+
+A reduced-width but architecturally faithful PointPillars: pillar
+encoding → Pillar Feature Network (1×1 convs) → scatter to BEV canvas →
+2D CNN backbone with upsample fusion → SSD anchor head, trained with
+focal + smooth-L1 losses and decoded with rotated NMS.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import nn
+from repro.detection import (AnchorConfig, AnchorGrid, DetectionResult,
+                             assign_targets, decode_boxes, nms_bev)
+from repro.nn import Tensor
+from repro.nn import functional as F
+from repro.pointcloud.boxes import array_to_boxes
+from repro.pointcloud.scenes import Scene
+from repro.pointcloud.voxelize import PillarConfig, PillarEncoder
+
+from ..base import Detector3D
+from .backbone import PointPillarsBackbone
+from .head import SSDHead
+
+__all__ = ["PointPillars"]
+
+
+class PointPillars(Detector3D):
+    """LiDAR 3D detector over pillar pseudo-images."""
+
+    name = "PointPillars"
+
+    def __init__(self, pillar_config: PillarConfig | None = None,
+                 pfn_channels: int = 32,
+                 stage_channels: tuple = (32, 64, 128),
+                 stage_depths: tuple = (2, 2, 2),
+                 upsample_channels: int = 32,
+                 score_threshold: float = 0.3,
+                 nms_iou: float = 0.3,
+                 seed: int = 0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.pillar_config = pillar_config or PillarConfig()
+        self.encoder = PillarEncoder(self.pillar_config)
+        self.score_threshold = score_threshold
+        self.nms_iou = nms_iou
+
+        from .pfn import PillarFeatureNet
+        self.pfn = PillarFeatureNet(out_channels=pfn_channels, rng=rng)
+        self.backbone = PointPillarsBackbone(
+            in_channels=pfn_channels, stage_channels=stage_channels,
+            stage_depths=stage_depths, upsample_channels=upsample_channels,
+            rng=rng)
+
+        self.anchor_config = AnchorConfig()
+        ny, nx = self.pillar_config.grid_shape
+        self.feature_shape = (ny // 2, nx // 2)   # backbone runs at H/2
+        self.anchor_grid = AnchorGrid(
+            self.anchor_config,
+            x_range=self.pillar_config.x_range,
+            y_range=self.pillar_config.y_range,
+            feature_shape=self.feature_shape)
+        self.head = SSDHead(self.backbone.out_channels,
+                            self.anchor_config.anchors_per_cell, rng=rng)
+
+    # ------------------------------------------------------------------
+    # Forward path
+    # ------------------------------------------------------------------
+    def preprocess(self, scene: Scene) -> tuple:
+        pillars = self.encoder.encode(scene.points)
+        return (Tensor(pillars.features), Tensor(pillars.mask),
+                pillars.indices)
+
+    def forward(self, features: Tensor, mask: Tensor,
+                indices: np.ndarray) -> dict:
+        pillar_features = self.pfn(features, mask)
+        canvas = F.scatter_to_grid(pillar_features, indices,
+                                   self.pillar_config.grid_shape)
+        bev = self.backbone(canvas)
+        return self.head(bev)
+
+    def example_inputs(self) -> tuple:
+        rng = np.random.default_rng(0)
+        p, n = 64, self.pillar_config.max_points_per_pillar
+        features = rng.standard_normal((p, n, 9)).astype(np.float32)
+        mask = np.ones((p, n), dtype=np.float32)
+        ny, nx = self.pillar_config.grid_shape
+        cells = rng.choice(ny * nx, size=p, replace=False)
+        indices = np.stack([cells // nx, cells % nx], axis=1)
+        return Tensor(features), Tensor(mask), indices
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+    def loss(self, outputs: dict, scene: Scene) -> Tensor:
+        targets = assign_targets(self.anchor_grid, scene.boxes)
+        cls_flat, reg_flat = self.head.flatten_outputs(outputs)
+
+        valid = (targets.cls_target >= 0).astype(np.float32)
+        positive = (targets.cls_target == 1).astype(np.float32)
+        n_pos = max(float(positive.sum()), 1.0)
+
+        cls_loss = nn.losses.focal_loss(
+            cls_flat, Tensor(positive), normalizer=n_pos,
+            weights=Tensor(valid))
+        reg_weights = Tensor(
+            np.repeat(positive[:, None], SSDHead.BOX_DIM, axis=1))
+        reg_loss = nn.losses.smooth_l1_loss(
+            reg_flat, Tensor(targets.reg_target), beta=1.0 / 9.0,
+            weights=reg_weights)
+        return cls_loss + 2.0 * reg_loss
+
+    # ------------------------------------------------------------------
+    # Inference
+    # ------------------------------------------------------------------
+    def predict(self, scene: Scene) -> DetectionResult:
+        self.eval()
+        with nn.no_grad():
+            outputs = self.forward(*self.preprocess(scene))
+        cls_flat, reg_flat = self.head.flatten_outputs(outputs)
+        scores = 1.0 / (1.0 + np.exp(-cls_flat.data))
+        deltas = reg_flat.data
+
+        boxes_out = []
+        for cls in self.anchor_config.class_names:
+            cls_mask = (self.anchor_grid.labels == cls) \
+                & (scores >= self.score_threshold)
+            idx = np.where(cls_mask)[0]
+            if len(idx) == 0:
+                continue
+            # Keep the strongest candidates before the O(n^2) NMS.
+            idx = idx[np.argsort(-scores[idx])[:64]]
+            decoded = decode_boxes(deltas[idx], self.anchor_grid.boxes[idx])
+            keep = nms_bev(decoded, scores[idx], iou_threshold=self.nms_iou,
+                           max_keep=20)
+            kept = array_to_boxes(decoded[keep],
+                                  labels=[cls] * len(keep),
+                                  scores=scores[idx][keep])
+            boxes_out.extend(kept)
+        return DetectionResult(boxes=boxes_out, frame_id=scene.frame_id)

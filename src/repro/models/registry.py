@@ -1,0 +1,35 @@
+"""Model registry: build any paper model by name."""
+
+from __future__ import annotations
+
+from .base import Detector3D
+from .focalsconv import FocalsConv
+from .monoflex import MonoFlex
+from .pointpillars import PointPillars
+from .second import SECOND
+from .smoke import SMOKE
+from .vsc import VSC
+
+__all__ = ["MODEL_REGISTRY", "build_model", "available_models"]
+
+MODEL_REGISTRY = {
+    "pointpillars": PointPillars,
+    "smoke": SMOKE,
+    "monoflex": MonoFlex,
+    "second": SECOND,
+    "focalsconv": FocalsConv,
+    "vsc": VSC,
+}
+
+
+def available_models() -> list[str]:
+    return sorted(MODEL_REGISTRY)
+
+
+def build_model(name: str, **kwargs) -> Detector3D:
+    """Instantiate a registered detector by (case-insensitive) name."""
+    key = name.lower().replace(" ", "").replace("-", "")
+    if key not in MODEL_REGISTRY:
+        raise KeyError(f"unknown model {name!r}; "
+                       f"available: {available_models()}")
+    return MODEL_REGISTRY[key](**kwargs)

@@ -1,0 +1,7 @@
+"""SMOKE: single-stage monocular 3D object detection."""
+
+from .backbone import DLALiteBackbone
+from .head import REG_DIM, SmokeHead
+from .model import SMOKE
+
+__all__ = ["SMOKE", "DLALiteBackbone", "SmokeHead", "REG_DIM"]

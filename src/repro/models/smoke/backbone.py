@@ -1,0 +1,69 @@
+"""DLA-lite backbone for SMOKE.
+
+A reduced Deep Layer Aggregation network: a convolutional stem, three
+strided stages, and iterative aggregation nodes that upsample deeper
+features and fuse them (via 1×1 projection convolutions) back to
+stride-4 resolution — the feature map SMOKE's keypoint heads consume.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import nn
+from repro.nn import Tensor
+from repro.nn import functional as F
+
+__all__ = ["DLALiteBackbone"]
+
+
+class _AggregationNode(nn.Module):
+    """Fuse a deep (coarse) and a shallow (fine) feature map."""
+
+    def __init__(self, deep_channels: int, shallow_channels: int,
+                 out_channels: int, scale: int,
+                 rng: np.random.Generator | None):
+        super().__init__()
+        self.scale = scale
+        self.project = nn.Conv2d(deep_channels, out_channels, 1,
+                                 bias=False, rng=rng)
+        self.lateral = nn.Conv2d(shallow_channels, out_channels, 1,
+                                 bias=False, rng=rng)
+        self.fuse = nn.ConvBNReLU(out_channels, out_channels, 3, rng=rng)
+
+    def forward(self, deep: Tensor, shallow: Tensor) -> Tensor:
+        up = F.upsample_nearest2d(self.project(deep), self.scale)
+        return self.fuse(up + self.lateral(shallow))
+
+
+class DLALiteBackbone(nn.Module):
+    """(1, 3, H, W) image → (1, C, H/4, W/4) aggregated features."""
+
+    def __init__(self, base_channels: int = 24,
+                 stage_depths: tuple = (2, 2, 2),
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        c1, c2, c3 = base_channels, base_channels * 2, base_channels * 4
+        self.out_channels = c2
+
+        self.stem = nn.ConvBNReLU(3, c1, 3, rng=rng)
+
+        def stage(cin, cout, depth):
+            blocks = [nn.ConvBNReLU(cin, cout, 3, stride=2, rng=rng)]
+            blocks.extend(nn.ConvBNReLU(cout, cout, 3, rng=rng)
+                          for _ in range(depth - 1))
+            return nn.Sequential(*blocks)
+
+        self.level1 = stage(c1, c1, stage_depths[0])   # stride 2
+        self.level2 = stage(c1, c2, stage_depths[1])   # stride 4
+        self.level3 = stage(c2, c3, stage_depths[2])   # stride 8
+        self.agg32 = _AggregationNode(c3, c2, c2, scale=2, rng=rng)
+        self.agg21 = _AggregationNode(c2, c2, c2, scale=1, rng=rng)
+
+    def forward(self, image: Tensor) -> Tensor:
+        x0 = self.stem(image)
+        x1 = self.level1(x0)
+        x2 = self.level2(x1)
+        x3 = self.level3(x2)
+        fused = self.agg32(x3, x2)          # stride 4
+        return self.agg21(fused, fused)     # extra aggregation at stride 4

@@ -1,0 +1,38 @@
+"""SMOKE keypoint heads: class heatmaps + 8-dim 3D regression."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import nn
+from repro.nn import Tensor
+
+__all__ = ["SmokeHead", "REG_DIM"]
+
+#: [offset_u, offset_v, depth_code, log-dz, log-dy, log-dx, sin yaw, cos yaw]
+REG_DIM = 8
+
+
+class SmokeHead(nn.Module):
+    """Two parallel conv branches over the backbone feature map."""
+
+    def __init__(self, in_channels: int, num_classes: int,
+                 head_channels: int = 48,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        self.num_classes = num_classes
+        self.heat_branch = nn.Sequential(
+            nn.ConvBNReLU(in_channels, head_channels, 3, rng=rng),
+            nn.Conv2d(head_channels, num_classes, 1, rng=rng),
+        )
+        self.reg_branch = nn.Sequential(
+            nn.ConvBNReLU(in_channels, head_channels, 3, rng=rng),
+            nn.Conv2d(head_channels, REG_DIM, 1, rng=rng),
+        )
+        # Bias the heatmap towards "no object" so focal loss starts stable.
+        final = self.heat_branch[1]
+        final.bias.data[:] = -2.19  # sigmoid ≈ 0.1
+
+    def forward(self, features: Tensor) -> dict:
+        return {"heatmap": self.heat_branch(features),
+                "reg": self.reg_branch(features)}

@@ -1,0 +1,56 @@
+"""VSC-lite: virtual sparse convolution variant.
+
+VSC densifies sparse point regions with *virtual points* before
+convolution.  The dense-simulated version emulates this with a virtual-
+point synthesis stack: the voxelized input is upsampled 2×, refined by
+convolutions that hallucinate intermediate structure, pooled back, and
+concatenated with the original features.  It is the largest and slowest
+model in Table 1, which the wide channel configuration preserves.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import nn
+from repro.nn import Tensor
+from repro.nn import functional as F
+from repro.pointcloud.voxelize import VoxelConfig
+
+from .second import SECOND
+
+__all__ = ["VSC"]
+
+
+class VSC(SECOND):
+    """SECOND with a virtual-point synthesis front end and wide stages."""
+
+    name = "VSC"
+
+    def __init__(self, voxel_config: VoxelConfig | None = None,
+                 middle_channels: int = 44,
+                 stage_channels: tuple = (84, 160, 288),
+                 upsample_channels: int = 64,
+                 score_threshold: float = 0.3, seed: int = 0):
+        super().__init__(voxel_config=voxel_config,
+                         middle_channels=middle_channels,
+                         stage_channels=stage_channels,
+                         upsample_channels=upsample_channels,
+                         score_threshold=score_threshold, seed=seed)
+        rng = np.random.default_rng(seed + 2)
+        self.virtual_synth = nn.Sequential(
+            nn.ConvBNReLU(middle_channels, middle_channels, 3, rng=rng),
+            nn.ConvBNReLU(middle_channels, middle_channels, 3, rng=rng),
+        )
+        self.virtual_merge = nn.ConvBNReLU(middle_channels * 2,
+                                           middle_channels, 1, rng=rng)
+
+    def forward(self, bev: Tensor) -> dict:
+        features = self.middle(bev)
+        # Virtual points: upsample, refine, pool back to the native grid.
+        virtual = F.upsample_nearest2d(features, 2)
+        virtual = self.virtual_synth(virtual)
+        virtual = F.avg_pool2d(virtual, 2)
+        merged = self.virtual_merge(
+            Tensor.concatenate([features, virtual], axis=1))
+        return self.head(self.backbone(merged))

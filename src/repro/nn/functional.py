@@ -1,0 +1,228 @@
+"""Convolution, pooling and gather/scatter primitives with autograd.
+
+All functions here operate on :class:`repro.nn.tensor.Tensor` inputs in
+NCHW layout and return tensors wired into the autograd graph.  Convolution
+is implemented with im2col + matmul, which is the standard dense lowering
+and keeps the arithmetic visible to the hardware cost model
+(:mod:`repro.hardware.latency`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = [
+    "im2col", "col2im", "conv2d", "conv_transpose2d", "max_pool2d",
+    "avg_pool2d", "upsample_nearest2d", "scatter_to_grid", "linear",
+]
+
+
+def _out_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    return (size + 2 * padding - kernel) // stride + 1
+
+
+def im2col(x: np.ndarray, kernel: int, stride: int, padding: int) -> np.ndarray:
+    """Lower NCHW input into (N, C*k*k, out_h*out_w) patch columns."""
+    n, c, h, w = x.shape
+    out_h = _out_size(h, kernel, stride, padding)
+    out_w = _out_size(w, kernel, stride, padding)
+    if padding > 0:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    strides = x.strides
+    windows = np.lib.stride_tricks.as_strided(
+        x,
+        shape=(n, c, kernel, kernel, out_h, out_w),
+        strides=(strides[0], strides[1], strides[2], strides[3],
+                 strides[2] * stride, strides[3] * stride),
+        writeable=False,
+    )
+    return windows.reshape(n, c * kernel * kernel, out_h * out_w).copy()
+
+
+def col2im(cols: np.ndarray, input_shape: tuple, kernel: int, stride: int,
+           padding: int) -> np.ndarray:
+    """Inverse of :func:`im2col`: scatter-add patch columns back."""
+    n, c, h, w = input_shape
+    out_h = _out_size(h, kernel, stride, padding)
+    out_w = _out_size(w, kernel, stride, padding)
+    padded = np.zeros((n, c, h + 2 * padding, w + 2 * padding),
+                      dtype=cols.dtype)
+    cols = cols.reshape(n, c, kernel, kernel, out_h, out_w)
+    for ki in range(kernel):
+        for kj in range(kernel):
+            padded[:, :, ki:ki + stride * out_h:stride,
+                   kj:kj + stride * out_w:stride] += cols[:, :, ki, kj]
+    if padding > 0:
+        return padded[:, :, padding:-padding, padding:-padding]
+    return padded
+
+
+def conv2d(x: Tensor, weight: Tensor, bias: Tensor | None = None,
+           stride: int = 1, padding: int = 0) -> Tensor:
+    """2D convolution, NCHW input, OIHW weight."""
+    n, c, h, w = x.shape
+    out_c, in_c, kh, kw = weight.shape
+    if in_c != c:
+        raise ValueError(f"channel mismatch: input {c}, weight expects {in_c}")
+    if kh != kw:
+        raise ValueError("only square kernels are supported")
+    kernel = kh
+    out_h = _out_size(h, kernel, stride, padding)
+    out_w = _out_size(w, kernel, stride, padding)
+
+    cols = im2col(x.data, kernel, stride, padding)
+    w_mat = weight.data.reshape(out_c, -1)
+    out = np.einsum("ok,nkp->nop", w_mat, cols, optimize=True)
+    out = out.reshape(n, out_c, out_h, out_w)
+    if bias is not None:
+        out = out + bias.data.reshape(1, -1, 1, 1)
+
+    parents = [x, weight] + ([bias] if bias is not None else [])
+
+    def backward(grad):
+        grad_mat = grad.reshape(n, out_c, out_h * out_w)
+        grad_w = np.einsum("nop,nkp->ok", grad_mat, cols,
+                           optimize=True).reshape(weight.shape)
+        grad_cols = np.einsum("ok,nop->nkp", w_mat, grad_mat, optimize=True)
+        grad_x = col2im(grad_cols, x.shape, kernel, stride, padding)
+        grads = [grad_x.astype(np.float32), grad_w.astype(np.float32)]
+        if bias is not None:
+            grads.append(grad.sum(axis=(0, 2, 3)).astype(np.float32))
+        return tuple(grads)
+
+    return Tensor.from_op(out.astype(np.float32), parents, backward)
+
+
+def conv_transpose2d(x: Tensor, weight: Tensor, bias: Tensor | None = None,
+                     stride: int = 1, padding: int = 0) -> Tensor:
+    """Transposed 2D convolution (deconvolution), IOHW weight layout.
+
+    Implemented as the gradient of conv2d with respect to its input, which
+    is exactly what a deconvolution is.
+    """
+    n, c, h, w = x.shape
+    in_c, out_c, kh, kw = weight.shape
+    if in_c != c:
+        raise ValueError(f"channel mismatch: input {c}, weight expects {in_c}")
+    kernel = kh
+    out_h = (h - 1) * stride - 2 * padding + kernel
+    out_w = (w - 1) * stride - 2 * padding + kernel
+
+    w_mat = weight.data.reshape(in_c, out_c * kernel * kernel)
+    x_mat = x.data.reshape(n, in_c, h * w)
+    cols = np.einsum("io,nip->nop", w_mat, x_mat, optimize=True)
+    out = col2im(cols, (n, out_c, out_h, out_w), kernel, stride, padding)
+    if bias is not None:
+        out = out + bias.data.reshape(1, -1, 1, 1)
+
+    parents = [x, weight] + ([bias] if bias is not None else [])
+
+    def backward(grad):
+        grad_cols = im2col(grad, kernel, stride, padding)
+        grad_x = np.einsum("io,nop->nip", w_mat, grad_cols,
+                           optimize=True).reshape(x.shape)
+        grad_w = np.einsum("nip,nop->io", x_mat, grad_cols,
+                           optimize=True).reshape(weight.shape)
+        grads = [grad_x.astype(np.float32), grad_w.astype(np.float32)]
+        if bias is not None:
+            grads.append(grad.sum(axis=(0, 2, 3)).astype(np.float32))
+        return tuple(grads)
+
+    return Tensor.from_op(out.astype(np.float32), parents, backward)
+
+
+def max_pool2d(x: Tensor, kernel: int, stride: int | None = None) -> Tensor:
+    """Max pooling over non-overlapping (or strided) windows."""
+    stride = stride or kernel
+    n, c, h, w = x.shape
+    out_h = _out_size(h, kernel, stride, 0)
+    out_w = _out_size(w, kernel, stride, 0)
+    cols = im2col(x.data, kernel, stride, 0).reshape(
+        n, c, kernel * kernel, out_h * out_w)
+    argmax = cols.argmax(axis=2)
+    out = np.take_along_axis(cols, argmax[:, :, None], axis=2)[:, :, 0]
+    out = out.reshape(n, c, out_h, out_w)
+
+    def backward(grad):
+        grad_cols = np.zeros((n, c, kernel * kernel, out_h * out_w),
+                             dtype=np.float32)
+        np.put_along_axis(grad_cols, argmax[:, :, None],
+                          grad.reshape(n, c, 1, out_h * out_w), axis=2)
+        grad_cols = grad_cols.reshape(n, c * kernel * kernel, out_h * out_w)
+        return (col2im(grad_cols, x.shape, kernel, stride, 0),)
+
+    return Tensor.from_op(out.astype(np.float32), (x,), backward)
+
+
+def avg_pool2d(x: Tensor, kernel: int, stride: int | None = None) -> Tensor:
+    """Average pooling."""
+    stride = stride or kernel
+    n, c, h, w = x.shape
+    out_h = _out_size(h, kernel, stride, 0)
+    out_w = _out_size(w, kernel, stride, 0)
+    cols = im2col(x.data, kernel, stride, 0).reshape(
+        n, c, kernel * kernel, out_h * out_w)
+    out = cols.mean(axis=2).reshape(n, c, out_h, out_w)
+    scale = 1.0 / (kernel * kernel)
+
+    def backward(grad):
+        grad_cols = np.broadcast_to(
+            grad.reshape(n, c, 1, out_h * out_w) * scale,
+            (n, c, kernel * kernel, out_h * out_w),
+        ).reshape(n, c * kernel * kernel, out_h * out_w)
+        return (col2im(grad_cols.astype(np.float32), x.shape, kernel,
+                       stride, 0),)
+
+    return Tensor.from_op(out.astype(np.float32), (x,), backward)
+
+
+def upsample_nearest2d(x: Tensor, scale: int) -> Tensor:
+    """Nearest-neighbour upsampling of the spatial dimensions."""
+    out = x.data.repeat(scale, axis=2).repeat(scale, axis=3)
+
+    def backward(grad):
+        n, c, h, w = x.shape
+        g = grad.reshape(n, c, h, scale, w, scale).sum(axis=(3, 5))
+        return (g.astype(np.float32),)
+
+    return Tensor.from_op(out, (x,), backward)
+
+
+def scatter_to_grid(features: Tensor, indices: np.ndarray,
+                    grid_shape: tuple[int, int]) -> Tensor:
+    """Scatter per-pillar features onto a dense BEV canvas.
+
+    Parameters
+    ----------
+    features:
+        (P, C) per-pillar feature vectors.
+    indices:
+        (P, 2) integer (row, col) BEV cell of each pillar.
+    grid_shape:
+        (H, W) of the canvas.
+
+    Returns a (1, C, H, W) tensor.  This is PointPillars' PillarScatter.
+    """
+    p, c = features.shape
+    h, w = grid_shape
+    flat = indices[:, 0] * w + indices[:, 1]
+    canvas = np.zeros((c, h * w), dtype=np.float32)
+    canvas[:, flat] = features.data.T
+    out = canvas.reshape(1, c, h, w)
+
+    def backward(grad):
+        grad_flat = grad.reshape(c, h * w)
+        return (grad_flat[:, flat].T.copy(),)
+
+    return Tensor.from_op(out, (features,), backward)
+
+
+def linear(x: Tensor, weight: Tensor, bias: Tensor | None = None) -> Tensor:
+    """Affine map y = x @ W.T + b with (out, in) weight layout."""
+    out = x @ Tensor.from_op(weight.data.T, (weight,),
+                             lambda grad: (grad.T,))
+    if bias is not None:
+        out = out + bias
+    return out

@@ -1,0 +1,78 @@
+"""Loss functions used by the detector training loops."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = [
+    "smooth_l1_loss", "binary_cross_entropy_with_logits", "focal_loss",
+    "cross_entropy", "mse_loss", "l1_loss",
+]
+
+
+def mse_loss(pred: Tensor, target: Tensor) -> Tensor:
+    diff = pred - target
+    return (diff * diff).mean()
+
+
+def l1_loss(pred: Tensor, target: Tensor) -> Tensor:
+    return (pred - target).abs().mean()
+
+
+def smooth_l1_loss(pred: Tensor, target: Tensor, beta: float = 1.0,
+                   weights: Tensor | None = None) -> Tensor:
+    """Huber loss, the standard box-regression loss in SSD-style heads."""
+    diff = (pred - target).abs()
+    quadratic = (diff * diff) * (0.5 / beta)
+    linear = diff - 0.5 * beta
+    mask = (diff.data < beta).astype(np.float32)
+    loss = quadratic * Tensor(mask) + linear * Tensor(1.0 - mask)
+    if weights is not None:
+        loss = loss * weights
+        denom = max(float(weights.data.sum()), 1.0)
+        return loss.sum() / denom
+    return loss.mean()
+
+
+def binary_cross_entropy_with_logits(logits: Tensor, target: Tensor,
+                                     weights: Tensor | None = None) -> Tensor:
+    """Numerically stable BCE on raw logits."""
+    # max(x, 0) - x*t + log(1 + exp(-|x|))
+    relu_logits = logits.relu()
+    abs_logits = logits.abs()
+    loss = relu_logits - logits * target + ((-abs_logits).exp() + 1.0).log()
+    if weights is not None:
+        loss = loss * weights
+        denom = max(float(weights.data.sum()), 1.0)
+        return loss.sum() / denom
+    return loss.mean()
+
+
+def focal_loss(logits: Tensor, target: Tensor, alpha: float = 0.25,
+               gamma: float = 2.0, normalizer: float = 1.0,
+               weights: Tensor | None = None) -> Tensor:
+    """Sigmoid focal loss (RetinaNet) for dense classification heads.
+
+    ``weights`` multiplies the per-element loss (use 0 to ignore anchors).
+    """
+    prob = logits.sigmoid()
+    p_t = prob * target + (1.0 - prob) * (1.0 - target)
+    alpha_t = alpha * target + (1.0 - alpha) * (1.0 - target)
+    modulator = (1.0 - p_t) ** gamma
+    relu_logits = logits.relu()
+    abs_logits = logits.abs()
+    ce = relu_logits - logits * target + ((-abs_logits).exp() + 1.0).log()
+    loss = alpha_t * modulator * ce
+    if weights is not None:
+        loss = loss * weights
+    return loss.sum() / max(normalizer, 1.0)
+
+
+def cross_entropy(logits: Tensor, target_index: np.ndarray) -> Tensor:
+    """Multi-class cross entropy; targets are integer class indices."""
+    log_probs = logits.log_softmax(axis=-1)
+    n = logits.shape[0]
+    picked = log_probs[np.arange(n), target_index]
+    return -picked.mean()

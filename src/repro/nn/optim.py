@@ -1,0 +1,106 @@
+"""Optimizers for fine-tuning models (SGD with momentum, Adam).
+
+Both optimizers support an optional per-parameter *mask*: when a mask is
+registered for a parameter, the update is multiplied by it so that pruned
+(zeroed) weights stay pruned during fine-tuning.  This is how every
+compression framework in this repo fine-tunes without regrowing weights.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .module import Parameter
+
+__all__ = ["SGD", "Adam"]
+
+
+class _Optimizer:
+    def __init__(self, parameters):
+        self.parameters: list[Parameter] = list(parameters)
+        self._masks: dict[int, np.ndarray] = {}
+
+    def set_mask(self, parameter: Parameter, mask: np.ndarray) -> None:
+        """Freeze the zero-pattern of ``parameter`` to ``mask`` (1=keep)."""
+        if mask.shape != parameter.data.shape:
+            raise ValueError("mask shape must match parameter shape")
+        self._masks[id(parameter)] = mask.astype(np.float32)
+
+    def _mask_for(self, parameter: Parameter) -> np.ndarray | None:
+        return self._masks.get(id(parameter))
+
+    def zero_grad(self) -> None:
+        for param in self.parameters:
+            param.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+
+class SGD(_Optimizer):
+    """Stochastic gradient descent with classical momentum."""
+
+    def __init__(self, parameters, lr: float = 0.01, momentum: float = 0.0,
+                 weight_decay: float = 0.0):
+        super().__init__(parameters)
+        self.lr = lr
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity: dict[int, np.ndarray] = {}
+
+    def step(self) -> None:
+        for param in self.parameters:
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            if self.momentum:
+                vel = self._velocity.get(id(param))
+                if vel is None:
+                    vel = np.zeros_like(param.data)
+                vel = self.momentum * vel + grad
+                self._velocity[id(param)] = vel
+                grad = vel
+            update = self.lr * grad
+            mask = self._mask_for(param)
+            if mask is not None:
+                update = update * mask
+            param.data -= update
+
+
+class Adam(_Optimizer):
+    """Adam optimizer (Kingma & Ba)."""
+
+    def __init__(self, parameters, lr: float = 1e-3, betas=(0.9, 0.999),
+                 eps: float = 1e-8, weight_decay: float = 0.0):
+        super().__init__(parameters)
+        self.lr = lr
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m: dict[int, np.ndarray] = {}
+        self._v: dict[int, np.ndarray] = {}
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        for param in self.parameters:
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            m = self._m.get(id(param), np.zeros_like(param.data))
+            v = self._v.get(id(param), np.zeros_like(param.data))
+            m = self.beta1 * m + (1 - self.beta1) * grad
+            v = self.beta2 * v + (1 - self.beta2) * grad * grad
+            self._m[id(param)] = m
+            self._v[id(param)] = v
+            m_hat = m / (1 - self.beta1 ** self._t)
+            v_hat = v / (1 - self.beta2 ** self._t)
+            update = self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            mask = self._mask_for(param)
+            if mask is not None:
+                update = update * mask
+            param.data -= update

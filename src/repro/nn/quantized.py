@@ -1,0 +1,122 @@
+"""Integer-arithmetic inference for quantized layers.
+
+Fake quantization (the training-side view used everywhere else in the
+repo) keeps weights as floats that happen to lie on an integer grid.
+Deployment engines instead run the *integer* arithmetic directly:
+``y = (W_q @ x_q) · s_w · s_x``.  This module implements that path so we
+can verify the two are numerically equivalent — the property that makes
+TensorRT-style INT8 engines produce the same results the fake-quantized
+model was validated with (Jacob et al., the paper's [35]).
+
+``QuantizedConv2d.from_float`` captures a float convolution plus an
+activation scale into integer weights; ``forward`` quantizes the
+incoming activation, convolves entirely in int64, and rescales.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .functional import im2col
+from .layers import Conv2d
+from .module import Module
+from .tensor import Tensor
+
+__all__ = ["QuantizedConv2d", "activation_scale", "quantize_activation"]
+
+
+def activation_scale(x: np.ndarray, bits: int = 8) -> float:
+    """Symmetric max-calibrated scale for an activation tensor."""
+    max_code = 2 ** (bits - 1) - 1
+    alpha = float(np.abs(x).max())
+    return alpha / max_code if alpha > 0 else 1.0
+
+
+def quantize_activation(x: np.ndarray, scale: float,
+                        bits: int = 8) -> np.ndarray:
+    """Activation → integer codes at a fixed scale."""
+    max_code = 2 ** (bits - 1) - 1
+    return np.clip(np.round(x / scale), -max_code, max_code) \
+        .astype(np.int64)
+
+
+class QuantizedConv2d(Module):
+    """A convolution executed in integer arithmetic.
+
+    Weights are stored as int64 codes with one scale per output filter
+    (per-channel quantization, the deployment-standard granularity);
+    activations are quantized on entry with a calibration scale.
+    """
+
+    def __init__(self, weight_codes: np.ndarray, weight_scales: np.ndarray,
+                 bias: np.ndarray | None, stride: int, padding: int,
+                 input_scale: float, activation_bits: int = 8):
+        super().__init__()
+        self.weight_codes = weight_codes.astype(np.int64)
+        self.weight_scales = weight_scales.astype(np.float64)
+        self.bias = None if bias is None else bias.astype(np.float64)
+        self.stride = stride
+        self.padding = padding
+        self.input_scale = float(input_scale)
+        self.activation_bits = activation_bits
+
+    @staticmethod
+    def from_float(conv: Conv2d, input_scale: float,
+                   weight_bits: int = 8,
+                   activation_bits: int = 8) -> "QuantizedConv2d":
+        """Quantize a float convolution with per-filter weight scales."""
+        weights = conv.weight.data.astype(np.float64)
+        out_c = weights.shape[0]
+        flat = weights.reshape(out_c, -1)
+        max_code = 2 ** (weight_bits - 1) - 1
+        alphas = np.abs(flat).max(axis=1)
+        scales = np.where(alphas > 0, alphas / max_code, 1.0)
+        codes = np.clip(np.round(flat / scales[:, None]),
+                        -max_code, max_code).reshape(weights.shape)
+        bias = None if conv.bias is None else conv.bias.data
+        return QuantizedConv2d(codes, scales, bias, conv.stride,
+                               conv.padding, input_scale, activation_bits)
+
+    def forward(self, x: Tensor) -> Tensor:
+        data = x.data if isinstance(x, Tensor) else np.asarray(x)
+        n, c, h, w = data.shape
+        out_c = self.weight_codes.shape[0]
+        kernel = self.weight_codes.shape[-1]
+
+        x_codes = quantize_activation(data, self.input_scale,
+                                      self.activation_bits)
+        cols = im2col(x_codes.astype(np.float64), kernel, self.stride,
+                      self.padding).astype(np.int64)
+        w_mat = self.weight_codes.reshape(out_c, -1)
+        # The integer core: int64 accumulation, exactly as a deployment
+        # engine's INT8 MACs with a 32/64-bit accumulator.
+        acc = np.einsum("ok,nkp->nop", w_mat, cols)
+
+        out_h = (h + 2 * self.padding - kernel) // self.stride + 1
+        out_w = (w + 2 * self.padding - kernel) // self.stride + 1
+        rescale = self.weight_scales[None, :, None] * self.input_scale
+        out = acc.astype(np.float64) * rescale
+        out = out.reshape(n, out_c, out_h, out_w)
+        if self.bias is not None:
+            out = out + self.bias.reshape(1, -1, 1, 1)
+        return Tensor(out.astype(np.float32))
+
+    def fake_quant_reference(self, x: Tensor) -> Tensor:
+        """The float-side view: dequantized weights × quantized input.
+
+        Used by tests to assert integer execution ≡ fake quantization.
+        """
+        weights = (self.weight_codes.reshape(len(self.weight_scales), -1)
+                   * self.weight_scales[:, None]) \
+            .reshape(self.weight_codes.shape)
+        data = x.data if isinstance(x, Tensor) else np.asarray(x)
+        x_deq = quantize_activation(data, self.input_scale,
+                                    self.activation_bits) \
+            * self.input_scale
+        from . import functional as F
+        out = F.conv2d(Tensor(x_deq.astype(np.float32)),
+                       Tensor(weights.astype(np.float32)),
+                       None if self.bias is None
+                       else Tensor(self.bias.astype(np.float32)),
+                       stride=self.stride, padding=self.padding)
+        return out

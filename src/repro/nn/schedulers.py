@@ -1,0 +1,68 @@
+"""Learning-rate schedulers for the training loops."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["StepDecay", "CosineAnnealing", "WarmupWrapper"]
+
+
+class _Scheduler:
+    """Adjusts an optimizer's ``lr`` attribute per step."""
+
+    def __init__(self, optimizer, base_lr: float | None = None):
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr if base_lr is None else base_lr
+        self.step_count = 0
+
+    def lr_at(self, step: int) -> float:
+        raise NotImplementedError
+
+    def step(self) -> float:
+        self.step_count += 1
+        lr = self.lr_at(self.step_count)
+        self.optimizer.lr = lr
+        return lr
+
+
+class StepDecay(_Scheduler):
+    """Multiply the lr by ``gamma`` at each milestone step."""
+
+    def __init__(self, optimizer, milestones: list[int],
+                 gamma: float = 0.4, base_lr: float | None = None):
+        super().__init__(optimizer, base_lr)
+        self.milestones = sorted(milestones)
+        self.gamma = gamma
+
+    def lr_at(self, step: int) -> float:
+        passed = sum(1 for m in self.milestones if step >= m)
+        return self.base_lr * self.gamma ** passed
+
+
+class CosineAnnealing(_Scheduler):
+    """Cosine decay from base_lr to ``min_lr`` over ``total_steps``."""
+
+    def __init__(self, optimizer, total_steps: int, min_lr: float = 1e-5,
+                 base_lr: float | None = None):
+        super().__init__(optimizer, base_lr)
+        self.total_steps = max(total_steps, 1)
+        self.min_lr = min_lr
+
+    def lr_at(self, step: int) -> float:
+        progress = min(step / self.total_steps, 1.0)
+        return self.min_lr + 0.5 * (self.base_lr - self.min_lr) \
+            * (1.0 + np.cos(np.pi * progress))
+
+
+class WarmupWrapper(_Scheduler):
+    """Linear warmup for ``warmup_steps``, then delegate to ``inner``."""
+
+    def __init__(self, inner: _Scheduler, warmup_steps: int):
+        super().__init__(inner.optimizer, inner.base_lr)
+        self.inner = inner
+        self.warmup_steps = max(warmup_steps, 1)
+
+    def lr_at(self, step: int) -> float:
+        if step <= self.warmup_steps:
+            return self.base_lr * step / self.warmup_steps
+        return self.inner.lr_at(step - self.warmup_steps)

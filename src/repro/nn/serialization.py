@@ -1,0 +1,33 @@
+"""Save/load model weights as compressed ``.npz`` archives."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from .module import Module
+
+__all__ = ["save_state", "load_state", "save_model", "load_model"]
+
+
+def save_state(state: dict, path: str) -> None:
+    """Write a state dict to ``path`` (npz)."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    np.savez_compressed(path, **{k: np.asarray(v) for k, v in state.items()})
+
+
+def load_state(path: str) -> dict:
+    """Read a state dict from ``path``."""
+    with np.load(path) as archive:
+        return {key: archive[key].copy() for key in archive.files}
+
+
+def save_model(model: Module, path: str) -> None:
+    save_state(model.state_dict(), path)
+
+
+def load_model(model: Module, path: str) -> Module:
+    model.load_state_dict(load_state(path))
+    return model

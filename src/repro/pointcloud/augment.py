@@ -1,0 +1,124 @@
+"""Point-cloud data augmentation (SECOND/PointPillars style).
+
+Global transforms applied jointly to the point cloud and its box labels:
+rotation around the sensor, lateral flip, scale jitter, and per-object
+ground-truth jitter.  Used by the training loop to stretch the synthetic
+dataset's pose diversity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .boxes import Box3D
+from .scenes import Scene
+
+__all__ = ["AugmentConfig", "global_rotation", "global_flip_y",
+           "global_scaling", "object_jitter", "augment_scene"]
+
+
+@dataclass
+class AugmentConfig:
+    rotation_range: float = np.pi / 8   # ± radians around +z
+    flip_probability: float = 0.5
+    scale_range: tuple = (0.95, 1.05)
+    object_translation_std: float = 0.15
+    enabled: bool = True
+
+
+def _copy_box(box: Box3D) -> Box3D:
+    return Box3D(box.x, box.y, box.z, box.dx, box.dy, box.dz, box.yaw,
+                 label=box.label, score=box.score,
+                 difficulty=box.difficulty, meta=dict(box.meta))
+
+
+def global_rotation(scene: Scene, angle: float) -> Scene:
+    """Rotate points and boxes by ``angle`` around the sensor's z axis."""
+    c, s = np.cos(angle), np.sin(angle)
+    points = scene.points.copy()
+    x, y = points[:, 0].copy(), points[:, 1].copy()
+    points[:, 0] = c * x - s * y
+    points[:, 1] = s * x + c * y
+    boxes = []
+    for box in scene.boxes:
+        rotated = _copy_box(box)
+        rotated.x = float(c * box.x - s * box.y)
+        rotated.y = float(s * box.x + c * box.y)
+        rotated.yaw = float(box.yaw + angle)
+        boxes.append(rotated)
+    return Scene(points=points, boxes=boxes, image=scene.image,
+                 calib=scene.calib, frame_id=scene.frame_id)
+
+
+def global_flip_y(scene: Scene) -> Scene:
+    """Mirror the scene across the x axis (left/right flip)."""
+    points = scene.points.copy()
+    points[:, 1] = -points[:, 1]
+    boxes = []
+    for box in scene.boxes:
+        flipped = _copy_box(box)
+        flipped.y = -box.y
+        flipped.yaw = -box.yaw
+        boxes.append(flipped)
+    return Scene(points=points, boxes=boxes, image=scene.image,
+                 calib=scene.calib, frame_id=scene.frame_id)
+
+
+def global_scaling(scene: Scene, factor: float) -> Scene:
+    """Scale the whole scene uniformly (range + object sizes)."""
+    points = scene.points.copy()
+    points[:, :3] *= factor
+    boxes = []
+    for box in scene.boxes:
+        scaled = _copy_box(box)
+        scaled.x, scaled.y, scaled.z = (box.x * factor, box.y * factor,
+                                        box.z * factor)
+        scaled.dx, scaled.dy, scaled.dz = (box.dx * factor, box.dy * factor,
+                                           box.dz * factor)
+        boxes.append(scaled)
+    return Scene(points=points, boxes=boxes, image=scene.image,
+                 calib=scene.calib, frame_id=scene.frame_id)
+
+
+def object_jitter(scene: Scene, std: float,
+                  rng: np.random.Generator) -> Scene:
+    """Translate each object (and the points inside it) independently."""
+    from .boxes import points_in_box
+    points = scene.points.copy()
+    boxes = []
+    for box in scene.boxes:
+        offset = rng.normal(0, std, 2)
+        inside = points_in_box(points, box, margin=0.05)
+        points[inside, 0] += offset[0]
+        points[inside, 1] += offset[1]
+        moved = _copy_box(box)
+        moved.x = float(box.x + offset[0])
+        moved.y = float(box.y + offset[1])
+        boxes.append(moved)
+    return Scene(points=points, boxes=boxes, image=scene.image,
+                 calib=scene.calib, frame_id=scene.frame_id)
+
+
+def augment_scene(scene: Scene, config: AugmentConfig | None = None,
+                  rng: np.random.Generator | None = None) -> Scene:
+    """Apply the full augmentation pipeline to a LiDAR scene.
+
+    Camera images are invalidated by geometric augmentation and dropped;
+    use augmentation only for LiDAR-model training.
+    """
+    config = config or AugmentConfig()
+    if not config.enabled:
+        return scene
+    rng = rng or np.random.default_rng()
+    out = scene
+    angle = rng.uniform(-config.rotation_range, config.rotation_range)
+    out = global_rotation(out, angle)
+    if rng.random() < config.flip_probability:
+        out = global_flip_y(out)
+    out = global_scaling(out, rng.uniform(*config.scale_range))
+    if config.object_translation_std > 0:
+        out = object_jitter(out, config.object_translation_std, rng)
+    out.image = None
+    return out

@@ -1,0 +1,158 @@
+"""KITTI label / calibration file IO and dataset export.
+
+The paper trains and evaluates on the KITTI automotive dataset.  This
+module implements the KITTI *interchange format* — the canonical
+space-separated label lines (type, truncated, occluded, alpha, 2D bbox,
+dimensions h/w/l, location, rotation_y) plus the calib and velodyne
+``.bin`` layouts — so synthetic scenes can be written to and read from a
+KITTI-shaped directory tree, exercising the same IO paths a real-KITTI
+pipeline would.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from .boxes import Box3D
+from .scenes import Scene
+
+if TYPE_CHECKING:   # avoid the camera↔pointcloud import cycle at runtime
+    from repro.camera.projection import CameraModel
+
+__all__ = [
+    "format_label_line", "parse_label_line", "write_labels", "read_labels",
+    "write_velodyne", "read_velodyne", "write_calib", "read_calib",
+    "export_kitti", "load_kitti",
+]
+
+_OCCLUSION_BY_DIFFICULTY = {0: 0, 1: 1, 2: 2}
+
+
+def format_label_line(box: Box3D, camera: "CameraModel | None" = None) -> str:
+    """Render one KITTI label line for a box.
+
+    KITTI stores dimensions as (h, w, l) and the location at the bottom
+    center of the box in *camera* coordinates; we keep our ground-frame
+    convention for location but honor the field ordering so files are
+    structurally valid KITTI.
+    """
+    if camera is not None:
+        from repro.camera.projection import project_box
+        bbox2d = project_box(box, camera)
+        if bbox2d is None:
+            bbox2d = np.zeros(4)
+    else:
+        bbox2d = np.zeros(4)
+    occluded = _OCCLUSION_BY_DIFFICULTY.get(box.difficulty, 3)
+    alpha = float(np.arctan2(-box.y, box.x)) - box.yaw
+    fields = [
+        box.label, f"{0.0:.2f}", str(occluded), f"{alpha:.2f}",
+        f"{bbox2d[0]:.2f}", f"{bbox2d[1]:.2f}",
+        f"{bbox2d[2]:.2f}", f"{bbox2d[3]:.2f}",
+        f"{box.dz:.2f}", f"{box.dy:.2f}", f"{box.dx:.2f}",
+        f"{box.x:.2f}", f"{box.y:.2f}", f"{box.z:.2f}",
+        f"{box.yaw:.2f}",
+    ]
+    if box.score != 1.0:
+        fields.append(f"{box.score:.4f}")
+    return " ".join(fields)
+
+
+def parse_label_line(line: str) -> Box3D:
+    """Parse a KITTI label line back into a Box3D."""
+    parts = line.split()
+    if len(parts) < 15:
+        raise ValueError(f"malformed KITTI label line: {line!r}")
+    label = parts[0]
+    occluded = int(parts[2])
+    dz, dy, dx = (float(parts[8]), float(parts[9]), float(parts[10]))
+    x, y, z = (float(parts[11]), float(parts[12]), float(parts[13]))
+    yaw = float(parts[14])
+    score = float(parts[15]) if len(parts) > 15 else 1.0
+    box = Box3D(x, y, z, dx, dy, dz, yaw, label=label, score=score,
+                difficulty=min(occluded, 2))
+    return box
+
+
+def write_labels(boxes: list[Box3D], path: str,
+                 camera: "CameraModel | None" = None) -> None:
+    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+    with open(path, "w") as handle:
+        for box in boxes:
+            handle.write(format_label_line(box, camera) + "\n")
+
+
+def read_labels(path: str) -> list[Box3D]:
+    boxes = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line and not line.startswith("DontCare"):
+                boxes.append(parse_label_line(line))
+    return boxes
+
+
+def write_velodyne(points: np.ndarray, path: str) -> None:
+    """Write the raw float32 x,y,z,intensity binary KITTI uses."""
+    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+    np.asarray(points, dtype=np.float32).tofile(path)
+
+
+def read_velodyne(path: str) -> np.ndarray:
+    return np.fromfile(path, dtype=np.float32).reshape(-1, 4)
+
+
+def write_calib(calib: dict, path: str) -> None:
+    """Write a calib file with the P2 camera matrix (KITTI layout)."""
+    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+    k = np.asarray(calib.get("K", np.eye(3)))
+    p2 = np.zeros((3, 4))
+    p2[:, :3] = k
+    with open(path, "w") as handle:
+        handle.write("P2: " + " ".join(f"{v:.6e}" for v in p2.reshape(-1))
+                     + "\n")
+
+
+def read_calib(path: str) -> dict:
+    calib = {}
+    with open(path) as handle:
+        for line in handle:
+            if line.startswith("P2:"):
+                values = np.array([float(v) for v in line.split()[1:]])
+                calib["K"] = values.reshape(3, 4)[:, :3]
+    return calib
+
+
+def export_kitti(scenes: list[Scene], root: str,
+                 camera: "CameraModel | None" = None) -> None:
+    """Write scenes as a KITTI-shaped tree: velodyne/, label_2/, calib/."""
+    for scene in scenes:
+        stem = f"{scene.frame_id:06d}"
+        write_velodyne(scene.points, os.path.join(root, "velodyne",
+                                                  stem + ".bin"))
+        write_labels(scene.boxes, os.path.join(root, "label_2", stem + ".txt"),
+                     camera)
+        write_calib(scene.calib, os.path.join(root, "calib", stem + ".txt"))
+        if scene.image is not None:
+            image_path = os.path.join(root, "image_2", stem + ".npy")
+            os.makedirs(os.path.dirname(image_path), exist_ok=True)
+            np.save(image_path, scene.image)
+
+
+def load_kitti(root: str) -> list[Scene]:
+    """Read back a KITTI-shaped tree written by :func:`export_kitti`."""
+    velodyne_dir = os.path.join(root, "velodyne")
+    scenes = []
+    for name in sorted(os.listdir(velodyne_dir)):
+        stem = os.path.splitext(name)[0]
+        points = read_velodyne(os.path.join(velodyne_dir, name))
+        boxes = read_labels(os.path.join(root, "label_2", stem + ".txt"))
+        calib = read_calib(os.path.join(root, "calib", stem + ".txt"))
+        image_path = os.path.join(root, "image_2", stem + ".npy")
+        image = np.load(image_path) if os.path.exists(image_path) else None
+        scenes.append(Scene(points=points, boxes=boxes, image=image,
+                            calib=calib, frame_id=int(stem)))
+    return scenes

@@ -1,0 +1,118 @@
+"""Simulated spinning LiDAR.
+
+Stands in for the Velodyne HDL-64E that recorded KITTI: a configurable
+number of elevation channels sweep the azimuth range; each ray is
+intersected against the ground plane and every object box in the scene,
+and the nearest hit (plus range noise and per-surface intensity) becomes
+a point.  The output is the familiar (N, 4) ``[x y z intensity]`` cloud.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .boxes import Box3D
+
+__all__ = ["LidarConfig", "LidarScanner"]
+
+
+@dataclass
+class LidarConfig:
+    """Geometry and noise parameters of the simulated scanner."""
+
+    channels: int = 32                 # elevation channels
+    azimuth_steps: int = 360           # rays per channel over the FOV
+    azimuth_fov: tuple = (-45.0, 45.0)  # degrees, forward sector
+    elevation_fov: tuple = (-18.0, 4.0)  # degrees
+    max_range: float = 70.0
+    range_noise: float = 0.02          # std-dev of radial noise (meters)
+    height: float = 1.73               # sensor height above ground
+    ground_intensity: float = 0.15
+    dropout: float = 0.02              # probability a return is lost
+
+
+class LidarScanner:
+    """Ray-casting scanner producing KITTI-style point clouds."""
+
+    def __init__(self, config: LidarConfig | None = None,
+                 rng: np.random.Generator | None = None):
+        self.config = config or LidarConfig()
+        self.rng = rng or np.random.default_rng(0)
+        self._directions = self._build_directions()
+
+    def _build_directions(self) -> np.ndarray:
+        cfg = self.config
+        az = np.deg2rad(np.linspace(cfg.azimuth_fov[0], cfg.azimuth_fov[1],
+                                    cfg.azimuth_steps))
+        el = np.deg2rad(np.linspace(cfg.elevation_fov[0], cfg.elevation_fov[1],
+                                    cfg.channels))
+        az_grid, el_grid = np.meshgrid(az, el)
+        cos_el = np.cos(el_grid)
+        dirs = np.stack([cos_el * np.cos(az_grid),
+                         cos_el * np.sin(az_grid),
+                         np.sin(el_grid)], axis=-1)
+        return dirs.reshape(-1, 3).astype(np.float64)
+
+    def scan(self, boxes: list[Box3D]) -> np.ndarray:
+        """Scan a scene of boxes standing on the z=0 ground plane.
+
+        Returns an (N, 4) array of points in LiDAR coordinates with the
+        sensor at ``(0, 0, 0)`` (so the ground sits at ``-height``).
+        """
+        cfg = self.config
+        dirs = self._directions
+        n_rays = len(dirs)
+        ranges = np.full(n_rays, np.inf)
+        intensity = np.zeros(n_rays)
+
+        # Ground plane z = -height.
+        dz = dirs[:, 2]
+        descending = dz < -1e-9
+        t_ground = np.where(descending, -cfg.height / np.where(
+            descending, dz, 1.0), np.inf)
+        hits_ground = (t_ground > 0) & (t_ground < cfg.max_range)
+        ranges = np.where(hits_ground, t_ground, ranges)
+        intensity = np.where(hits_ground, cfg.ground_intensity, intensity)
+
+        # Object boxes via slab intersection in each box frame.  Boxes are
+        # given in ground coordinates (z measured from the ground up); the
+        # sensor frame has the ground at -height.
+        for box in boxes:
+            center = np.array([box.x, box.y, box.z - cfg.height])
+            c, s = np.cos(box.yaw), np.sin(box.yaw)
+            rot = np.array([[c, s, 0], [-s, c, 0], [0, 0, 1]])
+            origin_local = rot @ (-center)
+            dirs_local = dirs @ rot.T
+            half = np.array([box.dx / 2, box.dy / 2, box.dz / 2])
+
+            with np.errstate(divide="ignore", invalid="ignore"):
+                inv = 1.0 / dirs_local
+                t1 = (-half - origin_local) * inv
+                t2 = (half - origin_local) * inv
+            t_near = np.nanmax(np.minimum(t1, t2), axis=1)
+            t_far = np.nanmin(np.maximum(t1, t2), axis=1)
+            hit = (t_far >= t_near) & (t_far > 0)
+            t_hit = np.where(t_near > 0, t_near, t_far)
+            closer = hit & (t_hit < ranges) & (t_hit > 0.5)
+            ranges = np.where(closer, t_hit, ranges)
+            reflectivity = box.meta.get("reflectivity", 0.6)
+            intensity = np.where(closer, reflectivity, intensity)
+
+        valid = np.isfinite(ranges)
+        if cfg.dropout > 0:
+            valid &= self.rng.random(n_rays) >= cfg.dropout
+        ranges = ranges[valid]
+        dirs = dirs[valid]
+        intensity = intensity[valid]
+
+        if cfg.range_noise > 0:
+            ranges = ranges + self.rng.normal(0, cfg.range_noise, len(ranges))
+
+        points = dirs * ranges[:, None]
+        # Shift to ground coordinates so z=0 is the road surface, matching
+        # the box convention used everywhere else in the repo.
+        points[:, 2] += cfg.height
+        cloud = np.concatenate([points, intensity[:, None]], axis=1)
+        return cloud.astype(np.float32)

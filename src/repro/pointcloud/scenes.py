@@ -1,0 +1,171 @@
+"""Synthetic KITTI-like driving scenes.
+
+Stands in for the KITTI dataset: each scene is a forward-facing road
+strip populated with cars, pedestrians and cyclists at plausible poses,
+scanned by the simulated LiDAR (:mod:`repro.pointcloud.lidar`) and
+rendered by the synthetic camera (:mod:`repro.camera.render`).
+Difficulty follows KITTI's spirit: distance and occlusion push objects
+from *easy* toward *hard*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .boxes import Box3D, iou_matrix_bev, boxes_to_array
+from .lidar import LidarConfig, LidarScanner
+
+__all__ = ["SceneConfig", "Scene", "SceneGenerator", "make_dataset"]
+
+# Mean object dimensions (dx=length, dy=width, dz=height), from KITTI stats.
+_CLASS_DIMS = {
+    "Car": (3.9, 1.6, 1.56),
+    "Pedestrian": (0.8, 0.6, 1.73),
+    "Cyclist": (1.76, 0.6, 1.73),
+}
+_CLASS_DIM_STD = {
+    "Car": (0.4, 0.1, 0.1),
+    "Pedestrian": (0.1, 0.1, 0.1),
+    "Cyclist": (0.2, 0.1, 0.1),
+}
+_CLASS_REFLECTIVITY = {"Car": 0.7, "Pedestrian": 0.4, "Cyclist": 0.5}
+
+
+@dataclass
+class SceneConfig:
+    """Knobs for scene content and the attached sensors."""
+
+    x_range: tuple = (5.0, 48.0)      # forward extent of object placement
+    y_range: tuple = (-16.0, 16.0)    # lateral extent
+    max_cars: int = 6
+    max_pedestrians: int = 3
+    max_cyclists: int = 2
+    lane_width: float = 3.5
+    lidar: LidarConfig = field(default_factory=LidarConfig)
+    min_points_per_object: int = 5    # objects with fewer points get culled
+    easy_range: float = 18.0          # distance thresholds for difficulty
+    moderate_range: float = 32.0
+
+
+@dataclass
+class Scene:
+    """One synthetic frame: LiDAR points, camera image, and labels."""
+
+    points: np.ndarray                 # (N, 4) x y z intensity
+    boxes: list[Box3D]                 # ground-truth annotations
+    image: np.ndarray | None = None    # (3, H, W) float image, optional
+    calib: dict = field(default_factory=dict)
+    frame_id: int = 0
+
+
+class SceneGenerator:
+    """Randomized but reproducible generator of KITTI-like scenes."""
+
+    def __init__(self, config: SceneConfig | None = None, seed: int = 0):
+        self.config = config or SceneConfig()
+        self.seed = seed
+
+    def _sample_box(self, rng: np.random.Generator, label: str,
+                    lane: float | None = None) -> Box3D:
+        cfg = self.config
+        dims = np.array(_CLASS_DIMS[label])
+        dims = dims + rng.normal(0, _CLASS_DIM_STD[label])
+        dims = np.maximum(dims, 0.3)
+        x = rng.uniform(*cfg.x_range)
+        if lane is not None:
+            y = lane + rng.normal(0, 0.3)
+        else:
+            y = rng.uniform(*cfg.y_range)
+        if label == "Car":
+            yaw = rng.choice([0.0, np.pi]) + rng.normal(0, 0.08)
+        else:
+            yaw = rng.uniform(-np.pi, np.pi)
+        return Box3D(float(x), float(y), float(dims[2] / 2),
+                     float(dims[0]), float(dims[1]), float(dims[2]),
+                     float(yaw), label=label,
+                     meta={"reflectivity": _CLASS_REFLECTIVITY[label]})
+
+    def _place_objects(self, rng: np.random.Generator) -> list[Box3D]:
+        cfg = self.config
+        boxes: list[Box3D] = []
+        lanes = [-cfg.lane_width / 2, cfg.lane_width / 2,
+                 -3 * cfg.lane_width / 2, 3 * cfg.lane_width / 2]
+        n_cars = rng.integers(1, cfg.max_cars + 1)
+        n_peds = rng.integers(0, cfg.max_pedestrians + 1)
+        n_cyc = rng.integers(0, cfg.max_cyclists + 1)
+        wanted = (["Car"] * n_cars + ["Pedestrian"] * n_peds
+                  + ["Cyclist"] * n_cyc)
+        for label in wanted:
+            lane = float(rng.choice(lanes)) if label == "Car" else None
+            for _ in range(10):  # rejection sampling against overlap
+                candidate = self._sample_box(rng, label, lane)
+                if not boxes:
+                    boxes.append(candidate)
+                    break
+                ious = iou_matrix_bev(
+                    boxes_to_array([candidate]), boxes_to_array(boxes))
+                if ious.max() < 1e-3:
+                    boxes.append(candidate)
+                    break
+        return boxes
+
+    def _assign_difficulty(self, boxes: list[Box3D],
+                           points: np.ndarray) -> list[Box3D]:
+        from .boxes import points_in_box
+        cfg = self.config
+        kept = []
+        for box in boxes:
+            n_points = int(points_in_box(points, box).sum())
+            box.meta["num_points"] = n_points
+            if n_points < cfg.min_points_per_object:
+                continue
+            distance = box.range_from_origin()
+            if distance <= cfg.easy_range and n_points >= 40:
+                box.difficulty = 0
+            elif distance <= cfg.moderate_range and n_points >= 15:
+                box.difficulty = 1
+            else:
+                box.difficulty = 2
+            kept.append(box)
+        return kept
+
+    def generate(self, frame_id: int = 0,
+                 with_image: bool = True) -> Scene:
+        """Generate scene ``frame_id`` (deterministic per generator seed)."""
+        rng = np.random.default_rng(self.seed * 100003 + frame_id)
+        boxes = self._place_objects(rng)
+        scanner = LidarScanner(self.config.lidar, rng=rng)
+        points = scanner.scan(boxes)
+        boxes = self._assign_difficulty(boxes, points)
+        image = None
+        calib: dict = {}
+        if with_image:
+            from repro.camera import CameraModel, render_scene
+            camera = CameraModel.kitti_like()
+            image = render_scene(camera, boxes, rng=rng)
+            calib = {"K": camera.intrinsics(), "height": camera.height}
+        return Scene(points=points, boxes=boxes, image=image,
+                     calib=calib, frame_id=frame_id)
+
+
+def make_dataset(num_frames: int, config: SceneConfig | None = None,
+                 seed: int = 0, with_image: bool = True,
+                 splits=(0.8, 0.1, 0.1)) -> dict[str, list[Scene]]:
+    """Generate frames and split them 80:10:10 like the paper's KITTI use.
+
+    Returns a dict with ``train``/``val``/``test`` scene lists.
+    """
+    if abs(sum(splits) - 1.0) > 1e-6:
+        raise ValueError("splits must sum to 1")
+    generator = SceneGenerator(config, seed=seed)
+    scenes = [generator.generate(i, with_image=with_image)
+              for i in range(num_frames)]
+    n_train = int(round(num_frames * splits[0]))
+    n_val = int(round(num_frames * splits[1]))
+    return {
+        "train": scenes[:n_train],
+        "val": scenes[n_train:n_train + n_val],
+        "test": scenes[n_train + n_val:],
+    }

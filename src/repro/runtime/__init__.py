@@ -1,0 +1,10 @@
+"""``repro.runtime`` — deployment-style streaming inference.
+
+Runs detectors over scene streams with per-frame simulated device
+latency/energy accounting and real-time deadline tracking; loads packed
+compressed checkpoints produced by :mod:`repro.core.packing`.
+"""
+
+from .engine import FrameRecord, InferenceEngine, StreamReport
+
+__all__ = ["InferenceEngine", "StreamReport", "FrameRecord"]

@@ -1,0 +1,115 @@
+"""Image export without external plotting dependencies.
+
+Writes portable pixmap (``.ppm``) files — viewable everywhere — for the
+repo's two visual artifacts: synthetic camera frames and bird's-eye-view
+renderings of scenes with ground-truth/predicted boxes (the paper's
+Fig 6, as an actual image instead of ASCII).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.pointcloud.boxes import Box3D, bev_corners
+
+__all__ = ["write_ppm", "image_to_ppm", "bev_density_map", "draw_boxes_bev",
+           "render_fig6_image"]
+
+#: BEV drawing colors (RGB in [0,1])
+_GT_COLOR = (0.2, 0.9, 0.3)
+_PRED_COLOR = (0.95, 0.25, 0.2)
+
+
+def write_ppm(image: np.ndarray, path: str) -> None:
+    """Write an (3, H, W) or (H, W, 3) float [0,1] image as binary PPM."""
+    arr = np.asarray(image)
+    if arr.ndim != 3:
+        raise ValueError("expected a 3-channel image")
+    if arr.shape[0] == 3 and arr.shape[2] != 3:
+        arr = arr.transpose(1, 2, 0)
+    if arr.shape[2] != 3:
+        raise ValueError("expected 3 channels")
+    data = (np.clip(arr, 0.0, 1.0) * 255).astype(np.uint8)
+    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+    with open(path, "wb") as handle:
+        handle.write(f"P6\n{data.shape[1]} {data.shape[0]}\n255\n"
+                     .encode())
+        handle.write(data.tobytes())
+
+
+def image_to_ppm(scene_image: np.ndarray, path: str,
+                 upscale: int = 4) -> None:
+    """Save a (3, H, W) synthetic camera image, optionally upscaled."""
+    image = np.asarray(scene_image)
+    if upscale > 1:
+        image = image.repeat(upscale, axis=1).repeat(upscale, axis=2)
+    write_ppm(image, path)
+
+
+def bev_density_map(points: np.ndarray,
+                    x_range: tuple = (0.0, 51.2),
+                    y_range: tuple = (-25.6, 25.6),
+                    resolution: float = 0.2) -> np.ndarray:
+    """Log-scaled point-density image of a cloud, (H, W) in [0, 1].
+
+    Rows run along y (left at the top), columns along x (forward to the
+    right) — the conventional KITTI BEV orientation.
+    """
+    nx = int((x_range[1] - x_range[0]) / resolution)
+    ny = int((y_range[1] - y_range[0]) / resolution)
+    pts = np.asarray(points)
+    cols = ((pts[:, 0] - x_range[0]) / resolution).astype(int)
+    rows = ((pts[:, 1] - y_range[0]) / resolution).astype(int)
+    keep = (cols >= 0) & (cols < nx) & (rows >= 0) & (rows < ny)
+    density = np.zeros((ny, nx), dtype=np.float64)
+    np.add.at(density, (rows[keep], cols[keep]), 1.0)
+    scaled = np.log1p(density)
+    peak = scaled.max()
+    return (scaled / peak if peak > 0 else scaled).astype(np.float32)
+
+
+def _draw_line(canvas: np.ndarray, p0, p1, color) -> None:
+    """Bresenham-ish line on an (H, W, 3) canvas."""
+    h, w = canvas.shape[:2]
+    length = int(max(abs(p1[0] - p0[0]), abs(p1[1] - p0[1]), 1)) + 1
+    for t in np.linspace(0.0, 1.0, length * 2):
+        row = int(round(p0[0] + (p1[0] - p0[0]) * t))
+        col = int(round(p0[1] + (p1[1] - p0[1]) * t))
+        if 0 <= row < h and 0 <= col < w:
+            canvas[row, col] = color
+
+
+def draw_boxes_bev(canvas: np.ndarray, boxes: list[Box3D], color,
+                   x_range: tuple = (0.0, 51.2),
+                   y_range: tuple = (-25.6, 25.6)) -> None:
+    """Outline oriented boxes on an (H, W, 3) BEV canvas in place."""
+    h, w = canvas.shape[:2]
+
+    def to_pixel(point):
+        col = (point[0] - x_range[0]) / (x_range[1] - x_range[0]) * w
+        row = (point[1] - y_range[0]) / (y_range[1] - y_range[0]) * h
+        return (row, col)
+
+    for box in boxes:
+        corners = bev_corners(box.as_vector())
+        pixels = [to_pixel(corner) for corner in corners]
+        for i in range(4):
+            _draw_line(canvas, pixels[i], pixels[(i + 1) % 4], color)
+
+
+def render_fig6_image(scene, predictions: list[Box3D], path: str,
+                      x_range: tuple = (0.0, 51.2),
+                      y_range: tuple = (-25.6, 25.6)) -> np.ndarray:
+    """The paper's Fig 6 as a PPM: density map + GT (green) + preds (red).
+
+    Returns the (H, W, 3) canvas (also written to ``path``).
+    """
+    density = bev_density_map(scene.points, x_range, y_range)
+    canvas = np.stack([density * 0.6, density * 0.7, density * 0.9],
+                      axis=-1)
+    draw_boxes_bev(canvas, scene.boxes, _GT_COLOR, x_range, y_range)
+    draw_boxes_bev(canvas, predictions, _PRED_COLOR, x_range, y_range)
+    write_ppm(canvas, path)
+    return canvas

@@ -1,0 +1,95 @@
+"""Tests for the pinhole camera model and synthetic renderer."""
+
+import numpy as np
+import pytest
+
+from repro.camera import (CameraModel, box_fully_visible, project_box,
+                          project_points, render_scene)
+from repro.pointcloud import Box3D
+
+
+@pytest.fixture
+def camera():
+    return CameraModel.kitti_like(width=128, height=40)
+
+
+class TestProjection:
+    def test_point_on_axis_hits_principal_point(self, camera):
+        # A point straight ahead at sensor height projects to the center.
+        point = np.array([[20.0, 0.0, camera.mount_height]])
+        pixels, depth = project_points(point, camera)
+        assert depth[0] == pytest.approx(20.0)
+        assert pixels[0, 0] == pytest.approx(camera.width / 2)
+        assert pixels[0, 1] == pytest.approx(camera.height / 2)
+
+    def test_left_object_projects_left(self, camera):
+        # +y is left in vehicle coords → smaller u in image coords.
+        left = np.array([[20.0, 3.0, 1.0]])
+        right = np.array([[20.0, -3.0, 1.0]])
+        u_left = project_points(left, camera)[0][0, 0]
+        u_right = project_points(right, camera)[0][0, 0]
+        assert u_left < camera.width / 2 < u_right
+
+    def test_higher_object_projects_higher(self, camera):
+        high = np.array([[20.0, 0.0, 2.5]])
+        low = np.array([[20.0, 0.0, 0.2]])
+        v_high = project_points(high, camera)[0][0, 1]
+        v_low = project_points(low, camera)[0][0, 1]
+        assert v_high < v_low   # image v grows downward
+
+    def test_farther_is_smaller(self, camera):
+        near = Box3D(10, 0, 1, 4, 2, 2, 0)
+        far = Box3D(40, 0, 1, 4, 2, 2, 0)
+        near_box = project_box(near, camera)
+        far_box = project_box(far, camera)
+        near_w = near_box[2] - near_box[0]
+        far_w = far_box[2] - far_box[0]
+        assert near_w > far_w * 2
+
+    def test_behind_camera_returns_none(self, camera):
+        behind = Box3D(-10, 0, 1, 4, 2, 2, 0)
+        assert project_box(behind, camera) is None
+
+    def test_fully_visible(self, camera):
+        centered = Box3D(25, 0, 1, 4, 2, 2, 0)
+        off_screen = Box3D(5, 20, 1, 4, 2, 2, 0)
+        assert box_fully_visible(centered, camera)
+        assert not box_fully_visible(off_screen, camera)
+
+
+class TestRenderer:
+    def test_image_shape_and_range(self, camera):
+        boxes = [Box3D(15, 0, 0.8, 3.9, 1.6, 1.56, 0, label="Car")]
+        image = render_scene(camera, boxes)
+        assert image.shape == (3, camera.height, camera.width)
+        assert image.dtype == np.float32
+        assert image.min() >= 0.0
+        assert image.max() <= 1.0
+
+    def test_object_changes_pixels(self, camera):
+        rng = np.random.default_rng(0)
+        empty = render_scene(camera, [], rng=np.random.default_rng(0))
+        with_car = render_scene(
+            camera, [Box3D(15, 0, 0.8, 3.9, 1.6, 1.56, 0, label="Car")],
+            rng=np.random.default_rng(0))
+        assert np.abs(empty - with_car).sum() > 1.0
+
+    def test_car_painted_at_projection(self, camera):
+        car = Box3D(15, 0, 0.8, 3.9, 1.6, 1.56, 0, label="Car")
+        image = render_scene(camera, [car])
+        bbox = project_box(car, camera)
+        u = int((bbox[0] + bbox[2]) / 2)
+        v = int((bbox[1] + bbox[3]) / 2)
+        pixel = image[:, v, u]
+        # Cars are painted blue-dominant in the synthetic renderer.
+        assert pixel[2] > pixel[0]
+
+    def test_near_object_occludes_far(self, camera):
+        near = Box3D(10, 0, 1.0, 4, 2.4, 2.0, 0, label="Car")
+        far = Box3D(12, 0, 0.9, 4, 2.0, 1.8, 0, label="Pedestrian")
+        image = render_scene(camera, [near, far])
+        bbox = project_box(near, camera)
+        u = int(np.clip((bbox[0] + bbox[2]) / 2, 0, camera.width - 1))
+        v = int(np.clip((bbox[1] + bbox[3]) / 2, 0, camera.height - 1))
+        pixel = image[:, v, u]
+        assert pixel[2] > pixel[0]   # near (blue car) wins the pixel

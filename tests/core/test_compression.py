@@ -1,0 +1,309 @@
+"""Tests for Algorithms 1, 3, 4, 5: grouping, kernel & model compression."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core import (UPAQCompressor, apply_patterns, compress_1x1,
+                        compress_kxk, hck_config, lck_config,
+                        preprocess_model, UPAQConfig)
+from repro.nn import Tensor
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+def simple_score(sqnr, bits, sparsity):
+    """A score preferring high SQNR then low bits (deterministic tests)."""
+    from repro.core import sqnr_db
+    return sqnr_db(sqnr) - 0.1 * bits
+
+
+class SmallNet(nn.Module):
+    """conv3x3 → conv3x3 → conv1x1 chain for pipeline tests."""
+
+    def __init__(self, seed=0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.conv1 = nn.Conv2d(2, 4, 3, padding=1, rng=rng)
+        self.conv2 = nn.Conv2d(4, 4, 3, padding=1, rng=rng)
+        self.proj = nn.Conv2d(4, 2, 1, rng=rng)
+
+    def forward(self, x):
+        return self.proj(self.conv2(self.conv1(x).relu()).relu())
+
+    def example_inputs(self):
+        rng = np.random.default_rng(1)
+        return (Tensor(rng.standard_normal((1, 2, 6, 6)).astype(np.float32)),)
+
+
+class TestPreprocessing:
+    def test_chain_grouped_under_first_conv(self, rng):
+        model = SmallNet()
+        groups = preprocess_model(model, *model.example_inputs())
+        # conv1 and conv2 share kernel size 3 → same group; proj (1×1)
+        # roots its own group.
+        assert groups.roots["conv2"] == "conv1"
+        assert groups.roots["proj"] == "proj"
+        assert set(groups.groups["conv1"]) == {"conv1", "conv2"}
+
+    def test_every_layer_assigned(self):
+        model = SmallNet()
+        groups = preprocess_model(model, *model.example_inputs())
+        assert groups.num_layers == 3
+
+    def test_mixed_kernel_sizes_split_groups(self, rng):
+        class Mixed(nn.Module):
+            def __init__(self):
+                super().__init__()
+                self.a = nn.Conv2d(1, 2, 3, padding=1, rng=rng)
+                self.b = nn.Conv2d(2, 2, 5, padding=2, rng=rng)
+                self.c = nn.Conv2d(2, 2, 5, padding=2, rng=rng)
+
+            def forward(self, x):
+                return self.c(self.b(self.a(x)))
+
+        model = Mixed()
+        x = Tensor(np.random.default_rng(0)
+                   .standard_normal((1, 1, 8, 8)).astype(np.float32))
+        groups = preprocess_model(model, x)
+        assert groups.roots["b"] == "b"       # 5×5 can't join the 3×3 root
+        assert groups.roots["c"] == "b"       # but chains with b
+
+
+class TestCompressKxK:
+    def test_respects_pattern_sparsity(self, rng):
+        weights = rng.standard_normal((4, 2, 3, 3)).astype(np.float32)
+        candidate = compress_kxk(weights, 2, (8,), simple_score, rng)
+        per_kernel_nnz = (candidate.weights != 0).reshape(-1, 9).sum(axis=1)
+        assert (per_kernel_nnz <= 2).all()
+
+    def test_per_kernel_masks_from_pool(self, rng):
+        weights = rng.standard_normal((4, 2, 3, 3)).astype(np.float32)
+        candidate = compress_kxk(weights, 2, (8,), simple_score, rng,
+                                 num_patterns=6)
+        # Every kernel's mask is one of the generated pool patterns.
+        pool = {tuple(p.mask().reshape(-1)) for p in candidate.patterns}
+        for mask in candidate.mask.reshape(-1, 9):
+            assert tuple(mask) in pool
+        # Kernel-wise selection: with heterogeneous kernels, different
+        # kernels generally pick different patterns.
+        assert candidate.pattern_index is not None
+        assert len(candidate.pattern_index) == 8
+
+    def test_selection_minimizes_reconstruction_error(self, rng):
+        # A kernel whose energy lies on the main diagonal must pick the
+        # diagonal pattern when it is in the pool.
+        from repro.core import generate_pattern
+        diag = generate_pattern(3, 3, rng, pattern_type="main_diagonal")
+        row = generate_pattern(3, 3, rng, pattern_type="row")
+        weights = np.zeros((1, 1, 3, 3), dtype=np.float32)
+        weights[0, 0, 0, 0] = weights[0, 0, 1, 1] = weights[0, 0, 2, 2] = 1.0
+        candidate = compress_kxk(weights, 3, (8,), simple_score, rng,
+                                 patterns=[row, diag])
+        np.testing.assert_array_equal(candidate.weights, weights)
+
+    def test_picks_best_scoring_bits(self, rng):
+        weights = rng.standard_normal((2, 2, 3, 3)).astype(np.float32)
+        # The search must honor the score function exactly.
+        prefer_high = compress_kxk(weights, 3, (4, 8, 16),
+                                   lambda sqnr, bits, sparsity: bits, rng)
+        prefer_low = compress_kxk(weights, 3, (4, 8, 16),
+                                  lambda sqnr, bits, sparsity: -bits, rng)
+        assert prefer_high.bits == 16
+        assert prefer_low.bits == 4
+
+    def test_rejects_1x1(self, rng):
+        with pytest.raises(ValueError):
+            compress_kxk(np.ones((2, 2, 1, 1), dtype=np.float32), 2, (8,),
+                         simple_score, rng)
+
+
+class TestCompress1x1:
+    def test_shape_preserved(self, rng):
+        weights = rng.standard_normal((8, 5, 1, 1)).astype(np.float32)
+        candidate = compress_1x1(weights, 2, (8,), simple_score, rng)
+        assert candidate.weights.shape == weights.shape
+        assert candidate.mask.shape == weights.shape
+
+    def test_tile_sparsity_carries_over(self, rng):
+        weights = rng.standard_normal((9, 9, 1, 1)).astype(np.float32)
+        candidate = compress_1x1(weights, 2, (8,), simple_score, rng,
+                                 tile=3)
+        # 81 weights → 9 tiles of 9; ≤2 nonzero per tile.
+        sparsity = float((candidate.weights == 0).mean())
+        assert sparsity >= 1.0 - 2 / 9 - 0.05
+
+    def test_linear_weights_supported(self, rng):
+        weights = rng.standard_normal((6, 7)).astype(np.float32)
+        candidate = compress_1x1(weights, 3, (8,), simple_score, rng)
+        assert candidate.weights.shape == (6, 7)
+
+    def test_non_multiple_of_tile_padded_safely(self, rng):
+        weights = rng.standard_normal((5, 1, 1, 1)).astype(np.float32)
+        candidate = compress_1x1(weights, 3, (8,), simple_score, rng)
+        assert candidate.weights.shape == weights.shape
+
+
+class TestApplyPatterns:
+    def test_kxk_leaf_application(self, rng):
+        from repro.core import generate_patterns
+        pool = generate_patterns(2, 3, 4, rng)
+        weights = rng.standard_normal((4, 2, 3, 3)).astype(np.float32)
+        result = apply_patterns(weights, pool, bits=8)
+        nnz = (result.weights != 0).reshape(-1, 9).sum(axis=1)
+        assert (nnz <= 2).all()
+
+    def test_pattern_dim_mismatch_raises(self, rng):
+        from repro.core import generate_patterns
+        pool = generate_patterns(2, 3, 4, rng)
+        weights = rng.standard_normal((2, 2, 5, 5)).astype(np.float32)
+        with pytest.raises(ValueError):
+            apply_patterns(weights, pool, bits=8)
+
+    def test_empty_pool_raises(self, rng):
+        weights = rng.standard_normal((2, 2, 3, 3)).astype(np.float32)
+        with pytest.raises(ValueError):
+            apply_patterns(weights, [], bits=8)
+
+    def test_1x1_leaf_application(self, rng):
+        from repro.core import generate_patterns
+        pool = generate_patterns(2, 3, 4, rng)
+        weights = rng.standard_normal((4, 4, 1, 1)).astype(np.float32)
+        result = apply_patterns(weights, pool, bits=8)
+        assert result.weights.shape == weights.shape
+        assert float((result.weights == 0).mean()) > 0.5
+
+
+class TestUPAQCompressor:
+    def test_original_model_untouched(self):
+        model = SmallNet()
+        before = {k: v.copy() for k, v in model.state_dict().items()}
+        UPAQCompressor(hck_config()).compress(model, *model.example_inputs())
+        after = model.state_dict()
+        for key in before:
+            np.testing.assert_array_equal(before[key], after[key])
+
+    def test_all_layers_compressed(self):
+        model = SmallNet()
+        report = UPAQCompressor(hck_config()).compress(
+            model, *model.example_inputs())
+        assert {c.layer for c in report.choices} == {"conv1", "conv2",
+                                                     "proj"}
+
+    def test_leaves_share_root_bits_and_pool(self):
+        model = SmallNet()
+        report = UPAQCompressor(hck_config()).compress(
+            model, *model.example_inputs())
+        c1 = report.choice_for("conv1")
+        c2 = report.choice_for("conv2")
+        assert c2.root == "conv1"
+        assert c1.bits == c2.bits
+        assert c1.pattern.startswith("mixed[")
+
+    def test_hck_compresses_more_than_lck(self):
+        model = SmallNet()
+        hck = UPAQCompressor(hck_config()).compress(
+            model, *model.example_inputs())
+        lck = UPAQCompressor(lck_config()).compress(
+            model, *model.example_inputs())
+        assert hck.compression_ratio > lck.compression_ratio
+        assert hck.overall_sparsity > lck.overall_sparsity
+
+    def test_compression_ratio_above_one(self):
+        model = SmallNet()
+        report = UPAQCompressor(lck_config()).compress(
+            model, *model.example_inputs())
+        assert report.compression_ratio > 2.0
+
+    def test_deterministic_given_seed(self):
+        model = SmallNet()
+        a = UPAQCompressor(hck_config(seed=3)).compress(
+            model, *model.example_inputs())
+        b = UPAQCompressor(hck_config(seed=3)).compress(
+            model, *model.example_inputs())
+        for (_, wa), (_, wb) in zip(a.model.named_parameters(),
+                                    b.model.named_parameters()):
+            np.testing.assert_array_equal(wa.data, wb.data)
+
+    def test_no_root_groups_ablation(self):
+        model = SmallNet()
+        config = hck_config(use_root_groups=False)
+        report = UPAQCompressor(config).compress(model,
+                                                 *model.example_inputs())
+        # Without grouping, every layer is searched independently.
+        assert all(c.root == c.layer for c in report.choices)
+
+    def test_no_1x1_compression_ablation(self):
+        model = SmallNet()
+        config = hck_config(compress_1x1_layers=False)
+        report = UPAQCompressor(config).compress(model,
+                                                 *model.example_inputs())
+        proj = report.choice_for("proj")
+        assert proj.sparsity == 0.0   # quantized but not pruned
+
+    def test_pattern_family_restriction(self):
+        model = SmallNet()
+        config = hck_config(pattern_types=("main_diagonal",))
+        report = UPAQCompressor(config).compress(model,
+                                                 *model.example_inputs())
+        kxk = [c for c in report.choices if c.layer in ("conv1", "conv2")]
+        assert all("main_diagonal" in c.pattern for c in kxk)
+
+    def test_forward_still_works_after_compression(self):
+        model = SmallNet()
+        report = UPAQCompressor(hck_config()).compress(
+            model, *model.example_inputs())
+        out = report.model(*model.example_inputs())
+        assert np.isfinite(out.data).all()
+
+    def test_quantized_weights_on_integer_grid(self):
+        """Each kernel's values lie on its pattern-group's integer grid."""
+        model = SmallNet()
+        report = UPAQCompressor(lck_config()).compress(
+            model, *model.example_inputs())
+        choice = report.choice_for("conv1")
+        weights = dict(report.model.named_parameters())["conv1.weight"].data
+        max_code = 2 ** (choice.bits - 1) - 1
+        # The layer holds at most num_patterns distinct quantization
+        # scales (one per pattern-quantization pass); every nonzero value
+        # must be an integer multiple of one of them.
+        nonzero = np.abs(weights[weights != 0])
+        distinct = np.unique(np.round(nonzero / nonzero.min(), 6))
+        # Far fewer distinct magnitudes than values → values sit on grids.
+        assert len(distinct) <= max_code * 8  # 8 = pattern pool size
+
+
+class TestConnectivityPruning:
+    def test_raises_sparsity(self):
+        model = SmallNet()
+        plain = UPAQCompressor(hck_config()).compress(
+            model, *model.example_inputs())
+        connected = UPAQCompressor(
+            hck_config(connectivity_percentile=30)).compress(
+            model, *model.example_inputs())
+        assert connected.overall_sparsity > plain.overall_sparsity
+
+    def test_kills_weak_kernels_entirely(self):
+        model = SmallNet()
+        report = UPAQCompressor(
+            hck_config(connectivity_percentile=40)).compress(
+            model, *model.example_inputs())
+        weights = dict(report.model.named_parameters())["conv1.weight"].data
+        kernel_nnz = (weights != 0).reshape(-1, 9).sum(axis=1)
+        assert (kernel_nnz == 0).sum() >= 2
+
+    def test_reduces_sqnr(self):
+        """Removing whole kernels costs fidelity — the paper's warning."""
+        model = SmallNet()
+        plain = UPAQCompressor(hck_config()).compress(
+            model, *model.example_inputs())
+        connected = UPAQCompressor(
+            hck_config(connectivity_percentile=40)).compress(
+            model, *model.example_inputs())
+        import numpy as _np
+        plain_sqnr = _np.mean([c.sqnr_db for c in plain.choices])
+        connected_sqnr = _np.mean([c.sqnr_db for c in connected.choices])
+        assert connected_sqnr < plain_sqnr

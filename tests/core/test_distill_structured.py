@@ -1,0 +1,127 @@
+"""Tests for knowledge distillation and structured pruning."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.baselines import StructuredPruner
+from repro.core import (DistillConfig, UPAQCompressor,
+                        channel_prune_mask, distill_finetune,
+                        filter_prune_mask, hck_config)
+from repro.models import PointPillars
+from repro.pointcloud import LidarConfig, SceneConfig, SceneGenerator
+from repro.pointcloud.voxelize import PillarConfig
+
+
+def _tiny_pp(seed=0):
+    return PointPillars(
+        pillar_config=PillarConfig(x_range=(0, 25.6), y_range=(-12.8, 12.8)),
+        pfn_channels=8, stage_channels=(8, 16, 32), stage_depths=(1, 1, 1),
+        upsample_channels=8, seed=seed)
+
+
+@pytest.fixture(scope="module")
+def scenes():
+    cfg = SceneConfig(x_range=(5, 24), y_range=(-10, 10),
+                      lidar=LidarConfig(channels=10, azimuth_steps=80))
+    generator = SceneGenerator(cfg, seed=0)
+    return [generator.generate(i, with_image=False) for i in range(2)]
+
+
+class TestStructuredMasks:
+    def test_filter_mask_zeroes_whole_filters(self):
+        rng = np.random.default_rng(0)
+        weights = rng.standard_normal((8, 4, 3, 3)).astype(np.float32)
+        mask = filter_prune_mask(weights, 0.25)
+        per_filter = mask.reshape(8, -1)
+        # Each filter is entirely kept or entirely dropped.
+        assert set(per_filter.mean(axis=1)) <= {0.0, 1.0}
+        assert (per_filter.mean(axis=1) == 0).sum() == 2
+
+    def test_filter_mask_drops_weakest(self):
+        weights = np.ones((4, 2, 3, 3), dtype=np.float32)
+        weights[1] *= 0.01   # the weakest filter
+        mask = filter_prune_mask(weights, 0.25)
+        assert (mask[1] == 0).all()
+        assert (mask[0] == 1).all()
+
+    def test_channel_mask_zeroes_input_channels(self):
+        rng = np.random.default_rng(1)
+        weights = rng.standard_normal((4, 8, 3, 3)).astype(np.float32)
+        mask = channel_prune_mask(weights, 0.5)
+        per_channel = np.swapaxes(mask, 0, 1).reshape(8, -1)
+        assert (per_channel.mean(axis=1) == 0).sum() == 4
+
+    def test_zero_fraction_identity(self):
+        weights = np.ones((4, 2, 3, 3), dtype=np.float32)
+        assert filter_prune_mask(weights, 0.0).all()
+
+    def test_invalid_fraction_raises(self):
+        with pytest.raises(ValueError):
+            filter_prune_mask(np.ones((2, 2, 3, 3)), 1.0)
+
+    def test_structured_framework(self, scenes):
+        model = _tiny_pp()
+        framework = StructuredPruner(prune_fraction=0.25, bits=8)
+        report = framework.compress(model, *model.example_inputs())
+        assert report.compression_ratio > 1.5
+        # Structured scheme realizes full MAC skipping on int paths.
+        from repro.hardware import compile_model, default_devices
+        device = default_devices()["jetson"]
+        base_plan = compile_model(model, *model.example_inputs())
+        plan = compile_model(report.model, *model.example_inputs())
+        assert device.latency(plan) < device.latency(base_plan)
+
+    def test_structured_registered(self):
+        from repro.baselines import build_framework
+        assert isinstance(build_framework("structured"), StructuredPruner)
+
+    def test_bad_mode_raises(self):
+        with pytest.raises(ValueError):
+            StructuredPruner(mode="blockwise")
+
+
+class TestDistillation:
+    def test_distill_keeps_masks_and_grid(self, scenes):
+        teacher = _tiny_pp(seed=0)
+        report = UPAQCompressor(hck_config()).compress(
+            teacher, *teacher.example_inputs())
+        zeros_before = {
+            name: (param.data == 0)
+            for name, param in report.model.named_parameters()
+            if name.endswith(".weight") and name[:-7] in report.masks}
+        history = distill_finetune(report, teacher, scenes,
+                                   DistillConfig(epochs=1))
+        assert len(history) == 1
+        assert np.isfinite(history[0])
+        for name, zeros in zeros_before.items():
+            weights = dict(report.model.named_parameters())[name].data
+            assert (weights[zeros] == 0).all()
+
+    def test_distill_moves_student_toward_teacher(self, scenes):
+        teacher = _tiny_pp(seed=0)
+        report = UPAQCompressor(hck_config()).compress(
+            teacher, *teacher.example_inputs())
+
+        def gap():
+            report.model.eval()
+            teacher.eval()
+            s_out = report.model(*report.model.preprocess(scenes[0]))
+            t_out = teacher(*teacher.preprocess(scenes[0]))
+            return float(np.mean((s_out["cls"].data
+                                  - t_out["cls"].data) ** 2))
+
+        before = gap()
+        distill_finetune(report, teacher, scenes,
+                         DistillConfig(epochs=3, lr=2e-3,
+                                       task_weight=0.0))
+        after = gap()
+        assert after < before
+
+    def test_distill_loss_decreases(self, scenes):
+        teacher = _tiny_pp(seed=0)
+        report = UPAQCompressor(hck_config()).compress(
+            teacher, *teacher.example_inputs())
+        history = distill_finetune(report, teacher, scenes,
+                                   DistillConfig(epochs=3, lr=1e-3))
+        assert history[-1] < history[0]

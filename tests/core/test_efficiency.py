@@ -1,0 +1,95 @@
+"""Tests for the efficiency score (eq. 2) and its device coupling."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core import EfficiencyScorer, EfficiencyWeights
+from repro.hardware import compile_model, default_devices
+from repro.nn import Tensor
+
+
+@pytest.fixture(scope="module")
+def scorer():
+    rng = np.random.default_rng(0)
+    model = nn.Sequential(
+        nn.Conv2d(4, 8, 3, padding=1, rng=rng),
+        nn.ReLU(),
+        nn.Conv2d(8, 8, 3, padding=1, rng=rng),
+    )
+    x = Tensor(rng.standard_normal((1, 4, 16, 16)).astype(np.float32))
+    plan = compile_model(model, x)
+    return EfficiencyScorer(plan, default_devices()["jetson"])
+
+
+class TestEfficiencyWeights:
+    def test_defaults_match_paper(self):
+        w = EfficiencyWeights()
+        assert (w.alpha, w.beta, w.gamma) == (0.3, 0.4, 0.3)
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            EfficiencyWeights(alpha=1.5)
+        with pytest.raises(ValueError):
+            EfficiencyWeights(gamma=-0.1)
+
+
+class TestEfficiencyScorer:
+    def test_dense_fp32_scores_near_weighted_sum(self, scorer):
+        # Dense fp32 with perfect sqnr: gain ratios are 1.0, normalized
+        # by the 10x saturation reference → 0.1 each.
+        name = scorer.layer_names()[0]
+        score = scorer.score(name, sqnr=float("inf"), bits=32, sparsity=0.0,
+                             scheme="dense")
+        assert score == pytest.approx(0.3 + 0.4 * 0.1 + 0.3 * 0.1,
+                                      abs=0.01)
+
+    def test_speedup_term_saturates(self, scorer):
+        # Beyond the 10x reference, further latency gains add nothing;
+        # the score is bounded by α + β + γ.
+        name = scorer.layer_names()[0]
+        score = scorer.score(name, sqnr=float("inf"), bits=2, sparsity=0.99)
+        assert score <= 1.0 + 1e-6
+
+    def test_lower_bits_improve_latency_term(self, scorer):
+        name = scorer.layer_names()[0]
+        high = scorer.score(name, sqnr=1e6, bits=16, sparsity=0.5)
+        low = scorer.score(name, sqnr=1e6, bits=8, sparsity=0.5)
+        assert low > high
+
+    def test_sqnr_term_saturates(self, scorer):
+        name = scorer.layer_names()[0]
+        a = scorer.score(name, sqnr=10 ** 6, bits=8, sparsity=0.5)
+        b = scorer.score(name, sqnr=10 ** 9, bits=8, sparsity=0.5)
+        assert a == pytest.approx(b)
+
+    def test_poor_sqnr_lowers_score(self, scorer):
+        name = scorer.layer_names()[0]
+        good = scorer.score(name, sqnr=10 ** 4, bits=8, sparsity=0.5)
+        bad = scorer.score(name, sqnr=2.0, bits=8, sparsity=0.5)
+        assert good > bad
+
+    def test_sparsity_improves_score_when_quantized(self, scorer):
+        name = scorer.layer_names()[0]
+        dense = scorer.score(name, sqnr=1e6, bits=8, sparsity=0.0)
+        sparse = scorer.score(name, sqnr=1e6, bits=8, sparsity=0.7)
+        assert sparse >= dense
+
+    def test_weights_change_tradeoff(self):
+        rng = np.random.default_rng(1)
+        model = nn.Sequential(nn.Conv2d(4, 4, 3, padding=1, rng=rng))
+        x = Tensor(rng.standard_normal((1, 4, 12, 12)).astype(np.float32))
+        plan = compile_model(model, x)
+        device = default_devices()["jetson"]
+        accuracy_biased = EfficiencyScorer(
+            plan, device, EfficiencyWeights(alpha=1.0, beta=0.0, gamma=0.0))
+        latency_biased = EfficiencyScorer(
+            plan, device, EfficiencyWeights(alpha=0.0, beta=1.0, gamma=0.0))
+        name = accuracy_biased.layer_names()[0]
+        # Accuracy-biased scoring must prefer 16 bits; latency-biased 4.
+        acc16 = accuracy_biased.score(name, sqnr=1e5, bits=16, sparsity=0.5)
+        acc4 = accuracy_biased.score(name, sqnr=10.0, bits=4, sparsity=0.5)
+        assert acc16 > acc4
+        lat16 = latency_biased.score(name, sqnr=1e5, bits=16, sparsity=0.5)
+        lat4 = latency_biased.score(name, sqnr=10.0, bits=4, sparsity=0.5)
+        assert lat4 > lat16

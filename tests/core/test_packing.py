@@ -1,0 +1,140 @@
+"""Tests for the packed sparse-model serialization format."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import nn
+from repro.core import (UPAQCompressor, hck_config, pack_bits, pack_layer,
+                        pack_model, packed_size_report, unpack_bits,
+                        unpack_layer, unpack_model)
+from repro.hardware import CompressionMeta, annotate_layer
+from repro.nn import Tensor
+
+
+class TestBitPacking:
+    def test_roundtrip_8bit(self):
+        codes = np.array([-127, -1, 0, 1, 127])
+        packed = pack_bits(codes, 8)
+        np.testing.assert_array_equal(unpack_bits(packed, 8, 5), codes)
+
+    def test_roundtrip_4bit(self):
+        codes = np.array([-7, -3, 0, 3, 7, 1, -1])
+        packed = pack_bits(codes, 4)
+        assert len(packed) == 4   # 7 values × 4 bits = 28 bits → 4 bytes
+        np.testing.assert_array_equal(unpack_bits(packed, 4, 7), codes)
+
+    def test_roundtrip_odd_widths(self):
+        for bits in (3, 5, 6, 7, 11, 13):
+            hi = 2 ** (bits - 1) - 1
+            rng = np.random.default_rng(bits)
+            codes = rng.integers(-hi, hi + 1, size=33)
+            packed = pack_bits(codes, bits)
+            np.testing.assert_array_equal(unpack_bits(packed, bits, 33),
+                                          codes)
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            pack_bits(np.array([300]), 8)
+
+    def test_bad_bits_raises(self):
+        with pytest.raises(ValueError):
+            pack_bits(np.array([0]), 0)
+
+    @given(st.integers(2, 16), st.integers(1, 100))
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_property(self, bits, count):
+        hi = 2 ** (bits - 1) - 1
+        rng = np.random.default_rng(bits * 1000 + count)
+        codes = rng.integers(-hi, hi + 1, size=count)
+        np.testing.assert_array_equal(
+            unpack_bits(pack_bits(codes, bits), bits, count), codes)
+
+    def test_packing_density(self):
+        codes = np.zeros(1000, dtype=np.int64)
+        assert len(pack_bits(codes, 4)) == 500
+        assert len(pack_bits(codes, 16)) == 2000
+
+
+class TestLayerPacking:
+    def test_semi_structured_roundtrip_stable(self):
+        rng = np.random.default_rng(0)
+        weights = rng.standard_normal((4, 2, 3, 3)).astype(np.float32)
+        weights[:, :, 0, :] = 0.0   # pattern-ish sparsity
+        blob = pack_layer(weights, bits=8, scheme="semi-structured")
+        restored, bits, scheme = unpack_layer(blob)
+        assert bits == 8
+        assert scheme == "semi-structured"
+        assert restored.shape == weights.shape
+        # Zeros preserved exactly; values within half a quantization step.
+        assert (restored[weights == 0] == 0).all()
+        step = np.abs(weights).max() / 127
+        assert np.abs(restored - weights).max() <= step
+        # Idempotent: packing the restored weights reproduces them.
+        blob2 = pack_layer(restored, bits=8, scheme="semi-structured")
+        restored2, _, _ = unpack_layer(blob2)
+        np.testing.assert_allclose(restored2, restored, atol=1e-6)
+
+    def test_unstructured_roundtrip(self):
+        rng = np.random.default_rng(1)
+        weights = rng.standard_normal((6, 4)).astype(np.float32)
+        weights[np.abs(weights) < 0.8] = 0.0
+        blob = pack_layer(weights, bits=8, scheme="unstructured")
+        restored, _, scheme = unpack_layer(blob)
+        assert scheme == "unstructured"
+        assert ((restored == 0) == (weights == 0)).all()
+
+    def test_sparse_packing_smaller_than_dense(self):
+        rng = np.random.default_rng(2)
+        weights = rng.standard_normal((16, 8, 3, 3)).astype(np.float32)
+        mask = np.zeros((3, 3), dtype=np.float32)
+        mask[1] = 1.0
+        sparse = weights * mask
+        blob = pack_layer(sparse, bits=8, scheme="semi-structured")
+        assert len(blob) < weights.size * 4 / 2.5
+
+
+class TestModelPacking:
+    def _model(self):
+        rng = np.random.default_rng(3)
+        return nn.Sequential(nn.Conv2d(2, 4, 3, padding=1, rng=rng),
+                             nn.ReLU(),
+                             nn.Conv2d(4, 2, 1, rng=rng))
+
+    def test_roundtrip_into_fresh_model(self):
+        model = self._model()
+        annotate_layer(model[0], CompressionMeta(bits=8,
+                                                 scheme="semi-structured"))
+        blob = pack_model(model)
+        clone = self._model()
+        clone[0].weight.data *= 0
+        unpack_model(blob, clone)
+        step = np.abs(model[0].weight.data).max() / 127
+        assert np.abs(clone[0].weight.data
+                      - model[0].weight.data).max() <= step
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ValueError, match="not a UPAQ"):
+            unpack_model(b"JUNKxxxx", self._model())
+
+    def test_packed_report_matches_plan_scale(self):
+        """Measured packed bytes track the analytic storage model.
+
+        Uses realistically-sized layers so per-layer headers amortize.
+        """
+        from repro.hardware import compile_model
+        rng = np.random.default_rng(4)
+        model = nn.Sequential(
+            nn.Conv2d(16, 32, 3, padding=1, rng=rng),
+            nn.ReLU(),
+            nn.Conv2d(32, 32, 3, padding=1, rng=rng),
+            nn.Conv2d(32, 16, 1, rng=rng),
+        )
+        x = Tensor(rng.standard_normal((1, 16, 8, 8)).astype(np.float32))
+        compressor = UPAQCompressor(hck_config())
+        report = compressor.compress(model, x)
+        measured = packed_size_report(report.model)
+        analytic = compile_model(report.model, x).compression_ratio
+        assert measured["measured_ratio"] == pytest.approx(analytic,
+                                                           rel=0.35)

@@ -1,0 +1,98 @@
+"""Tests for the UPAQ pattern generator (Algorithm 2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import PATTERN_TYPES, generate_pattern, generate_patterns
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestGeneratePattern:
+    def test_main_diagonal_positions(self, rng):
+        p = generate_pattern(3, 3, rng, pattern_type="main_diagonal")
+        assert p.positions == ((0, 0), (1, 1), (2, 2))
+
+    def test_anti_diagonal_positions(self, rng):
+        p = generate_pattern(3, 3, rng, pattern_type="anti_diagonal")
+        assert p.positions == ((0, 2), (1, 1), (2, 0))
+
+    def test_row_pattern_contiguous(self, rng):
+        p = generate_pattern(2, 3, rng, pattern_type="row")
+        rows = {r for r, _ in p.positions}
+        cols = sorted(c for _, c in p.positions)
+        assert len(rows) == 1
+        assert cols == list(range(cols[0], cols[0] + 2))
+
+    def test_column_pattern_contiguous(self, rng):
+        p = generate_pattern(2, 3, rng, pattern_type="column")
+        cols = {c for _, c in p.positions}
+        rows = sorted(r for r, _ in p.positions)
+        assert len(cols) == 1
+        assert rows == list(range(rows[0], rows[0] + 2))
+
+    def test_n_capped_at_dimension(self, rng):
+        p = generate_pattern(7, 3, rng, pattern_type="main_diagonal")
+        assert p.num_nonzero == 3
+
+    def test_mask_shape_and_count(self, rng):
+        p = generate_pattern(2, 5, rng)
+        mask = p.mask()
+        assert mask.shape == (5, 5)
+        assert mask.sum() == 2
+
+    def test_invalid_n_raises(self, rng):
+        with pytest.raises(ValueError):
+            generate_pattern(0, 3, rng)
+
+    def test_invalid_type_raises(self, rng):
+        with pytest.raises(ValueError):
+            generate_pattern(2, 3, rng, pattern_type="zigzag")
+
+    def test_random_type_from_family(self, rng):
+        types = {generate_pattern(2, 3, rng).pattern_type
+                 for _ in range(50)}
+        assert types <= set(PATTERN_TYPES)
+        assert len(types) >= 3   # random choice covers the family
+
+    @given(st.integers(1, 6), st.integers(1, 7))
+    @settings(max_examples=50, deadline=None)
+    def test_positions_inside_kernel(self, n, d):
+        rng = np.random.default_rng(n * 10 + d)
+        p = generate_pattern(n, d, rng)
+        for row, col in p.positions:
+            assert 0 <= row < d
+            assert 0 <= col < d
+
+    @given(st.integers(1, 5), st.integers(2, 6))
+    @settings(max_examples=50, deadline=None)
+    def test_exactly_min_n_d_nonzeros(self, n, d):
+        rng = np.random.default_rng(n + d * 100)
+        p = generate_pattern(n, d, rng)
+        assert p.num_nonzero == min(n, d)
+
+
+class TestGeneratePatterns:
+    def test_distinct(self, rng):
+        patterns = generate_patterns(2, 3, 8, rng)
+        keys = {(p.pattern_type, p.positions) for p in patterns}
+        assert len(keys) == len(patterns)
+
+    def test_count_respected_when_space_allows(self, rng):
+        patterns = generate_patterns(2, 5, 6, rng)
+        assert len(patterns) == 6
+
+    def test_restricted_family(self, rng):
+        patterns = generate_patterns(2, 3, 6, rng,
+                                     pattern_types=("row",))
+        assert all(p.pattern_type == "row" for p in patterns)
+
+    def test_small_space_returns_fewer(self, rng):
+        # d=1: every pattern collapses to the single cell.
+        patterns = generate_patterns(1, 1, 10, rng)
+        assert 1 <= len(patterns) <= 4

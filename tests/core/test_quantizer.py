@@ -1,0 +1,103 @@
+"""Tests for the mixed-precision symmetric quantizer (Algorithm 6)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import mp_quantizer, quantize_to_int, sqnr_db
+
+
+class TestQuantizeToInt:
+    def test_codes_within_symmetric_range(self):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal(100).astype(np.float32) * 3
+        codes, _ = quantize_to_int(x, 8)
+        assert codes.max() <= 127
+        assert codes.min() >= -127
+
+    def test_zero_maps_to_zero(self):
+        x = np.array([0.0, 1.0, -1.0], dtype=np.float32)
+        codes, _ = quantize_to_int(x, 8)
+        assert codes[0] == 0
+
+    def test_extreme_value_hits_max_code(self):
+        x = np.array([-2.0, 0.5, 2.0], dtype=np.float32)
+        codes, scale = quantize_to_int(x, 4)
+        assert codes.max() == 7
+        assert codes.min() == -7
+        assert scale == pytest.approx(2.0 / 7)
+
+    def test_all_zero_input(self):
+        codes, scale = quantize_to_int(np.zeros(5, dtype=np.float32), 8)
+        assert (codes == 0).all()
+        assert scale == 1.0
+
+    def test_too_few_bits_raises(self):
+        with pytest.raises(ValueError):
+            quantize_to_int(np.ones(3), 1)
+
+
+class TestMPQuantizer:
+    def test_dequantized_close_at_high_bits(self):
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal((4, 3, 3)).astype(np.float32)
+        result = mp_quantizer(x, 16)
+        np.testing.assert_allclose(result.values, x, atol=1e-3)
+
+    def test_sqnr_monotonic_in_bits(self):
+        rng = np.random.default_rng(2)
+        x = rng.standard_normal((8, 3, 3)).astype(np.float32)
+        sqnrs = [mp_quantizer(x, bits).sqnr for bits in (4, 8, 12, 16)]
+        assert all(a < b for a, b in zip(sqnrs, sqnrs[1:]))
+
+    def test_sqnr_roughly_6db_per_bit(self):
+        rng = np.random.default_rng(3)
+        x = rng.uniform(-1, 1, 10000).astype(np.float32)
+        gain = mp_quantizer(x, 10).sqnr_db - mp_quantizer(x, 8).sqnr_db
+        assert 9 < gain < 15   # ~6 dB per bit for uniform signals
+
+    def test_preserves_zeros(self):
+        x = np.array([[0.0, 0.5], [0.0, -0.7]], dtype=np.float32)
+        result = mp_quantizer(x, 8)
+        assert result.values[0, 0] == 0.0
+        assert result.values[1, 0] == 0.0
+
+    def test_preserves_sign(self):
+        x = np.array([-1.0, -0.1, 0.1, 1.0], dtype=np.float32)
+        result = mp_quantizer(x, 8)
+        assert (np.sign(result.values) == np.sign(x)).all()
+
+    def test_exact_representation_gives_inf_sqnr(self):
+        x = np.array([-1.0, 0.0, 1.0], dtype=np.float32)
+        result = mp_quantizer(x, 8)
+        assert result.sqnr == float("inf")
+
+    @given(st.integers(2, 16))
+    @settings(max_examples=15, deadline=None)
+    def test_error_bounded_by_half_scale(self, bits):
+        rng = np.random.default_rng(bits)
+        x = rng.standard_normal(200).astype(np.float32)
+        result = mp_quantizer(x, bits)
+        max_err = np.abs(x - result.values).max()
+        assert max_err <= result.scale * 0.5 + 1e-6
+
+    @given(st.floats(0.01, 100.0))
+    @settings(max_examples=20, deadline=None)
+    def test_scale_invariance_of_sqnr(self, factor):
+        rng = np.random.default_rng(7)
+        x = rng.standard_normal(500).astype(np.float32)
+        a = mp_quantizer(x, 8).sqnr
+        b = mp_quantizer(x * factor, 8).sqnr
+        assert a == pytest.approx(b, rel=0.05)
+
+
+class TestSqnrDb:
+    def test_known_value(self):
+        assert sqnr_db(100.0) == pytest.approx(20.0)
+
+    def test_inf_capped(self):
+        assert sqnr_db(float("inf")) == 120.0
+
+    def test_huge_ratio_capped(self):
+        assert sqnr_db(1e30) == 120.0

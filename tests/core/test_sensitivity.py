@@ -1,0 +1,84 @@
+"""Tests for per-layer quantization sensitivity analysis."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core import (analyze_sensitivity, quantize_per_kernel,
+                        suggest_bit_allocation)
+from repro.nn import Tensor
+
+
+@pytest.fixture(scope="module")
+def model_and_input():
+    rng = np.random.default_rng(0)
+    model = nn.Sequential(
+        nn.Conv2d(2, 8, 3, padding=1, rng=rng),
+        nn.ReLU(),
+        nn.Conv2d(8, 4, 1, rng=rng),
+    )
+    x = Tensor(rng.standard_normal((1, 2, 8, 8)).astype(np.float32))
+    return model, x
+
+
+class TestQuantizePerKernel:
+    def test_per_kernel_scales_beat_per_layer(self):
+        rng = np.random.default_rng(1)
+        # Kernels with wildly different magnitudes: a shared scale wastes
+        # resolution on the small ones.
+        kernels = np.concatenate([
+            rng.standard_normal((4, 3, 3)) * 10.0,
+            rng.standard_normal((4, 3, 3)) * 0.01,
+        ]).astype(np.float32)
+        from repro.core import mp_quantizer
+        # The small kernels are where a shared scale hurts: with one
+        # layer-wide scale their values all collapse to code 0.
+        per_layer = mp_quantizer(kernels, 6).values
+        per_layer_small_err = np.abs(per_layer[4:] - kernels[4:]).max()
+        values, scales = quantize_per_kernel(kernels, 6)
+        per_kernel_small_err = np.abs(values[4:] - kernels[4:]).max()
+        assert per_kernel_small_err < per_layer_small_err / 10
+        assert len(scales) == 8
+
+    def test_zero_kernel_stable(self):
+        kernels = np.zeros((2, 3, 3), dtype=np.float32)
+        values, scales = quantize_per_kernel(kernels, 8)
+        assert (values == 0).all()
+        assert (scales == 1.0).all()
+
+
+class TestSensitivityAnalysis:
+    def test_profiles_all_layers(self, model_and_input):
+        model, x = model_and_input
+        profile = analyze_sensitivity(model, x, quant_bits=(4, 8))
+        assert {l.layer for l in profile.layers} == {"0", "2"}
+
+    def test_error_decreases_with_bits(self, model_and_input):
+        model, x = model_and_input
+        profile = analyze_sensitivity(model, x, quant_bits=(4, 8, 16))
+        for layer in profile.layers:
+            errs = layer.output_error_by_bits
+            assert errs[16] <= errs[8] <= errs[4] + 1e-9
+
+    def test_weights_restored_after_analysis(self, model_and_input):
+        model, x = model_and_input
+        before = {k: v.copy() for k, v in model.state_dict().items()}
+        analyze_sensitivity(model, x, quant_bits=(4,))
+        for key, value in model.state_dict().items():
+            np.testing.assert_array_equal(value, before[key])
+
+    def test_most_sensitive_ordering(self, model_and_input):
+        model, x = model_and_input
+        profile = analyze_sensitivity(model, x, quant_bits=(4,))
+        ranked = profile.most_sensitive(bits=4)
+        errors = [profile.by_name()[name].output_error_by_bits[4]
+                  for name in ranked]
+        assert errors == sorted(errors, reverse=True)
+
+    def test_suggest_allocation_respects_budget(self, model_and_input):
+        model, x = model_and_input
+        profile = analyze_sensitivity(model, x, quant_bits=(4, 8, 16))
+        tight = suggest_bit_allocation(profile, max_output_error=1e-6)
+        loose = suggest_bit_allocation(profile, max_output_error=10.0)
+        assert all(tight[name] >= loose[name] for name in tight)
+        assert all(bits in (4, 8, 16) for bits in loose.values())

@@ -1,0 +1,202 @@
+"""Tests for anchors, target assignment, NMS and AP evaluation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.detection import (AnchorConfig, AnchorGrid, DetectionResult,
+                             EvalConfig, assign_targets, average_precision,
+                             decode_boxes, encode_boxes, evaluate_map,
+                             nms_2d, nms_bev)
+from repro.pointcloud import Box3D
+
+
+@pytest.fixture
+def grid():
+    return AnchorGrid(AnchorConfig(), x_range=(0, 16), y_range=(-8, 8),
+                      feature_shape=(4, 4))
+
+
+class TestAnchorGrid:
+    def test_count(self, grid):
+        # 4x4 cells * 3 classes * 2 rotations
+        assert len(grid) == 4 * 4 * 6
+
+    def test_centers_inside_extent(self, grid):
+        assert grid.boxes[:, 0].min() >= 0
+        assert grid.boxes[:, 0].max() <= 16
+        assert grid.boxes[:, 1].min() >= -8
+        assert grid.boxes[:, 1].max() <= 8
+
+    def test_labels_cycle(self, grid):
+        assert grid.labels[0] == "Car"
+        assert grid.labels[1] == "Car"
+        assert grid.labels[2] == "Pedestrian"
+
+    def test_rotations_alternate(self, grid):
+        assert grid.boxes[0, 6] == 0.0
+        assert grid.boxes[1, 6] == pytest.approx(np.pi / 2)
+
+
+class TestBoxCoding:
+    def test_roundtrip(self, grid):
+        rng = np.random.default_rng(0)
+        anchors = grid.boxes[:10]
+        gt = anchors.copy()
+        gt[:, :2] += rng.normal(0, 1.0, (10, 2))
+        gt[:, 3:6] *= rng.uniform(0.8, 1.2, (10, 3))
+        gt[:, 6] += rng.normal(0, 0.3, 10)
+        decoded = decode_boxes(encode_boxes(gt, anchors), anchors)
+        np.testing.assert_allclose(decoded, gt, rtol=1e-4, atol=1e-4)
+
+    def test_zero_residual_for_perfect_anchor(self, grid):
+        anchors = grid.boxes[:5]
+        encoded = encode_boxes(anchors.copy(), anchors)
+        np.testing.assert_allclose(encoded, np.zeros_like(encoded),
+                                   atol=1e-6)
+
+    @given(st.floats(-2, 2), st.floats(-2, 2), st.floats(0.7, 1.4))
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_property(self, ox, oy, scale):
+        anchor = np.array([[8.0, 0.0, 0.78, 3.9, 1.6, 1.56, 0.0]],
+                          dtype=np.float32)
+        gt = anchor.copy()
+        gt[0, 0] += ox
+        gt[0, 1] += oy
+        gt[0, 3:6] *= scale
+        decoded = decode_boxes(encode_boxes(gt, anchor), anchor)
+        np.testing.assert_allclose(decoded, gt, rtol=1e-3, atol=1e-3)
+
+
+class TestAssignTargets:
+    def test_no_gt_all_negative(self, grid):
+        targets = assign_targets(grid, [])
+        assert targets.num_positive == 0
+        assert (targets.cls_target == 0).all()
+
+    def test_every_gt_gets_an_anchor(self, grid):
+        gt = [Box3D(6, -2, 0.78, 3.9, 1.6, 1.56, 0.0, label="Car"),
+              Box3D(12, 4, 0.87, 0.8, 0.6, 1.73, 0.0, label="Pedestrian")]
+        targets = assign_targets(grid, gt)
+        assert targets.num_positive >= 2
+        matched_gts = set(targets.matched_gt[targets.matched_gt >= 0])
+        assert matched_gts == {0, 1}
+
+    def test_class_mismatch_never_matches(self, grid):
+        gt = [Box3D(6, -2, 0.87, 0.8, 0.6, 1.73, 0.0, label="Pedestrian")]
+        targets = assign_targets(grid, gt)
+        positive_idx = np.where(targets.cls_target == 1)[0]
+        assert all(grid.labels[i] == "Pedestrian" for i in positive_idx)
+
+    def test_regression_targets_decodable(self, grid):
+        gt = [Box3D(6.3, -2.2, 0.78, 3.9, 1.6, 1.56, 0.1, label="Car")]
+        targets = assign_targets(grid, gt)
+        pos = np.where(targets.cls_target == 1)[0]
+        decoded = decode_boxes(targets.reg_target[pos], grid.boxes[pos])
+        np.testing.assert_allclose(decoded[:, 0], 6.3, atol=1e-3)
+        np.testing.assert_allclose(decoded[:, 6], 0.1, atol=1e-3)
+
+
+class TestNMS:
+    def test_bev_keeps_best_of_duplicates(self):
+        boxes = np.array([[5, 0, 1, 4, 2, 2, 0.0],
+                          [5.1, 0, 1, 4, 2, 2, 0.0],
+                          [20, 5, 1, 4, 2, 2, 0.0]], dtype=np.float32)
+        scores = np.array([0.9, 0.8, 0.7])
+        keep = nms_bev(boxes, scores, iou_threshold=0.3)
+        assert list(keep) == [0, 2]
+
+    def test_bev_respects_max_keep(self):
+        boxes = np.array([[i * 10.0, 0, 1, 4, 2, 2, 0.0] for i in range(5)],
+                         dtype=np.float32)
+        scores = np.linspace(1.0, 0.5, 5)
+        keep = nms_bev(boxes, scores, max_keep=2)
+        assert len(keep) == 2
+
+    def test_2d_suppression(self):
+        boxes = np.array([[0, 0, 10, 10], [1, 1, 11, 11], [50, 50, 60, 60]],
+                         dtype=np.float64)
+        scores = np.array([0.9, 0.85, 0.3])
+        keep = nms_2d(boxes, scores, iou_threshold=0.5)
+        assert list(keep) == [0, 2]
+
+    def test_2d_empty(self):
+        keep = nms_2d(np.zeros((0, 4)), np.zeros(0))
+        assert len(keep) == 0
+
+
+def _det(frame_boxes):
+    return DetectionResult(boxes=frame_boxes)
+
+
+class TestAveragePrecision:
+    def test_perfect_detection_scores_100(self):
+        gt = [Box3D(10, 0, 0.78, 3.9, 1.6, 1.56, 0.0, label="Car")]
+        pred = [Box3D(10, 0, 0.78, 3.9, 1.6, 1.56, 0.0, label="Car",
+                      score=0.9)]
+        ap = average_precision([_det(pred)], [gt], "Car")
+        assert ap == pytest.approx(100.0)
+
+    def test_miss_scores_0(self):
+        gt = [Box3D(10, 0, 0.78, 3.9, 1.6, 1.56, 0.0, label="Car")]
+        ap = average_precision([_det([])], [gt], "Car")
+        assert ap == 0.0
+
+    def test_false_positive_lowers_ap(self):
+        gt = [Box3D(10, 0, 0.78, 3.9, 1.6, 1.56, 0.0, label="Car")]
+        pred = [Box3D(10, 0, 0.78, 3.9, 1.6, 1.56, 0.0, label="Car",
+                      score=0.5),
+                Box3D(30, 5, 0.78, 3.9, 1.6, 1.56, 0.0, label="Car",
+                      score=0.9)]
+        ap = average_precision([_det(pred)], [gt], "Car")
+        assert 0.0 < ap < 100.0
+
+    def test_duplicate_detection_counts_once(self):
+        from repro.detection import match_detections
+        gt = [Box3D(10, 0, 0.78, 3.9, 1.6, 1.56, 0.0, label="Car")]
+        pred = [Box3D(10, 0, 0.78, 3.9, 1.6, 1.56, 0.0, label="Car",
+                      score=0.9),
+                Box3D(10.1, 0, 0.78, 3.9, 1.6, 1.56, 0.0, label="Car",
+                      score=0.8)]
+        tp, n_gt = match_detections(pred, gt, iou_threshold=0.5)
+        assert n_gt == 1
+        assert list(tp) == [True, False]  # second hit on same gt is a FP
+
+    def test_localization_threshold_enforced(self):
+        gt = [Box3D(10, 0, 0.78, 3.9, 1.6, 1.56, 0.0, label="Car")]
+        # Way off: IoU below threshold → counted as FP.
+        pred = [Box3D(14, 2, 0.78, 3.9, 1.6, 1.56, 0.0, label="Car",
+                      score=0.9)]
+        ap = average_precision([_det(pred)], [gt], "Car")
+        assert ap == 0.0
+
+    def test_score_ordering_matters(self):
+        gt = [Box3D(10, 0, 0.78, 3.9, 1.6, 1.56, 0.0, label="Car")]
+        good_first = [
+            Box3D(10, 0, 0.78, 3.9, 1.6, 1.56, 0.0, label="Car", score=0.9),
+            Box3D(30, 5, 0.78, 3.9, 1.6, 1.56, 0.0, label="Car", score=0.3)]
+        bad_first = [
+            Box3D(10, 0, 0.78, 3.9, 1.6, 1.56, 0.0, label="Car", score=0.3),
+            Box3D(30, 5, 0.78, 3.9, 1.6, 1.56, 0.0, label="Car", score=0.9)]
+        ap_good = average_precision([_det(good_first)], [gt], "Car")
+        ap_bad = average_precision([_det(bad_first)], [gt], "Car")
+        assert ap_good > ap_bad
+
+    def test_map_averages_present_classes(self):
+        gt = [[Box3D(10, 0, 0.78, 3.9, 1.6, 1.56, 0.0, label="Car"),
+               Box3D(8, 3, 0.87, 0.8, 0.6, 1.73, 0.0, label="Pedestrian")]]
+        pred = [_det([Box3D(10, 0, 0.78, 3.9, 1.6, 1.56, 0.0, label="Car",
+                            score=0.9)])]
+        result = evaluate_map(pred, gt)
+        assert result["Car"] == pytest.approx(100.0)
+        assert result["Pedestrian"] == 0.0
+        # Cyclist absent from gt → excluded from the mean.
+        assert result["mAP"] == pytest.approx(50.0)
+
+    def test_difficulty_filtering(self):
+        hard_gt = Box3D(40, 0, 0.78, 3.9, 1.6, 1.56, 0.0, label="Car",
+                        difficulty=2)
+        config = EvalConfig(max_difficulty=1)
+        ap = average_precision([_det([])], [[hard_gt]], "Car", config)
+        assert ap == 0.0  # no gt within difficulty → 0 by convention

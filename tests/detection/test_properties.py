@@ -1,0 +1,90 @@
+"""Property-based invariants of NMS and AP evaluation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.detection import (DetectionResult, average_precision, nms_bev)
+from repro.pointcloud import Box3D
+
+
+def _random_boxes(rng, count):
+    boxes = np.zeros((count, 7), dtype=np.float32)
+    boxes[:, 0] = rng.uniform(0, 50, count)
+    boxes[:, 1] = rng.uniform(-20, 20, count)
+    boxes[:, 2] = 1.0
+    boxes[:, 3] = rng.uniform(1, 5, count)
+    boxes[:, 4] = rng.uniform(1, 3, count)
+    boxes[:, 5] = 1.6
+    boxes[:, 6] = rng.uniform(-np.pi, np.pi, count)
+    return boxes
+
+
+class TestNMSProperties:
+    @given(st.integers(0, 9999), st.integers(1, 20))
+    @settings(max_examples=30, deadline=None)
+    def test_idempotent(self, seed, count):
+        """Running NMS on its own output changes nothing."""
+        rng = np.random.default_rng(seed)
+        boxes = _random_boxes(rng, count)
+        scores = rng.uniform(0.1, 1.0, count)
+        keep = nms_bev(boxes, scores, iou_threshold=0.3)
+        keep_again = nms_bev(boxes[keep], scores[keep], iou_threshold=0.3)
+        assert len(keep_again) == len(keep)
+
+    @given(st.integers(0, 9999), st.integers(2, 15))
+    @settings(max_examples=30, deadline=None)
+    def test_highest_score_always_kept(self, seed, count):
+        rng = np.random.default_rng(seed)
+        boxes = _random_boxes(rng, count)
+        scores = rng.uniform(0.1, 1.0, count)
+        keep = nms_bev(boxes, scores, iou_threshold=0.3)
+        assert int(scores.argmax()) in set(keep.tolist())
+
+    @given(st.integers(0, 9999), st.integers(1, 15))
+    @settings(max_examples=30, deadline=None)
+    def test_survivors_mutually_below_threshold(self, seed, count):
+        from repro.pointcloud import iou_bev
+        rng = np.random.default_rng(seed)
+        boxes = _random_boxes(rng, count)
+        scores = rng.uniform(0.1, 1.0, count)
+        keep = nms_bev(boxes, scores, iou_threshold=0.3)
+        for i in range(len(keep)):
+            for j in range(i + 1, len(keep)):
+                assert iou_bev(boxes[keep[i]], boxes[keep[j]]) <= 0.3 + 1e-6
+
+
+class TestAPProperties:
+    @given(st.integers(0, 9999), st.integers(1, 6), st.integers(0, 6))
+    @settings(max_examples=30, deadline=None)
+    def test_ap_bounded(self, seed, n_gt, n_pred):
+        rng = np.random.default_rng(seed)
+        gt = [Box3D(float(rng.uniform(5, 45)), float(rng.uniform(-15, 15)),
+                    0.78, 3.9, 1.6, 1.56, 0.0, label="Car")
+              for _ in range(n_gt)]
+        pred = [Box3D(float(rng.uniform(5, 45)), float(rng.uniform(-15, 15)),
+                      0.78, 3.9, 1.6, 1.56, 0.0, label="Car",
+                      score=float(rng.uniform(0.05, 1.0)))
+                for _ in range(n_pred)]
+        ap = average_precision([DetectionResult(pred)], [gt], "Car")
+        assert 0.0 <= ap <= 100.0
+
+    @given(st.integers(0, 9999), st.integers(1, 5))
+    @settings(max_examples=25, deadline=None)
+    def test_adding_matching_prediction_never_hurts(self, seed, n_gt):
+        """Appending a correct lowest-ranked detection cannot lower AP."""
+        rng = np.random.default_rng(seed)
+        gt = [Box3D(5.0 + 8.0 * i, 0.0, 0.78, 3.9, 1.6, 1.56, 0.0,
+                    label="Car") for i in range(n_gt)]
+        detected = rng.integers(0, n_gt)
+        pred = [Box3D(gt[i].x, gt[i].y, 0.78, 3.9, 1.6, 1.56, 0.0,
+                      label="Car", score=0.9 - 0.01 * i)
+                for i in range(detected)]
+        base_ap = average_precision([DetectionResult(list(pred))], [gt],
+                                    "Car")
+        extra = Box3D(gt[detected].x, gt[detected].y, 0.78, 3.9, 1.6, 1.56,
+                      0.0, label="Car", score=0.01)
+        better_ap = average_precision(
+            [DetectionResult(pred + [extra])], [gt], "Car")
+        assert better_ap >= base_ap - 1e-9

@@ -1,0 +1,70 @@
+"""Tests for difficulty-stratified evaluation and PR curves."""
+
+import numpy as np
+import pytest
+
+from repro.detection import (DetectionResult, evaluate_by_difficulty,
+                             precision_recall_curve)
+from repro.pointcloud import Box3D
+
+
+def _car(x, y, difficulty=0, score=1.0):
+    return Box3D(x, y, 0.78, 3.9, 1.6, 1.56, 0.0, label="Car",
+                 score=score, difficulty=difficulty)
+
+
+class TestEvaluateByDifficulty:
+    def test_buckets_are_cumulative(self):
+        gt = [[_car(10, 0, difficulty=0), _car(20, 5, difficulty=2)]]
+        # Only the easy object is detected.
+        pred = [DetectionResult([_car(10, 0, score=0.9)])]
+        result = evaluate_by_difficulty(pred, gt)
+        # Easy bucket: 1/1 found → AP 100; hard bucket: 1/2 → lower.
+        assert result["easy"]["Car"] == pytest.approx(100.0)
+        assert result["hard"]["Car"] < result["easy"]["Car"]
+
+    def test_all_buckets_present(self):
+        result = evaluate_by_difficulty([DetectionResult([])], [[]])
+        assert set(result) == {"easy", "moderate", "hard"}
+
+    def test_hard_matches_plain_map(self):
+        from repro.detection import evaluate_map
+        gt = [[_car(10, 0, difficulty=1), _car(25, -4, difficulty=2)]]
+        pred = [DetectionResult([_car(10, 0, score=0.8)])]
+        stratified = evaluate_by_difficulty(pred, gt)
+        plain = evaluate_map(pred, gt)
+        assert stratified["hard"]["mAP"] == pytest.approx(plain["mAP"])
+
+
+class TestPrecisionRecallCurve:
+    def test_perfect_detector(self):
+        gt = [[_car(10, 0), _car(25, 4)]]
+        pred = [DetectionResult([_car(10, 0, score=0.9),
+                                 _car(25, 4, score=0.8)])]
+        recall, precision = precision_recall_curve(pred, gt, "Car")
+        assert recall[-1] == pytest.approx(1.0)
+        np.testing.assert_allclose(precision, np.ones(2))
+
+    def test_false_positive_drops_precision(self):
+        gt = [[_car(10, 0)]]
+        pred = [DetectionResult([_car(10, 0, score=0.9),
+                                 _car(40, 8, score=0.5)])]
+        recall, precision = precision_recall_curve(pred, gt, "Car")
+        assert precision[0] == pytest.approx(1.0)
+        assert precision[1] == pytest.approx(0.5)
+        assert recall[1] == pytest.approx(1.0)
+
+    def test_recall_monotone(self):
+        rng = np.random.default_rng(0)
+        gt = [[_car(10 + 6 * i, 0) for i in range(4)]]
+        boxes = [_car(10 + 6 * i, rng.uniform(-1, 1),
+                      score=rng.uniform(0.1, 0.9)) for i in range(4)]
+        pred = [DetectionResult(boxes)]
+        recall, _ = precision_recall_curve(pred, gt, "Car")
+        assert (np.diff(recall) >= -1e-9).all()
+
+    def test_empty_inputs(self):
+        recall, precision = precision_recall_curve(
+            [DetectionResult([])], [[]], "Car")
+        assert len(recall) == 0
+        assert len(precision) == 0

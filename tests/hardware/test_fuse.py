@@ -1,0 +1,115 @@
+"""Tests for conv+BN folding."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.hardware.fuse import count_foldable, fold_batchnorm, fold_conv_bn
+from repro.nn import Tensor
+
+
+def _trained_block(seed=0):
+    """A ConvBNReLU whose BN stats are non-trivial (after fake training)."""
+    rng = np.random.default_rng(seed)
+    block = nn.ConvBNReLU(3, 6, 3, rng=rng)
+    block.train()
+    for _ in range(20):
+        x = Tensor(rng.standard_normal((4, 3, 8, 8)).astype(np.float32)
+                   * 2.0 + 1.0)
+        block(x)
+    block.eval()
+    return block
+
+
+class TestFoldConvBn:
+    def test_outputs_identical_in_eval(self):
+        block = _trained_block()
+        rng = np.random.default_rng(1)
+        x = Tensor(rng.standard_normal((2, 3, 8, 8)).astype(np.float32))
+        reference = block(x).data
+
+        folded = fold_batchnorm(block)
+        out = folded(x).data
+        np.testing.assert_allclose(out, reference, rtol=1e-4, atol=1e-5)
+
+    def test_bn_replaced_with_identity(self):
+        folded = fold_batchnorm(_trained_block())
+        assert isinstance(folded.bn, nn.Identity)
+
+    def test_original_untouched(self):
+        block = _trained_block()
+        weights_before = block.conv.weight.data.copy()
+        fold_batchnorm(block)
+        np.testing.assert_array_equal(block.conv.weight.data,
+                                      weights_before)
+        assert isinstance(block.bn, nn.BatchNorm2d)
+
+    def test_conv_gains_bias(self):
+        block = _trained_block()
+        assert block.conv.bias is None      # ConvBNReLU convs are biasless
+        folded = fold_batchnorm(block)
+        assert folded.conv.bias is not None
+        assert np.abs(folded.conv.bias.data).sum() > 0
+
+    def test_fold_in_place_api(self):
+        block = _trained_block(seed=3)
+        rng = np.random.default_rng(4)
+        x = Tensor(rng.standard_normal((1, 3, 6, 6)).astype(np.float32))
+        block.eval()
+        reference = block.bn(block.conv(x)).data
+        fold_conv_bn(block.conv, block.bn)
+        np.testing.assert_allclose(block.conv(x).data, reference,
+                                   rtol=1e-4, atol=1e-5)
+
+
+class TestFoldModel:
+    def test_counts_and_folds_whole_detector(self):
+        from repro.models import PointPillars
+        from repro.pointcloud.voxelize import PillarConfig
+        model = PointPillars(
+            pillar_config=PillarConfig(x_range=(0, 25.6),
+                                       y_range=(-12.8, 12.8)),
+            pfn_channels=8, stage_channels=(8, 16, 32),
+            stage_depths=(1, 1, 1), upsample_channels=8, seed=0)
+        n = count_foldable(model)
+        assert n >= 6    # three stages with ≥2 blocks each at this size
+        folded = fold_batchnorm(model)
+        assert count_foldable(folded) == 0   # all BNs gone
+
+    def test_folded_model_runs_upaq(self):
+        """Deployment order: fold BN first, then compress the folded net."""
+        from repro.core import UPAQCompressor, hck_config
+        from repro.models import PointPillars
+        from repro.pointcloud.voxelize import PillarConfig
+        model = PointPillars(
+            pillar_config=PillarConfig(x_range=(0, 25.6),
+                                       y_range=(-12.8, 12.8)),
+            pfn_channels=8, stage_channels=(8, 16, 32),
+            stage_depths=(1, 1, 1), upsample_channels=8, seed=0)
+        folded = fold_batchnorm(model)
+        report = UPAQCompressor(hck_config()).compress(
+            folded, *model.example_inputs())
+        assert report.compression_ratio > 3.0
+        out = report.model(*model.example_inputs())
+        assert np.isfinite(out["cls"].data).all()
+
+
+class TestFoldingCostModel:
+    def test_folding_reduces_plan_cost(self):
+        """The cost model rewards BN folding with lower elementwise
+        traffic and latency — what a deployment compiler buys."""
+        from repro.hardware import compile_model, default_devices
+        from repro.models import PointPillars
+        from repro.pointcloud.voxelize import PillarConfig
+        model = PointPillars(
+            pillar_config=PillarConfig(x_range=(0, 25.6),
+                                       y_range=(-12.8, 12.8)),
+            pfn_channels=8, stage_channels=(8, 16, 32),
+            stage_depths=(1, 1, 1), upsample_channels=8, seed=0)
+        inputs = model.example_inputs()
+        unfolded_plan = compile_model(model, *inputs)
+        folded_plan = compile_model(fold_batchnorm(model), *inputs)
+        assert folded_plan.elementwise_bytes \
+            < unfolded_plan.elementwise_bytes
+        device = default_devices()["jetson"]
+        assert device.latency(folded_plan) < device.latency(unfolded_plan)

@@ -1,0 +1,174 @@
+"""Tests for the experiment harness: reporting, figures, pretraining."""
+
+import numpy as np
+import pytest
+
+from repro.harness import (FRAMEWORK_ORDER, TABLE1, TABLE2, Table2Row,
+                           energy_reductions, format_bar_chart, format_fig1,
+                           format_fig4, format_table, render_bev, speedups,
+                           write_csv)
+from repro.harness.figures import alignment_report
+from repro.pointcloud import Box3D
+
+
+def _rows():
+    return [
+        Table2Row("Base Model", 1.0, 50.0, 5.72, 35.98, 0.875, 0.863),
+        Table2Row("UPAQ (HCK)", 5.6, 48.0, 1.70, 18.23, 0.327, 0.417),
+    ]
+
+
+class TestPaperReference:
+    def test_table2_covers_all_frameworks(self):
+        for model in ("PointPillars", "SMOKE"):
+            assert set(TABLE2[model]) == set(FRAMEWORK_ORDER)
+
+    def test_table2_tuples_complete(self):
+        for model, rows in TABLE2.items():
+            for name, values in rows.items():
+                assert len(values) == 6, f"{model}/{name}"
+
+    def test_table1_has_five_models(self):
+        assert len(TABLE1) == 5
+
+    def test_paper_hck_highest_compression(self):
+        for model in ("PointPillars", "SMOKE"):
+            ratios = {k: v[0] for k, v in TABLE2[model].items()}
+            assert max(ratios, key=ratios.get) == "UPAQ (HCK)"
+
+
+class TestReporting:
+    def test_format_table_aligns(self):
+        text = format_table(["a", "long_header"], [["x", 1.0], ["yy", 2.5]])
+        lines = text.splitlines()
+        assert len({line.index("|") for line in lines
+                    if "|" in line}) == 1
+
+    def test_format_table_with_title(self):
+        text = format_table(["h"], [["v"]], title="My Table")
+        assert text.startswith("My Table")
+
+    def test_bar_chart_scales_to_peak(self):
+        chart = format_bar_chart(["a", "b"], [1.0, 2.0], width=10)
+        lines = chart.splitlines()
+        assert lines[1].count("#") == 10       # peak fills the width
+        assert 4 <= lines[0].count("#") <= 6   # half-peak ≈ half bar
+
+    def test_write_csv(self, tmp_path):
+        path = str(tmp_path / "out.csv")
+        write_csv(path, ["a", "b"], [[1.0, "x"]])
+        content = open(path).read()
+        assert content.splitlines()[0] == "a,b"
+        assert "1.00,x" in content
+
+
+class TestFigureDerivations:
+    def test_speedups_relative_to_base(self):
+        factors = speedups(_rows())
+        assert factors["Base Model"] == pytest.approx(1.0)
+        assert factors["UPAQ (HCK)"] == pytest.approx(35.98 / 18.23,
+                                                      rel=1e-6)
+
+    def test_energy_reductions(self):
+        factors = energy_reductions(_rows())
+        assert factors["UPAQ (HCK)"] == pytest.approx(0.863 / 0.417,
+                                                      rel=1e-6)
+
+    def test_rtx_device_option(self):
+        factors = speedups(_rows(), device="rtx4080")
+        assert factors["UPAQ (HCK)"] == pytest.approx(5.72 / 1.70, rel=1e-6)
+
+    def test_format_fig4_contains_paper_values(self):
+        text = format_fig4("PointPillars", _rows())
+        assert "paper 1.97x" in text
+
+
+class TestBEVRendering:
+    def test_marks_gt_and_pred(self):
+        gt = [Box3D(25, 0, 1, 4, 2, 2, 0)]
+        pred = [Box3D(40, 10, 1, 4, 2, 2, 0)]
+        art = render_bev(gt, pred)
+        assert "o" in art
+        assert "x" in art
+
+    def test_overlap_marked_star(self):
+        box = [Box3D(25, 0, 1, 4, 2, 2, 0)]
+        art = render_bev(box, box)
+        assert "*" in art
+
+    def test_out_of_canvas_ignored(self):
+        art = render_bev([Box3D(500, 0, 1, 4, 2, 2, 0)], [])
+        assert "o" not in art
+
+
+class TestAlignmentReport:
+    def test_perfect_match(self):
+        gt = [Box3D(10, 0, 1, 4, 2, 2, 0)]
+        stats = alignment_report("x", gt, list(gt))
+        assert stats.detected == 1
+        assert stats.mean_center_error == pytest.approx(0.0)
+        assert stats.mean_iou == pytest.approx(1.0)
+        assert stats.extraneous == 0
+
+    def test_extraneous_counted(self):
+        gt = [Box3D(10, 0, 1, 4, 2, 2, 0)]
+        pred = [Box3D(10, 0, 1, 4, 2, 2, 0),
+                Box3D(40, 10, 1, 4, 2, 2, 0)]
+        stats = alignment_report("x", gt, pred)
+        assert stats.detected == 1
+        assert stats.extraneous == 1
+
+    def test_empty_predictions(self):
+        gt = [Box3D(10, 0, 1, 4, 2, 2, 0)]
+        stats = alignment_report("x", gt, [])
+        assert stats.detected == 0
+        assert np.isnan(stats.mean_center_error)
+
+    def test_fig1_formatting(self):
+        text = format_fig1({"total_gt": 10, "lidar_found": 8,
+                            "camera_found": 5})
+        assert "80%" in text
+        assert "50%" in text
+
+
+class TestPretrainPlumbing:
+    def test_tiny_pretrain_runs_and_tracks_best(self):
+        from repro.harness import TrainConfig, pretrain
+        from repro.models import PointPillars
+        from repro.pointcloud import LidarConfig, SceneConfig
+        from repro.pointcloud.voxelize import PillarConfig
+
+        model = PointPillars(
+            pillar_config=PillarConfig(x_range=(0, 25.6),
+                                       y_range=(-12.8, 12.8)),
+            pfn_channels=8, stage_channels=(8, 16, 32),
+            stage_depths=(1, 1, 1), upsample_channels=8)
+        config = TrainConfig(
+            steps=4, eval_every=2, eval_frames=1,
+            scene_config=SceneConfig(
+                x_range=(5, 24), y_range=(-10, 10),
+                lidar=LidarConfig(channels=8, azimuth_steps=60)))
+        result = pretrain(model, config)
+        assert len(result.history) >= 2
+        assert result.best_map >= 0.0
+
+    def test_get_pretrained_caches(self, tmp_path, monkeypatch):
+        import importlib
+        pt = importlib.import_module("repro.harness.pretrain")
+        from repro.harness import TrainConfig, get_pretrained
+        from repro.pointcloud import LidarConfig, SceneConfig
+
+        monkeypatch.setattr(pt, "_ARTIFACT_DIR", str(tmp_path))
+        config = TrainConfig(
+            steps=2, eval_every=1, eval_frames=1,
+            scene_config=SceneConfig(
+                x_range=(5, 24), y_range=(-10, 10),
+                lidar=LidarConfig(channels=8, azimuth_steps=60)))
+        kwargs = dict(
+            pfn_channels=8, stage_channels=(8, 16, 32),
+            stage_depths=(1, 1, 1), upsample_channels=8)
+        _, first = get_pretrained("pointpillars", config, **kwargs)
+        assert first is not None          # trained fresh
+        model, second = get_pretrained("pointpillars", config, **kwargs)
+        assert second is None             # cache hit
+        assert not model.training         # loaded in eval mode

@@ -1,0 +1,32 @@
+"""Tests for the one-shot experiment runner (tiny budgets)."""
+
+import os
+
+import pytest
+
+from repro.harness.runner import RunnerConfig, run_all
+
+
+@pytest.mark.slow
+def test_run_all_writes_report(tmp_path, monkeypatch):
+    # Redirect the pretrained-model cache so the tiny run doesn't clash
+    # with full-scale artifacts.
+    import importlib
+    pretrain_module = importlib.import_module("repro.harness.pretrain")
+    monkeypatch.setattr(pretrain_module, "_ARTIFACT_DIR",
+                        str(tmp_path / "artifacts"))
+    config = RunnerConfig(
+        output_dir=str(tmp_path / "results"),
+        pointpillars=dict(pretrain_steps=4, finetune_scenes=1,
+                          finetune_epochs=1, eval_frames=1),
+        include_smoke=False)
+    results = run_all(config)
+    assert os.path.exists(results["report_path"])
+    assert os.path.exists(tmp_path / "results" / "table1.csv")
+    assert os.path.exists(tmp_path / "results" / "table2_pointpillars.csv")
+    report = open(results["report_path"]).read()
+    assert "Table 1" in report
+    assert "UPAQ (HCK)" in report
+    rows = results["table2_pointpillars"]
+    assert len(rows) == 7
+    assert {r.framework for r in rows} >= {"Base Model", "UPAQ (HCK)"}

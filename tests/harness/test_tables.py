@@ -1,0 +1,49 @@
+"""Unit tests for the table harness functions (no training involved)."""
+
+import pytest
+
+from repro.harness import (Table2Row, format_table1, format_table2,
+                           run_table1)
+from repro.harness.table2 import default_frameworks
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        # Restrict to the two fast models to keep the unit test light.
+        return run_table1(model_keys=("pointpillars", "second"))
+
+    def test_rows_have_paper_references(self, rows):
+        for row in rows:
+            assert row.paper_params_m > 0
+            assert row.paper_exec_ms > 0
+
+    def test_latency_positive(self, rows):
+        assert all(row.exec_ms > 0 for row in rows)
+
+    def test_formatting_includes_ratios(self, rows):
+        text = format_table1(rows)
+        assert "1.00x" in text
+        assert "PointPillars" in text
+        assert "Size vs PP" in text
+
+
+class TestTable2Formatting:
+    def test_format_includes_all_columns(self):
+        rows = [Table2Row("Base Model", 1.0, 50.0, 5.72, 35.98, 0.875,
+                          0.863),
+                Table2Row("UPAQ (HCK)", 5.6, 48.0, 1.70, 18.23, 0.327,
+                          0.417)]
+        text = format_table2("PointPillars", rows)
+        assert "(5.62x)" in text       # paper reference rendered
+        assert "18.23" in text
+        assert "Jetson ms" in text
+
+    def test_default_frameworks_order_and_types(self):
+        frameworks = default_frameworks()
+        assert list(frameworks) == ["Ps&Qs", "CLIP-Q", "R-TOSS",
+                                    "LiDAR-PTQ", "UPAQ (LCK)",
+                                    "UPAQ (HCK)"]
+        for framework in frameworks.values():
+            assert hasattr(framework, "compress")
+            assert hasattr(framework, "finetune")

@@ -1,0 +1,48 @@
+"""Small-scale fixtures shared by model tests (kept tiny for speed)."""
+
+import numpy as np
+import pytest
+
+from repro.camera import CameraModel
+from repro.models import PointPillars, SMOKE
+from repro.pointcloud import LidarConfig, SceneConfig, SceneGenerator
+from repro.pointcloud.voxelize import PillarConfig, VoxelConfig
+
+TINY_PILLARS = dict(
+    pillar_config=PillarConfig(x_range=(0, 25.6), y_range=(-12.8, 12.8),
+                               pillar_size=0.8, max_pillars=512),
+    pfn_channels=8, stage_channels=(8, 16, 32), stage_depths=(1, 1, 1),
+    upsample_channels=8,
+)
+
+TINY_VOXELS = dict(
+    voxel_config=VoxelConfig(x_range=(0, 25.6), y_range=(-12.8, 12.8)),
+    middle_channels=8, stage_channels=(8, 16, 32), upsample_channels=8,
+)
+
+TINY_CAMERA = CameraModel.kitti_like(width=64, height=24)
+
+TINY_SMOKE = dict(camera=TINY_CAMERA, base_channels=8, head_channels=8)
+
+
+@pytest.fixture(scope="session")
+def tiny_scene():
+    cfg = SceneConfig(x_range=(5, 24), y_range=(-10, 10),
+                      lidar=LidarConfig(channels=12, azimuth_steps=90))
+    generator = SceneGenerator(cfg, seed=3)
+    scene = generator.generate(0, with_image=False)
+    from repro.camera import render_scene
+    scene.image = render_scene(TINY_CAMERA, scene.boxes,
+                               rng=np.random.default_rng(0))
+    scene.calib = {"K": TINY_CAMERA.intrinsics()}
+    return scene
+
+
+@pytest.fixture(scope="session")
+def tiny_pointpillars():
+    return PointPillars(seed=0, **TINY_PILLARS)
+
+
+@pytest.fixture(scope="session")
+def tiny_smoke():
+    return SMOKE(seed=0, **TINY_SMOKE)

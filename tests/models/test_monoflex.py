@@ -1,0 +1,87 @@
+"""Tests for the MonoFlex-lite monocular detector."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.models import MonoFlex
+from repro.nn import Tensor
+
+from .conftest import TINY_CAMERA
+
+TINY_MONOFLEX = dict(camera=TINY_CAMERA, base_channels=8, head_channels=8)
+
+
+class TestMonoFlex:
+    def test_forward_has_flex_branch(self, tiny_scene):
+        model = MonoFlex(seed=0, **TINY_MONOFLEX)
+        out = model.forward(*model.preprocess(tiny_scene))
+        h, w = TINY_CAMERA.height // 4, TINY_CAMERA.width // 4
+        assert out["flex"].shape == (1, 3, h, w)
+
+    def test_loss_includes_flex_supervision(self, tiny_scene):
+        model = MonoFlex(seed=1, **TINY_MONOFLEX)
+        outputs = model.forward(*model.preprocess(tiny_scene))
+        loss = model.loss(outputs, tiny_scene)
+        assert np.isfinite(loss.item())
+        loss.backward()
+        flex_conv = model.depth_branch[1]
+        assert flex_conv.weight.grad is not None
+        assert np.isfinite(flex_conv.weight.grad).all()
+
+    def test_predict_returns_valid_boxes(self, tiny_scene):
+        model = MonoFlex(seed=0, **TINY_MONOFLEX)
+        result = model.predict(tiny_scene)
+        for box in result.boxes:
+            assert 1.0 <= box.x <= 100.0
+            assert box.dz > 0
+
+    def test_depth_ensemble_fuses_branches(self, tiny_scene):
+        """With extreme geometric confidence, depth follows geometry."""
+        model = MonoFlex(seed=0, **TINY_MONOFLEX)
+        model.eval()
+        with nn.no_grad():
+            outputs = model.forward(*model.preprocess(tiny_scene))
+        heat = 1.0 / (1.0 + np.exp(-outputs["heatmap"].data[0]))
+        reg = outputs["reg"].data[0]
+        flex = outputs["flex"].data[0].copy()
+
+        flex[1, :, :] = 4.0     # direct depth: huge variance
+        flex[2, :, :] = -4.0    # geometric depth: tiny variance
+        geo_boxes = model._decode(heat, reg, flex)
+
+        flex[1, :, :] = -4.0    # now trust the direct branch instead
+        flex[2, :, :] = 4.0
+        direct_boxes = model._decode(heat, reg, flex)
+
+        if not geo_boxes:
+            pytest.skip("no detections on the tiny random model")
+        # Same count, generally different depths.
+        assert len(geo_boxes) == len(direct_boxes)
+
+    def test_train_step_reduces_loss(self, tiny_scene):
+        model = MonoFlex(seed=2, **TINY_MONOFLEX)
+        opt = nn.optim.Adam(model.parameters(), lr=3e-3)
+        first = model.train_step(opt, tiny_scene)
+        for _ in range(6):
+            last = model.train_step(opt, tiny_scene)
+        assert last < first
+
+    def test_upaq_compresses_monoflex(self, tiny_scene):
+        from repro.core import UPAQCompressor, hck_config
+        model = MonoFlex(seed=0, **TINY_MONOFLEX)
+        report = UPAQCompressor(hck_config()).compress(
+            model, *model.example_inputs())
+        assert report.compression_ratio > 2.0
+        result = report.model.predict(tiny_scene)
+        assert result.frame_id == tiny_scene.frame_id
+
+    def test_registered(self):
+        from repro.models import available_models
+        assert "monoflex" in available_models()
+
+    def test_larger_than_smoke_head(self):
+        from repro.models import SMOKE
+        smoke = SMOKE(seed=0, **{**TINY_MONOFLEX})
+        flex = MonoFlex(seed=0, **TINY_MONOFLEX)
+        assert flex.num_parameters() > smoke.num_parameters()

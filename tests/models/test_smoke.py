@@ -1,0 +1,176 @@
+"""Tests for the SMOKE monocular detector."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.models import SMOKE
+from repro.models.smoke.model import (_DEPTH_REF, _gaussian_radius,
+                                      _splat_gaussian)
+from repro.nn import Tensor
+
+from .conftest import TINY_SMOKE
+
+
+class TestGaussianTargets:
+    def test_radius_positive_and_monotonic(self):
+        small = _gaussian_radius(2, 2)
+        large = _gaussian_radius(10, 10)
+        assert small >= 1.0
+        assert large > small
+
+    def test_splat_peak_at_center(self):
+        heatmap = np.zeros((9, 9), dtype=np.float32)
+        _splat_gaussian(heatmap, 4, 4, radius=2)
+        assert heatmap[4, 4] == pytest.approx(1.0)
+        assert heatmap[4, 5] < 1.0
+        assert heatmap[0, 0] == 0.0
+
+    def test_splat_max_not_overwritten(self):
+        heatmap = np.zeros((5, 5), dtype=np.float32)
+        _splat_gaussian(heatmap, 2, 2, radius=2)
+        _splat_gaussian(heatmap, 2, 3, radius=1)
+        assert heatmap[2, 2] == pytest.approx(1.0)
+
+
+class TestSmokeModel:
+    def test_forward_shapes(self, tiny_smoke, tiny_scene):
+        out = tiny_smoke.forward(*tiny_smoke.preprocess(tiny_scene))
+        h, w = tiny_smoke.camera.height // 4, tiny_smoke.camera.width // 4
+        assert out["heatmap"].shape == (1, 3, h, w)
+        assert out["reg"].shape == (1, 8, h, w)
+
+    def test_requires_image(self, tiny_smoke, tiny_scene):
+        from repro.pointcloud import Scene
+        bare = Scene(points=tiny_scene.points, boxes=tiny_scene.boxes,
+                     image=None)
+        with pytest.raises(ValueError, match="image"):
+            tiny_smoke.preprocess(bare)
+
+    def test_keypoint_targets_align_with_projection(self, tiny_smoke,
+                                                    tiny_scene):
+        heat, reg, mask = tiny_smoke._keypoint_targets(tiny_scene)
+        assert heat.max() <= 1.0
+        # Every regression cell flagged must carry a valid depth code.
+        rows, cols = np.where(mask > 0)
+        for r, c in zip(rows, cols):
+            depth = _DEPTH_REF * np.exp(reg[2, r, c])
+            assert 1.0 < depth < 80.0
+            sin_yaw, cos_yaw = reg[6, r, c], reg[7, r, c]
+            assert sin_yaw ** 2 + cos_yaw ** 2 == pytest.approx(1.0,
+                                                                abs=1e-4)
+
+    def test_loss_finite_and_differentiable(self, tiny_scene):
+        model = SMOKE(seed=1, **TINY_SMOKE)
+        outputs = model.forward(*model.preprocess(tiny_scene))
+        loss = model.loss(outputs, tiny_scene)
+        assert np.isfinite(loss.item())
+        loss.backward()
+        grads = [p.grad for p in model.parameters() if p.grad is not None]
+        assert all(np.isfinite(g).all() for g in grads)
+
+    def test_predict_boxes_valid(self, tiny_smoke, tiny_scene):
+        result = tiny_smoke.predict(tiny_scene)
+        for box in result.boxes:
+            assert box.dx > 0 and box.dy > 0 and box.dz > 0
+            assert box.x > 0          # in front of the camera
+            assert -np.pi <= box.yaw <= np.pi
+
+    def test_decode_inverts_targets(self, tiny_smoke, tiny_scene):
+        """Feeding perfect targets through decode recovers the objects."""
+        heat, reg, mask = tiny_smoke._keypoint_targets(tiny_scene)
+        # Sharpen the heatmap so only the true peaks survive.
+        peaks = (heat >= 1.0).astype(np.float32)
+        boxes = tiny_smoke._decode(peaks * 0.99, reg)
+        visible_gt = [b for b in tiny_scene.boxes
+                      if mask.sum() > 0]
+        if int(mask.sum()) == 0:
+            pytest.skip("no object projects into the tiny camera")
+        assert len(boxes) == int(mask.sum())
+        for pred in boxes:
+            best = min(np.hypot(pred.x - gt.x, pred.y - gt.y)
+                       for gt in visible_gt)
+            assert best < 2.5   # stride-4 grid + tiny camera tolerance
+
+    def test_train_step_reduces_loss(self, tiny_scene):
+        model = SMOKE(seed=2, **TINY_SMOKE)
+        opt = nn.optim.Adam(model.parameters(), lr=3e-3)
+        first = model.train_step(opt, tiny_scene)
+        for _ in range(8):
+            last = model.train_step(opt, tiny_scene)
+        assert last < first
+
+
+class TestModelRegistry:
+    def test_build_all(self):
+        from repro.models import available_models, build_model
+        assert set(available_models()) >= {"focalsconv", "monoflex",
+                                           "pointpillars", "second",
+                                           "smoke", "vsc"}
+
+    def test_build_fuzzy_names(self):
+        from repro.models import build_model, FocalsConv
+        assert isinstance(build_model("Focals Conv", **{}), FocalsConv)
+
+    def test_unknown_model_raises(self):
+        from repro.models import build_model
+        with pytest.raises(KeyError):
+            build_model("yolo")
+
+
+class TestTable1Models:
+    def test_param_ordering_matches_paper(self):
+        """Table 1: PointPillars < SECOND < FocalsConv < SMOKE < VSC."""
+        from repro.models import build_model
+        params = {name: build_model(name).num_parameters()
+                  for name in ("pointpillars", "second", "focalsconv",
+                               "smoke", "vsc")}
+        assert params["pointpillars"] < params["second"]
+        assert params["second"] < params["focalsconv"]
+        assert params["focalsconv"] < params["smoke"]
+        assert params["smoke"] < params["vsc"]
+
+    def test_second_forward(self, tiny_scene):
+        from repro.models import SECOND
+        from .conftest import TINY_VOXELS
+        model = SECOND(seed=0, **TINY_VOXELS)
+        out = model.forward(*model.preprocess(tiny_scene))
+        assert np.isfinite(out["cls"].data).all()
+
+    def test_focalsconv_gate_bounded(self, tiny_scene):
+        from repro.models import FocalsConv
+        from .conftest import TINY_VOXELS
+        model = FocalsConv(seed=0, **TINY_VOXELS)
+        features = model.middle(model.preprocess(tiny_scene)[0])
+        gate = model.focal_gate(features)
+        assert gate.data.min() >= 0.0
+        assert gate.data.max() <= 1.0
+
+    def test_vsc_forward(self, tiny_scene):
+        from repro.models import VSC
+        from .conftest import TINY_VOXELS
+        model = VSC(seed=0, **TINY_VOXELS)
+        out = model.forward(*model.preprocess(tiny_scene))
+        assert np.isfinite(out["cls"].data).all()
+
+    def test_second_predict_and_loss(self, tiny_scene):
+        from repro import nn as _nn
+        from repro.models import SECOND
+        from .conftest import TINY_VOXELS
+        model = SECOND(seed=1, **TINY_VOXELS)
+        outputs = model.forward(*model.preprocess(tiny_scene))
+        loss = model.loss(outputs, tiny_scene)
+        assert np.isfinite(loss.item())
+        loss.backward()
+        result = model.predict(tiny_scene)
+        assert result.frame_id == tiny_scene.frame_id
+        for box in result.boxes:
+            assert box.label in ("Car", "Pedestrian", "Cyclist")
+
+    def test_second_example_inputs_trace(self, tiny_scene):
+        from repro.core import preprocess_model
+        from repro.models import SECOND
+        from .conftest import TINY_VOXELS
+        model = SECOND(seed=0, **TINY_VOXELS)
+        groups = preprocess_model(model, *model.example_inputs())
+        assert groups.num_layers >= 10   # middle + backbone + head layers

@@ -1,0 +1,184 @@
+"""Tests for convolution/pooling primitives, including gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor
+from repro.nn import functional as F
+
+from .util import check_grad
+
+
+def _reference_conv2d(x, w, b, stride, padding):
+    """Direct (slow) convolution for cross-checking im2col results."""
+    n, c, h, w_in = x.shape
+    out_c, _, k, _ = w.shape
+    out_h = (h + 2 * padding - k) // stride + 1
+    out_w = (w_in + 2 * padding - k) // stride + 1
+    xp = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    out = np.zeros((n, out_c, out_h, out_w), dtype=np.float64)
+    for ni in range(n):
+        for oc in range(out_c):
+            for i in range(out_h):
+                for j in range(out_w):
+                    patch = xp[ni, :, i * stride:i * stride + k,
+                               j * stride:j * stride + k]
+                    out[ni, oc, i, j] = (patch * w[oc]).sum()
+            if b is not None:
+                out[ni, oc] += b[oc]
+    return out
+
+
+class TestIm2col:
+    def test_roundtrip_shapes(self):
+        x = np.random.default_rng(0).standard_normal((2, 3, 8, 8)) \
+            .astype(np.float32)
+        cols = F.im2col(x, kernel=3, stride=1, padding=1)
+        assert cols.shape == (2, 3 * 9, 64)
+
+    def test_col2im_adjoint(self):
+        # col2im must be the adjoint of im2col: <im2col(x), c> == <x, col2im(c)>
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal((1, 2, 6, 6)).astype(np.float32)
+        cols = rng.standard_normal((1, 2 * 9, 36)).astype(np.float32)
+        lhs = (F.im2col(x, 3, 1, 1) * cols).sum()
+        rhs = (x * F.col2im(cols, x.shape, 3, 1, 1)).sum()
+        assert lhs == pytest.approx(rhs, rel=1e-4)
+
+
+class TestConv2d:
+    @pytest.mark.parametrize("stride,padding", [(1, 0), (1, 1), (2, 1)])
+    def test_matches_reference(self, stride, padding):
+        rng = np.random.default_rng(2)
+        x = rng.standard_normal((2, 3, 7, 7)).astype(np.float32)
+        w = rng.standard_normal((4, 3, 3, 3)).astype(np.float32)
+        b = rng.standard_normal(4).astype(np.float32)
+        out = F.conv2d(Tensor(x), Tensor(w), Tensor(b),
+                       stride=stride, padding=padding)
+        ref = _reference_conv2d(x, w, b, stride, padding)
+        np.testing.assert_allclose(out.data, ref, rtol=1e-4, atol=1e-4)
+
+    def test_1x1_conv(self):
+        rng = np.random.default_rng(3)
+        x = rng.standard_normal((1, 4, 5, 5)).astype(np.float32)
+        w = rng.standard_normal((2, 4, 1, 1)).astype(np.float32)
+        out = F.conv2d(Tensor(x), Tensor(w))
+        ref = np.einsum("nchw,oc->nohw", x, w[:, :, 0, 0])
+        np.testing.assert_allclose(out.data, ref, rtol=1e-4, atol=1e-5)
+
+    def test_gradients(self):
+        check_grad(
+            lambda x, w, b: F.conv2d(x, w, b, stride=1, padding=1),
+            (1, 2, 5, 5), (3, 2, 3, 3), (3,))
+
+    def test_gradients_strided(self):
+        check_grad(
+            lambda x, w: F.conv2d(x, w, stride=2, padding=1),
+            (1, 2, 6, 6), (2, 2, 3, 3))
+
+    def test_channel_mismatch_raises(self):
+        x = Tensor(np.zeros((1, 3, 4, 4), dtype=np.float32))
+        w = Tensor(np.zeros((2, 4, 3, 3), dtype=np.float32))
+        with pytest.raises(ValueError, match="channel mismatch"):
+            F.conv2d(x, w)
+
+    def test_rectangular_kernel_raises(self):
+        x = Tensor(np.zeros((1, 2, 4, 4), dtype=np.float32))
+        w = Tensor(np.zeros((2, 2, 3, 2), dtype=np.float32))
+        with pytest.raises(ValueError, match="square"):
+            F.conv2d(x, w)
+
+
+class TestConvTranspose2d:
+    def test_shape_inverts_conv(self):
+        rng = np.random.default_rng(4)
+        x = Tensor(rng.standard_normal((1, 4, 5, 5)).astype(np.float32))
+        w = Tensor(rng.standard_normal((4, 2, 2, 2)).astype(np.float32))
+        out = F.conv_transpose2d(x, w, stride=2)
+        assert out.shape == (1, 2, 10, 10)
+
+    def test_gradients(self):
+        check_grad(
+            lambda x, w, b: F.conv_transpose2d(x, w, b, stride=2),
+            (1, 2, 3, 3), (2, 2, 2, 2), (2,))
+
+    def test_adjoint_of_conv(self):
+        # conv_transpose with weight W applied to y equals the input-grad of
+        # conv with the same weight: <conv(x), y> == <x, conv_T(y)>.
+        rng = np.random.default_rng(5)
+        x = rng.standard_normal((1, 3, 6, 6)).astype(np.float32)
+        w = rng.standard_normal((5, 3, 3, 3)).astype(np.float32)
+        y = rng.standard_normal((1, 5, 4, 4)).astype(np.float32)
+        conv_out = F.conv2d(Tensor(x), Tensor(w)).data
+        wt = Tensor(w.transpose(0, 1, 2, 3))  # conv_T expects (in,out,k,k)
+        back = F.conv_transpose2d(Tensor(y), wt).data
+        assert (conv_out * y).sum() == pytest.approx(
+            (x * back).sum(), rel=1e-3)
+
+
+class TestPooling:
+    def test_max_pool_values(self):
+        x = np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4)
+        out = F.max_pool2d(Tensor(x), kernel=2)
+        np.testing.assert_array_equal(out.data[0, 0], [[5, 7], [13, 15]])
+
+    def test_max_pool_grad_routes_to_max(self):
+        x = Tensor(np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4),
+                   requires_grad=True)
+        F.max_pool2d(x, 2).sum().backward()
+        expected = np.zeros((4, 4))
+        expected[1, 1] = expected[1, 3] = expected[3, 1] = expected[3, 3] = 1
+        np.testing.assert_array_equal(x.grad[0, 0], expected)
+
+    def test_avg_pool_values(self):
+        x = np.ones((1, 2, 4, 4), dtype=np.float32) * 3.0
+        out = F.avg_pool2d(Tensor(x), kernel=2)
+        np.testing.assert_allclose(out.data, np.full((1, 2, 2, 2), 3.0))
+
+    def test_avg_pool_grad(self):
+        check_grad(lambda x: F.avg_pool2d(x, 2), (1, 2, 4, 4))
+
+
+class TestUpsample:
+    def test_values(self):
+        x = np.array([[1.0, 2.0], [3.0, 4.0]], dtype=np.float32)
+        out = F.upsample_nearest2d(Tensor(x.reshape(1, 1, 2, 2)), 2)
+        np.testing.assert_array_equal(
+            out.data[0, 0],
+            [[1, 1, 2, 2], [1, 1, 2, 2], [3, 3, 4, 4], [3, 3, 4, 4]])
+
+    def test_grad(self):
+        check_grad(lambda x: F.upsample_nearest2d(x, 2), (1, 2, 3, 3))
+
+
+class TestScatter:
+    def test_scatter_places_features(self):
+        feats = Tensor(np.array([[1.0, 2.0], [3.0, 4.0]], dtype=np.float32))
+        indices = np.array([[0, 1], [2, 3]])
+        out = F.scatter_to_grid(feats, indices, (3, 4))
+        assert out.shape == (1, 2, 3, 4)
+        assert out.data[0, 0, 0, 1] == 1.0
+        assert out.data[0, 1, 0, 1] == 2.0
+        assert out.data[0, 0, 2, 3] == 3.0
+        assert out.data[0, 1, 2, 3] == 4.0
+        assert out.data.sum() == pytest.approx(10.0)
+
+    def test_scatter_grad(self):
+        feats = Tensor(np.ones((3, 2), dtype=np.float32), requires_grad=True)
+        indices = np.array([[0, 0], [1, 1], [2, 2]])
+        out = F.scatter_to_grid(feats, indices, (3, 3))
+        (out * 2.0).sum().backward()
+        np.testing.assert_allclose(feats.grad, np.full((3, 2), 2.0))
+
+
+class TestLinear:
+    def test_matches_numpy(self):
+        rng = np.random.default_rng(6)
+        x = rng.standard_normal((4, 3)).astype(np.float32)
+        w = rng.standard_normal((5, 3)).astype(np.float32)
+        b = rng.standard_normal(5).astype(np.float32)
+        out = F.linear(Tensor(x), Tensor(w), Tensor(b))
+        np.testing.assert_allclose(out.data, x @ w.T + b, rtol=1e-5)
+
+    def test_grad(self):
+        check_grad(lambda x, w, b: F.linear(x, w, b), (4, 3), (5, 3), (5,))

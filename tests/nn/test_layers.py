@@ -1,0 +1,268 @@
+"""Tests for the layer zoo and Module machinery."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import Tensor
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+class TestConv2d:
+    def test_output_shape(self, rng):
+        layer = nn.Conv2d(3, 8, 3, stride=2, padding=1, rng=rng)
+        out = layer(Tensor(rng.standard_normal((2, 3, 8, 8))
+                           .astype(np.float32)))
+        assert out.shape == (2, 8, 4, 4)
+
+    def test_bias_optional(self, rng):
+        layer = nn.Conv2d(2, 4, 1, bias=False, rng=rng)
+        assert layer.bias is None
+        names = [n for n, _ in layer.named_parameters()]
+        assert names == ["weight"]
+
+    def test_weight_edit_affects_forward(self, rng):
+        # Compression rewrites layer.weight.data in place; the next forward
+        # must see the change without re-binding anything.
+        layer = nn.Conv2d(1, 1, 3, padding=1, bias=False, rng=rng)
+        x = Tensor(rng.standard_normal((1, 1, 4, 4)).astype(np.float32))
+        before = layer(x).data.copy()
+        layer.weight.data *= 0.0
+        after = layer(x).data
+        assert np.abs(before).sum() > 0
+        assert np.abs(after).sum() == 0
+
+
+class TestBatchNorm:
+    def test_train_normalizes(self, rng):
+        bn = nn.BatchNorm2d(4)
+        x = Tensor(rng.standard_normal((8, 4, 5, 5)).astype(np.float32) * 3
+                   + 2)
+        out = bn(x)
+        mean = out.data.mean(axis=(0, 2, 3))
+        std = out.data.std(axis=(0, 2, 3))
+        np.testing.assert_allclose(mean, np.zeros(4), atol=1e-4)
+        np.testing.assert_allclose(std, np.ones(4), atol=1e-3)
+
+    def test_eval_uses_running_stats(self, rng):
+        bn = nn.BatchNorm2d(2)
+        x = Tensor(rng.standard_normal((16, 2, 4, 4)).astype(np.float32) * 2
+                   + 1)
+        for _ in range(50):
+            bn(x)
+        bn.eval()
+        out = bn(x)
+        # Running stats converge to batch stats, so eval output is close to
+        # normalized.
+        np.testing.assert_allclose(out.data.mean(axis=(0, 2, 3)),
+                                   np.zeros(2), atol=0.1)
+
+    def test_running_stats_saved_in_state_dict(self):
+        bn = nn.BatchNorm2d(3)
+        state = bn.state_dict()
+        assert "running_mean" in state
+        assert "running_var" in state
+
+    def test_batchnorm1d(self, rng):
+        bn = nn.BatchNorm1d(5)
+        x = Tensor(rng.standard_normal((32, 5)).astype(np.float32) * 4 - 1)
+        out = bn(x)
+        np.testing.assert_allclose(out.data.mean(axis=0), np.zeros(5),
+                                   atol=1e-4)
+
+
+class TestContainers:
+    def test_sequential_forward(self, rng):
+        model = nn.Sequential(
+            nn.Conv2d(1, 4, 3, padding=1, rng=rng),
+            nn.ReLU(),
+            nn.Conv2d(4, 2, 3, padding=1, rng=rng),
+        )
+        out = model(Tensor(rng.standard_normal((1, 1, 6, 6))
+                           .astype(np.float32)))
+        assert out.shape == (1, 2, 6, 6)
+
+    def test_sequential_indexing(self, rng):
+        model = nn.Sequential(nn.ReLU(), nn.Sigmoid())
+        assert isinstance(model[0], nn.ReLU)
+        assert isinstance(model[1], nn.Sigmoid)
+        assert len(model) == 2
+
+    def test_named_parameters_nested(self, rng):
+        model = nn.Sequential(nn.Conv2d(1, 2, 3, rng=rng),
+                              nn.Conv2d(2, 2, 3, rng=rng))
+        names = {n for n, _ in model.named_parameters()}
+        assert names == {"0.weight", "0.bias", "1.weight", "1.bias"}
+
+    def test_num_parameters(self, rng):
+        layer = nn.Conv2d(2, 3, 3, rng=rng)  # 3*2*3*3 + 3
+        assert layer.num_parameters() == 57
+
+    def test_train_eval_propagates(self, rng):
+        model = nn.Sequential(nn.ConvBNReLU(1, 2, 3, rng=rng))
+        model.eval()
+        assert all(not m.training for m in model.modules())
+        model.train()
+        assert all(m.training for m in model.modules())
+
+
+class TestStateDict:
+    def test_roundtrip(self, rng):
+        src = nn.Sequential(nn.Conv2d(1, 2, 3, rng=rng), nn.BatchNorm2d(2))
+        dst = nn.Sequential(
+            nn.Conv2d(1, 2, 3, rng=np.random.default_rng(7)),
+            nn.BatchNorm2d(2))
+        dst.load_state_dict(src.state_dict())
+        for (_, p_src), (_, p_dst) in zip(src.named_parameters(),
+                                          dst.named_parameters()):
+            np.testing.assert_array_equal(p_src.data, p_dst.data)
+
+    def test_shape_mismatch_raises(self, rng):
+        src = nn.Conv2d(1, 2, 3, rng=rng)
+        dst = nn.Conv2d(1, 3, 3, rng=rng)
+        with pytest.raises(ValueError, match="shape mismatch"):
+            dst.load_state_dict(src.state_dict())
+
+    def test_unknown_key_raises(self, rng):
+        layer = nn.Conv2d(1, 2, 3, rng=rng)
+        with pytest.raises(KeyError):
+            layer.load_state_dict({"nonsense": np.zeros(3)})
+
+    def test_state_dict_is_copy(self, rng):
+        layer = nn.Conv2d(1, 2, 3, rng=rng)
+        state = layer.state_dict()
+        state["weight"][:] = 0
+        assert np.abs(layer.weight.data).sum() > 0
+
+
+class TestSerialization:
+    def test_npz_roundtrip(self, rng, tmp_path):
+        model = nn.Sequential(nn.Conv2d(2, 4, 3, rng=rng), nn.BatchNorm2d(4))
+        path = str(tmp_path / "weights.npz")
+        nn.save_model(model, path)
+        clone = nn.Sequential(
+            nn.Conv2d(2, 4, 3, rng=np.random.default_rng(1)),
+            nn.BatchNorm2d(4))
+        nn.load_model(clone, path)
+        np.testing.assert_array_equal(clone[0].weight.data,
+                                      model[0].weight.data)
+
+
+class TestTrainingLoop:
+    def test_conv_net_learns_identity(self, rng):
+        """End-to-end sanity: a small conv net fits a simple target."""
+        model = nn.Sequential(
+            nn.Conv2d(1, 4, 3, padding=1, rng=rng),
+            nn.ReLU(),
+            nn.Conv2d(4, 1, 3, padding=1, rng=rng),
+        )
+        opt = nn.optim.Adam(model.parameters(), lr=1e-2)
+        x = Tensor(rng.standard_normal((4, 1, 6, 6)).astype(np.float32))
+        target = Tensor(x.data * 2.0)
+        first_loss = None
+        for _ in range(60):
+            opt.zero_grad()
+            loss = nn.losses.mse_loss(model(x), target)
+            if first_loss is None:
+                first_loss = loss.item()
+            loss.backward()
+            opt.step()
+        assert loss.item() < first_loss * 0.2
+
+    def test_linear_regression_sgd(self, rng):
+        layer = nn.Linear(3, 1, rng=rng)
+        true_w = np.array([[1.0, -2.0, 0.5]], dtype=np.float32)
+        x = rng.standard_normal((64, 3)).astype(np.float32)
+        y = x @ true_w.T
+        opt = nn.optim.SGD(layer.parameters(), lr=0.1, momentum=0.9)
+        for _ in range(100):
+            opt.zero_grad()
+            loss = nn.losses.mse_loss(layer(Tensor(x)), Tensor(y))
+            loss.backward()
+            opt.step()
+        np.testing.assert_allclose(layer.weight.data, true_w, atol=0.05)
+
+
+class TestOptimMask:
+    def test_sgd_mask_freezes_pruned_weights(self, rng):
+        layer = nn.Linear(4, 2, rng=rng)
+        mask = np.zeros_like(layer.weight.data)
+        mask[:, :2] = 1.0
+        layer.weight.data *= mask
+        opt = nn.optim.SGD(layer.parameters(), lr=0.5)
+        opt.set_mask(layer.weight, mask)
+        x = Tensor(rng.standard_normal((8, 4)).astype(np.float32))
+        loss = (layer(x) * layer(x)).sum()
+        loss.backward()
+        opt.step()
+        assert np.all(layer.weight.data[:, 2:] == 0.0)
+        assert np.any(layer.weight.data[:, :2] != 0.0)
+
+    def test_adam_mask_freezes_pruned_weights(self, rng):
+        layer = nn.Linear(4, 2, rng=rng)
+        mask = np.ones_like(layer.weight.data)
+        mask[0, 0] = 0.0
+        layer.weight.data[0, 0] = 0.0
+        opt = nn.optim.Adam(layer.parameters(), lr=0.1)
+        opt.set_mask(layer.weight, mask)
+        x = Tensor(rng.standard_normal((8, 4)).astype(np.float32))
+        (layer(x) ** 2.0).sum().backward()
+        opt.step()
+        assert layer.weight.data[0, 0] == 0.0
+
+    def test_mask_shape_mismatch_raises(self, rng):
+        layer = nn.Linear(4, 2, rng=rng)
+        opt = nn.optim.SGD(layer.parameters())
+        with pytest.raises(ValueError):
+            opt.set_mask(layer.weight, np.ones((2, 5)))
+
+
+class TestLosses:
+    def test_smooth_l1_small_errors_quadratic(self):
+        pred = Tensor(np.array([0.1], dtype=np.float32))
+        target = Tensor(np.array([0.0], dtype=np.float32))
+        loss = nn.losses.smooth_l1_loss(pred, target)
+        assert loss.item() == pytest.approx(0.5 * 0.01, rel=1e-4)
+
+    def test_smooth_l1_large_errors_linear(self):
+        pred = Tensor(np.array([3.0], dtype=np.float32))
+        target = Tensor(np.array([0.0], dtype=np.float32))
+        loss = nn.losses.smooth_l1_loss(pred, target)
+        assert loss.item() == pytest.approx(2.5, rel=1e-4)
+
+    def test_bce_with_logits_matches_manual(self):
+        logits = Tensor(np.array([0.0, 2.0], dtype=np.float32))
+        target = Tensor(np.array([1.0, 0.0], dtype=np.float32))
+        loss = nn.losses.binary_cross_entropy_with_logits(logits, target)
+        p = 1 / (1 + np.exp(-np.array([0.0, 2.0])))
+        expected = -(np.log(p[0]) + np.log(1 - p[1])) / 2
+        assert loss.item() == pytest.approx(expected, rel=1e-4)
+
+    def test_focal_loss_downweights_easy(self):
+        easy = Tensor(np.array([6.0], dtype=np.float32))
+        hard = Tensor(np.array([-6.0], dtype=np.float32))
+        target = Tensor(np.array([1.0], dtype=np.float32))
+        easy_loss = nn.losses.focal_loss(easy, target).item()
+        hard_loss = nn.losses.focal_loss(hard, target).item()
+        assert hard_loss > easy_loss * 100
+
+    def test_cross_entropy_perfect_prediction(self):
+        logits = Tensor(np.array([[10.0, -10.0], [-10.0, 10.0]],
+                                 dtype=np.float32))
+        loss = nn.losses.cross_entropy(logits, np.array([0, 1]))
+        assert loss.item() < 1e-3
+
+    def test_losses_backprop(self, rng):
+        pred = Tensor(rng.standard_normal((4, 3)).astype(np.float32),
+                      requires_grad=True)
+        target = Tensor(rng.standard_normal((4, 3)).astype(np.float32))
+        for fn in (nn.losses.mse_loss, nn.losses.l1_loss,
+                   nn.losses.smooth_l1_loss):
+            pred.zero_grad()
+            fn(pred, target).backward()
+            assert pred.grad is not None
+            assert np.isfinite(pred.grad).all()

@@ -1,0 +1,96 @@
+"""Tests for integer-arithmetic quantized inference."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import nn
+from repro.nn import Tensor
+from repro.nn.quantized import (QuantizedConv2d, activation_scale,
+                                quantize_activation)
+
+
+@pytest.fixture
+def conv():
+    return nn.Conv2d(3, 8, 3, padding=1, rng=np.random.default_rng(0))
+
+
+@pytest.fixture
+def activation():
+    rng = np.random.default_rng(1)
+    return rng.standard_normal((2, 3, 8, 8)).astype(np.float32)
+
+
+class TestActivationQuantization:
+    def test_scale_covers_range(self, activation):
+        scale = activation_scale(activation, bits=8)
+        codes = quantize_activation(activation, scale, bits=8)
+        assert codes.max() <= 127
+        assert codes.min() >= -127
+        assert codes.max() == 127 or codes.min() == -127
+
+    def test_zero_activation(self):
+        scale = activation_scale(np.zeros((1, 1, 2, 2)), bits=8)
+        assert scale == 1.0
+
+
+class TestQuantizedConv:
+    def test_integer_path_matches_fake_quant_exactly(self, conv,
+                                                     activation):
+        """The deployment-critical property: int arithmetic ≡ fake quant."""
+        scale = activation_scale(activation)
+        qconv = QuantizedConv2d.from_float(conv, scale)
+        x = Tensor(activation)
+        integer_out = qconv(x)
+        reference = qconv.fake_quant_reference(x)
+        np.testing.assert_allclose(integer_out.data, reference.data,
+                                   rtol=1e-5, atol=1e-5)
+
+    def test_close_to_float_convolution(self, conv, activation):
+        scale = activation_scale(activation)
+        qconv = QuantizedConv2d.from_float(conv, scale)
+        float_out = conv(Tensor(activation))
+        quant_out = qconv(Tensor(activation))
+        # 8-bit weights + activations: a few percent relative error.
+        err = np.abs(float_out.data - quant_out.data).max()
+        assert err < 0.1 * np.abs(float_out.data).max()
+
+    def test_accumulator_is_integer(self, conv, activation):
+        # With bias removed, output values must be integer multiples of
+        # the per-filter rescale factor.
+        conv_no_bias = nn.Conv2d(3, 4, 3, padding=1, bias=False,
+                                 rng=np.random.default_rng(2))
+        scale = activation_scale(activation)
+        qconv = QuantizedConv2d.from_float(conv_no_bias, scale)
+        out = qconv(Tensor(activation)).data
+        rescale = qconv.weight_scales[:, None, None] * qconv.input_scale
+        accs = out / rescale[None]
+        np.testing.assert_allclose(accs, np.round(accs), atol=1e-3)
+
+    def test_lower_bits_larger_error(self, conv, activation):
+        scale = activation_scale(activation)
+        float_out = conv(Tensor(activation)).data
+
+        def max_err(bits):
+            bit_scale = activation_scale(activation, bits=bits)
+            q = QuantizedConv2d.from_float(conv, bit_scale,
+                                           weight_bits=bits,
+                                           activation_bits=bits)
+            return np.abs(q(Tensor(activation)).data - float_out).max()
+
+        assert max_err(4) > max_err(8) > max_err(12)
+
+    @given(st.integers(4, 8))
+    @settings(max_examples=5, deadline=None)
+    def test_equivalence_across_bitwidths(self, bits):
+        rng = np.random.default_rng(bits)
+        conv = nn.Conv2d(2, 3, 3, rng=rng)
+        x = rng.standard_normal((1, 2, 6, 6)).astype(np.float32)
+        scale = activation_scale(x)
+        qconv = QuantizedConv2d.from_float(conv, scale, weight_bits=bits,
+                                           activation_bits=bits)
+        np.testing.assert_allclose(
+            qconv(Tensor(x)).data,
+            qconv.fake_quant_reference(Tensor(x)).data,
+            rtol=1e-5, atol=1e-5)

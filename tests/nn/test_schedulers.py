@@ -1,0 +1,64 @@
+"""Tests for learning-rate schedulers."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.schedulers import CosineAnnealing, StepDecay, WarmupWrapper
+
+
+@pytest.fixture
+def optimizer():
+    layer = nn.Linear(2, 2, rng=np.random.default_rng(0))
+    return nn.optim.SGD(layer.parameters(), lr=0.1)
+
+
+class TestStepDecay:
+    def test_decays_at_milestones(self, optimizer):
+        sched = StepDecay(optimizer, milestones=[3, 6], gamma=0.5)
+        lrs = [sched.step() for _ in range(7)]
+        assert lrs[0] == pytest.approx(0.1)
+        assert lrs[2] == pytest.approx(0.05)    # step 3 hit first milestone
+        assert lrs[5] == pytest.approx(0.025)
+        assert lrs[6] == pytest.approx(0.025)
+
+    def test_updates_optimizer(self, optimizer):
+        sched = StepDecay(optimizer, milestones=[1], gamma=0.1)
+        sched.step()
+        assert optimizer.lr == pytest.approx(0.01)
+
+
+class TestCosineAnnealing:
+    def test_endpoints(self, optimizer):
+        sched = CosineAnnealing(optimizer, total_steps=100, min_lr=0.001)
+        first = sched.lr_at(0)
+        last = sched.lr_at(100)
+        assert first == pytest.approx(0.1)
+        assert last == pytest.approx(0.001)
+
+    def test_monotone_decreasing(self, optimizer):
+        sched = CosineAnnealing(optimizer, total_steps=50)
+        lrs = [sched.step() for _ in range(50)]
+        assert all(a >= b - 1e-9 for a, b in zip(lrs, lrs[1:]))
+
+    def test_clamps_past_total(self, optimizer):
+        sched = CosineAnnealing(optimizer, total_steps=10, min_lr=0.01)
+        assert sched.lr_at(1000) == pytest.approx(0.01)
+
+
+class TestWarmup:
+    def test_linear_rampup(self, optimizer):
+        inner = StepDecay(optimizer, milestones=[], gamma=1.0)
+        sched = WarmupWrapper(inner, warmup_steps=4)
+        lrs = [sched.step() for _ in range(4)]
+        np.testing.assert_allclose(lrs, [0.025, 0.05, 0.075, 0.1],
+                                   rtol=1e-6)
+
+    def test_delegates_after_warmup(self, optimizer):
+        inner = StepDecay(optimizer, milestones=[2], gamma=0.5)
+        sched = WarmupWrapper(inner, warmup_steps=2)
+        for _ in range(2):
+            sched.step()
+        lrs = [sched.step() for _ in range(3)]
+        assert lrs[0] == pytest.approx(0.1)      # inner step 1
+        assert lrs[1] == pytest.approx(0.05)     # inner milestone at 2

@@ -1,0 +1,48 @@
+"""Shared helpers for nn tests: numeric gradient checking."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import Tensor
+
+
+def numeric_grad(fn, x: np.ndarray, eps: float = 1e-3) -> np.ndarray:
+    """Central-difference gradient of scalar fn w.r.t. array x."""
+    grad = np.zeros_like(x, dtype=np.float64)
+    flat = x.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        plus = fn(x)
+        flat[i] = original - eps
+        minus = fn(x)
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2 * eps)
+    return grad
+
+
+def check_grad(op, *shapes, rng=None, atol=2e-2, rtol=2e-2, scale=1.0):
+    """Compare autograd and numeric gradients of ``op`` over random inputs.
+
+    ``op`` takes Tensors and returns a Tensor; its sum is the scalar loss.
+    """
+    rng = rng or np.random.default_rng(0)
+    arrays = [rng.standard_normal(shape).astype(np.float32) * scale
+              for shape in shapes]
+    tensors = [Tensor(a.copy(), requires_grad=True) for a in arrays]
+    out = op(*tensors)
+    loss = out.sum()
+    loss.backward()
+
+    for i, array in enumerate(arrays):
+        def scalar_fn(x, index=i):
+            inputs = [Tensor(a) for a in arrays]
+            inputs[index] = Tensor(x)
+            return float(op(*inputs).sum().data)
+
+        expected = numeric_grad(scalar_fn, array.astype(np.float64))
+        actual = tensors[i].grad
+        assert actual is not None, f"input {i} got no gradient"
+        np.testing.assert_allclose(actual, expected, atol=atol, rtol=rtol)

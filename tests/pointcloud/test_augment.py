@@ -1,0 +1,133 @@
+"""Tests for point-cloud augmentation: labels must track the points."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pointcloud import (Box3D, LidarConfig, SceneConfig,
+                              SceneGenerator, points_in_box)
+from repro.pointcloud.augment import (AugmentConfig, augment_scene,
+                                      global_flip_y, global_rotation,
+                                      global_scaling, object_jitter)
+
+
+@pytest.fixture(scope="module")
+def scene():
+    cfg = SceneConfig(x_range=(5, 24), y_range=(-10, 10),
+                      lidar=LidarConfig(channels=12, azimuth_steps=90))
+    return SceneGenerator(cfg, seed=4).generate(0, with_image=False)
+
+
+def _points_per_box(scene):
+    return [int(points_in_box(scene.points, b, margin=0.1).sum())
+            for b in scene.boxes]
+
+
+class TestGlobalRotation:
+    def test_preserves_point_count(self, scene):
+        rotated = global_rotation(scene, 0.3)
+        assert len(rotated.points) == len(scene.points)
+
+    def test_labels_follow_points(self, scene):
+        rotated = global_rotation(scene, 0.4)
+        np.testing.assert_array_equal(_points_per_box(rotated),
+                                      _points_per_box(scene))
+
+    def test_preserves_ranges(self, scene):
+        rotated = global_rotation(scene, 1.0)
+        np.testing.assert_allclose(
+            np.linalg.norm(rotated.points[:, :2], axis=1),
+            np.linalg.norm(scene.points[:, :2], axis=1), rtol=1e-5)
+
+    def test_zero_rotation_identity(self, scene):
+        rotated = global_rotation(scene, 0.0)
+        np.testing.assert_allclose(rotated.points, scene.points, atol=1e-6)
+
+    @given(st.floats(-np.pi, np.pi))
+    @settings(max_examples=15, deadline=None)
+    def test_rotation_invertible(self, angle):
+        cfg = SceneConfig(x_range=(5, 24), y_range=(-10, 10),
+                          lidar=LidarConfig(channels=8, azimuth_steps=45))
+        original = SceneGenerator(cfg, seed=1).generate(0, with_image=False)
+        back = global_rotation(global_rotation(original, angle), -angle)
+        np.testing.assert_allclose(back.points[:, :3],
+                                   original.points[:, :3], atol=1e-4)
+
+
+class TestFlipAndScale:
+    def test_flip_mirrors_y(self, scene):
+        flipped = global_flip_y(scene)
+        np.testing.assert_allclose(flipped.points[:, 1],
+                                   -scene.points[:, 1])
+        for orig, flip in zip(scene.boxes, flipped.boxes):
+            assert flip.y == pytest.approx(-orig.y)
+            assert flip.yaw == pytest.approx(-orig.yaw)
+
+    def test_flip_labels_follow_points(self, scene):
+        flipped = global_flip_y(scene)
+        np.testing.assert_array_equal(_points_per_box(flipped),
+                                      _points_per_box(scene))
+
+    def test_double_flip_identity(self, scene):
+        back = global_flip_y(global_flip_y(scene))
+        np.testing.assert_allclose(back.points, scene.points)
+
+    def test_scaling_scales_everything(self, scene):
+        scaled = global_scaling(scene, 1.1)
+        np.testing.assert_allclose(scaled.points[:, :3],
+                                   scene.points[:, :3] * 1.1, rtol=1e-5)
+        assert scaled.boxes[0].dx == pytest.approx(scene.boxes[0].dx * 1.1)
+        # Counts match closely (the fixed membership margin does not
+        # scale, so boundary points may flip by a couple).
+        for before, after in zip(_points_per_box(scene),
+                                 _points_per_box(scaled)):
+            assert after >= before * 0.9 - 2
+
+
+class TestObjectJitter:
+    def test_points_move_with_boxes(self, scene):
+        rng = np.random.default_rng(0)
+        jittered = object_jitter(scene, std=0.3, rng=rng)
+        before = _points_per_box(scene)
+        after = _points_per_box(jittered)
+        # Each moved box keeps (essentially) its points; stray ground
+        # points at the membership margin may flip either way.
+        for b, a in zip(before, after):
+            assert a >= b * 0.85 - 2
+
+    def test_zero_std_identity(self, scene):
+        jittered = object_jitter(scene, std=0.0,
+                                 rng=np.random.default_rng(0))
+        np.testing.assert_allclose(jittered.points, scene.points)
+
+
+class TestAugmentScene:
+    def test_full_pipeline_keeps_labels_consistent(self, scene):
+        augmented = augment_scene(scene, rng=np.random.default_rng(7))
+        assert len(augmented.boxes) == len(scene.boxes)
+        counts = _points_per_box(augmented)
+        # Every object still has its points after the combined transform.
+        for before, after in zip(_points_per_box(scene), counts):
+            assert after >= before * 0.8
+
+    def test_disabled_passthrough(self, scene):
+        config = AugmentConfig(enabled=False)
+        assert augment_scene(scene, config) is scene
+
+    def test_image_dropped(self, scene):
+        scene_with_image = SceneGenerator(
+            SceneConfig(x_range=(5, 24), y_range=(-10, 10),
+                        lidar=LidarConfig(channels=8, azimuth_steps=45)),
+            seed=2).generate(0, with_image=True)
+        augmented = augment_scene(scene_with_image,
+                                  rng=np.random.default_rng(0))
+        assert augmented.image is None
+
+    def test_original_scene_untouched(self, scene):
+        points_before = scene.points.copy()
+        box_before = scene.boxes[0].as_vector()
+        augment_scene(scene, rng=np.random.default_rng(3))
+        np.testing.assert_array_equal(scene.points, points_before)
+        np.testing.assert_array_equal(scene.boxes[0].as_vector(),
+                                      box_before)

@@ -1,0 +1,169 @@
+"""Geometry tests: corners, polygon clipping, rotated IoU."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pointcloud import (Box3D, bev_corners, bev_intersection_area,
+                              boxes_to_array, array_to_boxes, clip_polygon,
+                              iou_3d, iou_bev, iou_matrix_bev,
+                              points_in_box, polygon_area)
+
+
+def box(x=0, y=0, z=1, dx=4, dy=2, dz=2, yaw=0.0):
+    return np.array([x, y, z, dx, dy, dz, yaw], dtype=np.float64)
+
+
+class TestCorners:
+    def test_axis_aligned_corners(self):
+        b = Box3D(0, 0, 1, 4, 2, 2, 0)
+        corners = b.corners()
+        assert corners.shape == (8, 3)
+        np.testing.assert_allclose(corners[:, 0].max(), 2.0, atol=1e-6)
+        np.testing.assert_allclose(corners[:, 1].min(), -1.0, atol=1e-6)
+        np.testing.assert_allclose(corners[:, 2].min(), 0.0, atol=1e-6)
+        np.testing.assert_allclose(corners[:, 2].max(), 2.0, atol=1e-6)
+
+    def test_rotation_90_swaps_extents(self):
+        b = Box3D(0, 0, 1, 4, 2, 2, np.pi / 2)
+        corners = b.corners()
+        np.testing.assert_allclose(corners[:, 0].max(), 1.0, atol=1e-5)
+        np.testing.assert_allclose(corners[:, 1].max(), 2.0, atol=1e-5)
+
+    def test_bev_corners_match_3d(self):
+        b = Box3D(3, -2, 1, 4, 2, 2, 0.7)
+        bev = bev_corners(b.as_vector())
+        full = b.corners()[:4, :2]
+        # Same footprint (corner order may differ): match each BEV corner
+        # to its nearest 3D footprint corner.
+        for corner in bev:
+            distances = np.linalg.norm(full - corner, axis=1)
+            assert distances.min() < 1e-4
+
+    def test_roundtrip_array(self):
+        boxes = [Box3D(1, 2, 3, 4, 5, 6, 0.5, label="Cyclist", score=0.7)]
+        arr = boxes_to_array(boxes)
+        back = array_to_boxes(arr, labels=["Cyclist"], scores=[0.7])
+        assert back[0].label == "Cyclist"
+        np.testing.assert_allclose(back[0].as_vector(), boxes[0].as_vector())
+
+    def test_empty_boxes_to_array(self):
+        assert boxes_to_array([]).shape == (0, 7)
+
+
+class TestPolygon:
+    def test_area_unit_square(self):
+        square = np.array([[0, 0], [1, 0], [1, 1], [0, 1]], dtype=float)
+        assert polygon_area(square) == pytest.approx(1.0)
+
+    def test_area_sign_flips_with_winding(self):
+        square = np.array([[0, 0], [1, 0], [1, 1], [0, 1]], dtype=float)
+        assert polygon_area(square[::-1]) == pytest.approx(-1.0)
+
+    def test_clip_identical(self):
+        square = np.array([[0, 0], [2, 0], [2, 2], [0, 2]], dtype=float)
+        inter = clip_polygon(square, square)
+        assert abs(polygon_area(inter)) == pytest.approx(4.0)
+
+    def test_clip_offset_squares(self):
+        a = np.array([[0, 0], [2, 0], [2, 2], [0, 2]], dtype=float)
+        b = a + np.array([1.0, 1.0])
+        inter = clip_polygon(a, b)
+        assert abs(polygon_area(inter)) == pytest.approx(1.0)
+
+    def test_clip_disjoint(self):
+        a = np.array([[0, 0], [1, 0], [1, 1], [0, 1]], dtype=float)
+        b = a + np.array([5.0, 0.0])
+        inter = clip_polygon(a, b)
+        assert len(inter) == 0 or abs(polygon_area(inter)) < 1e-9
+
+
+class TestIoU:
+    def test_identical_boxes(self):
+        assert iou_bev(box(), box()) == pytest.approx(1.0)
+        assert iou_3d(box(), box()) == pytest.approx(1.0)
+
+    def test_disjoint_boxes(self):
+        assert iou_bev(box(), box(x=100)) == 0.0
+        assert iou_3d(box(), box(x=100)) == 0.0
+
+    def test_half_overlap_axis_aligned(self):
+        # 4x2 boxes shifted by 2 along x: intersection 2x2=4, union 12.
+        value = iou_bev(box(), box(x=2))
+        assert value == pytest.approx(4 / 12, abs=1e-6)
+
+    def test_rotation_invariance(self):
+        # IoU of a pair is preserved under a global rotation.
+        a, b = box(), box(x=1.5, y=0.5, yaw=0.3)
+        base = iou_bev(a, b)
+        for theta in (0.4, 1.1, 2.5):
+            c, s = np.cos(theta), np.sin(theta)
+
+            def rotated(bx):
+                out = bx.copy()
+                out[0] = c * bx[0] - s * bx[1]
+                out[1] = s * bx[0] + c * bx[1]
+                out[6] = bx[6] + theta
+                return out
+
+            assert iou_bev(rotated(a), rotated(b)) == pytest.approx(
+                base, abs=1e-6)
+
+    def test_90_degree_cross(self):
+        # 4x2 box crossed with itself rotated 90°: intersection 2x2.
+        value = iou_bev(box(), box(yaw=np.pi / 2))
+        assert value == pytest.approx(4 / 12, abs=1e-5)
+
+    def test_3d_separated_in_z_only(self):
+        assert iou_3d(box(z=1), box(z=10)) == 0.0
+
+    def test_3d_half_height_overlap(self):
+        value = iou_3d(box(z=1.0), box(z=2.0))  # dz=2, overlap 1
+        assert value == pytest.approx(8 / 24, abs=1e-6)
+
+    def test_iou_matrix_shape_and_symmetry(self):
+        boxes_a = np.stack([box(), box(x=2), box(x=50)])
+        matrix = iou_matrix_bev(boxes_a, boxes_a)
+        assert matrix.shape == (3, 3)
+        np.testing.assert_allclose(matrix, matrix.T, atol=1e-6)
+        np.testing.assert_allclose(np.diag(matrix), np.ones(3), atol=1e-6)
+
+    @given(st.floats(-3, 3), st.floats(-3, 3), st.floats(-np.pi, np.pi))
+    @settings(max_examples=50, deadline=None)
+    def test_iou_bounded(self, dx, dy, yaw):
+        value = iou_bev(box(), box(x=dx, y=dy, yaw=yaw))
+        assert -1e-9 <= value <= 1.0 + 1e-9
+
+    @given(st.floats(0.5, 6), st.floats(0.5, 6), st.floats(-np.pi, np.pi))
+    @settings(max_examples=50, deadline=None)
+    def test_self_iou_is_one(self, dx, dy, yaw):
+        b = box(dx=dx, dy=dy, yaw=yaw)
+        assert iou_bev(b, b) == pytest.approx(1.0, abs=1e-6)
+
+    @given(st.floats(-2, 2), st.floats(-np.pi, np.pi))
+    @settings(max_examples=40, deadline=None)
+    def test_intersection_bounded_by_smaller_area(self, shift, yaw):
+        a = box(dx=4, dy=2)
+        b = box(x=shift, dx=2, dy=1, yaw=yaw)
+        inter = bev_intersection_area(a, b)
+        assert inter <= 2 * 1 + 1e-6
+
+
+class TestPointsInBox:
+    def test_contains_center(self):
+        b = Box3D(5, 0, 1, 2, 2, 2, 0.3)
+        pts = np.array([[5, 0, 1, 0.5]])
+        assert points_in_box(pts, b).all()
+
+    def test_rotated_membership(self):
+        b = Box3D(0, 0, 1, 4, 1, 2, np.pi / 2)  # long axis now along y
+        pts = np.array([[0.0, 1.8, 1.0, 0.0], [1.8, 0.0, 1.0, 0.0]])
+        mask = points_in_box(pts, b)
+        assert mask[0] and not mask[1]
+
+    def test_margin(self):
+        b = Box3D(0, 0, 1, 2, 2, 2, 0)
+        pts = np.array([[1.1, 0, 1, 0]])
+        assert not points_in_box(pts, b).any()
+        assert points_in_box(pts, b, margin=0.2).all()

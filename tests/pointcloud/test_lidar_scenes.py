@@ -1,0 +1,167 @@
+"""Tests for the LiDAR simulator, scene generator and KITTI IO."""
+
+import numpy as np
+import pytest
+
+from repro.pointcloud import (Box3D, LidarConfig, LidarScanner, SceneConfig,
+                              SceneGenerator, make_dataset, points_in_box)
+from repro.pointcloud.kitti import (export_kitti, format_label_line,
+                                    load_kitti, parse_label_line,
+                                    read_velodyne, write_velodyne)
+
+
+@pytest.fixture(scope="module")
+def small_lidar():
+    return LidarConfig(channels=16, azimuth_steps=120, range_noise=0.0,
+                       dropout=0.0)
+
+
+class TestLidarScanner:
+    def test_empty_scene_returns_ground_points(self, small_lidar):
+        scanner = LidarScanner(small_lidar)
+        cloud = scanner.scan([])
+        assert cloud.shape[1] == 4
+        assert len(cloud) > 0
+        # All returns are ground hits at z ~ 0 in ground coordinates.
+        np.testing.assert_allclose(cloud[:, 2], 0.0, atol=1e-5)
+
+    def test_box_generates_returns_inside_box(self, small_lidar):
+        scanner = LidarScanner(small_lidar)
+        car = Box3D(10, 0, 0.78, 3.9, 1.6, 1.56, 0.0, label="Car",
+                    meta={"reflectivity": 0.7})
+        cloud = scanner.scan([car])
+        hits = points_in_box(cloud, car, margin=0.05)
+        assert hits.sum() > 10
+
+    def test_box_hits_carry_reflectivity(self, small_lidar):
+        scanner = LidarScanner(small_lidar)
+        car = Box3D(10, 0, 0.78, 3.9, 1.6, 1.56, 0.0,
+                    meta={"reflectivity": 0.7})
+        cloud = scanner.scan([car])
+        # Points well above the ground and inside the box are car returns
+        # (edge-adjacent ground hits are excluded by the z filter).
+        on_car = points_in_box(cloud, car, margin=0.05) & (cloud[:, 2] > 0.1)
+        assert on_car.sum() > 5
+        assert np.all(cloud[on_car, 3] == pytest.approx(0.7))
+
+    def test_occlusion_shadows_far_box(self, small_lidar):
+        scanner = LidarScanner(small_lidar)
+        near = Box3D(8, 0, 1.0, 3.9, 2.2, 2.0, 0.0)
+        far = Box3D(12, 0, 0.78, 3.9, 1.6, 1.56, 0.0)
+        occluded_cloud = scanner.scan([near, far])
+        free_cloud = scanner.scan([far])
+        occluded_hits = points_in_box(occluded_cloud, far, margin=0.05).sum()
+        free_hits = points_in_box(free_cloud, far, margin=0.05).sum()
+        assert occluded_hits < free_hits * 0.5
+
+    def test_points_within_max_range(self, small_lidar):
+        scanner = LidarScanner(small_lidar)
+        cloud = scanner.scan([Box3D(20, 3, 0.78, 3.9, 1.6, 1.56, 0.0)])
+        ranges = np.linalg.norm(cloud[:, :2], axis=1)
+        assert ranges.max() <= small_lidar.max_range + 1.0
+
+    def test_deterministic_with_seed(self, small_lidar):
+        car = [Box3D(10, 1, 0.78, 3.9, 1.6, 1.56, 0.2)]
+        a = LidarScanner(small_lidar, rng=np.random.default_rng(3)).scan(car)
+        b = LidarScanner(small_lidar, rng=np.random.default_rng(3)).scan(car)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestSceneGenerator:
+    @pytest.fixture(scope="class")
+    def scene(self):
+        cfg = SceneConfig(lidar=LidarConfig(channels=16, azimuth_steps=120))
+        return SceneGenerator(cfg, seed=1).generate(0, with_image=True)
+
+    def test_scene_has_objects_and_points(self, scene):
+        assert len(scene.points) > 100
+        assert len(scene.boxes) >= 1
+
+    def test_all_boxes_have_min_points(self, scene):
+        for box in scene.boxes:
+            assert box.meta["num_points"] >= 5
+
+    def test_difficulties_assigned(self, scene):
+        assert all(box.difficulty in (0, 1, 2) for box in scene.boxes)
+
+    def test_image_rendered(self, scene):
+        assert scene.image is not None
+        assert scene.image.shape[0] == 3
+        assert scene.image.min() >= 0.0
+        assert scene.image.max() <= 1.0
+
+    def test_reproducible(self):
+        cfg = SceneConfig(lidar=LidarConfig(channels=8, azimuth_steps=60))
+        a = SceneGenerator(cfg, seed=5).generate(3, with_image=False)
+        b = SceneGenerator(cfg, seed=5).generate(3, with_image=False)
+        np.testing.assert_array_equal(a.points, b.points)
+        assert len(a.boxes) == len(b.boxes)
+
+    def test_different_frames_differ(self):
+        cfg = SceneConfig(lidar=LidarConfig(channels=8, azimuth_steps=60))
+        gen = SceneGenerator(cfg, seed=5)
+        a = gen.generate(0, with_image=False)
+        b = gen.generate(1, with_image=False)
+        assert a.points.shape != b.points.shape or \
+            not np.array_equal(a.points, b.points)
+
+    def test_no_overlapping_ground_truth(self, scene):
+        from repro.pointcloud import boxes_to_array, iou_matrix_bev
+        arr = boxes_to_array(scene.boxes)
+        matrix = iou_matrix_bev(arr, arr)
+        np.fill_diagonal(matrix, 0.0)
+        assert matrix.max() < 0.05
+
+
+class TestMakeDataset:
+    def test_split_sizes(self):
+        cfg = SceneConfig(lidar=LidarConfig(channels=8, azimuth_steps=40))
+        data = make_dataset(10, cfg, seed=0, with_image=False)
+        assert len(data["train"]) == 8
+        assert len(data["val"]) == 1
+        assert len(data["test"]) == 1
+
+    def test_bad_split_raises(self):
+        with pytest.raises(ValueError):
+            make_dataset(5, splits=(0.5, 0.2, 0.2))
+
+
+class TestKittiIO:
+    def test_label_line_roundtrip(self):
+        box = Box3D(10.5, -2.0, 0.8, 3.9, 1.6, 1.55, 0.79, label="Car",
+                    difficulty=1)
+        line = format_label_line(box)
+        parsed = parse_label_line(line)
+        assert parsed.label == "Car"
+        assert parsed.difficulty == 1
+        np.testing.assert_allclose(parsed.as_vector(), box.as_vector(),
+                                   atol=0.01)
+
+    def test_label_line_with_score(self):
+        box = Box3D(5, 0, 1, 4, 2, 2, 0.0, score=0.87)
+        parsed = parse_label_line(format_label_line(box))
+        assert parsed.score == pytest.approx(0.87, abs=1e-3)
+
+    def test_malformed_line_raises(self):
+        with pytest.raises(ValueError):
+            parse_label_line("Car 0.0 0")
+
+    def test_velodyne_roundtrip(self, tmp_path):
+        points = np.random.default_rng(0).standard_normal((100, 4)) \
+            .astype(np.float32)
+        path = str(tmp_path / "000000.bin")
+        write_velodyne(points, path)
+        np.testing.assert_array_equal(read_velodyne(path), points)
+
+    def test_export_load_roundtrip(self, tmp_path):
+        cfg = SceneConfig(lidar=LidarConfig(channels=8, azimuth_steps=40))
+        scenes = [SceneGenerator(cfg, seed=2).generate(i, with_image=True)
+                  for i in range(2)]
+        export_kitti(scenes, str(tmp_path))
+        loaded = load_kitti(str(tmp_path))
+        assert len(loaded) == 2
+        np.testing.assert_allclose(loaded[0].points, scenes[0].points,
+                                   atol=1e-5)
+        assert len(loaded[0].boxes) == len(scenes[0].boxes)
+        assert loaded[0].image is not None
+        assert "K" in loaded[0].calib

@@ -1,0 +1,50 @@
+"""End-to-end CLI workflow tests with miniature budgets."""
+
+import importlib
+import os
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def isolated_artifacts(tmp_path, monkeypatch):
+    pretrain = importlib.import_module("repro.harness.pretrain")
+    monkeypatch.setattr(pretrain, "_ARTIFACT_DIR", str(tmp_path))
+    return tmp_path
+
+
+@pytest.mark.slow
+class TestCliWorkflows:
+    def test_train_then_cache_hit(self, isolated_artifacts, capsys):
+        assert main(["train", "--model", "pointpillars",
+                     "--steps", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "trained pointpillars" in out
+        assert main(["train", "--model", "pointpillars",
+                     "--steps", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "cached" in out
+
+    def test_compress_writes_packed_model(self, isolated_artifacts,
+                                          tmp_path, capsys):
+        packed = str(tmp_path / "model.upaq")
+        assert main(["compress", "--model", "pointpillars", "--steps", "2",
+                     "--preset", "lck", "--out", packed]) == 0
+        out = capsys.readouterr().out
+        assert "UPAQ (LCK)" in out
+        assert os.path.getsize(packed) > 1000
+        # The blob restores into a fresh engine.
+        from repro.core import unpack_model
+        from repro.models import build_model
+        with open(packed, "rb") as handle:
+            unpack_model(handle.read(), build_model("pointpillars"))
+
+    def test_evaluate_prints_buckets(self, isolated_artifacts, capsys):
+        assert main(["evaluate", "--model", "pointpillars", "--steps", "2",
+                     "--frames", "1"]) == 0
+        out = capsys.readouterr().out
+        for bucket in ("easy", "moderate", "hard"):
+            assert bucket in out

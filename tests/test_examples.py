@@ -1,0 +1,42 @@
+"""Every fast example must run end-to-end as a subprocess.
+
+The two training examples (compress_lidar_detector,
+compress_camera_detector) are exercised by the benchmark harness through
+the same code paths and are too slow for unit tests.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+_ROOT = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..")
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "kitti_roundtrip.py",
+    "deploy_energy_profile.py",
+    "streaming_deployment.py",
+    "sensitivity_and_distillation.py",
+]
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, os.path.join(_ROOT, "examples", script)],
+        capture_output=True, text=True, timeout=420, cwd=_ROOT)
+    assert result.returncode == 0, \
+        f"{script} failed:\n{result.stdout}\n{result.stderr}"
+    assert result.stdout.strip(), f"{script} produced no output"
+
+
+@pytest.mark.slow
+def test_quickstart_reports_compression():
+    result = subprocess.run(
+        [sys.executable, os.path.join(_ROOT, "examples", "quickstart.py")],
+        capture_output=True, text=True, timeout=420, cwd=_ROOT)
+    assert "UPAQ (HCK)" in result.stdout
+    assert "x smaller" in result.stdout

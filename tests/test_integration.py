@@ -1,0 +1,135 @@
+"""End-to-end integration tests: the full pipeline on tiny models.
+
+These exercise the exact flow the benchmark harness drives — scene
+generation → training step → compression (UPAQ and baselines) →
+fine-tuning → prediction → evaluation — at miniature scale so the whole
+module runs in well under a minute.
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.baselines import ClipQ, LidarPTQ, PsAndQs, RToss
+from repro.core import UPAQCompressor, hck_config, lck_config
+from repro.detection import evaluate_map
+from repro.hardware import compile_model, default_devices
+from repro.models import PointPillars, SMOKE
+from repro.camera import CameraModel, render_scene
+from repro.pointcloud import LidarConfig, SceneConfig, SceneGenerator
+from repro.pointcloud.voxelize import PillarConfig
+
+
+def _tiny_pp():
+    return PointPillars(
+        pillar_config=PillarConfig(x_range=(0, 25.6), y_range=(-12.8, 12.8),
+                                   pillar_size=0.8),
+        pfn_channels=8, stage_channels=(8, 16, 32), stage_depths=(1, 1, 1),
+        upsample_channels=8, seed=0)
+
+
+@pytest.fixture(scope="module")
+def scenes():
+    cfg = SceneConfig(x_range=(5, 24), y_range=(-10, 10),
+                      lidar=LidarConfig(channels=12, azimuth_steps=90))
+    generator = SceneGenerator(cfg, seed=0)
+    result = [generator.generate(i, with_image=False) for i in range(4)]
+    camera = CameraModel.kitti_like(width=64, height=24)
+    for scene in result:
+        scene.image = render_scene(camera, scene.boxes,
+                                   rng=np.random.default_rng(scene.frame_id))
+        scene.calib = {"K": camera.intrinsics()}
+    return result
+
+
+@pytest.fixture(scope="module")
+def trained_pp(scenes):
+    model = _tiny_pp()
+    optimizer = nn.optim.Adam(model.parameters(), lr=3e-3)
+    for _ in range(6):
+        for scene in scenes[:3]:
+            model.train_step(optimizer, scene)
+    return model
+
+
+class TestFullPipeline:
+    def test_compress_finetune_predict_evaluate(self, trained_pp, scenes):
+        inputs = trained_pp.example_inputs()
+        compressor = UPAQCompressor(hck_config())
+        report = compressor.compress(trained_pp, *inputs)
+        compressor.finetune(report, scenes[:3], epochs=1)
+
+        predictions = [report.model.predict(s) for s in scenes]
+        metrics = evaluate_map(predictions, [s.boxes for s in scenes])
+        assert np.isfinite(metrics["mAP"])
+        assert report.compression_ratio > 2.0
+
+    def test_finetuning_preserves_sparsity_and_grid(self, trained_pp,
+                                                    scenes):
+        inputs = trained_pp.example_inputs()
+        compressor = UPAQCompressor(lck_config())
+        report = compressor.compress(trained_pp, *inputs)
+        sparsity_before = report.overall_sparsity
+        compressor.finetune(report, scenes[:2], epochs=1)
+        layers = dict(report.model.named_parameters())
+        zeros = sum(int((layers[name + ".weight"].data == 0).sum())
+                    for name in report.masks)
+        total = sum(layers[name + ".weight"].data.size
+                    for name in report.masks)
+        assert zeros / total >= sparsity_before - 0.01
+
+    def test_all_frameworks_produce_runnable_models(self, trained_pp,
+                                                    scenes):
+        inputs = trained_pp.example_inputs()
+        jetson = default_devices()["jetson"]
+        base_latency = jetson.latency(compile_model(trained_pp, *inputs))
+        for framework in (PsAndQs(iterations=1), ClipQ(), RToss(),
+                          LidarPTQ()):
+            report = framework.compress(trained_pp, *inputs)
+            result = report.model.predict(scenes[0])
+            assert result.frame_id == scenes[0].frame_id
+            latency = jetson.latency(compile_model(report.model, *inputs))
+            assert latency <= base_latency * 1.1, framework.name
+
+    def test_finetuning_recovers_training_loss(self, trained_pp, scenes):
+        """After masked fine-tuning, the compressed model's loss returns
+        to the neighbourhood of the uncompressed model's loss."""
+        inputs = trained_pp.example_inputs()
+        trained_pp.eval()
+        base_loss = trained_pp.loss(
+            trained_pp.forward(*trained_pp.preprocess(scenes[0])),
+            scenes[0]).item()
+        compressor = UPAQCompressor(lck_config())
+        report = compressor.compress(trained_pp, *inputs)
+        compressor.finetune(report, scenes[:3], epochs=2)
+        report.model.eval()
+        compressed_loss = report.model.loss(
+            report.model.forward(*report.model.preprocess(scenes[0])),
+            scenes[0]).item()
+        assert np.isfinite(compressed_loss)
+        assert compressed_loss < base_loss * 5.0
+
+    def test_smoke_end_to_end(self, scenes):
+        camera = CameraModel.kitti_like(width=64, height=24)
+        model = SMOKE(camera=camera, base_channels=8, head_channels=8,
+                      seed=0)
+        optimizer = nn.optim.Adam(model.parameters(), lr=3e-3)
+        for _ in range(3):
+            model.train_step(optimizer, scenes[0])
+        inputs = model.example_inputs()
+        report = UPAQCompressor(hck_config()).compress(model, *inputs)
+        result = report.model.predict(scenes[0])
+        assert report.compression_ratio > 2.0
+        for box in result.boxes:
+            assert box.label in ("Car", "Pedestrian", "Cyclist")
+
+    def test_table2_shape_on_tiny_model(self, trained_pp, scenes):
+        """Compression ordering (the Table 2 headline) on a tiny model."""
+        inputs = trained_pp.example_inputs()
+        ratios = {}
+        for name, framework in (("psqs", PsAndQs(iterations=1)),
+                                ("hck", UPAQCompressor(hck_config())),
+                                ("lck", UPAQCompressor(lck_config()))):
+            ratios[name] = framework.compress(
+                trained_pp, *inputs).compression_ratio
+        assert ratios["hck"] > ratios["lck"] > ratios["psqs"]

@@ -1,0 +1,116 @@
+"""Tests for the deployment runtime and the CLI."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.cli import build_parser, main
+from repro.core import UPAQCompressor, hck_config, pack_model
+from repro.hardware import default_devices
+from repro.models import PointPillars
+from repro.pointcloud import LidarConfig, SceneConfig, SceneGenerator
+from repro.pointcloud.voxelize import PillarConfig
+from repro.runtime import InferenceEngine
+
+
+def _tiny_pp():
+    return PointPillars(
+        pillar_config=PillarConfig(x_range=(0, 25.6), y_range=(-12.8, 12.8)),
+        pfn_channels=8, stage_channels=(8, 16, 32), stage_depths=(1, 1, 1),
+        upsample_channels=8, seed=0)
+
+
+@pytest.fixture(scope="module")
+def scenes():
+    cfg = SceneConfig(x_range=(5, 24), y_range=(-10, 10),
+                      lidar=LidarConfig(channels=10, azimuth_steps=80))
+    generator = SceneGenerator(cfg, seed=0)
+    return [generator.generate(i, with_image=False) for i in range(3)]
+
+
+class TestInferenceEngine:
+    def test_stream_accounting(self, scenes):
+        engine = InferenceEngine(_tiny_pp(), default_devices()["jetson"],
+                                 deadline_s=0.1)
+        report = engine.run(scenes)
+        assert report.num_frames == 3
+        assert report.mean_latency_s > 0
+        assert report.total_energy_j > 0
+        assert len(report.predictions) == 3
+
+    def test_deadline_flagging(self, scenes):
+        engine = InferenceEngine(_tiny_pp(), default_devices()["jetson"],
+                                 deadline_s=1e-9)
+        report = engine.run(scenes[:1])
+        assert report.deadline_hit_rate == 0.0
+        relaxed = InferenceEngine(_tiny_pp(), default_devices()["jetson"],
+                                  deadline_s=10.0)
+        assert relaxed.run(scenes[:1]).deadline_hit_rate == 1.0
+
+    def test_compressed_model_cheaper(self, scenes):
+        model = _tiny_pp()
+        base = InferenceEngine(model, default_devices()["jetson"])
+        report = UPAQCompressor(hck_config()).compress(
+            model, *model.example_inputs())
+        compressed = InferenceEngine(report.model,
+                                     default_devices()["jetson"])
+        assert compressed.frame_cost()[0] < base.frame_cost()[0]
+        assert compressed.frame_cost()[1] < base.frame_cost()[1]
+
+    def test_from_packed_blob(self, scenes):
+        model = _tiny_pp()
+        report = UPAQCompressor(hck_config()).compress(
+            model, *model.example_inputs())
+        blob = pack_model(report.model)
+        engine = InferenceEngine.from_packed(
+            blob, _tiny_pp(), default_devices()["jetson"])
+        stream = engine.run(scenes[:1])
+        assert stream.num_frames == 1
+        # Restored weights carry the compressed sparsity.
+        weights = dict(engine.model.named_parameters())
+        sparsity = float((weights["backbone.stage1.blocks.0.conv.weight"]
+                          .data == 0).mean())
+        assert sparsity > 0.5
+
+    def test_evaluate_passthrough(self, scenes):
+        engine = InferenceEngine(_tiny_pp(), default_devices()["jetson"])
+        report = engine.run(scenes)
+        metrics = report.evaluate([s.boxes for s in scenes])
+        assert "mAP" in metrics
+
+
+class TestCLI:
+    def test_parser_commands(self):
+        parser = build_parser()
+        args = parser.parse_args(["table2", "--model", "smoke",
+                                  "--scale", "quick"])
+        assert args.model == "smoke"
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_generate_command(self, tmp_path, capsys):
+        code = main(["generate", "--frames", "3", "--out",
+                     str(tmp_path / "kitti")])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "wrote 3 KITTI-format frames" in out
+        assert (tmp_path / "kitti" / "velodyne").exists()
+
+    def test_sensitivity_command(self, capsys, monkeypatch):
+        import repro.models.registry as registry
+        monkeypatch.setitem(registry.MODEL_REGISTRY, "tinypp",
+                            lambda **kw: _tiny_pp())
+        code = main(["sensitivity", "--model", "tinypp"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "err@4b" in out
+        assert "pfn.conv" in out
+
+    def test_table1_command(self, capsys):
+        code = main(["table1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "PointPillars" in out
+        assert "VSC" in out

@@ -1,0 +1,94 @@
+"""Tests for PPM export and BEV rendering."""
+
+import numpy as np
+import pytest
+
+from repro.pointcloud import Box3D, LidarConfig, SceneConfig, SceneGenerator
+from repro.viz import (bev_density_map, draw_boxes_bev, image_to_ppm,
+                       render_fig6_image, write_ppm)
+
+
+@pytest.fixture(scope="module")
+def scene():
+    cfg = SceneConfig(x_range=(5, 24), y_range=(-10, 10),
+                      lidar=LidarConfig(channels=10, azimuth_steps=80))
+    return SceneGenerator(cfg, seed=5).generate(0, with_image=True)
+
+
+class TestPPM:
+    def test_roundtrippable_header(self, tmp_path):
+        image = np.random.default_rng(0).random((3, 8, 12)) \
+            .astype(np.float32)
+        path = str(tmp_path / "img.ppm")
+        write_ppm(image, path)
+        with open(path, "rb") as handle:
+            header = handle.readline()
+            dims = handle.readline().split()
+            maxval = handle.readline()
+            payload = handle.read()
+        assert header == b"P6\n"
+        assert dims == [b"12", b"8"]
+        assert maxval == b"255\n"
+        assert len(payload) == 8 * 12 * 3
+
+    def test_hwc_layout_accepted(self, tmp_path):
+        image = np.zeros((8, 12, 3), dtype=np.float32)
+        write_ppm(image, str(tmp_path / "img.ppm"))
+
+    def test_bad_shape_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_ppm(np.zeros((8, 12)), str(tmp_path / "img.ppm"))
+
+    def test_values_clipped(self, tmp_path):
+        image = np.full((3, 2, 2), 5.0, dtype=np.float32)
+        path = str(tmp_path / "img.ppm")
+        write_ppm(image, path)
+        with open(path, "rb") as handle:
+            payload = handle.read().split(b"255\n", 1)[1]
+        assert set(payload) == {255}
+
+    def test_camera_upscale(self, scene, tmp_path):
+        path = str(tmp_path / "cam.ppm")
+        image_to_ppm(scene.image, path, upscale=2)
+        with open(path, "rb") as handle:
+            handle.readline()
+            dims = handle.readline().split()
+        assert int(dims[0]) == scene.image.shape[2] * 2
+
+
+class TestBEV:
+    def test_density_map_range_and_mass(self, scene):
+        density = bev_density_map(scene.points, x_range=(0, 25.6),
+                                  y_range=(-12.8, 12.8))
+        assert density.min() >= 0.0
+        assert density.max() == pytest.approx(1.0)
+        assert density.sum() > 10
+
+    def test_density_localized_at_object(self):
+        points = np.array([[10.0, 0.0, 0.5, 0.1]] * 50, dtype=np.float32)
+        density = bev_density_map(points, x_range=(0, 20),
+                                  y_range=(-10, 10), resolution=1.0)
+        row, col = np.unravel_index(density.argmax(), density.shape)
+        assert col == 10    # x = 10 m
+        assert row == 10    # y = 0 m
+
+    def test_draw_boxes_marks_canvas(self):
+        canvas = np.zeros((64, 64, 3), dtype=np.float32)
+        box = Box3D(25, 0, 1, 4, 2, 2, 0.5)
+        draw_boxes_bev(canvas, [box], (0, 1, 0), x_range=(0, 51.2),
+                       y_range=(-25.6, 25.6))
+        assert (canvas[:, :, 1] > 0).sum() > 10
+        assert canvas[:, :, 0].sum() == 0
+
+    def test_render_fig6_image(self, scene, tmp_path):
+        path = str(tmp_path / "fig6.ppm")
+        pred = [Box3D(12, 0, 1, 4, 2, 2, 0.1, score=0.8)]
+        canvas = render_fig6_image(scene, pred, path,
+                                   x_range=(0, 25.6),
+                                   y_range=(-12.8, 12.8))
+        assert canvas.shape[2] == 3
+        import os
+        assert os.path.exists(path)
+        # GT drawn green, predictions red.
+        assert (canvas[:, :, 1] > canvas[:, :, 0]).any()
+        assert (canvas[:, :, 0] > canvas[:, :, 1]).any()
