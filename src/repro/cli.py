@@ -49,7 +49,8 @@ def _cmd_compress(args) -> int:
     from repro.harness import TrainConfig, get_pretrained
     from repro.hardware import compile_model, default_devices
 
-    config = {"hck": hck_config, "lck": lck_config}[args.preset]()
+    config = {"hck": hck_config, "lck": lck_config}[args.preset](
+        search_workers=args.workers, search_backend=args.backend)
     model, _ = get_pretrained(
         args.model, TrainConfig(steps=args.steps,
                                 with_image=(args.model == "smoke")))
@@ -62,6 +63,13 @@ def _cmd_compress(args) -> int:
           f"sparsity {report.overall_sparsity:.0%}, "
           f"mean {report.mean_bits:.1f} bits, "
           f"Jetson latency {device.latency(plan) * 1e3:.3f} ms")
+    print(report.search.summary())
+    if args.verbose_search:
+        for stat in report.search.layers:
+            cached = " (cached)" if stat.cached else ""
+            print(f"  {stat.layer:42s} {stat.role:4s} "
+                  f"{stat.candidates:4d} candidates "
+                  f"{stat.wall_time_s * 1e3:8.2f} ms{cached}")
     if args.out:
         blob = pack_model(report.model)
         with open(args.out, "wb") as handle:
@@ -105,6 +113,7 @@ def _cmd_table2(args) -> int:
                      finetune_scenes=24, finetune_epochs=3, eval_frames=12),
     }
     rows = run_table2(Table2Config(model_name=args.model,
+                                   search_workers=args.workers,
                                    **budgets[args.scale]))
     label = "PointPillars" if args.model == "pointpillars" else "SMOKE"
     print(format_table2(label, rows))
@@ -132,7 +141,8 @@ def _cmd_report(args) -> int:
     config = RunnerConfig(output_dir=args.out,
                           pointpillars=budgets[args.scale],
                           smoke=smoke_budgets[args.scale],
-                          include_smoke=not args.skip_smoke)
+                          include_smoke=not args.skip_smoke,
+                          search_workers=args.workers)
     results = run_all(config)
     print(f"report written to {results['report_path']}")
     return 0
@@ -182,6 +192,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="pretraining steps of the base checkpoint")
     p.add_argument("--out", default=None,
                    help="write the packed compressed model here")
+    p.add_argument("--workers", type=int, default=1,
+                   help="parallel workers for the candidate search "
+                        "(results are identical for any worker count)")
+    p.add_argument("--backend", default="auto",
+                   choices=["auto", "serial", "thread", "process"],
+                   help="worker pool backend for the candidate search")
+    p.add_argument("--verbose-search", action="store_true",
+                   help="print per-layer search timings and cache hits")
     p.set_defaults(func=_cmd_compress)
 
     p = sub.add_parser("evaluate", help="stratified mAP of a checkpoint")
@@ -198,6 +216,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--model", default="pointpillars",
                    choices=["pointpillars", "smoke"])
     p.add_argument("--scale", default="quick", choices=["quick", "full"])
+    p.add_argument("--workers", type=int, default=1,
+                   help="parallel workers for the UPAQ candidate search")
     p.set_defaults(func=_cmd_table2)
 
     p = sub.add_parser("report",
@@ -205,6 +225,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", default="results")
     p.add_argument("--scale", default="quick", choices=["quick", "full"])
     p.add_argument("--skip-smoke", action="store_true")
+    p.add_argument("--workers", type=int, default=1,
+                   help="parallel workers for the UPAQ candidate search")
     p.set_defaults(func=_cmd_report)
 
     p = sub.add_parser("sensitivity",

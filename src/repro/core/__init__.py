@@ -12,14 +12,21 @@ from .compressor import CompressionReport, LayerChoice, UPAQCompressor
 from .config import UPAQConfig, hck_config, lck_config
 from .efficiency import EfficiencyScorer, EfficiencyWeights
 from .finetune import finetune_compressed, masked_finetune, requantize
-from .kernel_compression import (KernelCandidate, apply_patterns,
-                                 compress_1x1, compress_kxk)
+from .kernel_compression import (BitCandidate, KernelCandidate,
+                                 apply_patterns, best_candidate,
+                                 compress_1x1, compress_kxk, evaluate_1x1,
+                                 evaluate_kxk, evaluate_quant,
+                                 quantize_only)
+from .search import (LayerSearchStat, LeafSearchTask, MemoCache,
+                     RootSearchTask, SearchEngine, SearchStats,
+                     content_digest, resolve_backend, run_leaf_task,
+                     run_root_task)
 from .packing import (pack_bits, pack_layer, pack_model, packed_size_report,
                       unpack_bits, unpack_layer, unpack_model)
 from .sensitivity import (LayerSensitivity, SensitivityProfile,
                           analyze_sensitivity, suggest_bit_allocation)
 from .patterns import (KernelPattern, PATTERN_TYPES, generate_pattern,
-                       generate_patterns, pattern_mask)
+                       generate_patterns, pattern_mask, pool_signature)
 from .distill import DistillConfig, distill_finetune
 from .preprocessing import LayerGroups, find_root, preprocess_model
 from .structured import channel_prune_mask, filter_prune_mask
@@ -31,8 +38,13 @@ __all__ = [
     "UPAQConfig", "hck_config", "lck_config",
     "EfficiencyScorer", "EfficiencyWeights",
     "KernelPattern", "PATTERN_TYPES", "generate_pattern",
-    "generate_patterns", "pattern_mask",
-    "KernelCandidate", "compress_kxk", "compress_1x1", "apply_patterns",
+    "generate_patterns", "pattern_mask", "pool_signature",
+    "KernelCandidate", "BitCandidate", "compress_kxk", "compress_1x1",
+    "apply_patterns", "evaluate_kxk", "evaluate_1x1", "evaluate_quant",
+    "quantize_only", "best_candidate",
+    "MemoCache", "SearchEngine", "SearchStats", "LayerSearchStat",
+    "RootSearchTask", "LeafSearchTask", "run_root_task", "run_leaf_task",
+    "content_digest", "resolve_backend",
     "pack_bits", "unpack_bits", "pack_layer", "unpack_layer",
     "pack_model", "unpack_model", "packed_size_report",
     "LayerSensitivity", "SensitivityProfile", "analyze_sensitivity",

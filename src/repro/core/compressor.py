@@ -7,11 +7,22 @@ random semi-structured patterns (Algorithm 2) × candidate bitwidths
 (eq. 2), applying the winner to the root and replicating it onto the
 group's leaves.  Optionally fine-tunes the pruned model with frozen
 masks and re-quantizes.
+
+The candidate search itself runs through
+:class:`repro.core.search.SearchEngine`: root layers are packaged into
+pure, picklable work units dispatched over a configurable worker pool
+(``UPAQConfig.search_workers`` / ``search_backend``) with content-keyed
+memoization, and the observed cost (candidates evaluated, cache hit
+rates, per-layer wall time) lands in :attr:`CompressionReport.search`.
+Results are bit-identical for every worker count and backend — each
+layer's pattern pool is seeded from ``(config.seed, crc32(weights))``,
+never from scheduling order.
 """
 
 from __future__ import annotations
 
 import copy
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -23,9 +34,11 @@ from repro.nn.module import Module
 
 from .config import UPAQConfig
 from .efficiency import EfficiencyScorer
-from .kernel_compression import (KernelCandidate, apply_patterns,
-                                 compress_1x1, compress_kxk)
+from .kernel_compression import KernelCandidate, best_candidate
 from .preprocessing import LayerGroups, preprocess_model
+from .search import (LayerSearchStat, LeafSearchTask, MemoCache,
+                     RootSearchTask, SearchEngine, SearchStats,
+                     run_leaf_task, run_root_task)
 
 __all__ = ["LayerChoice", "CompressionReport", "UPAQCompressor"]
 
@@ -52,6 +65,7 @@ class CompressionReport:
     masks: dict = field(default_factory=dict)     # layer name → mask array
     groups: LayerGroups | None = None
     compression_ratio: float = 1.0
+    search: SearchStats | None = None             # cost of the search
 
     def choice_for(self, layer_name: str) -> LayerChoice:
         for choice in self.choices:
@@ -87,7 +101,7 @@ class UPAQCompressor:
     def compress(self, model: Module, *example_inputs) -> CompressionReport:
         """Run the full pipeline on a pretrained model (non-destructive)."""
         config = self.config
-        rng = np.random.default_rng(config.seed)
+        started = time.perf_counter()
 
         compressed = copy.deepcopy(model)          # paper line 1
         layers = layer_map(compressed)
@@ -102,85 +116,101 @@ class UPAQCompressor:
         profile = profile_model(compressed, *example_inputs)
         plan = compile_model(compressed, *example_inputs, profile=profile)
         device = default_devices()[config.device]
-        scorer = EfficiencyScorer(plan, device, config.weights)
+        search_cache = MemoCache(config.memo_cache_size)
+        device_cache = MemoCache(max(config.memo_cache_size * 8, 1024))
+        scorer = EfficiencyScorer(plan, device, config.weights,
+                                  cache=device_cache)
         profiled = set(scorer.layer_names())
 
+        engine = SearchEngine(workers=config.search_workers,
+                              backend=config.search_backend,
+                              cache=search_cache)
         report = CompressionReport(model=compressed, groups=groups)
+        stats = SearchStats(workers=engine.workers, backend=engine.backend)
 
-        for root, members in groups:
-            if root not in layers or root not in profiled:
-                continue
-            root_module = layers[root]
-            weights = root_module.weight.data
+        # Phase 1 — search every root layer's candidate grid in parallel.
+        eligible = [(root, members) for root, members in groups
+                    if root in layers and root in profiled]
+        root_tasks = [self._root_task(root, layers[root].weight.data)
+                      for root, _ in eligible]
+        root_outcomes = engine.map(run_root_task, root_tasks)
 
+        winners: dict[str, KernelCandidate] = {}
+        root_stats: dict[str, LayerSearchStat] = {}
+        for (root, _members), (result, was_cached) in zip(eligible,
+                                                          root_outcomes):
             def score_fn(sqnr, bits, sparsity, _name=root):
                 return scorer.score(_name, sqnr=sqnr, bits=bits,
                                     sparsity=sparsity)
 
-            if weights.ndim == 4 and weights.shape[-1] > 1:
-                candidate = compress_kxk(
-                    weights, config.n_nonzero_kxk, config.quant_bits,
-                    score_fn, rng, num_patterns=config.num_patterns,
-                    pattern_types=config.pattern_types,
-                    connectivity_percentile=config.connectivity_percentile)
-            elif config.compress_1x1_layers:
-                candidate = compress_1x1(
-                    weights, config.n_nonzero_1x1, config.quant_bits,
-                    score_fn, rng, tile=config.tile,
-                    num_patterns=config.num_patterns,
-                    pattern_types=config.pattern_types)
-            else:
-                # Ablation: plain per-tensor quantization of 1×1 layers.
-                candidate = self._quantize_only(weights, config.quant_bits,
-                                                score_fn)
+            winners[root] = best_candidate(result.candidates,
+                                           result.patterns, score_fn)
+            root_stats[root] = LayerSearchStat(
+                layer=root, role="root", candidates=result.evaluated,
+                wall_time_s=0.0 if was_cached else result.wall_time_s,
+                cached=was_cached)
 
-            self._apply(root_module, root, root, candidate, report)
+        # Phase 2 — replicate each winner onto its leaves, in parallel.
+        leaf_tasks = []
+        for root, members in eligible:
+            winner = winners[root]
             for leaf in members:
                 if leaf == root or leaf not in layers:
                     continue
-                leaf_module = layers[leaf]
-                if candidate.patterns:
-                    leaf_candidate = apply_patterns(
-                        leaf_module.weight.data, candidate.patterns,
-                        candidate.bits, tile=config.tile)
-                else:   # root was quantize-only (1×1 ablation path)
-                    leaf_candidate = self._quantize_only(
-                        leaf_module.weight.data, (candidate.bits,),
-                        lambda sqnr, bits, sparsity: sqnr)
-                self._apply(leaf_module, leaf, root, leaf_candidate, report,
-                            score=candidate.score)
+                leaf_tasks.append(LeafSearchTask(
+                    name=leaf, root=root,
+                    weights=layers[leaf].weight.data,
+                    patterns=winner.patterns, bits=winner.bits,
+                    tile=config.tile))
+        leaf_outcomes = {result.name: (result, was_cached)
+                         for result, was_cached
+                         in engine.map(run_leaf_task, leaf_tasks)}
+
+        # Apply in group order so the report reads root-then-leaves.
+        for root, members in eligible:
+            winner = winners[root]
+            self._apply(layers[root], root, root, winner, report)
+            stats.layers.append(root_stats[root])
+            for leaf in members:
+                if leaf == root or leaf not in layers:
+                    continue
+                result, was_cached = leaf_outcomes[leaf]
+                self._apply(layers[leaf], leaf, root, result.candidate,
+                            report, score=winner.score)
+                stats.layers.append(LayerSearchStat(
+                    layer=leaf, role="leaf", candidates=result.evaluated,
+                    wall_time_s=0.0 if was_cached else result.wall_time_s,
+                    cached=was_cached))
+
+        stats.cache_hits = search_cache.hits
+        stats.cache_misses = search_cache.misses
+        stats.device_cache_hits = device_cache.hits
+        stats.device_cache_misses = device_cache.misses
+        stats.wall_time_s = time.perf_counter() - started
+        report.search = stats
 
         final_plan = compile_model(compressed, *example_inputs)
         report.compression_ratio = final_plan.compression_ratio
         return report
 
     # ------------------------------------------------------------------
-    @staticmethod
-    def _quantize_only(weights: np.ndarray, quant_bits, score_fn):
-        """Mixed-precision quantization with per-output-channel scales.
-
-        The default treatment of 1×1/linear layers: the paper stresses
-        "dynamically adjusting the 1×1 kernel weights" to preserve
-        accuracy, which we realize as per-channel scale search over the
-        bitwidth range (pattern pruning of 1×1 tiles remains available
-        via ``compress_1x1_layers=True``).
-        """
-        from .quantizer import quantize_per_kernel
-        rows = weights.reshape(weights.shape[0], -1)
-        best = None
-        for bits in quant_bits:
-            values, _ = quantize_per_kernel(rows, bits)
-            noise_var = float((rows - values).var())
-            signal_var = float(rows.var())
-            sqnr = signal_var / noise_var if noise_var > 1e-20 \
-                else float("inf")
-            score = score_fn(sqnr=sqnr, bits=bits, sparsity=0.0)
-            if best is None or score > best.score:
-                best = KernelCandidate(
-                    weights=values.reshape(weights.shape),
-                    mask=np.ones_like(weights, dtype=np.float32),
-                    bits=bits, sqnr=sqnr, score=score)
-        return best
+    def _root_task(self, root: str, weights: np.ndarray) -> RootSearchTask:
+        """Package one root layer into a self-contained search task."""
+        config = self.config
+        if weights.ndim == 4 and weights.shape[-1] > 1:
+            path, n_nonzero = "kxk", config.n_nonzero_kxk
+        elif config.compress_1x1_layers:
+            path, n_nonzero = "tile", config.n_nonzero_1x1
+        else:
+            # Ablation default: plain per-channel quantization of 1×1s.
+            path, n_nonzero = "quant", 0
+        return RootSearchTask(
+            name=root, weights=weights, path=path, n_nonzero=n_nonzero,
+            quant_bits=tuple(config.quant_bits),
+            num_patterns=config.num_patterns,
+            pattern_types=config.pattern_types, tile=config.tile,
+            connectivity_percentile=config.connectivity_percentile,
+            base_seed=config.seed)
 
     def _apply(self, module: Module, layer_name: str, root: str,
                candidate: KernelCandidate, report: CompressionReport,

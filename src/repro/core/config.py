@@ -49,6 +49,18 @@ class UPAQConfig:
     use_root_groups: bool = True        # ablation: Algorithm 1 on/off
     pattern_types: tuple | None = None  # ablation: restrict Algorithm 2
     seed: int = 0
+    #: Worker count for the candidate search (Algorithm 3's root-layer
+    #: loop).  1 runs fully serial; results are bit-identical for every
+    #: worker count and backend because pattern pools are seeded from
+    #: ``(seed, crc32(layer weights))``, not from scheduling order.
+    search_workers: int = 1
+    #: ``auto`` | ``serial`` | ``thread`` | ``process`` — ``auto`` picks
+    #: a process pool where fork is available (sidesteps the GIL), a
+    #: thread pool otherwise.
+    search_backend: str = "auto"
+    #: Entry cap of the content-keyed memo caches (candidate evaluations
+    #: and device latency/energy lookups).
+    memo_cache_size: int = 256
 
 
 def hck_config(**overrides) -> UPAQConfig:

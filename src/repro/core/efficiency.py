@@ -55,10 +55,16 @@ class EfficiencyScorer:
     """
 
     def __init__(self, plan: CompiledPlan, device: DeviceModel,
-                 weights: EfficiencyWeights | None = None):
+                 weights: EfficiencyWeights | None = None,
+                 cache: "MemoCache | None" = None):
         self.plan = plan
         self.device = device
         self.weights = weights or EfficiencyWeights()
+        #: optional :class:`repro.core.search.MemoCache` for candidate
+        #: latency/energy lookups, keyed on the layer's *cost signature*
+        #: (:attr:`LayerProfile.cache_key`) — so the backbone's many
+        #: same-shaped layers are priced once per (bits, sparsity).
+        self.cache = cache
         self._dense_by_name = {layer.profile.name: layer
                                for layer in plan.layers}
         self._dense_latency = {name: device.layer_latency(layer)
@@ -71,12 +77,28 @@ class EfficiencyScorer:
         dense = self._dense_by_name[layer_name]
         return replace(dense, bits=bits, scheme=scheme, sparsity=sparsity)
 
+    def _price(self, layer_name: str, bits: int, sparsity: float,
+               scheme: str) -> tuple[float, float]:
+        """(latency, energy) of one candidate, memoized by cost signature."""
+        key = None
+        if self.cache is not None:
+            dense = self._dense_by_name[layer_name]
+            key = ("device", dense.profile.cache_key, dense.kernel_count,
+                   bits, scheme, round(sparsity, 12))
+            hit = self.cache.get(key)
+            if hit is not None:
+                return hit
+        candidate = self.candidate_layer(layer_name, bits, sparsity, scheme)
+        priced = (self.device.layer_latency(candidate),
+                  self.device.layer_energy(candidate))
+        if key is not None:
+            self.cache.put(key, priced)
+        return priced
+
     def score(self, layer_name: str, sqnr: float, bits: int,
               sparsity: float, scheme: str = "semi-structured") -> float:
         """E_s of applying (bits, sparsity, scheme) to ``layer_name``."""
-        candidate = self.candidate_layer(layer_name, bits, sparsity, scheme)
-        latency = self.device.layer_latency(candidate)
-        energy = self.device.layer_energy(candidate)
+        latency, energy = self._price(layer_name, bits, sparsity, scheme)
         sqnr_term = min(sqnr_db(sqnr), _SQNR_REFERENCE_DB) \
             / _SQNR_REFERENCE_DB
         latency_gain = self._dense_latency[layer_name] / max(latency, 1e-12)

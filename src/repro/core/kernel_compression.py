@@ -16,6 +16,15 @@ machinery to the tiles, and flattens the result back.
 layers: the leaves reuse the root's pattern pool and bitwidth, with each
 leaf kernel again picking its best mask from that pool (Algorithm 3
 lines 9/12).
+
+The heavy lifting is factored into *pure* evaluation functions
+(``evaluate_kxk``, ``evaluate_1x1``, ``evaluate_quant``) that map
+``(weights, pattern pool, bitwidths)`` to a list of :class:`BitCandidate`
+without touching any scorer or random state.  The parallel search engine
+(:mod:`repro.core.search`) dispatches exactly these functions to worker
+pools and memoizes their results by content, while ``compress_kxk`` /
+``compress_1x1`` remain the serial convenience wrappers that evaluate
+and immediately pick the best-scoring candidate.
 """
 
 from __future__ import annotations
@@ -27,8 +36,10 @@ import numpy as np
 from .patterns import KernelPattern, generate_patterns
 from .quantizer import quantize_per_kernel
 
-__all__ = ["KernelCandidate", "compress_kxk", "compress_1x1",
-           "apply_patterns"]
+__all__ = ["KernelCandidate", "BitCandidate", "compress_kxk",
+           "compress_1x1", "apply_patterns", "evaluate_kxk",
+           "evaluate_1x1", "evaluate_quant", "quantize_only",
+           "best_candidate"]
 
 
 @dataclass
@@ -54,6 +65,24 @@ class KernelCandidate:
             counts[key] = counts.get(key, 0) + 1
         inner = ",".join(f"{k}:{v}" for k, v in sorted(counts.items()))
         return f"mixed[{inner}]"
+
+
+@dataclass
+class BitCandidate:
+    """One fully evaluated bitwidth, before efficiency scoring.
+
+    ``values``/``mask`` are in the *original* weight shape.  ``sparsity``
+    and ``sqnr`` are measured in the evaluation domain (tiles for lifted
+    1×1 layers, including tail padding) so that scoring a
+    :class:`BitCandidate` reproduces the serial search bit-for-bit.
+    """
+
+    bits: int
+    values: np.ndarray
+    mask: np.ndarray
+    pattern_index: np.ndarray | None
+    sqnr: float
+    sparsity: float
 
 
 def _layer_sqnr(original: np.ndarray, compressed: np.ndarray) -> float:
@@ -98,11 +127,12 @@ def _select_per_kernel(kernels: np.ndarray,
             choice.astype(np.int64))
 
 
-def _search_bits(kernels: np.ndarray, patterns: list[KernelPattern],
-                 quant_bits, score_fn,
-                 connectivity_percentile: float = 0.0) -> KernelCandidate:
-    """Sweep bitwidths; keep the efficiency-score winner."""
-    best: KernelCandidate | None = None
+def _evaluate_bits(kernels: np.ndarray, patterns: list[KernelPattern],
+                   quant_bits,
+                   connectivity_percentile: float = 0.0
+                   ) -> list[BitCandidate]:
+    """Evaluate every candidate bitwidth on kernel-major weights."""
+    candidates: list[BitCandidate] = []
     for bits in quant_bits:
         values, masks, choice = _select_per_kernel(kernels, patterns, bits)
         if connectivity_percentile > 0:
@@ -110,12 +140,32 @@ def _search_bits(kernels: np.ndarray, patterns: list[KernelPattern],
                                                 connectivity_percentile)
         sqnr = _layer_sqnr(kernels, values)
         sparsity = float((masks == 0).mean())
-        score = score_fn(sqnr=sqnr, bits=bits, sparsity=sparsity)
+        candidates.append(BitCandidate(bits=bits, values=values, mask=masks,
+                                       pattern_index=choice, sqnr=sqnr,
+                                       sparsity=sparsity))
+    return candidates
+
+
+def best_candidate(candidates: list[BitCandidate],
+                   patterns: list[KernelPattern],
+                   score_fn) -> KernelCandidate:
+    """Score evaluated candidates (eq. 2) and keep the winner.
+
+    Candidates are visited in their given (``quant_bits``) order and a
+    later candidate replaces an earlier one only on a strictly greater
+    score — the tie-break the serial search has always used.
+    """
+    best: KernelCandidate | None = None
+    for candidate in candidates:
+        score = score_fn(sqnr=candidate.sqnr, bits=candidate.bits,
+                         sparsity=candidate.sparsity)
         if best is None or score > best.score:
-            best = KernelCandidate(weights=values, mask=masks,
+            best = KernelCandidate(weights=candidate.values,
+                                   mask=candidate.mask,
                                    patterns=list(patterns),
-                                   pattern_index=choice, bits=bits,
-                                   sqnr=sqnr, score=score)
+                                   pattern_index=candidate.pattern_index,
+                                   bits=candidate.bits,
+                                   sqnr=candidate.sqnr, score=score)
     assert best is not None
     return best
 
@@ -133,6 +183,80 @@ def _connectivity_prune(kernels: np.ndarray, values: np.ndarray,
     values[dead] = 0.0
     masks[dead] = 0.0
     return values, masks
+
+
+def evaluate_kxk(weights: np.ndarray, patterns: list[KernelPattern],
+                 quant_bits,
+                 connectivity_percentile: float = 0.0
+                 ) -> list[BitCandidate]:
+    """Pure bitwidth sweep of a k×k layer against a fixed pattern pool.
+
+    No scoring, no random state: the result is fully determined by the
+    arguments, which is what makes it safe to run on any worker process
+    and to memoize by content.
+    """
+    k = weights.shape[-1]
+    if k <= 1:
+        raise ValueError("use evaluate_1x1 for 1×1 kernels")
+    kernels = weights.reshape(-1, k, k).astype(np.float32)
+    candidates = _evaluate_bits(kernels, patterns, quant_bits,
+                                connectivity_percentile)
+    for candidate in candidates:
+        candidate.values = candidate.values.reshape(weights.shape)
+        candidate.mask = candidate.mask.reshape(weights.shape)
+    return candidates
+
+
+def evaluate_1x1(weights: np.ndarray, patterns: list[KernelPattern],
+                 quant_bits, tile: int = 3) -> list[BitCandidate]:
+    """Pure bitwidth sweep of a lifted 1×1/linear layer (Algorithm 5).
+
+    ``sqnr``/``sparsity`` are measured in the padded tile domain —
+    exactly what the serial search scored — while ``values``/``mask``
+    are trimmed back to the original layout.
+    """
+    original_shape = weights.shape
+    flat = weights.reshape(-1).astype(np.float32)
+    tile_elems = tile * tile
+    n_tiles = int(np.ceil(flat.size / tile_elems))
+    padded = np.zeros(n_tiles * tile_elems, dtype=np.float32)
+    padded[:flat.size] = flat
+    tiles = padded.reshape(n_tiles, tile, tile)
+    candidates = _evaluate_bits(tiles, patterns, quant_bits)
+    for candidate in candidates:
+        candidate.values = candidate.values.reshape(-1)[:flat.size] \
+            .reshape(original_shape).astype(np.float32)
+        candidate.mask = candidate.mask.reshape(-1)[:flat.size] \
+            .reshape(original_shape).astype(np.float32)
+    return candidates
+
+
+def evaluate_quant(weights: np.ndarray, quant_bits) -> list[BitCandidate]:
+    """Pure per-output-channel quantization sweep (no pruning).
+
+    The default treatment of 1×1/linear layers: the paper stresses
+    "dynamically adjusting the 1×1 kernel weights" to preserve accuracy,
+    realized as a per-channel scale search over the bitwidth range.
+    """
+    rows = weights.reshape(weights.shape[0], -1)
+    candidates: list[BitCandidate] = []
+    for bits in quant_bits:
+        values, _ = quantize_per_kernel(rows, bits)
+        noise_var = float((rows - values).var())
+        signal_var = float(rows.var())
+        sqnr = signal_var / noise_var if noise_var > 1e-20 \
+            else float("inf")
+        candidates.append(BitCandidate(
+            bits=bits, values=values.reshape(weights.shape),
+            mask=np.ones_like(weights, dtype=np.float32),
+            pattern_index=None, sqnr=sqnr, sparsity=0.0))
+    return candidates
+
+
+def quantize_only(weights: np.ndarray, quant_bits,
+                  score_fn) -> KernelCandidate:
+    """Mixed-precision per-channel quantization, best score wins."""
+    return best_candidate(evaluate_quant(weights, quant_bits), [], score_fn)
 
 
 def compress_kxk(weights: np.ndarray, n_nonzero: int, quant_bits,
@@ -165,12 +289,9 @@ def compress_kxk(weights: np.ndarray, n_nonzero: int, quant_bits,
     if patterns is None:
         patterns = generate_patterns(n_nonzero, k, num_patterns, rng,
                                      pattern_types=pattern_types)
-    kernels = weights.reshape(-1, k, k).astype(np.float32)
-    candidate = _search_bits(kernels, patterns, quant_bits, score_fn,
-                             connectivity_percentile)
-    candidate.weights = candidate.weights.reshape(weights.shape)
-    candidate.mask = candidate.mask.reshape(weights.shape)
-    return candidate
+    return best_candidate(
+        evaluate_kxk(weights, patterns, quant_bits, connectivity_percentile),
+        patterns, score_fn)
 
 
 def compress_1x1(weights: np.ndarray, n_nonzero: int, quant_bits,
@@ -187,24 +308,11 @@ def compress_1x1(weights: np.ndarray, n_nonzero: int, quant_bits,
     gives the abundant 1×1 kernels of pillar feature networks the same
     semi-structured treatment instead of naive per-tensor quantization.
     """
-    original_shape = weights.shape
-    flat = weights.reshape(-1).astype(np.float32)
-    tile_elems = tile * tile
-    n_tiles = int(np.ceil(flat.size / tile_elems))
-    padded = np.zeros(n_tiles * tile_elems, dtype=np.float32)
-    padded[:flat.size] = flat
-    tiles = padded.reshape(n_tiles, tile, tile)
-
     if patterns is None:
         patterns = generate_patterns(n_nonzero, tile, num_patterns, rng,
                                      pattern_types=pattern_types)
-    candidate = _search_bits(tiles, patterns, quant_bits, score_fn)
-    values = candidate.weights.reshape(-1)[:flat.size] \
-        .reshape(original_shape)
-    mask = candidate.mask.reshape(-1)[:flat.size].reshape(original_shape)
-    candidate.weights = values.astype(np.float32)
-    candidate.mask = mask.astype(np.float32)
-    return candidate
+    return best_candidate(evaluate_1x1(weights, patterns, quant_bits, tile),
+                          patterns, score_fn)
 
 
 def apply_patterns(weights: np.ndarray, patterns: list[KernelPattern],
@@ -225,12 +333,8 @@ def apply_patterns(weights: np.ndarray, patterns: list[KernelPattern],
             raise ValueError(
                 f"pattern dim {patterns[0].dim} does not fit kernel size "
                 f"{weights.shape[-1]}")
-        kernels = weights.reshape(-1, weights.shape[-1],
-                                  weights.shape[-1]).astype(np.float32)
-        candidate = _search_bits(kernels, patterns, (bits,), fixed_score)
-        candidate.weights = candidate.weights.reshape(weights.shape)
-        candidate.mask = candidate.mask.reshape(weights.shape)
-        return candidate
-    return compress_1x1(weights, 0, (bits,), fixed_score,
-                        rng=np.random.default_rng(0), tile=patterns[0].dim,
-                        patterns=patterns)
+        return best_candidate(evaluate_kxk(weights, patterns, (bits,)),
+                              patterns, fixed_score)
+    return best_candidate(
+        evaluate_1x1(weights, patterns, (bits,), tile=patterns[0].dim),
+        patterns, fixed_score)

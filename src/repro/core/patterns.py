@@ -15,7 +15,7 @@ from dataclasses import dataclass
 import numpy as np
 
 __all__ = ["PATTERN_TYPES", "KernelPattern", "generate_pattern",
-           "generate_patterns", "pattern_mask"]
+           "generate_patterns", "pattern_mask", "pool_signature"]
 
 PATTERN_TYPES = ("main_diagonal", "anti_diagonal", "row", "column")
 
@@ -113,3 +113,13 @@ def generate_patterns(n: int, d: int, count: int,
 def pattern_mask(pattern: KernelPattern) -> np.ndarray:
     """Convenience alias for :meth:`KernelPattern.mask`."""
     return pattern.mask()
+
+
+def pool_signature(patterns) -> tuple:
+    """Hashable identity of a pattern pool, for content-keyed caches.
+
+    Two pools with the same signature produce identical masks, so any
+    computation keyed on (weights, pool, bits) may be shared between
+    them.
+    """
+    return tuple((p.pattern_type, p.positions, p.dim) for p in patterns)

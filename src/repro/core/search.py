@@ -1,0 +1,340 @@
+"""Parallel, memoized candidate search for the UPAQ compression stage.
+
+Algorithm 3's hot loop — score every root layer over pattern-family ×
+bitwidth candidates — is embarrassingly parallel: each root layer's
+evaluation depends only on its own weights and the search knobs.  This
+module turns that loop into *pure, picklable work units*
+(:class:`RootSearchTask` / :class:`LeafSearchTask`) dispatched over a
+``concurrent.futures`` pool, with three properties the test suite pins
+down:
+
+**Determinism independent of scheduling.**  Each layer's randomized
+pattern pool (Algorithm 2) is seeded from ``(base_seed, crc32(weights))``
+rather than from a generator threaded through the layers sequentially,
+so results do not depend on worker count, backend, or completion order.
+Seeding from the weight *content* (not the layer name) has a second
+benefit: two layers with identical weights draw identical pools, which
+makes their entire evaluation cache-equivalent.
+
+**Content-keyed memoization.**  A bounded, thread-safe
+:class:`MemoCache` keyed on ``(weights digest, search knobs)`` lets
+repeated kernels — duplicated heads, tied layers, repeated sweeps over
+the same checkpoint — be evaluated once.  The cache sits in the
+dispatching process, in front of the pool, so it works identically for
+the serial, thread, and process backends.
+
+**Observable search cost.**  Every task reports wall time and candidate
+counts; :class:`SearchStats` aggregates them (plus cache hit rates) into
+the :class:`~repro.core.compressor.CompressionReport` and the CLI.
+"""
+
+from __future__ import annotations
+
+import time
+import zlib
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from threading import Lock
+
+import numpy as np
+
+from .kernel_compression import (KernelCandidate, apply_patterns,
+                                 evaluate_1x1, evaluate_kxk, evaluate_quant,
+                                 quantize_only)
+from .patterns import KernelPattern, generate_patterns, pool_signature
+
+__all__ = ["MemoCache", "SearchEngine", "SearchStats", "LayerSearchStat",
+           "RootSearchTask", "RootSearchResult", "LeafSearchTask",
+           "LeafSearchResult", "run_root_task", "run_leaf_task",
+           "content_digest", "resolve_backend", "SEARCH_BACKENDS"]
+
+SEARCH_BACKENDS = ("auto", "serial", "thread", "process")
+
+
+def content_digest(array: np.ndarray) -> int:
+    """Cheap, stable digest of an array's dtype, shape, and bytes."""
+    contiguous = np.ascontiguousarray(array)
+    header = f"{contiguous.dtype.str}|{contiguous.shape}".encode()
+    return zlib.crc32(contiguous.tobytes(), zlib.crc32(header))
+
+
+def resolve_backend(backend: str, workers: int) -> str:
+    """Collapse ``auto`` and single-worker runs to a concrete backend."""
+    if backend not in SEARCH_BACKENDS:
+        raise ValueError(f"unknown search backend {backend!r}; "
+                         f"expected one of {SEARCH_BACKENDS}")
+    if workers <= 1:
+        return "serial"
+    if backend == "auto":
+        # Process pools sidestep the GIL entirely; on platforms without
+        # fork the spawn cost usually exceeds the win for these models.
+        import multiprocessing
+        return "process" \
+            if "fork" in multiprocessing.get_all_start_methods() \
+            else "thread"
+    return backend
+
+
+class MemoCache:
+    """Bounded, thread-safe LRU cache with hit/miss accounting."""
+
+    def __init__(self, max_entries: int = 256):
+        if max_entries < 1:
+            raise ValueError("cache needs at least one entry")
+        self.max_entries = max_entries
+        self._entries: OrderedDict = OrderedDict()
+        self._lock = Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key):
+        """Return the cached value or ``None`` (counted as a miss)."""
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return self._entries[key]
+            self.misses += 1
+            return None
+
+    def put(self, key, value) -> None:
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+# ----------------------------------------------------------------------
+# Work units — plain dataclasses + module-level functions, so every task
+# pickles cleanly into a process pool.
+# ----------------------------------------------------------------------
+@dataclass
+class RootSearchTask:
+    """Everything needed to search one root layer, self-contained."""
+
+    name: str
+    weights: np.ndarray
+    path: str                       # "kxk" | "tile" | "quant"
+    n_nonzero: int
+    quant_bits: tuple
+    num_patterns: int
+    pattern_types: tuple | None
+    tile: int
+    connectivity_percentile: float
+    base_seed: int
+
+    def cache_key(self) -> tuple:
+        return ("root", content_digest(self.weights), self.path,
+                self.n_nonzero, tuple(self.quant_bits), self.num_patterns,
+                self.pattern_types, self.tile,
+                round(self.connectivity_percentile, 9), self.base_seed)
+
+
+@dataclass
+class RootSearchResult:
+    """Unscored candidates for one root layer, plus measured cost."""
+
+    name: str
+    candidates: list                # list[BitCandidate], quant_bits order
+    patterns: list[KernelPattern]
+    evaluated: int                  # patterns × bitwidths
+    wall_time_s: float
+
+
+def run_root_task(task: RootSearchTask) -> RootSearchResult:
+    """Evaluate one root layer's full candidate grid (pure function)."""
+    start = time.perf_counter()
+    rng = np.random.default_rng((task.base_seed,
+                                 content_digest(task.weights)))
+    if task.path == "kxk":
+        patterns = generate_patterns(
+            task.n_nonzero, task.weights.shape[-1], task.num_patterns, rng,
+            pattern_types=task.pattern_types)
+        candidates = evaluate_kxk(task.weights, patterns, task.quant_bits,
+                                  task.connectivity_percentile)
+    elif task.path == "tile":
+        patterns = generate_patterns(task.n_nonzero, task.tile,
+                                     task.num_patterns, rng,
+                                     pattern_types=task.pattern_types)
+        candidates = evaluate_1x1(task.weights, patterns, task.quant_bits,
+                                  tile=task.tile)
+    elif task.path == "quant":
+        patterns = []
+        candidates = evaluate_quant(task.weights, task.quant_bits)
+    else:
+        raise ValueError(f"unknown search path {task.path!r}")
+    evaluated = max(len(patterns), 1) * len(candidates)
+    return RootSearchResult(name=task.name, candidates=candidates,
+                            patterns=patterns, evaluated=evaluated,
+                            wall_time_s=time.perf_counter() - start)
+
+
+@dataclass
+class LeafSearchTask:
+    """Replicate a root's decision onto one leaf layer (Algorithm 3)."""
+
+    name: str
+    root: str
+    weights: np.ndarray
+    patterns: list[KernelPattern]   # empty → quantize-only at root bits
+    bits: int
+    tile: int
+
+    def cache_key(self) -> tuple:
+        return ("leaf", content_digest(self.weights),
+                pool_signature(self.patterns), self.bits, self.tile)
+
+
+@dataclass
+class LeafSearchResult:
+    name: str
+    root: str
+    candidate: KernelCandidate
+    evaluated: int
+    wall_time_s: float
+
+
+def run_leaf_task(task: LeafSearchTask) -> LeafSearchResult:
+    """Apply the root's pool/bits to a leaf layer (pure function)."""
+    start = time.perf_counter()
+    if task.patterns:
+        candidate = apply_patterns(task.weights, task.patterns, task.bits,
+                                   tile=task.tile)
+        evaluated = len(task.patterns)
+    else:   # root was quantize-only (1×1 default path)
+        candidate = quantize_only(
+            task.weights, (task.bits,),
+            lambda sqnr, bits, sparsity: sqnr)
+        evaluated = 1
+    return LeafSearchResult(name=task.name, root=task.root,
+                            candidate=candidate, evaluated=evaluated,
+                            wall_time_s=time.perf_counter() - start)
+
+
+# ----------------------------------------------------------------------
+# Statistics surfaced in CompressionReport / the CLI
+# ----------------------------------------------------------------------
+@dataclass
+class LayerSearchStat:
+    """Search cost of a single layer."""
+
+    layer: str
+    role: str                       # "root" | "leaf"
+    candidates: int
+    wall_time_s: float
+    cached: bool
+
+
+@dataclass
+class SearchStats:
+    """Aggregate cost of one compression search."""
+
+    workers: int = 1
+    backend: str = "serial"
+    wall_time_s: float = 0.0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    device_cache_hits: int = 0
+    device_cache_misses: int = 0
+    layers: list = field(default_factory=list)
+
+    @property
+    def candidates_evaluated(self) -> int:
+        return sum(stat.candidates for stat in self.layers)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    @property
+    def device_cache_hit_rate(self) -> float:
+        total = self.device_cache_hits + self.device_cache_misses
+        return self.device_cache_hits / total if total else 0.0
+
+    def summary(self) -> str:
+        roots = sum(1 for stat in self.layers if stat.role == "root")
+        return (f"search: {len(self.layers)} layers ({roots} roots), "
+                f"{self.candidates_evaluated} candidates, "
+                f"cache {self.cache_hits}/"
+                f"{self.cache_hits + self.cache_misses} hits "
+                f"({self.cache_hit_rate:.0%}), "
+                f"device cache {self.device_cache_hit_rate:.0%}, "
+                f"wall {self.wall_time_s:.3f}s "
+                f"[workers={self.workers}, {self.backend}]")
+
+
+# ----------------------------------------------------------------------
+# The engine
+# ----------------------------------------------------------------------
+class SearchEngine:
+    """Dispatches search tasks over a worker pool, memoizing by content.
+
+    Results come back in task-submission order regardless of completion
+    order, and a single-worker engine runs tasks inline — so for equal
+    inputs every backend produces bit-identical results.
+    """
+
+    def __init__(self, workers: int = 1, backend: str = "auto",
+                 cache: MemoCache | None = None):
+        self.workers = max(1, int(workers))
+        self.backend = resolve_backend(backend, self.workers)
+        self.cache = cache
+
+    def map(self, fn, tasks: list) -> list[tuple[object, bool]]:
+        """Run ``fn`` over ``tasks``; returns ``[(result, was_cached)]``.
+
+        Tasks whose cache key repeats *within the batch* are evaluated
+        once: the duplicates reuse the first occurrence's result and are
+        reported as cache hits — this is what lets tied/duplicated
+        layers submitted in the same phase be scored a single time.
+        """
+        results: list = [None] * len(tasks)
+        cached = [False] * len(tasks)
+        keys = [task.cache_key() for task in tasks]
+        first_index: dict = {}
+        duplicates: list[int] = []
+        pending: list[int] = []
+        for index, key in enumerate(keys):
+            if key in first_index:
+                duplicates.append(index)
+                continue
+            first_index[key] = index
+            hit = self.cache.get(key) if self.cache is not None else None
+            if hit is not None:
+                results[index] = hit
+                cached[index] = True
+            else:
+                pending.append(index)
+
+        if pending:
+            if self.backend == "serial" or len(pending) == 1:
+                fresh = [fn(tasks[index]) for index in pending]
+            else:
+                pool_cls = ThreadPoolExecutor if self.backend == "thread" \
+                    else ProcessPoolExecutor
+                max_workers = min(self.workers, len(pending))
+                with pool_cls(max_workers=max_workers) as pool:
+                    fresh = list(pool.map(fn, (tasks[index]
+                                               for index in pending)))
+            for index, result in zip(pending, fresh):
+                results[index] = result
+                if self.cache is not None:
+                    self.cache.put(keys[index], result)
+        for index in duplicates:
+            value = self.cache.get(keys[index]) \
+                if self.cache is not None else None
+            results[index] = value if value is not None \
+                else results[first_index[keys[index]]]
+            cached[index] = True
+        return list(zip(results, cached))

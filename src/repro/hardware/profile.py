@@ -38,6 +38,18 @@ class LayerProfile:
     def weight_bytes_fp32(self) -> int:
         return self.weight_count * 4
 
+    @property
+    def cache_key(self) -> tuple:
+        """Cost signature: two layers with equal keys price identically.
+
+        Everything the analytic device models read off a profile —
+        used to memoize per-candidate latency/energy lookups across the
+        many same-shaped layers of a backbone.
+        """
+        return (self.kind, self.kernel_size, self.macs, self.weight_count,
+                self.output_elements, self.input_bytes_fp32,
+                self.output_bytes_fp32)
+
 
 @dataclass
 class ModelProfile:

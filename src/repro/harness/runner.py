@@ -30,6 +30,9 @@ class RunnerConfig:
         pretrain_steps=1500, finetune_scenes=24, finetune_epochs=3,
         eval_frames=10))
     include_smoke: bool = True
+    #: worker count for the UPAQ candidate search in every Table 2 run
+    #: (bit-identical results for any value)
+    search_workers: int = 1
 
 
 def _table2_csv(path: str, rows) -> None:
@@ -63,7 +66,9 @@ def run_all(config: RunnerConfig | None = None) -> dict:
         model_runs.append(("smoke", "SMOKE", config.smoke))
 
     for key, label, budget in model_runs:
-        rows = run_table2(Table2Config(model_name=key, **budget))
+        rows = run_table2(Table2Config(model_name=key,
+                                       search_workers=config.search_workers,
+                                       **budget))
         results[f"table2_{key}"] = rows
         _table2_csv(os.path.join(out, f"table2_{key}.csv"), rows)
         results[f"fig4_{key}"] = speedups(rows)

@@ -43,6 +43,9 @@ class Table2Config:
     seed: int = 0
     frameworks: tuple = FRAMEWORK_ORDER[1:]   # all but the base model
     model_kwargs: dict = field(default_factory=dict)
+    #: worker count for the UPAQ candidate search (bit-identical results
+    #: for any value; >1 parallelizes the per-root-layer evaluation)
+    search_workers: int = 1
 
 
 @dataclass
@@ -56,15 +59,17 @@ class Table2Row:
     jetson_j: float
 
 
-def default_frameworks(seed: int = 0) -> dict:
+def default_frameworks(seed: int = 0, search_workers: int = 1) -> dict:
     """Name → compressor instance, in the paper's column order."""
     return {
         "Ps&Qs": PsAndQs(),
         "CLIP-Q": ClipQ(),
         "R-TOSS": RToss(),
         "LiDAR-PTQ": LidarPTQ(),
-        "UPAQ (LCK)": UPAQCompressor(lck_config(seed=seed)),
-        "UPAQ (HCK)": UPAQCompressor(hck_config(seed=seed)),
+        "UPAQ (LCK)": UPAQCompressor(
+            lck_config(seed=seed, search_workers=search_workers)),
+        "UPAQ (HCK)": UPAQCompressor(
+            hck_config(seed=seed, search_workers=search_workers)),
     }
 
 
@@ -110,7 +115,8 @@ def run_table2(config: Table2Config) -> list[Table2Row]:
 
     rows = [row_for("Base Model", base, 1.0,
                     evaluate_model_map(base, eval_scenes))]
-    frameworks = default_frameworks(config.seed)
+    frameworks = default_frameworks(config.seed,
+                                    search_workers=config.search_workers)
     for name in config.frameworks:
         framework = frameworks[name]
         report = framework.compress(base, *example_inputs)

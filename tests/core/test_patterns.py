@@ -5,7 +5,8 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core import PATTERN_TYPES, generate_pattern, generate_patterns
+from repro.core import (PATTERN_TYPES, generate_pattern, generate_patterns,
+                        hck_config, lck_config, pool_signature)
 
 
 @pytest.fixture
@@ -96,3 +97,76 @@ class TestGeneratePatterns:
         # d=1: every pattern collapses to the single cell.
         patterns = generate_patterns(1, 1, 10, rng)
         assert 1 <= len(patterns) <= 4
+
+
+def _belongs_to_family(pattern) -> bool:
+    """Check a pattern's positions against its claimed arrangement."""
+    rows = [r for r, _ in pattern.positions]
+    cols = [c for _, c in pattern.positions]
+    count = len(pattern.positions)
+    if pattern.pattern_type == "main_diagonal":
+        return pattern.positions == tuple((i, i) for i in range(count))
+    if pattern.pattern_type == "anti_diagonal":
+        return pattern.positions == tuple(
+            (i, pattern.dim - i - 1) for i in range(count))
+    if pattern.pattern_type == "row":
+        return len(set(rows)) == 1 and \
+            cols == list(range(cols[0], cols[0] + count))
+    if pattern.pattern_type == "column":
+        return len(set(cols)) == 1 and \
+            rows == list(range(rows[0], rows[0] + count))
+    return False
+
+
+class TestPatternProperties:
+    """Property suite: masks are exact, in-family, and seed-reproducible."""
+
+    @given(n=st.integers(1, 6), d=st.integers(1, 7),
+           seed=st.integers(0, 2**32 - 1))
+    @settings(max_examples=80, deadline=None)
+    def test_mask_has_exactly_min_n_d_ones(self, n, d, seed):
+        rng = np.random.default_rng(seed)
+        mask = generate_pattern(n, d, rng).mask()
+        assert mask.shape == (d, d)
+        assert set(np.unique(mask)) <= {0.0, 1.0}
+        assert int(mask.sum()) == min(n, d)
+
+    @given(n=st.integers(1, 6), d=st.integers(1, 7),
+           seed=st.integers(0, 2**32 - 1))
+    @settings(max_examples=80, deadline=None)
+    def test_pattern_belongs_to_one_of_four_families(self, n, d, seed):
+        rng = np.random.default_rng(seed)
+        pattern = generate_pattern(n, d, rng)
+        assert pattern.pattern_type in PATTERN_TYPES
+        assert _belongs_to_family(pattern)
+
+    @pytest.mark.parametrize("config_fn", [hck_config, lck_config])
+    def test_preset_masks_have_configured_nonzeros(self, config_fn):
+        """Every HCK/LCK pool mask retains exactly n_nonzero weights."""
+        config = config_fn()
+        rng = np.random.default_rng(0)
+        pool = generate_patterns(config.n_nonzero_kxk, 3,
+                                 config.num_patterns, rng)
+        for pattern in pool:
+            assert int(pattern.mask().sum()) == config.n_nonzero_kxk
+
+    @given(seed=st.integers(0, 2**32 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_fixed_seed_reproduces_mask_sequence(self, seed):
+        first = generate_patterns(2, 3, 8, np.random.default_rng(seed))
+        second = generate_patterns(2, 3, 8, np.random.default_rng(seed))
+        assert first == second
+        for p1, p2 in zip(first, second):
+            np.testing.assert_array_equal(p1.mask(), p2.mask())
+
+    def test_different_seeds_usually_differ(self):
+        pools = {pool_signature(generate_patterns(
+            2, 3, 8, np.random.default_rng(seed))) for seed in range(16)}
+        assert len(pools) > 1
+
+    def test_pool_signature_identifies_equal_pools(self):
+        a = generate_patterns(2, 3, 6, np.random.default_rng(11))
+        b = generate_patterns(2, 3, 6, np.random.default_rng(11))
+        c = generate_patterns(2, 3, 6, np.random.default_rng(12))
+        assert pool_signature(a) == pool_signature(b)
+        assert pool_signature(a) != pool_signature(c)

@@ -5,7 +5,8 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core import mp_quantizer, quantize_to_int, sqnr_db
+from repro.core import (evaluate_quant, mp_quantizer, quantize_per_kernel,
+                        quantize_to_int, sqnr_db)
 
 
 class TestQuantizeToInt:
@@ -90,6 +91,71 @@ class TestMPQuantizer:
         a = mp_quantizer(x, 8).sqnr
         b = mp_quantizer(x * factor, 8).sqnr
         assert a == pytest.approx(b, rel=0.05)
+
+
+class TestQuantizerInvariants:
+    """Satellite suite: 0→0, SQNR monotone in bits, no division by zero."""
+
+    @given(bits=st.integers(2, 16), seed=st.integers(0, 2**32 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_zero_always_maps_to_zero(self, bits, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal(64).astype(np.float32)
+        x[::7] = 0.0                        # sprinkle exact zeros
+        codes, scale = quantize_to_int(x, bits)
+        assert (codes[::7] == 0).all()
+        assert ((codes * scale)[::7] == 0.0).all()
+
+    @given(bits=st.integers(2, 16), seed=st.integers(0, 2**32 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_per_kernel_zeros_stay_zero(self, bits, seed):
+        rng = np.random.default_rng(seed)
+        kernels = rng.standard_normal((6, 3, 3)).astype(np.float32)
+        kernels[:, 1, :] = 0.0              # pruned row per kernel
+        values, _ = quantize_per_kernel(kernels, bits)
+        assert (values[:, 1, :] == 0.0).all()
+
+    def test_per_kernel_sqnr_nondecreasing_in_bits(self):
+        """More bits never hurt reconstruction of fixed random kernels."""
+        rng = np.random.default_rng(5)
+        kernels = rng.standard_normal((16, 3, 3)).astype(np.float32)
+        errors = []
+        for bits in (2, 4, 6, 8, 12, 16):
+            values, _ = quantize_per_kernel(kernels, bits)
+            errors.append(float(((kernels - values) ** 2).sum()))
+        assert all(lo >= hi for lo, hi in zip(errors, errors[1:]))
+
+    def test_evaluate_quant_sqnr_nondecreasing_in_bits(self):
+        rng = np.random.default_rng(6)
+        weights = rng.standard_normal((8, 16, 1, 1)).astype(np.float32)
+        candidates = evaluate_quant(weights, (4, 6, 8, 12, 16))
+        sqnrs = [c.sqnr for c in candidates]
+        assert all(a <= b for a, b in zip(sqnrs, sqnrs[1:]))
+
+    def test_all_zero_kernel_no_division_by_zero(self):
+        zeros = np.zeros((4, 3, 3), dtype=np.float32)
+        with np.errstate(all="raise"):      # any div-by-zero → FloatingPointError
+            values, scales = quantize_per_kernel(zeros, 8)
+            result = mp_quantizer(zeros, 8)
+            candidates = evaluate_quant(zeros.reshape(4, 9), (4, 8))
+        assert (values == 0).all()
+        assert (scales == 1.0).all()
+        assert (result.values == 0).all()
+        assert np.isfinite(result.sqnr)     # defined, not NaN/inf
+        for candidate in candidates:
+            assert (candidate.values == 0).all()
+            assert not np.isnan(candidate.sqnr)
+
+    def test_mixed_zero_and_live_kernels(self):
+        """A dead kernel among live ones gets the neutral scale."""
+        rng = np.random.default_rng(8)
+        kernels = rng.standard_normal((3, 3, 3)).astype(np.float32)
+        kernels[1] = 0.0
+        with np.errstate(all="raise"):
+            values, scales = quantize_per_kernel(kernels, 8)
+        assert (values[1] == 0).all()
+        assert scales[1] == 1.0
+        assert (values[0] != 0).any() and (values[2] != 0).any()
 
 
 class TestSqnrDb:

@@ -1,0 +1,282 @@
+"""Tests for the parallel, memoized candidate-search engine.
+
+The contract pinned down here: the compression search produces
+*bit-identical* outputs (layer choices, masks, packed blob, compression
+ratio) for every worker count and backend, the content-keyed memo cache
+actually fires on repeated kernels, and the search statistics surfaced
+in ``CompressionReport.search`` are populated and consistent.
+"""
+
+import os
+import threading
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core import (MemoCache, SearchEngine, UPAQCompressor,
+                        content_digest, hck_config, pack_model,
+                        resolve_backend, run_root_task, RootSearchTask)
+from repro.nn import Tensor
+
+
+class ChainNet(nn.Module):
+    """conv3x3 → conv3x3 → conv1x1 chain, same shape as the doc examples."""
+
+    def __init__(self, seed=0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.conv1 = nn.Conv2d(2, 4, 3, padding=1, rng=rng)
+        self.conv2 = nn.Conv2d(4, 4, 3, padding=1, rng=rng)
+        self.proj = nn.Conv2d(4, 2, 1, rng=rng)
+
+    def forward(self, x):
+        return self.proj(self.conv2(self.conv1(x).relu()).relu())
+
+    def example_inputs(self):
+        rng = np.random.default_rng(1)
+        return (Tensor(rng.standard_normal((1, 2, 6, 6))
+                       .astype(np.float32)),)
+
+
+class TwinNet(nn.Module):
+    """Two branches with *identical* weights — the memo cache's food."""
+
+    def __init__(self):
+        super().__init__()
+        rng = np.random.default_rng(7)
+        self.a = nn.Conv2d(3, 4, 3, padding=1, rng=rng)
+        self.b = nn.Conv2d(3, 4, 3, padding=1, rng=rng)
+        self.b.weight.data = self.a.weight.data.copy()
+
+    def forward(self, x):
+        return self.a(x) + self.b(x)
+
+    def example_inputs(self):
+        rng = np.random.default_rng(2)
+        return (Tensor(rng.standard_normal((1, 3, 6, 6))
+                       .astype(np.float32)),)
+
+
+def _compress(model, **config_overrides):
+    config = hck_config(**config_overrides)
+    return UPAQCompressor(config).compress(model, *model.example_inputs())
+
+
+def _assert_reports_identical(a, b):
+    assert a.choices == b.choices
+    assert set(a.masks) == set(b.masks)
+    for name in a.masks:
+        np.testing.assert_array_equal(a.masks[name], b.masks[name])
+    assert a.compression_ratio == b.compression_ratio
+    assert pack_model(a.model) == pack_model(b.model)
+
+
+class TestDeterminism:
+    """Satellite: serial vs parallel produce identical outputs."""
+
+    def test_workers_2_and_4_thread_match_serial(self):
+        model = ChainNet()
+        serial = _compress(model, seed=5, search_workers=1)
+        for workers in (2, 4):
+            parallel = _compress(model, seed=5, search_workers=workers,
+                                 search_backend="thread")
+            _assert_reports_identical(serial, parallel)
+
+    def test_process_backend_matches_serial(self):
+        model = ChainNet()
+        serial = _compress(model, seed=5, search_workers=1)
+        parallel = _compress(model, seed=5, search_workers=2,
+                             search_backend="process")
+        _assert_reports_identical(serial, parallel)
+
+    def test_auto_backend_matches_serial(self):
+        model = ChainNet()
+        serial = _compress(model, seed=9, search_workers=1)
+        parallel = _compress(model, seed=9, search_workers=3,
+                             search_backend="auto")
+        _assert_reports_identical(serial, parallel)
+
+    def test_root_task_result_independent_of_layer_name(self):
+        """Pools are seeded from weight content, not layer identity."""
+        rng = np.random.default_rng(0)
+        weights = rng.standard_normal((4, 2, 3, 3)).astype(np.float32)
+
+        def task(name):
+            return RootSearchTask(
+                name=name, weights=weights, path="kxk", n_nonzero=2,
+                quant_bits=(4, 8), num_patterns=4, pattern_types=None,
+                tile=3, connectivity_percentile=0.0, base_seed=0)
+
+        first = run_root_task(task("backbone.conv1"))
+        second = run_root_task(task("totally.different"))
+        assert first.patterns == second.patterns
+        for c1, c2 in zip(first.candidates, second.candidates):
+            np.testing.assert_array_equal(c1.values, c2.values)
+            np.testing.assert_array_equal(c1.mask, c2.mask)
+            assert c1.sqnr == c2.sqnr
+
+
+class TestMemoCache:
+    def test_hit_and_miss_accounting(self):
+        cache = MemoCache(max_entries=4)
+        assert cache.get("k") is None
+        cache.put("k", 42)
+        assert cache.get("k") == 42
+        assert cache.hits == 1
+        assert cache.misses == 1
+        assert cache.hit_rate == 0.5
+
+    def test_lru_eviction(self):
+        cache = MemoCache(max_entries=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1       # refresh "a"
+        cache.put("c", 3)                # evicts "b"
+        assert cache.get("b") is None
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+        assert len(cache) == 2
+
+    def test_rejects_empty_cache(self):
+        with pytest.raises(ValueError):
+            MemoCache(max_entries=0)
+
+    def test_thread_safety_smoke(self):
+        cache = MemoCache(max_entries=64)
+
+        def worker(base):
+            for i in range(200):
+                cache.put((base, i % 50), i)
+                cache.get((base, (i * 7) % 50))
+
+        threads = [threading.Thread(target=worker, args=(t,))
+                   for t in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(cache) <= 64
+        assert cache.hits + cache.misses == 4 * 200
+
+
+class TestContentDigest:
+    def test_sensitive_to_values_shape_dtype(self):
+        a = np.arange(12, dtype=np.float32)
+        assert content_digest(a) == content_digest(a.copy())
+        assert content_digest(a) != content_digest(a.reshape(3, 4))
+        assert content_digest(a) != content_digest(a.astype(np.float64))
+        changed = a.copy()
+        changed[0] += 1
+        assert content_digest(a) != content_digest(changed)
+
+
+class TestBackendResolution:
+    def test_single_worker_is_serial(self):
+        assert resolve_backend("auto", 1) == "serial"
+        assert resolve_backend("process", 1) == "serial"
+
+    def test_explicit_backends_respected(self):
+        assert resolve_backend("thread", 4) == "thread"
+        assert resolve_backend("process", 4) == "process"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_backend("celery", 4)
+
+
+class TestEngine:
+    def test_results_in_submission_order(self):
+        rng = np.random.default_rng(3)
+        tasks = [RootSearchTask(
+            name=f"layer{i}",
+            weights=rng.standard_normal((2, 2, 3, 3)).astype(np.float32),
+            path="kxk", n_nonzero=2, quant_bits=(8,), num_patterns=3,
+            pattern_types=None, tile=3, connectivity_percentile=0.0,
+            base_seed=0) for i in range(6)]
+        engine = SearchEngine(workers=3, backend="thread")
+        results = engine.map(run_root_task, tasks)
+        assert [r.name for r, _ in results] == [t.name for t in tasks]
+
+    def test_memoization_skips_duplicate_tasks(self):
+        rng = np.random.default_rng(4)
+        weights = rng.standard_normal((2, 2, 3, 3)).astype(np.float32)
+        tasks = [RootSearchTask(
+            name=f"layer{i}", weights=weights, path="kxk", n_nonzero=2,
+            quant_bits=(8,), num_patterns=3, pattern_types=None, tile=3,
+            connectivity_percentile=0.0, base_seed=0) for i in range(3)]
+        cache = MemoCache()
+        engine = SearchEngine(workers=1, cache=cache)
+        results = engine.map(run_root_task, tasks)
+        assert [cached for _, cached in results] == [False, True, True]
+        assert cache.hits == 2
+
+
+class TestSearchStats:
+    def test_report_carries_stats(self):
+        model = ChainNet()
+        report = _compress(model, search_workers=2,
+                           search_backend="thread")
+        stats = report.search
+        assert stats is not None
+        assert stats.workers == 2
+        assert stats.backend == "thread"
+        assert stats.wall_time_s > 0
+        assert {s.layer for s in stats.layers} == {"conv1", "conv2", "proj"}
+        roles = {s.layer: s.role for s in stats.layers}
+        assert roles["conv1"] == "root"
+        assert roles["conv2"] == "leaf"
+        # conv1 root: num_patterns × len(quant_bits) candidates (HCK: 8×3).
+        by_layer = {s.layer: s for s in stats.layers}
+        assert by_layer["conv1"].candidates == 8 * 3
+        assert by_layer["conv2"].candidates == 8     # leaf: pool only
+        assert stats.candidates_evaluated == sum(
+            s.candidates for s in stats.layers)
+        assert "cache" in stats.summary()
+
+    def test_duplicate_layers_hit_the_cache(self):
+        model = TwinNet()
+        report = _compress(model, use_root_groups=False)
+        assert report.search.cache_hits >= 1
+        assert report.search.cache_hit_rate > 0
+        a = report.choice_for("a")
+        b = report.choice_for("b")
+        assert a.bits == b.bits
+        assert a.pattern == b.pattern
+        np.testing.assert_array_equal(report.masks["a"], report.masks["b"])
+        cached_layers = [s.layer for s in report.search.layers if s.cached]
+        assert "b" in cached_layers
+
+    def test_serial_run_reports_serial_backend(self):
+        model = ChainNet()
+        report = _compress(model, search_workers=1,
+                           search_backend="process")
+        assert report.search.backend == "serial"
+        assert report.search.workers == 1
+
+
+@pytest.mark.slow
+@pytest.mark.skipif((os.cpu_count() or 1) < 4,
+                    reason="speedup assertion needs a 4+ core machine")
+def test_speedup_with_four_workers():
+    """Acceptance: workers=4 ≥ 2× faster than workers=1 on PointPillars."""
+    import time
+
+    from repro.models import build_model
+
+    model = build_model("pointpillars")
+    inputs = model.example_inputs()
+
+    def timed(workers):
+        config = hck_config(search_workers=workers,
+                            search_backend="process")
+        start = time.perf_counter()
+        report = UPAQCompressor(config).compress(model, *inputs)
+        return time.perf_counter() - start, report
+
+    timed(1)                       # warm caches/imports
+    serial_s, serial_report = timed(1)
+    parallel_s, parallel_report = timed(4)
+    _assert_reports_identical(serial_report, parallel_report)
+    assert parallel_s * 2.0 <= serial_s, \
+        f"workers=4 took {parallel_s:.2f}s vs serial {serial_s:.2f}s"
