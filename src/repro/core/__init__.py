@@ -19,8 +19,8 @@ from .kernel_compression import (BitCandidate, KernelCandidate,
                                  quantize_only)
 from .search import (LayerSearchStat, LeafSearchTask, MemoCache,
                      RootSearchTask, SearchEngine, SearchStats,
-                     content_digest, resolve_backend, run_leaf_task,
-                     run_root_task)
+                     content_digest, content_key, resolve_backend,
+                     run_leaf_task, run_root_task)
 from .packing import (pack_bits, pack_layer, pack_model, packed_size_report,
                       unpack_bits, unpack_layer, unpack_model)
 from .sensitivity import (LayerSensitivity, SensitivityProfile,
@@ -44,7 +44,7 @@ __all__ = [
     "quantize_only", "best_candidate",
     "MemoCache", "SearchEngine", "SearchStats", "LayerSearchStat",
     "RootSearchTask", "LeafSearchTask", "run_root_task", "run_leaf_task",
-    "content_digest", "resolve_backend",
+    "content_digest", "content_key", "resolve_backend",
     "pack_bits", "unpack_bits", "pack_layer", "unpack_layer",
     "pack_model", "unpack_model", "packed_size_report",
     "LayerSensitivity", "SensitivityProfile", "analyze_sensitivity",

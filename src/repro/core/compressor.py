@@ -162,9 +162,13 @@ class UPAQCompressor:
                     weights=layers[leaf].weight.data,
                     patterns=winner.patterns, bits=winner.bits,
                     tile=config.tile))
-        leaf_outcomes = {result.name: (result, was_cached)
-                         for result, was_cached
-                         in engine.map(run_leaf_task, leaf_tasks)}
+        # Key on the *task* name: a leaf whose weights duplicate another
+        # leaf's gets the first occurrence's result object back from the
+        # engine's dedup, and that object carries the first leaf's name.
+        leaf_outcomes = {task.name: (result, was_cached)
+                         for task, (result, was_cached)
+                         in zip(leaf_tasks,
+                                engine.map(run_leaf_task, leaf_tasks))}
 
         # Apply in group order so the report reads root-then-leaves.
         for root, members in eligible:

@@ -30,6 +30,7 @@ the :class:`~repro.core.compressor.CompressionReport` and the CLI.
 
 from __future__ import annotations
 
+import hashlib
 import time
 import zlib
 from collections import OrderedDict
@@ -47,16 +48,36 @@ from .patterns import KernelPattern, generate_patterns, pool_signature
 __all__ = ["MemoCache", "SearchEngine", "SearchStats", "LayerSearchStat",
            "RootSearchTask", "RootSearchResult", "LeafSearchTask",
            "LeafSearchResult", "run_root_task", "run_leaf_task",
-           "content_digest", "resolve_backend", "SEARCH_BACKENDS"]
+           "content_digest", "content_key", "resolve_backend",
+           "SEARCH_BACKENDS"]
 
 SEARCH_BACKENDS = ("auto", "serial", "thread", "process")
 
 
 def content_digest(array: np.ndarray) -> int:
-    """Cheap, stable digest of an array's dtype, shape, and bytes."""
+    """Cheap, stable 32-bit digest of an array's dtype, shape, and bytes.
+
+    Used to seed per-layer rng pools, where a collision merely makes two
+    layers draw the same (still valid) pattern pool.  Memo-cache keys
+    need collision resistance instead — see :func:`content_key`.
+    """
     contiguous = np.ascontiguousarray(array)
     header = f"{contiguous.dtype.str}|{contiguous.shape}".encode()
     return zlib.crc32(contiguous.tobytes(), zlib.crc32(header))
+
+
+def content_key(array: np.ndarray) -> bytes:
+    """Collision-resistant identity of an array's dtype, shape, and bytes.
+
+    Memo-cache keys are built from this: a colliding key would silently
+    substitute another layer's compressed weights and masks, so the
+    32-bit :func:`content_digest` is not good enough here.
+    """
+    digest = hashlib.blake2b(digest_size=16)
+    contiguous = np.ascontiguousarray(array)
+    digest.update(f"{contiguous.dtype.str}|{contiguous.shape}".encode())
+    digest.update(contiguous.tobytes())
+    return digest.digest()
 
 
 def resolve_backend(backend: str, workers: int) -> str:
@@ -98,6 +119,11 @@ class MemoCache:
             self.misses += 1
             return None
 
+    def count_hit(self) -> None:
+        """Record a memoized reuse that bypassed the lookup (batch dedup)."""
+        with self._lock:
+            self.hits += 1
+
     def put(self, key, value) -> None:
         with self._lock:
             self._entries[key] = value
@@ -134,7 +160,7 @@ class RootSearchTask:
     base_seed: int
 
     def cache_key(self) -> tuple:
-        return ("root", content_digest(self.weights), self.path,
+        return ("root", content_key(self.weights), self.path,
                 self.n_nonzero, tuple(self.quant_bits), self.num_patterns,
                 self.pattern_types, self.tile,
                 round(self.connectivity_percentile, 9), self.base_seed)
@@ -191,7 +217,7 @@ class LeafSearchTask:
     tile: int
 
     def cache_key(self) -> tuple:
-        return ("leaf", content_digest(self.weights),
+        return ("leaf", content_key(self.weights),
                 pool_signature(self.patterns), self.bits, self.tile)
 
 
@@ -332,9 +358,8 @@ class SearchEngine:
                 if self.cache is not None:
                     self.cache.put(keys[index], result)
         for index in duplicates:
-            value = self.cache.get(keys[index]) \
-                if self.cache is not None else None
-            results[index] = value if value is not None \
-                else results[first_index[keys[index]]]
+            results[index] = results[first_index[keys[index]]]
             cached[index] = True
+            if self.cache is not None:
+                self.cache.count_hit()
         return list(zip(results, cached))

@@ -15,8 +15,9 @@ import pytest
 
 from repro import nn
 from repro.core import (MemoCache, SearchEngine, UPAQCompressor,
-                        content_digest, hck_config, pack_model,
-                        resolve_backend, run_root_task, RootSearchTask)
+                        content_digest, content_key, hck_config,
+                        pack_model, resolve_backend, run_root_task,
+                        RootSearchTask)
 from repro.nn import Tensor
 
 
@@ -58,6 +59,32 @@ class TwinNet(nn.Module):
                        .astype(np.float32)),)
 
 
+class TiedLeafNet(nn.Module):
+    """3×3 chain whose two *leaves* share identical weights.
+
+    Under root grouping, conv1 roots the group and conv2/conv3 are its
+    leaves; tying conv3's weights to conv2's makes their leaf tasks
+    cache-identical — the engine dedups them and hands conv3 back a
+    result object named "conv2" (regression: this used to KeyError).
+    """
+
+    def __init__(self):
+        super().__init__()
+        rng = np.random.default_rng(11)
+        self.conv1 = nn.Conv2d(2, 4, 3, padding=1, rng=rng)
+        self.conv2 = nn.Conv2d(4, 4, 3, padding=1, rng=rng)
+        self.conv3 = nn.Conv2d(4, 4, 3, padding=1, rng=rng)
+        self.conv3.weight.data = self.conv2.weight.data.copy()
+
+    def forward(self, x):
+        return self.conv3(self.conv2(self.conv1(x).relu()).relu())
+
+    def example_inputs(self):
+        rng = np.random.default_rng(3)
+        return (Tensor(rng.standard_normal((1, 2, 6, 6))
+                       .astype(np.float32)),)
+
+
 def _compress(model, **config_overrides):
     config = hck_config(**config_overrides)
     return UPAQCompressor(config).compress(model, *model.example_inputs())
@@ -95,6 +122,22 @@ class TestDeterminism:
         serial = _compress(model, seed=9, search_workers=1)
         parallel = _compress(model, seed=9, search_workers=3,
                              search_backend="auto")
+        _assert_reports_identical(serial, parallel)
+
+    def test_duplicate_weight_leaves_in_one_group(self):
+        """Tied leaves dedup to one evaluation, with identical outcomes."""
+        model = TiedLeafNet()
+        serial = _compress(model, seed=5, search_workers=1)
+        groups = dict(serial.groups)
+        assert groups["conv1"] == ["conv1", "conv2", "conv3"]
+        np.testing.assert_array_equal(serial.masks["conv2"],
+                                      serial.masks["conv3"])
+        assert serial.choice_for("conv2").bits == \
+            serial.choice_for("conv3").bits
+        tied = {s.layer: s for s in serial.search.layers}
+        assert tied["conv3"].cached and not tied["conv2"].cached
+        parallel = _compress(model, seed=5, search_workers=2,
+                             search_backend="thread")
         _assert_reports_identical(serial, parallel)
 
     def test_root_task_result_independent_of_layer_name(self):
@@ -169,6 +212,17 @@ class TestContentDigest:
         changed = a.copy()
         changed[0] += 1
         assert content_digest(a) != content_digest(changed)
+
+    def test_content_key_is_wide_and_sensitive(self):
+        a = np.arange(12, dtype=np.float32)
+        key = content_key(a)
+        assert isinstance(key, bytes) and len(key) == 16
+        assert key == content_key(a.copy())
+        assert key != content_key(a.reshape(3, 4))
+        assert key != content_key(a.astype(np.float64))
+        changed = a.copy()
+        changed[0] += 1
+        assert key != content_key(changed)
 
 
 class TestBackendResolution:
