@@ -13,7 +13,8 @@ from repro.core import UPAQCompressor, hck_config, pack_model
 from repro.hardware import default_devices
 from repro.models import PointPillars
 from repro.pointcloud import SceneGenerator
-from repro.runtime import InferenceEngine
+from repro.runtime import (DegradationPolicy, FaultInjector, FaultSpec,
+                           InferenceEngine)
 
 
 def main() -> None:
@@ -52,6 +53,24 @@ def main() -> None:
     print(f"uncompressed baseline: {base_latency * 1e3:.3f} ms/frame, "
           f"{base_energy * 1e3:.2f} mJ/frame → UPAQ saves "
           f"{(1 - energy / base_energy):.0%} energy per frame")
+
+    # 5. The same stream under chaos: seeded sensor faults (frame drops,
+    #    NaN-corrupted point clouds, latency jitter) with a degradation
+    #    policy that holds the last good detections over corrupt frames,
+    #    and a deadline watchdog ready to swap in a fallback model.
+    chaos = FaultInjector(FaultSpec(drop_rate=0.2, corrupt_rate=0.1,
+                                    jitter="lognormal",
+                                    jitter_scale_s=0.002, seed=11))
+    hardened = InferenceEngine.from_packed(
+        blob, PointPillars(seed=0), jetson, deadline_s=0.05,
+        policy=DegradationPolicy(on_corrupt="last_good",
+                                 max_consecutive_misses=3),
+        fault_injector=chaos,
+        fallback_model=report.model)
+    degraded = hardened.run(scenes)
+    print(f"under injected faults: {degraded.summary()}")
+    print("same seed → same fault schedule → identical report: "
+          f"{degraded.status_counts == hardened.run(scenes).status_counts}")
 
 
 if __name__ == "__main__":

@@ -9,6 +9,7 @@ Subcommands mirror the library's workflow::
     python -m repro.cli table1                                     # Table 1
     python -m repro.cli table2 --model pointpillars --scale quick  # Table 2
     python -m repro.cli sensitivity --model pointpillars           # analysis
+    python -m repro.cli stream --inject-faults --fault-seed 7      # chaos
 """
 
 from __future__ import annotations
@@ -50,7 +51,9 @@ def _cmd_compress(args) -> int:
     from repro.hardware import compile_model, default_devices
 
     config = {"hck": hck_config, "lck": lck_config}[args.preset](
-        search_workers=args.workers, search_backend=args.backend)
+        search_workers=args.workers, search_backend=args.backend,
+        search_journal=args.journal, search_retries=args.retries,
+        search_timeout_s=args.task_timeout)
     model, _ = get_pretrained(
         args.model, TrainConfig(steps=args.steps,
                                 with_image=(args.model == "smoke")))
@@ -148,6 +151,50 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _cmd_stream(args) -> int:
+    """Stream scenes through a deployment engine, optionally under chaos."""
+    from repro.core import UPAQCompressor, hck_config, lck_config
+    from repro.hardware import default_devices
+    from repro.models import build_model
+    from repro.pointcloud import SceneGenerator
+    from repro.runtime import (DegradationPolicy, FaultInjector, FaultSpec,
+                               InferenceEngine)
+
+    presets = {"hck": hck_config, "lck": lck_config}
+    with_image = args.model == "smoke"
+    model = build_model(args.model)
+    if args.preset != "none":
+        model = UPAQCompressor(presets[args.preset]()).compress(
+            model, *model.example_inputs()).model
+    fallback = None
+    if args.fallback_model != "none":
+        base = build_model(args.model)
+        fallback = UPAQCompressor(presets[args.fallback_model]()).compress(
+            base, *base.example_inputs()).model
+
+    injector = None
+    if args.inject_faults:
+        injector = FaultInjector(FaultSpec(
+            drop_rate=args.drop_rate, corrupt_rate=args.corrupt_rate,
+            jitter="lognormal" if args.jitter_ms > 0 else "none",
+            jitter_scale_s=args.jitter_ms / 1e3, seed=args.fault_seed))
+    policy = DegradationPolicy(on_corrupt=args.on_corrupt,
+                               max_consecutive_misses=args.miss_limit)
+    engine = InferenceEngine(model, default_devices()[args.device],
+                             deadline_s=args.deadline_ms / 1e3,
+                             policy=policy, fault_injector=injector,
+                             fallback_model=fallback)
+    generator = SceneGenerator(seed=args.seed)
+    scenes = [generator.generate(i, with_image=with_image)
+              for i in range(args.frames)]
+    report = engine.run(scenes)
+    print(report.summary())
+    if engine.on_fallback:
+        print(f"watchdog swapped to the {args.fallback_model.upper()} "
+              f"fallback model after repeated deadline misses")
+    return 0
+
+
 def _cmd_sensitivity(args) -> int:
     from repro.core import analyze_sensitivity, suggest_bit_allocation
     from repro.models import build_model
@@ -200,6 +247,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="worker pool backend for the candidate search")
     p.add_argument("--verbose-search", action="store_true",
                    help="print per-layer search timings and cache hits")
+    p.add_argument("--journal", default=None,
+                   help="JSONL checkpoint journal; an interrupted search "
+                        "resumes from it instead of starting over")
+    p.add_argument("--retries", type=int, default=0,
+                   help="retry budget per search task (flaky workers)")
+    p.add_argument("--task-timeout", type=float, default=None,
+                   help="per-task deadline in seconds on pooled backends")
     p.set_defaults(func=_cmd_compress)
 
     p = sub.add_parser("evaluate", help="stratified mAP of a checkpoint")
@@ -228,6 +282,37 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=1,
                    help="parallel workers for the UPAQ candidate search")
     p.set_defaults(func=_cmd_report)
+
+    p = sub.add_parser("stream",
+                       help="stream scenes through a deployment engine "
+                            "with optional fault injection")
+    p.add_argument("--model", default="pointpillars")
+    p.add_argument("--frames", type=int, default=12)
+    p.add_argument("--seed", type=int, default=0,
+                   help="scene generator seed")
+    p.add_argument("--preset", default="none",
+                   choices=["none", "hck", "lck"],
+                   help="compress the streamed model with this preset")
+    p.add_argument("--deadline-ms", type=float, default=50.0)
+    p.add_argument("--device", default="jetson",
+                   choices=["jetson", "rtx4080"])
+    p.add_argument("--inject-faults", action="store_true",
+                   help="enable the seeded chaos injector")
+    p.add_argument("--fault-seed", type=int, default=0)
+    p.add_argument("--drop-rate", type=float, default=0.1)
+    p.add_argument("--corrupt-rate", type=float, default=0.05)
+    p.add_argument("--jitter-ms", type=float, default=0.0,
+                   help="lognormal latency jitter scale")
+    p.add_argument("--on-corrupt", default="last_good",
+                   choices=["last_good", "skip"],
+                   help="degradation policy for corrupt frames")
+    p.add_argument("--miss-limit", type=int, default=3,
+                   help="consecutive deadline misses arming the watchdog "
+                        "(0 disables)")
+    p.add_argument("--fallback-model", default="none",
+                   choices=["none", "hck", "lck"],
+                   help="preset compressed as the watchdog fallback")
+    p.set_defaults(func=_cmd_stream)
 
     p = sub.add_parser("sensitivity",
                        help="per-layer quantization sensitivity")

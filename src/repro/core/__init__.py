@@ -18,11 +18,15 @@ from .kernel_compression import (BitCandidate, KernelCandidate,
                                  evaluate_kxk, evaluate_quant,
                                  quantize_only)
 from .search import (LayerSearchStat, LeafSearchTask, MemoCache,
-                     RootSearchTask, SearchEngine, SearchStats,
-                     content_digest, content_key, resolve_backend,
-                     run_leaf_task, run_root_task)
-from .packing import (pack_bits, pack_layer, pack_model, packed_size_report,
-                      unpack_bits, unpack_layer, unpack_model)
+                     RootSearchTask, SearchEngine, SearchJournal,
+                     SearchStats, SearchTaskError, content_digest,
+                     content_key, resolve_backend, run_leaf_task,
+                     run_root_task)
+from .packing import (BlobArchitectureError, BlobCorruptionError, BlobError,
+                      BlobVersionError, RestoreReport, pack_bits,
+                      pack_layer, pack_model, packed_size_report,
+                      restore_model, unpack_bits, unpack_layer,
+                      unpack_model)
 from .sensitivity import (LayerSensitivity, SensitivityProfile,
                           analyze_sensitivity, suggest_bit_allocation)
 from .patterns import (KernelPattern, PATTERN_TYPES, generate_pattern,
@@ -43,10 +47,13 @@ __all__ = [
     "apply_patterns", "evaluate_kxk", "evaluate_1x1", "evaluate_quant",
     "quantize_only", "best_candidate",
     "MemoCache", "SearchEngine", "SearchStats", "LayerSearchStat",
+    "SearchJournal", "SearchTaskError",
     "RootSearchTask", "LeafSearchTask", "run_root_task", "run_leaf_task",
     "content_digest", "content_key", "resolve_backend",
     "pack_bits", "unpack_bits", "pack_layer", "unpack_layer",
-    "pack_model", "unpack_model", "packed_size_report",
+    "pack_model", "unpack_model", "restore_model", "RestoreReport",
+    "packed_size_report", "BlobError", "BlobCorruptionError",
+    "BlobVersionError", "BlobArchitectureError",
     "LayerSensitivity", "SensitivityProfile", "analyze_sensitivity",
     "suggest_bit_allocation",
     "LayerGroups", "preprocess_model", "find_root",

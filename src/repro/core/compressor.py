@@ -37,8 +37,8 @@ from .efficiency import EfficiencyScorer
 from .kernel_compression import KernelCandidate, best_candidate
 from .preprocessing import LayerGroups, preprocess_model
 from .search import (LayerSearchStat, LeafSearchTask, MemoCache,
-                     RootSearchTask, SearchEngine, SearchStats,
-                     run_leaf_task, run_root_task)
+                     RootSearchTask, SearchEngine, SearchJournal,
+                     SearchStats, run_leaf_task, run_root_task)
 
 __all__ = ["LayerChoice", "CompressionReport", "UPAQCompressor"]
 
@@ -122,9 +122,15 @@ class UPAQCompressor:
                                   cache=device_cache)
         profiled = set(scorer.layer_names())
 
+        journal = SearchJournal(config.search_journal) \
+            if config.search_journal else None
         engine = SearchEngine(workers=config.search_workers,
                               backend=config.search_backend,
-                              cache=search_cache)
+                              cache=search_cache,
+                              task_timeout_s=config.search_timeout_s,
+                              max_retries=config.search_retries,
+                              retry_backoff_s=config.search_backoff_s,
+                              journal=journal)
         report = CompressionReport(model=compressed, groups=groups)
         stats = SearchStats(workers=engine.workers, backend=engine.backend)
 
@@ -188,6 +194,10 @@ class UPAQCompressor:
 
         stats.cache_hits = search_cache.hits
         stats.cache_misses = search_cache.misses
+        stats.retries = engine.retries
+        stats.timeouts = engine.timeouts
+        stats.pool_failures = engine.pool_failures
+        stats.resumed_groups = engine.resumed
         stats.device_cache_hits = device_cache.hits
         stats.device_cache_misses = device_cache.misses
         stats.wall_time_s = time.perf_counter() - started

@@ -61,6 +61,19 @@ class UPAQConfig:
     #: Entry cap of the content-keyed memo caches (candidate evaluations
     #: and device latency/energy lookups).
     memo_cache_size: int = 256
+    #: Per-task deadline (seconds) for pooled search backends; ``None``
+    #: waits forever.  A task that times out is cancelled and retried.
+    search_timeout_s: float | None = None
+    #: Extra attempts granted to a search task that raised or timed out
+    #: before the run is abandoned (exponential backoff between tries).
+    search_retries: int = 0
+    #: Base sleep between retry attempts (doubles per attempt).
+    search_backoff_s: float = 0.05
+    #: Path of a JSONL checkpoint journal for the candidate search.
+    #: When set, every completed task is persisted as it finishes and an
+    #: interrupted ``compress()`` resumes from it instead of
+    #: re-evaluating finished groups (``SearchStats.resumed_groups``).
+    search_journal: str | None = None
 
 
 def hck_config(**overrides) -> UPAQConfig:

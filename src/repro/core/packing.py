@@ -13,12 +13,26 @@ byte format the deployment plan assumes:
 ``pack_model`` → bytes; ``unpack_model`` restores weights exactly (the
 codes are lossless given the stored scales), which is asserted by tests
 and lets a compressed checkpoint ship as a single binary blob.
+
+Format v3 (see ``docs/ROBUSTNESS.md``) makes the blob *integrity
+checked*: the header carries a layer **manifest** (name, shape, bits,
+scheme, payload length, blake2b-128 payload checksum per layer) and the
+whole blob ends in a blake2b-128 trailer checksum.  ``unpack_model``
+therefore detects any single-byte corruption before touching the target
+model, rejects blobs packed from a different architecture by *name and
+shape* (not just layer count), and raises typed errors —
+:class:`BlobCorruptionError`, :class:`BlobVersionError`,
+:class:`BlobArchitectureError` — instead of silently misreading.  A
+``strict=False`` mode restores every layer whose payload checksum still
+verifies and reports the bad ones (:func:`restore_model`).
 """
 
 from __future__ import annotations
 
+import hashlib
 import io
 import struct
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -27,10 +41,41 @@ from repro.nn.graph import layer_map
 from repro.nn.module import Module
 
 __all__ = ["pack_bits", "unpack_bits", "pack_layer", "unpack_layer",
-           "pack_model", "unpack_model", "packed_size_report"]
+           "pack_model", "unpack_model", "restore_model", "RestoreReport",
+           "packed_size_report", "BlobError", "BlobCorruptionError",
+           "BlobVersionError", "BlobArchitectureError"]
 
 _MAGIC = b"UPAQ"
-_VERSION = 2
+_VERSION = 3
+_CHECKSUM_BYTES = 16
+_SCHEME_CODES = {"dense": 0, "unstructured": 1, "structured": 2,
+                 "semi-structured": 3}
+_SCHEME_NAMES = {code: name for name, code in _SCHEME_CODES.items()}
+
+
+class BlobError(ValueError):
+    """Base class for every packed-blob failure."""
+
+
+class BlobCorruptionError(BlobError):
+    """The blob's bytes fail an integrity check (checksum, magic, …)."""
+
+
+class BlobVersionError(BlobCorruptionError):
+    """The version byte is not one this reader supports.
+
+    Subclasses :class:`BlobCorruptionError`: on a checksummed blob an
+    unexpected version byte is indistinguishable from a bit flip in the
+    header, and callers guarding against corruption want to catch both.
+    """
+
+
+class BlobArchitectureError(BlobError):
+    """The blob was packed from a different architecture (names/shapes)."""
+
+
+def _checksum(data: bytes) -> bytes:
+    return hashlib.blake2b(data, digest_size=_CHECKSUM_BYTES).digest()
 
 
 def pack_bits(codes: np.ndarray, bits: int) -> bytes:
@@ -99,9 +144,7 @@ def pack_layer(weights: np.ndarray, bits: int, scheme: str) -> bytes:
     buffer.write(struct.pack("<B", len(shape)))
     for dim in shape:
         buffer.write(struct.pack("<I", dim))
-    scheme_code = {"dense": 0, "unstructured": 1, "structured": 2,
-                   "semi-structured": 3}[scheme]
-    buffer.write(struct.pack("<BB", scheme_code, bits))
+    buffer.write(struct.pack("<BB", _SCHEME_CODES[scheme], bits))
 
     flat = weights.reshape(-1).astype(np.float64)
     if scheme in ("unstructured",):
@@ -159,8 +202,7 @@ def unpack_layer(data: bytes) -> tuple[np.ndarray, int, str]:
     shape = tuple(struct.unpack("<I", buffer.read(4))[0]
                   for _ in range(ndim))
     scheme_code, bits = struct.unpack("<BB", buffer.read(2))
-    scheme = {0: "dense", 1: "unstructured", 2: "structured",
-              3: "semi-structured"}[scheme_code]
+    scheme = _SCHEME_NAMES[scheme_code]
     total = int(np.prod(shape))
 
     if scheme == "unstructured":
@@ -191,50 +233,184 @@ def unpack_layer(data: bytes) -> tuple[np.ndarray, int, str]:
     return flat.reshape(shape), bits, scheme
 
 
+# ----------------------------------------------------------------------
+# Model-level blob: manifest + payloads + trailer checksum
+# ----------------------------------------------------------------------
+@dataclass
+class _ManifestEntry:
+    name: str
+    shape: tuple
+    bits: int
+    scheme: str
+    payload_len: int
+    checksum: bytes
+
+
+@dataclass
+class RestoreReport:
+    """Outcome of :func:`restore_model` — what landed and what did not."""
+
+    model: Module
+    version: int
+    restored: list = field(default_factory=list)    # layer names, blob order
+    skipped: dict = field(default_factory=dict)     # layer name → reason
+
+    @property
+    def complete(self) -> bool:
+        return not self.skipped
+
+
 def pack_model(model: Module) -> bytes:
-    """Serialize every kernel layer of a compressed model."""
-    buffer = io.BytesIO()
-    buffer.write(_MAGIC)
-    buffer.write(struct.pack("<B", _VERSION))
+    """Serialize every kernel layer of a compressed model (format v3)."""
+    manifest = io.BytesIO()
+    payload = io.BytesIO()
     layers = layer_map(model)
-    buffer.write(struct.pack("<I", len(layers)))
     for name, module in layers.items():
         meta = get_annotation(module)
-        encoded_name = name.encode()
-        buffer.write(struct.pack("<H", len(encoded_name)))
-        buffer.write(encoded_name)
         blob = pack_layer(module.weight.data, meta.bits, meta.scheme)
-        buffer.write(struct.pack("<I", len(blob)))
-        buffer.write(blob)
-    return buffer.getvalue()
+        encoded_name = name.encode()
+        shape = module.weight.data.shape
+        manifest.write(struct.pack("<H", len(encoded_name)))
+        manifest.write(encoded_name)
+        manifest.write(struct.pack("<B", len(shape)))
+        for dim in shape:
+            manifest.write(struct.pack("<I", dim))
+        manifest.write(struct.pack("<BBI", meta.bits,
+                                   _SCHEME_CODES[meta.scheme], len(blob)))
+        manifest.write(_checksum(blob))
+        payload.write(blob)
+    body = (_MAGIC + struct.pack("<BI", _VERSION, len(layers))
+            + manifest.getvalue() + payload.getvalue())
+    return body + _checksum(body)
 
 
-def unpack_model(data: bytes, model: Module) -> Module:
-    """Restore packed weights into a same-architecture model in place."""
-    buffer = io.BytesIO(data)
-    if buffer.read(4) != _MAGIC:
-        raise ValueError("not a UPAQ packed model")
-    version = struct.unpack("<B", buffer.read(1))[0]
-    if version != _VERSION:
-        raise ValueError(f"unsupported pack version {version}")
-    layers = layer_map(model)
-    count = struct.unpack("<I", buffer.read(4))[0]
+def _parse_manifest(buffer: io.BytesIO, count: int) -> list[_ManifestEntry]:
+    entries = []
     for _ in range(count):
         name_len = struct.unpack("<H", buffer.read(2))[0]
         name = buffer.read(name_len).decode()
-        blob_len = struct.unpack("<I", buffer.read(4))[0]
-        weights, bits, scheme = unpack_layer(buffer.read(blob_len))
-        if name not in layers:
-            raise KeyError(f"packed layer {name!r} missing from model")
-        if layers[name].weight.data.shape != weights.shape:
-            raise ValueError(f"shape mismatch restoring {name!r}")
-        layers[name].weight.data = weights
+        ndim = struct.unpack("<B", buffer.read(1))[0]
+        shape = tuple(struct.unpack("<I", buffer.read(4))[0]
+                      for _ in range(ndim))
+        bits, scheme_code, payload_len = struct.unpack("<BBI",
+                                                       buffer.read(6))
+        if scheme_code not in _SCHEME_NAMES:
+            raise BlobCorruptionError(
+                f"layer {name!r} declares unknown scheme {scheme_code}")
+        checksum = buffer.read(_CHECKSUM_BYTES)
+        if len(checksum) != _CHECKSUM_BYTES:
+            raise BlobCorruptionError("truncated layer manifest")
+        entries.append(_ManifestEntry(name=name, shape=shape, bits=bits,
+                                      scheme=_SCHEME_NAMES[scheme_code],
+                                      payload_len=payload_len,
+                                      checksum=checksum))
+    return entries
+
+
+def restore_model(data: bytes, model: Module,
+                  strict: bool = True) -> RestoreReport:
+    """Restore a packed blob into ``model``, verifying integrity first.
+
+    Check order: magic → version → trailer checksum (strict mode) →
+    layer manifest vs the model's architecture → per-layer payload
+    checksums.  With ``strict=True`` (the default) any failed check
+    raises before a single weight is touched; with ``strict=False``
+    layers whose payload checksum still verifies are restored and the
+    bad ones are reported in :attr:`RestoreReport.skipped`.
+    Architecture mismatches raise in both modes — restoring *some*
+    layers of the wrong model is never useful.
+    """
+    header_len = len(_MAGIC) + 5
+    if data[:len(_MAGIC)] != _MAGIC:
+        raise BlobCorruptionError("not a UPAQ packed model")
+    if len(data) < header_len + _CHECKSUM_BYTES:
+        raise BlobCorruptionError(
+            f"blob truncated: {len(data)} bytes is smaller than the "
+            f"fixed header and trailer")
+    version, count = struct.unpack("<BI", data[len(_MAGIC):header_len])
+    if version != _VERSION:
+        raise BlobVersionError(
+            f"unsupported pack version {version} (this reader handles "
+            f"version {_VERSION})")
+    body, trailer = data[:-_CHECKSUM_BYTES], data[-_CHECKSUM_BYTES:]
+    blob_ok = _checksum(body) == trailer
+    if strict and not blob_ok:
+        raise BlobCorruptionError(
+            "packed blob failed its trailer checksum — at least one byte "
+            "is corrupt")
+
+    buffer = io.BytesIO(body[header_len:])
+    try:
+        entries = _parse_manifest(buffer, count)
+        payloads = [buffer.read(entry.payload_len) for entry in entries]
+    except BlobCorruptionError:
+        raise
+    except Exception as error:
+        raise BlobCorruptionError(
+            f"malformed blob manifest: {error}") from error
+
+    # Architecture gate: every packed layer must exist, by name, with the
+    # recorded shape — and the model must not expect layers the blob
+    # lacks.  This rejects a blob from a different architecture even
+    # when layer counts coincide.
+    layers = layer_map(model)
+    manifest_names = [entry.name for entry in entries]
+    missing = [name for name in manifest_names if name not in layers]
+    if missing:
+        raise BlobArchitectureError(
+            f"packed layer {missing[0]!r} missing from model — blob was "
+            f"packed from a different architecture")
+    extra = sorted(set(layers) - set(manifest_names))
+    if extra:
+        raise BlobArchitectureError(
+            f"model layer {extra[0]!r} absent from the blob manifest — "
+            f"blob was packed from a different architecture")
+    for entry in entries:
+        if layers[entry.name].weight.data.shape != entry.shape:
+            raise BlobArchitectureError(
+                f"shape mismatch restoring {entry.name!r}: blob has "
+                f"{entry.shape}, model has "
+                f"{layers[entry.name].weight.data.shape}")
+
+    report = RestoreReport(model=model, version=version)
+    from repro.hardware.deploy import CompressionMeta, annotate_layer
+    for entry, payload in zip(entries, payloads):
+        if len(payload) != entry.payload_len or \
+                _checksum(payload) != entry.checksum:
+            message = (f"layer {entry.name!r} payload failed its "
+                       f"integrity checksum")
+            if strict:
+                raise BlobCorruptionError(message)
+            report.skipped[entry.name] = message
+            continue
+        try:
+            weights, bits, scheme = unpack_layer(payload)
+        except Exception as error:
+            message = f"layer {entry.name!r} payload is malformed: {error}"
+            if strict:
+                raise BlobCorruptionError(message) from error
+            report.skipped[entry.name] = message
+            continue
+        if weights.shape != entry.shape:
+            raise BlobArchitectureError(
+                f"shape mismatch restoring {entry.name!r}")
+        layers[entry.name].weight.data = weights
         # Re-attach the compression metadata so the device models price
         # the restored model the same as the one that was packed.
-        from repro.hardware.deploy import CompressionMeta, annotate_layer
-        annotate_layer(layers[name], CompressionMeta(bits=bits,
-                                                     scheme=scheme))
-    return model
+        annotate_layer(layers[entry.name],
+                       CompressionMeta(bits=bits, scheme=scheme))
+        report.restored.append(entry.name)
+    return report
+
+
+def unpack_model(data: bytes, model: Module,
+                 strict: bool = True) -> Module:
+    """Restore packed weights into a same-architecture model in place.
+
+    Thin wrapper over :func:`restore_model`; use that directly when the
+    caller needs the restored/skipped layer report of ``strict=False``.
+    """
+    return restore_model(data, model, strict=strict).model
 
 
 def packed_size_report(model: Module) -> dict:

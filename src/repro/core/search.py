@@ -1,11 +1,11 @@
-"""Parallel, memoized candidate search for the UPAQ compression stage.
+"""Parallel, memoized, fault-tolerant candidate search for UPAQ.
 
 Algorithm 3's hot loop — score every root layer over pattern-family ×
 bitwidth candidates — is embarrassingly parallel: each root layer's
 evaluation depends only on its own weights and the search knobs.  This
 module turns that loop into *pure, picklable work units*
 (:class:`RootSearchTask` / :class:`LeafSearchTask`) dispatched over a
-``concurrent.futures`` pool, with three properties the test suite pins
+``concurrent.futures`` pool, with four properties the test suite pins
 down:
 
 **Determinism independent of scheduling.**  Each layer's randomized
@@ -23,19 +23,36 @@ the same checkpoint — be evaluated once.  The cache sits in the
 dispatching process, in front of the pool, so it works identically for
 the serial, thread, and process backends.
 
+**Fault tolerance.**  A flaky worker must not kill a long search:
+:meth:`SearchEngine.map` gives every task a bounded number of retries
+with exponential backoff and (on pooled backends) a per-task timeout,
+and when a process pool dies outright (``BrokenProcessPool`` — a worker
+segfaulted or was OOM-killed) the surviving tasks are re-dispatched on
+the serial backend instead of aborting the run.  An optional
+:class:`SearchJournal` checkpoints every completed task to a JSONL
+file, so an interrupted search resumes without re-evaluating finished
+groups — each journal line carries its own checksum, and corrupt or
+truncated lines are skipped rather than trusted.
+
 **Observable search cost.**  Every task reports wall time and candidate
-counts; :class:`SearchStats` aggregates them (plus cache hit rates) into
-the :class:`~repro.core.compressor.CompressionReport` and the CLI.
+counts; :class:`SearchStats` aggregates them (plus cache hit rates and
+retry/timeout/resume counters) into the
+:class:`~repro.core.compressor.CompressionReport` and the CLI.
 """
 
 from __future__ import annotations
 
+import base64
 import hashlib
+import pickle
 import time
 import zlib
 from collections import OrderedDict
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import (BrokenExecutor, ProcessPoolExecutor,
+                                ThreadPoolExecutor, TimeoutError
+                                as FutureTimeoutError)
 from dataclasses import dataclass, field
+from pathlib import Path
 from threading import Lock
 
 import numpy as np
@@ -45,13 +62,18 @@ from .kernel_compression import (KernelCandidate, apply_patterns,
                                  quantize_only)
 from .patterns import KernelPattern, generate_patterns, pool_signature
 
-__all__ = ["MemoCache", "SearchEngine", "SearchStats", "LayerSearchStat",
+__all__ = ["MemoCache", "SearchEngine", "SearchStats", "SearchJournal",
+           "SearchTaskError", "LayerSearchStat",
            "RootSearchTask", "RootSearchResult", "LeafSearchTask",
            "LeafSearchResult", "run_root_task", "run_leaf_task",
            "content_digest", "content_key", "resolve_backend",
            "SEARCH_BACKENDS"]
 
 SEARCH_BACKENDS = ("auto", "serial", "thread", "process")
+
+
+class SearchTaskError(RuntimeError):
+    """A search task kept failing after its retry budget was spent."""
 
 
 def content_digest(array: np.ndarray) -> int:
@@ -138,6 +160,70 @@ class MemoCache:
     def hit_rate(self) -> float:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+
+class SearchJournal:
+    """Append-only JSONL-style checkpoint of completed search tasks.
+
+    Each line is ``key_hex<TAB>payload_checksum<TAB>payload_b64`` where
+    the payload is the pickled task result.  The format is deliberately
+    paranoid: on load, lines that are truncated (a crash mid-write),
+    fail their checksum, or do not unpickle are *skipped*, never
+    trusted — resuming from a damaged journal merely re-evaluates the
+    affected tasks.
+    """
+
+    def __init__(self, path):
+        self.path = Path(path)
+        self._entries: dict[str, object] = {}
+        self.corrupt_lines = 0
+        if self.path.exists():
+            self._load()
+
+    @staticmethod
+    def journal_key(cache_key) -> str:
+        """Stable, filename-safe identity of an engine cache key."""
+        return hashlib.blake2b(repr(cache_key).encode(),
+                               digest_size=16).hexdigest()
+
+    def _load(self) -> None:
+        for line in self.path.read_bytes().splitlines():
+            parts = line.split(b"\t")
+            if len(parts) != 3:
+                self.corrupt_lines += 1
+                continue
+            key, checksum, payload_b64 = parts
+            try:
+                payload = base64.b64decode(payload_b64, validate=True)
+                if hashlib.blake2b(payload, digest_size=16).hexdigest() \
+                        != checksum.decode():
+                    raise ValueError("checksum mismatch")
+                value = pickle.loads(payload)
+            except Exception:
+                self.corrupt_lines += 1
+                continue
+            self._entries[key.decode()] = value
+
+    def get(self, cache_key):
+        return self._entries.get(self.journal_key(cache_key))
+
+    def record(self, cache_key, result) -> None:
+        """Persist one completed task (flushed immediately)."""
+        key = self.journal_key(cache_key)
+        if key in self._entries:
+            return
+        payload = pickle.dumps(result, protocol=4)
+        checksum = hashlib.blake2b(payload, digest_size=16).hexdigest()
+        line = (key.encode() + b"\t" + checksum.encode() + b"\t"
+                + base64.b64encode(payload) + b"\n")
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "ab") as handle:
+            handle.write(line)
+            handle.flush()
+        self._entries[key] = result
+
+    def __len__(self) -> int:
+        return len(self._entries)
 
 
 # ----------------------------------------------------------------------
@@ -272,6 +358,10 @@ class SearchStats:
     cache_misses: int = 0
     device_cache_hits: int = 0
     device_cache_misses: int = 0
+    retries: int = 0                # task re-executions after failures
+    timeouts: int = 0               # per-task deadline expiries
+    pool_failures: int = 0          # broken pools recovered serially
+    resumed_groups: int = 0         # tasks restored from the journal
     layers: list = field(default_factory=list)
 
     @property
@@ -290,7 +380,7 @@ class SearchStats:
 
     def summary(self) -> str:
         roots = sum(1 for stat in self.layers if stat.role == "root")
-        return (f"search: {len(self.layers)} layers ({roots} roots), "
+        text = (f"search: {len(self.layers)} layers ({roots} roots), "
                 f"{self.candidates_evaluated} candidates, "
                 f"cache {self.cache_hits}/"
                 f"{self.cache_hits + self.cache_misses} hits "
@@ -298,6 +388,13 @@ class SearchStats:
                 f"device cache {self.device_cache_hit_rate:.0%}, "
                 f"wall {self.wall_time_s:.3f}s "
                 f"[workers={self.workers}, {self.backend}]")
+        if self.retries or self.timeouts or self.pool_failures:
+            text += (f" — recovered from {self.retries} retries, "
+                     f"{self.timeouts} timeouts, "
+                     f"{self.pool_failures} pool failures")
+        if self.resumed_groups:
+            text += f" — resumed {self.resumed_groups} tasks from journal"
+        return text
 
 
 # ----------------------------------------------------------------------
@@ -309,14 +406,121 @@ class SearchEngine:
     Results come back in task-submission order regardless of completion
     order, and a single-worker engine runs tasks inline — so for equal
     inputs every backend produces bit-identical results.
+
+    Resilience knobs
+    ----------------
+    ``max_retries`` re-executes a task that raised (or timed out) up to
+    that many extra times, sleeping ``retry_backoff_s × 2**attempt``
+    between tries.  ``task_timeout_s`` bounds how long the dispatcher
+    waits for any single pooled task (serial execution cannot be
+    preempted, so the timeout only applies to thread/process backends).
+    A ``BrokenProcessPool`` — a worker crashed hard — re-dispatches the
+    not-yet-finished tasks on the serial backend.  All recoveries are
+    counted on the engine (``retries`` / ``timeouts`` /
+    ``pool_failures`` / ``resumed``) for :class:`SearchStats`.
     """
 
     def __init__(self, workers: int = 1, backend: str = "auto",
-                 cache: MemoCache | None = None):
+                 cache: MemoCache | None = None,
+                 task_timeout_s: float | None = None,
+                 max_retries: int = 0,
+                 retry_backoff_s: float = 0.05,
+                 journal: SearchJournal | None = None):
         self.workers = max(1, int(workers))
         self.backend = resolve_backend(backend, self.workers)
         self.cache = cache
+        self.task_timeout_s = task_timeout_s
+        self.max_retries = max(0, int(max_retries))
+        self.retry_backoff_s = retry_backoff_s
+        self.journal = journal
+        self.retries = 0
+        self.timeouts = 0
+        self.pool_failures = 0
+        self.resumed = 0
 
+    # ------------------------------------------------------------------
+    def _run_with_retries(self, fn, task):
+        """Run ``fn(task)`` inline, honoring the retry budget."""
+        for attempt in range(self.max_retries + 1):
+            try:
+                return fn(task)
+            except Exception as error:
+                if attempt >= self.max_retries:
+                    name = getattr(task, "name", repr(task))
+                    raise SearchTaskError(
+                        f"search task {name!r} failed after "
+                        f"{attempt + 1} attempts: {error}") from error
+                self.retries += 1
+                time.sleep(self.retry_backoff_s * (2 ** attempt))
+
+    def _complete(self, index, keys, results, fresh_indices) -> None:
+        """Bookkeeping shared by every execution path."""
+        fresh_indices.append(index)
+        if self.cache is not None:
+            self.cache.put(keys[index], results[index])
+        if self.journal is not None:
+            self.journal.record(keys[index], results[index])
+
+    def _execute_serial(self, fn, tasks, pending, keys, results,
+                        fresh_indices) -> None:
+        for index in pending:
+            results[index] = self._run_with_retries(fn, tasks[index])
+            self._complete(index, keys, results, fresh_indices)
+
+    def _execute_pooled(self, fn, tasks, pending, keys, results,
+                        fresh_indices) -> None:
+        pool_cls = ThreadPoolExecutor if self.backend == "thread" \
+            else ProcessPoolExecutor
+        max_workers = min(self.workers, len(pending))
+        attempts = {index: 0 for index in pending}
+        remaining = list(pending)
+        try:
+            with pool_cls(max_workers=max_workers) as pool:
+                futures = {index: pool.submit(fn, tasks[index])
+                           for index in remaining}
+                while remaining:
+                    index = remaining[0]
+                    try:
+                        if futures[index] is None:
+                            # A previous attempt timed out: its worker
+                            # slot may still be hung, so retry inline in
+                            # the dispatcher instead of queueing behind
+                            # the stuck worker.
+                            results[index] = fn(tasks[index])
+                        else:
+                            results[index] = futures[index].result(
+                                timeout=self.task_timeout_s)
+                    except BrokenExecutor:
+                        raise
+                    except Exception as error:
+                        if isinstance(error, FutureTimeoutError):
+                            self.timeouts += 1
+                            futures[index].cancel()
+                            futures[index] = None
+                        if attempts[index] >= self.max_retries:
+                            name = getattr(tasks[index], "name",
+                                           repr(tasks[index]))
+                            raise SearchTaskError(
+                                f"search task {name!r} failed after "
+                                f"{attempts[index] + 1} attempts: "
+                                f"{error}") from error
+                        attempts[index] += 1
+                        self.retries += 1
+                        time.sleep(self.retry_backoff_s
+                                   * (2 ** (attempts[index] - 1)))
+                        if futures[index] is not None:
+                            futures[index] = pool.submit(fn, tasks[index])
+                        continue
+                    remaining.pop(0)
+                    self._complete(index, keys, results, fresh_indices)
+        except BrokenExecutor:
+            # A worker died hard (segfault, OOM kill).  Finish the
+            # surviving tasks inline rather than aborting the search.
+            self.pool_failures += 1
+            self._execute_serial(fn, tasks, remaining, keys, results,
+                                 fresh_indices)
+
+    # ------------------------------------------------------------------
     def map(self, fn, tasks: list) -> list[tuple[object, bool]]:
         """Run ``fn`` over ``tasks``; returns ``[(result, was_cached)]``.
 
@@ -324,6 +528,8 @@ class SearchEngine:
         once: the duplicates reuse the first occurrence's result and are
         reported as cache hits — this is what lets tied/duplicated
         layers submitted in the same phase be scored a single time.
+        Tasks found in the resume journal are restored without
+        re-evaluation and likewise reported as cached.
         """
         results: list = [None] * len(tasks)
         cached = [False] * len(tasks)
@@ -340,23 +546,26 @@ class SearchEngine:
             if hit is not None:
                 results[index] = hit
                 cached[index] = True
-            else:
-                pending.append(index)
+                continue
+            if self.journal is not None:
+                restored = self.journal.get(key)
+                if restored is not None:
+                    results[index] = restored
+                    cached[index] = True
+                    self.resumed += 1
+                    if self.cache is not None:
+                        self.cache.put(key, restored)
+                    continue
+            pending.append(index)
 
         if pending:
+            fresh_indices: list[int] = []
             if self.backend == "serial" or len(pending) == 1:
-                fresh = [fn(tasks[index]) for index in pending]
+                self._execute_serial(fn, tasks, pending, keys, results,
+                                     fresh_indices)
             else:
-                pool_cls = ThreadPoolExecutor if self.backend == "thread" \
-                    else ProcessPoolExecutor
-                max_workers = min(self.workers, len(pending))
-                with pool_cls(max_workers=max_workers) as pool:
-                    fresh = list(pool.map(fn, (tasks[index]
-                                               for index in pending)))
-            for index, result in zip(pending, fresh):
-                results[index] = result
-                if self.cache is not None:
-                    self.cache.put(keys[index], result)
+                self._execute_pooled(fn, tasks, pending, keys, results,
+                                     fresh_indices)
         for index in duplicates:
             results[index] = results[first_index[keys[index]]]
             cached[index] = True

@@ -2,9 +2,17 @@
 
 Runs detectors over scene streams with per-frame simulated device
 latency/energy accounting and real-time deadline tracking; loads packed
-compressed checkpoints produced by :mod:`repro.core.packing`.
+compressed checkpoints produced by :mod:`repro.core.packing`.  The
+fault-tolerance layer — seeded fault injection, degradation policies,
+and the deadline watchdog — lives in :mod:`repro.runtime.faults` and
+:class:`~repro.runtime.engine.DegradationPolicy`; see
+``docs/ROBUSTNESS.md`` for the taxonomy.
 """
 
-from .engine import FrameRecord, InferenceEngine, StreamReport
+from .engine import (DegradationPolicy, FrameRecord, InferenceEngine,
+                     StreamReport)
+from .faults import FaultInjector, FaultSpec, FrameFaults
 
-__all__ = ["InferenceEngine", "StreamReport", "FrameRecord"]
+__all__ = ["InferenceEngine", "StreamReport", "FrameRecord",
+           "DegradationPolicy", "FaultInjector", "FaultSpec",
+           "FrameFaults"]

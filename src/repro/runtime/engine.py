@@ -5,10 +5,21 @@ a detector (optionally restored from a packed UPAQ blob) is compiled
 once into a device plan, then consumes scenes frame by frame while the
 engine accounts simulated device latency and energy per frame, enforces
 a real-time deadline, and accumulates detection quality statistics.
+
+Failure is a modeled part of the stream, not an abort: frames that
+never arrive are recorded as ``dropped``, frames whose point cloud
+fails validation (NaN/Inf returns) are handled by a
+:class:`DegradationPolicy` — hold the last good detections or emit an
+empty frame — and a deadline watchdog can swap the active model to a
+cheaper fallback preset after consecutive misses.  Every degraded path
+leaves an explicit trace in :class:`FrameRecord.status` and the
+:class:`StreamReport` counters, so graceful degradation is measurable
+rather than anecdotal (see ``docs/ROBUSTNESS.md``).
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -17,7 +28,12 @@ from repro.detection import DetectionResult, evaluate_map
 from repro.hardware import CompiledPlan, DeviceModel, compile_model
 from repro.models.base import Detector3D
 
-__all__ = ["FrameRecord", "StreamReport", "InferenceEngine"]
+from .faults import FaultInjector, FrameFaults
+
+__all__ = ["FrameRecord", "StreamReport", "DegradationPolicy",
+           "InferenceEngine"]
+
+FRAME_STATUSES = ("ok", "degraded", "dropped")
 
 
 @dataclass
@@ -29,6 +45,36 @@ class FrameRecord:
     device_latency_s: float
     device_energy_j: float
     deadline_met: bool
+    #: ``ok`` — inference ran on a valid frame; ``degraded`` — the frame
+    #: was corrupt and the policy substituted detections; ``dropped`` —
+    #: the frame never reached (or was discarded by) the engine.
+    status: str = "ok"
+    #: True once the watchdog has swapped execution to the fallback model.
+    fallback: bool = False
+
+
+@dataclass
+class DegradationPolicy:
+    """How the engine degrades instead of failing.
+
+    ``on_corrupt`` selects what a corrupted frame emits: ``last_good``
+    repeats the most recent valid detections (a tracking-style hold),
+    ``skip`` discards the frame entirely (recorded as ``dropped``).
+    ``max_consecutive_misses`` arms the deadline watchdog: after that
+    many back-to-back deadline misses the engine swaps to its fallback
+    model (when one was provided at construction).  ``0`` disables the
+    watchdog.
+    """
+
+    on_corrupt: str = "last_good"       # "last_good" | "skip"
+    max_consecutive_misses: int = 3
+
+    def __post_init__(self):
+        if self.on_corrupt not in ("last_good", "skip"):
+            raise ValueError(
+                f"unknown corruption policy {self.on_corrupt!r}")
+        if self.max_consecutive_misses < 0:
+            raise ValueError("max_consecutive_misses must be >= 0")
 
 
 @dataclass
@@ -38,16 +84,37 @@ class StreamReport:
     frames: list[FrameRecord] = field(default_factory=list)
     predictions: list[DetectionResult] = field(default_factory=list)
     deadline_s: float = 0.1
+    #: Times the deadline watchdog swapped in the fallback model.
+    fallback_activations: int = 0
 
     @property
     def num_frames(self) -> int:
         return len(self.frames)
 
     @property
+    def ok_frames(self) -> int:
+        return sum(1 for f in self.frames if f.status == "ok")
+
+    @property
+    def degraded_frames(self) -> int:
+        return sum(1 for f in self.frames if f.status == "degraded")
+
+    @property
+    def dropped_frames(self) -> int:
+        return sum(1 for f in self.frames if f.status == "dropped")
+
+    @property
+    def status_counts(self) -> dict:
+        return {status: sum(1 for f in self.frames if f.status == status)
+                for status in FRAME_STATUSES}
+
+    @property
     def mean_latency_s(self) -> float:
-        if not self.frames:
+        processed = [f.device_latency_s for f in self.frames
+                     if f.status == "ok"]
+        if not processed:
             return 0.0
-        return float(np.mean([f.device_latency_s for f in self.frames]))
+        return float(np.mean(processed))
 
     @property
     def total_energy_j(self) -> float:
@@ -55,13 +122,37 @@ class StreamReport:
 
     @property
     def deadline_hit_rate(self) -> float:
-        if not self.frames:
-            return 1.0
-        return float(np.mean([f.deadline_met for f in self.frames]))
+        """Deadline hit rate over frames that actually ran inference.
+
+        NaN for an empty (or fully dropped/degraded) stream — a 100%
+        hit rate over zero frames would be misleading.
+        """
+        processed = [f.deadline_met for f in self.frames
+                     if f.status == "ok"]
+        if not processed:
+            return math.nan
+        return float(np.mean(processed))
 
     def evaluate(self, ground_truth) -> dict:
         """mAP of the streamed predictions against ground-truth boxes."""
+        if not self.frames:
+            raise ValueError(
+                "cannot evaluate an empty stream: no frames were "
+                "processed (was every frame dropped before the engine?)")
         return evaluate_map(self.predictions, ground_truth)
+
+    def summary(self) -> str:
+        hit = self.deadline_hit_rate
+        hit_text = "n/a" if math.isnan(hit) else f"{hit:.0%}"
+        text = (f"stream: {self.num_frames} frames "
+                f"({self.ok_frames} ok, {self.degraded_frames} degraded, "
+                f"{self.dropped_frames} dropped), "
+                f"deadline hit rate {hit_text}, "
+                f"mean latency {self.mean_latency_s * 1e3:.3f} ms, "
+                f"total energy {self.total_energy_j * 1e3:.1f} mJ")
+        if self.fallback_activations:
+            text += (f", watchdog fallbacks: {self.fallback_activations}")
+        return text
 
 
 class InferenceEngine:
@@ -76,14 +167,39 @@ class InferenceEngine:
     deadline_s:
         Real-time budget per frame (the paper targets "tens of
         milliseconds"); frames costing more are flagged.
+    policy:
+        The :class:`DegradationPolicy` applied to corrupt frames and
+        deadline misses; defaults to last-good hold with a 3-miss
+        watchdog.
+    fault_injector:
+        Optional :class:`~repro.runtime.faults.FaultInjector` applied to
+        every incoming frame — the chaos-testing hook.
+    fallback_model:
+        Optional cheaper detector (e.g. the HCK preset of the deployed
+        LCK model) the watchdog swaps in after consecutive deadline
+        misses.
+    cost_hook:
+        Optional ``(frame_id, latency_s, energy_j) -> (latency_s,
+        energy_j)`` callable through which every processed frame's
+        device cost flows — the extension point for per-frame cost
+        models beyond the injector's latency jitter.
     """
 
     def __init__(self, model: Detector3D, device: DeviceModel,
-                 deadline_s: float = 0.1):
+                 deadline_s: float = 0.1,
+                 policy: DegradationPolicy | None = None,
+                 fault_injector: FaultInjector | None = None,
+                 fallback_model: Detector3D | None = None,
+                 cost_hook=None):
         self.model = model
         self.device = device
         self.deadline_s = deadline_s
+        self.policy = policy or DegradationPolicy()
+        self.fault_injector = fault_injector
+        self.fallback_model = fallback_model
+        self.cost_hook = cost_hook
         self._plan: CompiledPlan | None = None
+        self._on_fallback = False
 
     @property
     def plan(self) -> CompiledPlan:
@@ -92,31 +208,143 @@ class InferenceEngine:
                                        *self.model.example_inputs())
         return self._plan
 
-    def frame_cost(self) -> tuple[float, float]:
-        """(latency s, energy J) charged per frame on this device."""
-        return self.device.latency(self.plan), self.device.energy(self.plan)
+    @property
+    def on_fallback(self) -> bool:
+        """Whether the watchdog has swapped in the fallback model."""
+        return self._on_fallback
 
+    def frame_cost(self, frame_id: int | None = None) -> tuple[float, float]:
+        """(latency s, energy J) charged for a frame on this device.
+
+        With a ``frame_id`` the cost flows through :attr:`cost_hook`, so
+        per-frame cost models (and tests) can vary it; without one the
+        hook is bypassed and the plan's base cost is returned.
+        """
+        latency = self.device.latency(self.plan)
+        energy = self.device.energy(self.plan)
+        if frame_id is not None and self.cost_hook is not None:
+            latency, energy = self.cost_hook(frame_id, latency, energy)
+        return latency, energy
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _scene_valid(scene) -> bool:
+        """A frame is processable iff its point cloud is finite."""
+        points = getattr(scene, "points", None)
+        if points is None:
+            return False
+        return bool(np.isfinite(points).all())
+
+    def _activate_fallback(self) -> bool:
+        if self.fallback_model is None or self._on_fallback:
+            return False
+        self.model = self.fallback_model
+        self._plan = None           # recompile the plan for the new model
+        self._on_fallback = True
+        return True
+
+    def _held_result(self, frame_id: int,
+                     last_good: DetectionResult | None) -> DetectionResult:
+        if last_good is None:
+            return DetectionResult(boxes=[], frame_id=frame_id)
+        return DetectionResult(boxes=list(last_good.boxes),
+                               frame_id=frame_id)
+
+    # ------------------------------------------------------------------
     def run(self, scenes) -> StreamReport:
-        """Process a scene stream; returns the accounting report."""
-        latency, energy = self.frame_cost()
+        """Process a scene stream; returns the accounting report.
+
+        Per frame: inject faults (when configured), validate the point
+        cloud, run inference on valid frames with per-frame device cost
+        (base plan cost + injector jitter, through :attr:`cost_hook`),
+        degrade on corrupt frames per the policy, and arm the deadline
+        watchdog on consecutive misses.  The report always carries one
+        prediction per non-skipped input frame, so downstream
+        evaluation stays aligned with ground truth.
+        """
         report = StreamReport(deadline_s=self.deadline_s)
+        policy = self.policy
+        last_good: DetectionResult | None = None
+        consecutive_misses = 0
         for scene in scenes:
-            result = self.model.predict(scene)
+            frame_id = scene.frame_id
+            faults = self.fault_injector.faults_for(frame_id) \
+                if self.fault_injector is not None \
+                else FrameFaults(frame_id=frame_id)
+            incoming = self.fault_injector.apply(scene, faults) \
+                if self.fault_injector is not None else scene
+
+            if incoming is None:        # dropped before the engine
+                report.predictions.append(
+                    DetectionResult(boxes=[], frame_id=frame_id))
+                report.frames.append(FrameRecord(
+                    frame_id=frame_id, num_detections=0,
+                    device_latency_s=0.0, device_energy_j=0.0,
+                    deadline_met=True, status="dropped",
+                    fallback=self._on_fallback))
+                continue
+
+            if not self._scene_valid(incoming):
+                # Corrupt frame: no inference, degrade per policy.
+                if policy.on_corrupt == "skip":
+                    status = "dropped"
+                    result = DetectionResult(boxes=[], frame_id=frame_id)
+                else:
+                    status = "degraded"
+                    result = self._held_result(frame_id, last_good)
+                report.predictions.append(result)
+                report.frames.append(FrameRecord(
+                    frame_id=frame_id, num_detections=len(result.boxes),
+                    device_latency_s=0.0, device_energy_j=0.0,
+                    deadline_met=True, status=status,
+                    fallback=self._on_fallback))
+                continue
+
+            result = self.model.predict(incoming)
+            latency, energy = self.frame_cost(frame_id=frame_id)
+            latency += faults.jitter_s
+            deadline_met = latency <= self.deadline_s
             report.predictions.append(result)
             report.frames.append(FrameRecord(
-                frame_id=scene.frame_id,
+                frame_id=frame_id,
                 num_detections=len(result.boxes),
                 device_latency_s=latency,
                 device_energy_j=energy,
-                deadline_met=latency <= self.deadline_s))
+                deadline_met=deadline_met,
+                status="ok",
+                fallback=self._on_fallback))
+            last_good = result
+
+            # Deadline watchdog: consecutive misses trigger the swap to
+            # the more aggressive preset, once.
+            if deadline_met:
+                consecutive_misses = 0
+            else:
+                consecutive_misses += 1
+                if policy.max_consecutive_misses and \
+                        consecutive_misses >= \
+                        policy.max_consecutive_misses:
+                    if self._activate_fallback():
+                        report.fallback_activations += 1
+                        consecutive_misses = 0
         return report
 
     @staticmethod
     def from_packed(blob: bytes, architecture: Detector3D,
                     device: DeviceModel,
-                    deadline_s: float = 0.1) -> "InferenceEngine":
-        """Restore a packed compressed checkpoint into an engine."""
+                    deadline_s: float = 0.1,
+                    **engine_kwargs) -> "InferenceEngine":
+        """Restore a packed compressed checkpoint into an engine.
+
+        The blob's integrity is verified before a weight is touched —
+        see :func:`repro.core.packing.restore_model`; corruption raises
+        :class:`~repro.core.packing.BlobCorruptionError` here rather
+        than silently misreading on the vehicle.  Extra keyword
+        arguments (``policy``, ``fault_injector``, ``fallback_model``,
+        ``cost_hook``) pass through to the engine.
+        """
         from repro.core.packing import unpack_model
         unpack_model(blob, architecture)
         architecture.eval()
-        return InferenceEngine(architecture, device, deadline_s)
+        return InferenceEngine(architecture, device, deadline_s,
+                               **engine_kwargs)

@@ -1,0 +1,142 @@
+"""Seeded, deterministic fault injection for the streaming runtime.
+
+A vehicle's perception stack does not get to assume clean input: frames
+drop on the sensor bus, point clouds arrive with NaN returns from wet
+or specular surfaces, and co-scheduled workloads add latency jitter on
+top of the model's own cost.  :class:`FaultInjector` reproduces those
+three failure modes *deterministically* — every per-frame decision is
+drawn from a generator seeded by ``(spec.seed, stream id, frame_id)``,
+never from call order — so a chaos run is exactly repeatable and its
+fault schedule can be computed independently of the engine that
+consumes it (which is how the tests pin the
+:class:`~repro.runtime.engine.StreamReport` counters down to exact
+equality).
+
+The taxonomy, and how :class:`~repro.runtime.engine.InferenceEngine`
+reacts to each fault, is documented in ``docs/ROBUSTNESS.md``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+__all__ = ["FaultSpec", "FrameFaults", "FaultInjector"]
+
+# Stream separators for the per-frame generators: drawing the drop /
+# corrupt / jitter decisions and the NaN positions from *distinct*
+# seeded streams keeps every decision independent of the others.
+_DECISION_STREAM = 0x5EED
+_PAYLOAD_STREAM = 0xBAD
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Knobs of the injected failure distribution."""
+
+    drop_rate: float = 0.0          # P(frame never arrives)
+    corrupt_rate: float = 0.0       # P(point cloud is NaN-poisoned)
+    nan_fraction: float = 0.05      # fraction of points poisoned
+    #: latency jitter distribution: ``none`` | ``uniform`` | ``lognormal``
+    #: (lognormal models the heavy-tailed co-scheduling spikes embedded
+    #: boards actually see).
+    jitter: str = "none"
+    jitter_scale_s: float = 0.0     # scale parameter of the distribution
+    seed: int = 0
+
+    def __post_init__(self):
+        for name in ("drop_rate", "corrupt_rate", "nan_fraction"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        if self.jitter not in ("none", "uniform", "lognormal"):
+            raise ValueError(f"unknown jitter distribution {self.jitter!r}")
+        if self.jitter_scale_s < 0:
+            raise ValueError("jitter_scale_s must be non-negative")
+
+
+@dataclass(frozen=True)
+class FrameFaults:
+    """The faults scheduled for one frame."""
+
+    frame_id: int
+    dropped: bool = False
+    corrupted: bool = False
+    jitter_s: float = 0.0
+
+    @property
+    def clean(self) -> bool:
+        return not (self.dropped or self.corrupted or self.jitter_s)
+
+
+class FaultInjector:
+    """Draws a deterministic fault schedule and applies it to scenes."""
+
+    def __init__(self, spec: FaultSpec | None = None, **overrides):
+        self.spec = replace(spec or FaultSpec(), **overrides) \
+            if overrides else (spec or FaultSpec())
+
+    # ------------------------------------------------------------------
+    def _rng(self, stream: int, frame_id: int) -> np.random.Generator:
+        return np.random.default_rng((self.spec.seed, stream, frame_id))
+
+    def faults_for(self, frame_id: int) -> FrameFaults:
+        """The fault decisions for one frame — pure in ``frame_id``."""
+        spec = self.spec
+        rng = self._rng(_DECISION_STREAM, frame_id)
+        # Always consume all three draws so each decision's stream
+        # position is fixed regardless of the other knobs' values.
+        drop_draw = rng.random()
+        corrupt_draw = rng.random()
+        if spec.jitter == "uniform":
+            jitter = rng.random() * spec.jitter_scale_s
+        elif spec.jitter == "lognormal":
+            jitter = rng.lognormal(mean=0.0, sigma=1.0) \
+                * spec.jitter_scale_s
+        else:
+            rng.random()
+            jitter = 0.0
+        dropped = drop_draw < spec.drop_rate
+        corrupted = (not dropped) and corrupt_draw < spec.corrupt_rate
+        return FrameFaults(frame_id=frame_id, dropped=dropped,
+                           corrupted=corrupted, jitter_s=float(jitter))
+
+    def schedule(self, frame_ids) -> list[FrameFaults]:
+        """The full fault schedule for a stream of frame ids."""
+        return [self.faults_for(frame_id) for frame_id in frame_ids]
+
+    # ------------------------------------------------------------------
+    def corrupt_points(self, points: np.ndarray,
+                       frame_id: int) -> np.ndarray:
+        """Return a NaN-poisoned copy of a point cloud (input untouched)."""
+        poisoned = np.array(points, dtype=points.dtype, copy=True)
+        if poisoned.size == 0:
+            return poisoned
+        rng = self._rng(_PAYLOAD_STREAM, frame_id)
+        n_points = poisoned.shape[0]
+        n_poison = max(1, int(round(self.spec.nan_fraction * n_points)))
+        victims = rng.choice(n_points, size=min(n_poison, n_points),
+                             replace=False)
+        poisoned[victims] = np.nan
+        return poisoned
+
+    def apply(self, scene, faults: FrameFaults | None = None):
+        """Apply the frame's faults to a scene.
+
+        Returns ``None`` for a dropped frame, a shallow copy with a
+        poisoned point cloud for a corrupted one, and the scene itself
+        when clean.  Latency jitter does not touch the scene — the
+        engine charges it on the frame's device cost.
+        """
+        faults = faults if faults is not None \
+            else self.faults_for(scene.frame_id)
+        if faults.dropped:
+            return None
+        if faults.corrupted:
+            import copy
+            poisoned = copy.copy(scene)
+            poisoned.points = self.corrupt_points(scene.points,
+                                                  faults.frame_id)
+            return poisoned
+        return scene

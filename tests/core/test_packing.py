@@ -14,7 +14,7 @@ from repro.core import (UPAQCompressor, hck_config, pack_bits, pack_layer,
 from repro.hardware import CompressionMeta, annotate_layer
 from repro.nn import Tensor
 
-GOLDEN_PATH = Path(__file__).parent / "golden" / "packed_model_v2.bin"
+GOLDEN_PATH = Path(__file__).parent / "golden" / "packed_model_v3.bin"
 
 
 class TestBitPacking:
@@ -225,7 +225,7 @@ class TestGoldenBlob:
     def test_header_magic_and_version(self):
         blob = GOLDEN_PATH.read_bytes()
         assert blob[:4] == b"UPAQ"
-        assert blob[4] == 2             # _VERSION
+        assert blob[4] == 3             # _VERSION
 
     def test_pack_reproduces_golden_bytes(self):
         assert pack_model(_golden_model()) == GOLDEN_PATH.read_bytes()

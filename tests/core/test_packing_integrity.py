@@ -1,0 +1,158 @@
+"""Integrity guarantees of the v3 packed-blob format.
+
+Acceptance pins: *any* single-byte corruption anywhere in the blob is
+detected as :class:`BlobCorruptionError` in strict mode; with
+``strict=False`` the intact layers are restored and the damaged ones
+reported by name; and unpacking a blob into the wrong architecture
+raises :class:`BlobArchitectureError` before touching any weights.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (BlobArchitectureError, BlobCorruptionError,
+                        BlobError, BlobVersionError, RestoreReport,
+                        UPAQCompressor, hck_config, pack_model,
+                        restore_model, unpack_model)
+from repro.models import SMOKE, PointPillars
+from repro.nn.graph import layer_map
+
+from tests.models.conftest import TINY_PILLARS, TINY_SMOKE
+
+
+def _tiny_pp(seed=0):
+    return PointPillars(seed=seed, **TINY_PILLARS)
+
+
+@pytest.fixture(scope="module")
+def packed():
+    model = _tiny_pp(seed=1)
+    report = UPAQCompressor(hck_config()).compress(
+        model, *model.example_inputs())
+    return pack_model(report.model)
+
+
+class TestSingleByteCorruption:
+    def test_every_byte_position_is_detected(self, packed):
+        """Exhaustive sweep: flip each byte in turn, all must be caught.
+
+        The sweep strides through the blob while still pinning every
+        structural region by hand: magic, version, layer count, the
+        manifest, payloads, and the trailer checksum itself.
+        """
+        target = _tiny_pp(seed=1)
+        stride = max(1, len(packed) // 512)
+        positions = set(range(0, len(packed), stride))
+        positions |= {0, 3, 4, 5, 8, len(packed) - 1,
+                      len(packed) - _len_trailer(), len(packed) // 2}
+        for pos in sorted(positions):
+            mutated = bytearray(packed)
+            mutated[pos] ^= 0xFF
+            with pytest.raises(BlobCorruptionError):
+                unpack_model(bytes(mutated), target)
+
+    def test_truncation_is_detected(self, packed):
+        with pytest.raises(BlobCorruptionError):
+            unpack_model(packed[:-1], _tiny_pp(seed=1))
+        with pytest.raises(BlobError):
+            unpack_model(packed[:6], _tiny_pp(seed=1))
+
+    def test_version_byte_flip_is_still_corruption(self, packed):
+        mutated = bytearray(packed)
+        mutated[4] ^= 0xFF
+        with pytest.raises(BlobCorruptionError):
+            unpack_model(bytes(mutated), _tiny_pp(seed=1))
+        assert issubclass(BlobVersionError, BlobCorruptionError)
+
+
+def _len_trailer():
+    from repro.core.packing import _CHECKSUM_BYTES
+    return _CHECKSUM_BYTES
+
+
+def _blob_with_one_bad_payload(packed):
+    """Corrupt a byte inside the last layer's payload region (the byte
+    just before the 16-byte trailer checksum)."""
+    mutated = bytearray(packed)
+    mutated[len(mutated) - _len_trailer() - 1] ^= 0xFF
+    return bytes(mutated)
+
+
+class TestNonStrictRestore:
+    def test_partial_restore_names_the_bad_layer(self, packed):
+        blob = _blob_with_one_bad_payload(packed)
+        model = _tiny_pp(seed=1)
+        report = restore_model(blob, model, strict=False)
+        assert isinstance(report, RestoreReport)
+        assert not report.complete
+        assert len(report.skipped) == 1
+        bad_name, reason = next(iter(report.skipped.items()))
+        assert bad_name in reason and "checksum" in reason
+        assert len(report.restored) == len(layer_map(model)) - 1
+        assert bad_name not in report.restored
+
+    def test_partial_restore_applies_intact_layers(self, packed):
+        # Ground truth: a strict restore of the *intact* blob.
+        reference = unpack_model(packed, _tiny_pp(seed=2))
+        reference_layers = layer_map(reference)
+
+        target = _tiny_pp(seed=2)
+        fresh = {name: layer.weight.data.copy()
+                 for name, layer in layer_map(target).items()}
+        report = restore_model(_blob_with_one_bad_payload(packed),
+                               target, strict=False)
+        layers = layer_map(target)
+        for name in report.restored:
+            np.testing.assert_array_equal(
+                layers[name].weight.data,
+                reference_layers[name].weight.data)
+        (bad_name,) = report.skipped
+        # The damaged layer keeps the target's own weights.
+        np.testing.assert_array_equal(layers[bad_name].weight.data,
+                                      fresh[bad_name])
+
+    def test_strict_mode_raises_on_same_blob(self, packed):
+        with pytest.raises(BlobCorruptionError):
+            restore_model(_blob_with_one_bad_payload(packed),
+                          _tiny_pp(seed=1), strict=True)
+
+
+class TestArchitectureMismatch:
+    def test_pillars_blob_rejected_by_smoke(self, packed):
+        """Satellite regression: pack PointPillars, unpack into SMOKE."""
+        smoke = SMOKE(seed=0, **TINY_SMOKE)
+        with pytest.raises(BlobArchitectureError):
+            unpack_model(packed, smoke)
+
+    def test_smoke_blob_rejected_by_pillars(self):
+        blob = pack_model(SMOKE(seed=0, **TINY_SMOKE))
+        with pytest.raises(BlobArchitectureError):
+            unpack_model(blob, _tiny_pp())
+
+    def test_mismatch_leaves_target_untouched(self, packed):
+        smoke = SMOKE(seed=0, **TINY_SMOKE)
+        before = {name: layer.weight.data.copy()
+                  for name, layer in layer_map(smoke).items()}
+        with pytest.raises(BlobArchitectureError):
+            unpack_model(packed, smoke)
+        for name, layer in layer_map(smoke).items():
+            np.testing.assert_array_equal(layer.weight.data, before[name])
+
+    def test_arch_errors_raise_even_when_not_strict(self, packed):
+        with pytest.raises(BlobArchitectureError):
+            restore_model(packed, SMOKE(seed=0, **TINY_SMOKE),
+                          strict=False)
+
+
+class TestCleanRoundTrip:
+    def test_restore_report_is_complete(self, packed):
+        model = _tiny_pp(seed=1)
+        report = restore_model(packed, model)
+        assert report.complete
+        assert not report.skipped
+        assert report.version == 3
+        assert report.restored == list(layer_map(model))
+
+    def test_repacked_blob_is_identical(self, packed):
+        model = unpack_model(packed, _tiny_pp(seed=1))
+        assert pack_model(model) == packed

@@ -1,0 +1,235 @@
+"""Fault tolerance of the candidate search: retries, timeouts, broken
+pools, and the kill-and-resume journal.
+
+The acceptance tests pinned here: a search interrupted mid-way and
+resumed from its JSONL journal produces a *bit-identical* packed blob
+to an uninterrupted run (with ``SearchStats.resumed_groups > 0``), and
+a crashed process-pool worker degrades to serial execution instead of
+aborting the run.
+"""
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core import (MemoCache, SearchEngine, SearchJournal,
+                        SearchTaskError, UPAQCompressor, hck_config,
+                        pack_model)
+from repro.nn import Tensor
+
+# ----------------------------------------------------------------------
+# Minimal picklable tasks for driving the engine directly.
+# ----------------------------------------------------------------------
+_FAIL_COUNT = {"n": 0}
+
+
+@dataclass
+class EchoTask:
+    name: str
+    payload: int
+    flag_dir: str = ""
+
+    def cache_key(self):
+        return ("echo", self.name, self.payload, self.flag_dir)
+
+
+def run_echo(task):
+    return task.payload * 2
+
+
+def run_flaky(task):
+    """Fails twice in-process, then succeeds (serial retry food)."""
+    _FAIL_COUNT["n"] += 1
+    if _FAIL_COUNT["n"] <= 2:
+        raise RuntimeError("transient failure")
+    return task.payload
+
+
+def run_always_fails(task):
+    raise RuntimeError("permanent failure")
+
+
+def run_crashy(task):
+    """Kills the worker *process*; succeeds when re-run in the parent."""
+    if multiprocessing.parent_process() is not None:
+        os._exit(13)
+    return task.payload
+
+
+def run_sleepy_once(task):
+    """The 'slow' task blows the timeout once, instant afterwards."""
+    flag = Path(task.flag_dir) / f"{task.name}.attempted"
+    if task.name == "slow" and not flag.exists():
+        flag.touch()
+        time.sleep(1.5)
+    return task.payload
+
+
+class TestRetries:
+    def test_transient_failures_are_retried(self):
+        _FAIL_COUNT["n"] = 0
+        engine = SearchEngine(workers=1, max_retries=3,
+                              retry_backoff_s=0.001)
+        results = engine.map(run_flaky, [EchoTask("a", 7)])
+        assert results[0][0] == 7
+        assert engine.retries == 2
+
+    def test_retry_budget_exhaustion_raises_typed_error(self):
+        engine = SearchEngine(workers=1, max_retries=1,
+                              retry_backoff_s=0.001)
+        with pytest.raises(SearchTaskError, match="'a' failed after 2"):
+            engine.map(run_always_fails, [EchoTask("a", 1)])
+        assert engine.retries == 1
+
+    def test_no_retries_by_default(self):
+        engine = SearchEngine(workers=1)
+        with pytest.raises(SearchTaskError):
+            engine.map(run_always_fails, [EchoTask("a", 1)])
+        assert engine.retries == 0
+
+
+class TestBrokenPoolRecovery:
+    @pytest.mark.skipif(
+        "fork" not in multiprocessing.get_all_start_methods(),
+        reason="crash test relies on forked workers")
+    def test_worker_crash_degrades_to_serial(self):
+        engine = SearchEngine(workers=2, backend="process")
+        tasks = [EchoTask(f"t{i}", i) for i in range(4)]
+        results = engine.map(run_crashy, tasks)
+        assert [r for r, _ in results] == [0, 1, 2, 3]
+        assert engine.pool_failures == 1
+
+
+class TestTimeouts:
+    def test_hung_task_times_out_and_retries_inline(self, tmp_path):
+        engine = SearchEngine(workers=2, backend="thread",
+                              task_timeout_s=0.25, max_retries=1,
+                              retry_backoff_s=0.001)
+        tasks = [EchoTask("slow", 5, flag_dir=str(tmp_path)),
+                 EchoTask("fast", 6, flag_dir=str(tmp_path))]
+        results = engine.map(run_sleepy_once, tasks)
+        assert [r for r, _ in results] == [5, 6]
+        assert engine.timeouts == 1
+        assert engine.retries == 1
+
+
+class TestJournal:
+    def test_record_and_reload(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        journal = SearchJournal(path)
+        key = ("root", b"\x01\x02", 4)
+        journal.record(key, {"value": np.arange(3)})
+        reloaded = SearchJournal(path)
+        assert len(reloaded) == 1
+        np.testing.assert_array_equal(reloaded.get(key)["value"],
+                                      np.arange(3))
+
+    def test_corrupt_lines_are_skipped_not_trusted(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        journal = SearchJournal(path)
+        journal.record(("a",), 1)
+        journal.record(("b",), 2)
+        lines = path.read_bytes().splitlines(keepends=True)
+        # Flip a payload byte of the first entry, truncate the second.
+        first = bytearray(lines[0])
+        first[-10] ^= 0xFF
+        path.write_bytes(bytes(first) + lines[1][:len(lines[1]) // 2])
+        reloaded = SearchJournal(path)
+        assert len(reloaded) == 0
+        assert reloaded.corrupt_lines == 2
+        assert reloaded.get(("a",)) is None
+
+    def test_engine_resumes_from_journal(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        tasks = [EchoTask(f"t{i}", i) for i in range(3)]
+        first = SearchEngine(workers=1, journal=SearchJournal(path))
+        first.map(run_echo, tasks)
+        assert first.resumed == 0
+        second = SearchEngine(workers=1, journal=SearchJournal(path))
+        results = second.map(run_echo, tasks)
+        assert [r for r, cached in results] == [0, 2, 4]
+        assert all(cached for _, cached in results)
+        assert second.resumed == 3
+
+
+# ----------------------------------------------------------------------
+# Kill-and-resume acceptance on a real compression run.
+# ----------------------------------------------------------------------
+class ChainNet(nn.Module):
+    def __init__(self, seed=0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.conv1 = nn.Conv2d(2, 4, 3, padding=1, rng=rng)
+        self.conv2 = nn.Conv2d(4, 4, 3, padding=1, rng=rng)
+        self.proj = nn.Conv2d(4, 2, 1, rng=rng)
+
+    def forward(self, x):
+        return self.proj(self.conv2(self.conv1(x).relu()).relu())
+
+    def example_inputs(self):
+        rng = np.random.default_rng(1)
+        return (Tensor(rng.standard_normal((1, 2, 6, 6))
+                       .astype(np.float32)),)
+
+
+class TestKillAndResume:
+    def test_resumed_search_is_bit_identical(self, tmp_path, monkeypatch):
+        model = ChainNet()
+        inputs = model.example_inputs()
+        journal_path = str(tmp_path / "search.jsonl")
+
+        baseline = UPAQCompressor(hck_config(seed=3)).compress(
+            model, *inputs)
+        baseline_blob = pack_model(baseline.model)
+
+        # Kill the run after the first root task completes.
+        import repro.core.compressor as compressor_module
+        real_run_root = compressor_module.run_root_task
+        calls = {"n": 0}
+
+        def dying_run_root(task):
+            calls["n"] += 1
+            if calls["n"] > 1:
+                raise KeyboardInterrupt("simulated mid-search kill")
+            return real_run_root(task)
+
+        monkeypatch.setattr(compressor_module, "run_root_task",
+                            dying_run_root)
+        interrupted = UPAQCompressor(
+            hck_config(seed=3, search_journal=journal_path))
+        with pytest.raises((KeyboardInterrupt, SearchTaskError)):
+            interrupted.compress(model, *inputs)
+        monkeypatch.setattr(compressor_module, "run_root_task",
+                            real_run_root)
+
+        journal = SearchJournal(journal_path)
+        assert 0 < len(journal), "kill left no completed work to resume"
+
+        resumed = UPAQCompressor(
+            hck_config(seed=3, search_journal=journal_path)).compress(
+            model, *inputs)
+        assert resumed.search.resumed_groups > 0
+        assert pack_model(resumed.model) == baseline_blob
+        assert resumed.choices == baseline.choices
+
+    def test_uninterrupted_journal_run_matches_plain_run(self, tmp_path):
+        model = ChainNet(seed=4)
+        inputs = model.example_inputs()
+        plain = UPAQCompressor(hck_config(seed=0)).compress(model, *inputs)
+        journaled = UPAQCompressor(hck_config(
+            seed=0, search_journal=str(tmp_path / "j.jsonl"))).compress(
+            model, *inputs)
+        assert pack_model(plain.model) == pack_model(journaled.model)
+        assert journaled.search.resumed_groups == 0
+        # Second run over the same journal restores every task.
+        rerun = UPAQCompressor(hck_config(
+            seed=0, search_journal=str(tmp_path / "j.jsonl"))).compress(
+            model, *inputs)
+        assert rerun.search.resumed_groups > 0
+        assert pack_model(rerun.model) == pack_model(plain.model)

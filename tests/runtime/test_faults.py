@@ -1,0 +1,95 @@
+"""The seeded fault injector: determinism, schedules, and scene effects."""
+
+import numpy as np
+import pytest
+
+from repro.pointcloud import LidarConfig, SceneConfig, SceneGenerator
+from repro.runtime import FaultInjector, FaultSpec
+
+
+@pytest.fixture(scope="module")
+def scenes():
+    cfg = SceneConfig(x_range=(5, 24), y_range=(-10, 10),
+                      lidar=LidarConfig(channels=10, azimuth_steps=80))
+    generator = SceneGenerator(cfg, seed=0)
+    return [generator.generate(i, with_image=False) for i in range(8)]
+
+
+class TestFaultSpec:
+    def test_rejects_bad_rates(self):
+        with pytest.raises(ValueError):
+            FaultSpec(drop_rate=1.5)
+        with pytest.raises(ValueError):
+            FaultSpec(corrupt_rate=-0.1)
+        with pytest.raises(ValueError):
+            FaultSpec(jitter="cauchy")
+        with pytest.raises(ValueError):
+            FaultSpec(jitter_scale_s=-1.0)
+
+
+class TestDeterminism:
+    def test_schedule_is_pure_in_frame_id(self):
+        spec = FaultSpec(drop_rate=0.3, corrupt_rate=0.3,
+                         jitter="lognormal", jitter_scale_s=0.01, seed=4)
+        injector = FaultInjector(spec)
+        forward = injector.schedule(range(50))
+        backward = [injector.faults_for(i) for i in reversed(range(50))]
+        assert forward == list(reversed(backward))
+
+    def test_two_injectors_same_seed_agree(self):
+        spec = FaultSpec(drop_rate=0.2, corrupt_rate=0.1,
+                         jitter="uniform", jitter_scale_s=0.005, seed=9)
+        assert FaultInjector(spec).schedule(range(100)) \
+            == FaultInjector(spec).schedule(range(100))
+
+    def test_different_seeds_differ(self):
+        a = FaultInjector(FaultSpec(drop_rate=0.5, seed=0))
+        b = FaultInjector(FaultSpec(drop_rate=0.5, seed=1))
+        assert a.schedule(range(200)) != b.schedule(range(200))
+
+    def test_drop_and_corrupt_are_exclusive(self):
+        injector = FaultInjector(FaultSpec(drop_rate=0.5, corrupt_rate=0.9,
+                                           seed=2))
+        for faults in injector.schedule(range(300)):
+            assert not (faults.dropped and faults.corrupted)
+
+    def test_rates_roughly_respected(self):
+        injector = FaultInjector(FaultSpec(drop_rate=0.1, corrupt_rate=0.05,
+                                           seed=3))
+        schedule = injector.schedule(range(2000))
+        drop = np.mean([f.dropped for f in schedule])
+        corrupt = np.mean([f.corrupted for f in schedule])
+        assert abs(drop - 0.1) < 0.03
+        assert abs(corrupt - 0.05) < 0.03
+
+
+class TestSceneEffects:
+    def test_dropped_frame_becomes_none(self, scenes):
+        injector = FaultInjector(FaultSpec(drop_rate=1.0, seed=0))
+        assert injector.apply(scenes[0]) is None
+
+    def test_corruption_injects_nan_without_mutating_input(self, scenes):
+        injector = FaultInjector(FaultSpec(corrupt_rate=1.0,
+                                           nan_fraction=0.1, seed=0))
+        original = scenes[0].points.copy()
+        poisoned = injector.apply(scenes[0])
+        assert poisoned is not scenes[0]
+        np.testing.assert_array_equal(scenes[0].points, original)
+        bad_rows = np.isnan(poisoned.points).any(axis=1)
+        expected = max(1, int(round(0.1 * len(original))))
+        assert bad_rows.sum() == expected
+
+    def test_corruption_is_deterministic(self, scenes):
+        spec = FaultSpec(corrupt_rate=1.0, nan_fraction=0.2, seed=5)
+        a = FaultInjector(spec).apply(scenes[1])
+        b = FaultInjector(spec).apply(scenes[1])
+        np.testing.assert_array_equal(a.points, b.points)
+
+    def test_clean_frame_passes_through_unchanged(self, scenes):
+        injector = FaultInjector(FaultSpec(seed=0))
+        assert injector.apply(scenes[0]) is scenes[0]
+
+    def test_empty_cloud_corruption_is_noop(self):
+        injector = FaultInjector(FaultSpec(corrupt_rate=1.0, seed=0))
+        empty = np.zeros((0, 4), dtype=np.float32)
+        assert injector.corrupt_points(empty, 0).size == 0

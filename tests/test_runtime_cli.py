@@ -114,3 +114,34 @@ class TestCLI:
         out = capsys.readouterr().out
         assert "PointPillars" in out
         assert "VSC" in out
+
+    def test_stream_command_with_faults(self, capsys, monkeypatch):
+        import repro.models.registry as registry
+        monkeypatch.setitem(registry.MODEL_REGISTRY, "tinypp",
+                            lambda **kw: _tiny_pp())
+        code = main(["stream", "--model", "tinypp", "--frames", "6",
+                     "--inject-faults", "--drop-rate", "0.3",
+                     "--corrupt-rate", "0.2", "--fault-seed", "1",
+                     "--jitter-ms", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "stream: 6 frames" in out
+        assert "deadline hit rate" in out
+
+    def test_stream_command_clean_run(self, capsys, monkeypatch):
+        import repro.models.registry as registry
+        monkeypatch.setitem(registry.MODEL_REGISTRY, "tinypp",
+                            lambda **kw: _tiny_pp())
+        code = main(["stream", "--model", "tinypp", "--frames", "2",
+                     "--deadline-ms", "1000"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2 ok, 0 degraded, 0 dropped" in out
+        assert "deadline hit rate 100%" in out
+
+    def test_stream_parser_defaults(self):
+        args = build_parser().parse_args(["stream"])
+        assert args.frames == 12
+        assert not args.inject_faults
+        assert args.on_corrupt == "last_good"
+        assert args.fallback_model == "none"
