@@ -10,6 +10,7 @@ Subcommands mirror the library's workflow::
     python -m repro.cli table2 --model pointpillars --scale quick  # Table 2
     python -m repro.cli sensitivity --model pointpillars           # analysis
     python -m repro.cli stream --inject-faults --fault-seed 7      # chaos
+    python -m repro.cli ir dump pointpillars --preset hck          # model IR
 """
 
 from __future__ import annotations
@@ -183,7 +184,8 @@ def _cmd_stream(args) -> int:
     engine = InferenceEngine(model, default_devices()[args.device],
                              deadline_s=args.deadline_ms / 1e3,
                              policy=policy, fault_injector=injector,
-                             fallback_model=fallback)
+                             fallback_model=fallback,
+                             execution=args.execution)
     generator = SceneGenerator(seed=args.seed)
     scenes = [generator.generate(i, with_image=with_image)
               for i in range(args.frames)]
@@ -192,6 +194,27 @@ def _cmd_stream(args) -> int:
     if engine.on_fallback:
         print(f"watchdog swapped to the {args.fallback_model.upper()} "
               f"fallback model after repeated deadline misses")
+    return 0
+
+
+def _cmd_ir_dump(args) -> int:
+    """Print a model's extracted IR (nodes, edges, annotations) as JSON."""
+    import json
+
+    from repro.ir import extract_ir
+    from repro.models import build_model
+
+    model = build_model(args.model)
+    if args.preset != "none":
+        from repro.core import UPAQCompressor, hck_config, lck_config
+        presets = {"hck": hck_config, "lck": lck_config}
+        report = UPAQCompressor(presets[args.preset]()).compress(
+            model, *model.example_inputs())
+        ir = report.ir
+    else:
+        ir = extract_ir(model, *model.example_inputs())
+    indent = None if args.compact else 2
+    print(json.dumps(ir.to_json(), indent=indent, sort_keys=True))
     return 0
 
 
@@ -312,7 +335,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--fallback-model", default="none",
                    choices=["none", "hck", "lck"],
                    help="preset compressed as the watchdog fallback")
+    p.add_argument("--execution", default="reference",
+                   choices=["reference", "lowered"],
+                   help="run quantized layers on float64 fake-quant "
+                        "reference executors or int64 lowered kernels "
+                        "(bit-for-bit identical outputs)")
     p.set_defaults(func=_cmd_stream)
+
+    p = sub.add_parser("ir", help="inspect the layer-level model IR")
+    ir_sub = p.add_subparsers(dest="ir_command", required=True)
+    p = ir_sub.add_parser("dump",
+                          help="print the extracted ModelIR as JSON")
+    p.add_argument("model", choices=["pointpillars", "smoke"],
+                   help="model to extract")
+    p.add_argument("--preset", default="none",
+                   choices=["none", "hck", "lck"],
+                   help="compress with this preset first, so the dump "
+                        "shows compression annotations")
+    p.add_argument("--compact", action="store_true",
+                   help="single-line JSON instead of indented")
+    p.set_defaults(func=_cmd_ir_dump)
 
     p = sub.add_parser("sensitivity",
                        help="per-layer quantization sensitivity")

@@ -32,7 +32,8 @@ from .sensitivity import (LayerSensitivity, SensitivityProfile,
 from .patterns import (KernelPattern, PATTERN_TYPES, generate_pattern,
                        generate_patterns, pattern_mask, pool_signature)
 from .distill import DistillConfig, distill_finetune
-from .preprocessing import LayerGroups, find_root, preprocess_model
+from .preprocessing import (LayerGroups, find_root, group_layers,
+                            preprocess_model)
 from .structured import channel_prune_mask, filter_prune_mask
 from .quantizer import (QuantResult, mp_quantizer, quantize_per_kernel,
                         quantize_to_int, sqnr_db)
@@ -56,7 +57,7 @@ __all__ = [
     "BlobVersionError", "BlobArchitectureError",
     "LayerSensitivity", "SensitivityProfile", "analyze_sensitivity",
     "suggest_bit_allocation",
-    "LayerGroups", "preprocess_model", "find_root",
+    "LayerGroups", "preprocess_model", "group_layers", "find_root",
     "QuantResult", "mp_quantizer", "quantize_to_int", "sqnr_db",
     "quantize_per_kernel",
     "finetune_compressed", "masked_finetune", "requantize",

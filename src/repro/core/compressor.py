@@ -27,15 +27,16 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.hardware import (CompressionMeta, annotate_layer, compile_model,
-                            default_devices, profile_model)
+from repro.hardware import (CompressionMeta, annotate_layer,
+                            default_devices, lower_to_plan)
+from repro.ir import ModelIR, extract_ir
 from repro.nn.graph import layer_map
 from repro.nn.module import Module
 
 from .config import UPAQConfig
 from .efficiency import EfficiencyScorer
 from .kernel_compression import KernelCandidate, best_candidate
-from .preprocessing import LayerGroups, preprocess_model
+from .preprocessing import LayerGroups, group_layers
 from .search import (LayerSearchStat, LeafSearchTask, MemoCache,
                      RootSearchTask, SearchEngine, SearchJournal,
                      SearchStats, run_leaf_task, run_root_task)
@@ -66,6 +67,9 @@ class CompressionReport:
     groups: LayerGroups | None = None
     compression_ratio: float = 1.0
     search: SearchStats | None = None             # cost of the search
+    #: the model's layer-level IR, extracted once and re-annotated with
+    #: the final compression outcome — lower it, pack it, or dump it
+    ir: ModelIR | None = None
 
     def choice_for(self, layer_name: str) -> LayerChoice:
         for choice in self.choices:
@@ -106,15 +110,18 @@ class UPAQCompressor:
         compressed = copy.deepcopy(model)          # paper line 1
         layers = layer_map(compressed)
 
+        # One traced forward pass: the IR feeds grouping (Algorithm 1),
+        # the cost lowering, and — after compression — the final plan.
+        ir = extract_ir(compressed, *example_inputs)
+
         if config.use_root_groups:
-            groups = preprocess_model(compressed, *example_inputs)
+            groups = group_layers(ir)
         else:
             groups = LayerGroups(
                 groups={name: [name] for name in layers},
                 roots={name: name for name in layers})
 
-        profile = profile_model(compressed, *example_inputs)
-        plan = compile_model(compressed, *example_inputs, profile=profile)
+        plan = lower_to_plan(ir)
         device = default_devices()[config.device]
         search_cache = MemoCache(config.memo_cache_size)
         device_cache = MemoCache(max(config.memo_cache_size * 8, 1024))
@@ -131,7 +138,7 @@ class UPAQCompressor:
                               max_retries=config.search_retries,
                               retry_backoff_s=config.search_backoff_s,
                               journal=journal)
-        report = CompressionReport(model=compressed, groups=groups)
+        report = CompressionReport(model=compressed, groups=groups, ir=ir)
         stats = SearchStats(workers=engine.workers, backend=engine.backend)
 
         # Phase 1 — search every root layer's candidate grid in parallel.
@@ -203,7 +210,9 @@ class UPAQCompressor:
         stats.wall_time_s = time.perf_counter() - started
         report.search = stats
 
-        final_plan = compile_model(compressed, *example_inputs)
+        # Re-annotate the shared IR with the applied compression and
+        # lower the final plan from it — no re-trace, no re-profile.
+        final_plan = lower_to_plan(ir.annotate_from(compressed))
         report.compression_ratio = final_plan.compression_ratio
         return report
 

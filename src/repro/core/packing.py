@@ -14,29 +14,38 @@ byte format the deployment plan assumes:
 codes are lossless given the stored scales), which is asserted by tests
 and lets a compressed checkpoint ship as a single binary blob.
 
-Format v3 (see ``docs/ROBUSTNESS.md``) makes the blob *integrity
-checked*: the header carries a layer **manifest** (name, shape, bits,
-scheme, payload length, blake2b-128 payload checksum per layer) and the
-whole blob ends in a blake2b-128 trailer checksum.  ``unpack_model``
-therefore detects any single-byte corruption before touching the target
-model, rejects blobs packed from a different architecture by *name and
-shape* (not just layer count), and raises typed errors —
-:class:`BlobCorruptionError`, :class:`BlobVersionError`,
-:class:`BlobArchitectureError` — instead of silently misreading.  A
-``strict=False`` mode restores every layer whose payload checksum still
-verifies and reports the bad ones (:func:`restore_model`).
+Format v4 (see ``docs/ROBUSTNESS.md``) makes the blob *integrity
+checked* and *self-describing*: the header carries an optional
+JSON-serialized :class:`~repro.ir.ModelIR` section (length-prefixed,
+before the manifest) plus a layer **manifest** (name, shape, bits,
+scheme, payload length, blake2b-128 payload checksum per layer), and
+the whole blob ends in a blake2b-128 trailer checksum.  When an IR is
+embedded (``pack_model(model, ir=...)``), the manifest is written in IR
+order and :func:`restore_model` returns the IR on its report — a
+restored checkpoint can then be re-lowered to an identical
+:class:`~repro.hardware.deploy.CompiledPlan` without re-tracing the
+original float model.  ``unpack_model`` detects any single-byte
+corruption before touching the target model, rejects blobs packed from
+a different architecture by *name and shape* (not just layer count),
+and raises typed errors — :class:`BlobCorruptionError`,
+:class:`BlobVersionError`, :class:`BlobArchitectureError` — instead of
+silently misreading.  A ``strict=False`` mode restores every layer
+whose payload checksum still verifies and reports the bad ones
+(:func:`restore_model`).
 """
 
 from __future__ import annotations
 
 import hashlib
 import io
+import json
 import struct
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.hardware.deploy import get_annotation
+from repro.ir import ModelIR
 from repro.nn.graph import layer_map
 from repro.nn.module import Module
 
@@ -46,7 +55,7 @@ __all__ = ["pack_bits", "unpack_bits", "pack_layer", "unpack_layer",
            "BlobVersionError", "BlobArchitectureError"]
 
 _MAGIC = b"UPAQ"
-_VERSION = 3
+_VERSION = 4
 _CHECKSUM_BYTES = 16
 _SCHEME_CODES = {"dense": 0, "unstructured": 1, "structured": 2,
                  "semi-structured": 3}
@@ -254,18 +263,42 @@ class RestoreReport:
     version: int
     restored: list = field(default_factory=list)    # layer names, blob order
     skipped: dict = field(default_factory=dict)     # layer name → reason
+    #: the IR embedded at pack time (``pack_model(model, ir=...)``), or
+    #: None for blobs packed without one — re-lower it with
+    #: :func:`repro.hardware.deploy.lower_to_plan`, no re-trace needed
+    ir: ModelIR | None = None
 
     @property
     def complete(self) -> bool:
         return not self.skipped
 
 
-def pack_model(model: Module) -> bytes:
-    """Serialize every kernel layer of a compressed model (format v3)."""
+def _encode_ir(ir: ModelIR | None) -> bytes:
+    """Deterministic JSON bytes of the IR (empty when none embedded)."""
+    if ir is None:
+        return b""
+    return json.dumps(ir.to_json(), sort_keys=True,
+                      separators=(",", ":")).encode()
+
+
+def pack_model(model: Module, ir: ModelIR | None = None) -> bytes:
+    """Serialize every kernel layer of a compressed model (format v4).
+
+    With ``ir`` (the model's annotated :class:`~repro.ir.ModelIR`,
+    e.g. ``report.ir`` from a compression run) the blob embeds the IR
+    and writes the manifest in IR order, making the checkpoint
+    self-describing: :func:`restore_model` hands the IR back and the
+    deployment plan can be re-lowered without the original float model.
+    """
     manifest = io.BytesIO()
     payload = io.BytesIO()
     layers = layer_map(model)
-    for name, module in layers.items():
+    order = list(layers)
+    if ir is not None:
+        in_ir = [name for name in ir.layer_names if name in layers]
+        order = in_ir + [name for name in order if name not in set(in_ir)]
+    for name in order:
+        module = layers[name]
         meta = get_annotation(module)
         blob = pack_layer(module.weight.data, meta.bits, meta.scheme)
         encoded_name = name.encode()
@@ -279,7 +312,9 @@ def pack_model(model: Module) -> bytes:
                                    _SCHEME_CODES[meta.scheme], len(blob)))
         manifest.write(_checksum(blob))
         payload.write(blob)
+    ir_bytes = _encode_ir(ir)
     body = (_MAGIC + struct.pack("<BI", _VERSION, len(layers))
+            + struct.pack("<I", len(ir_bytes)) + ir_bytes
             + manifest.getvalue() + payload.getvalue())
     return body + _checksum(body)
 
@@ -312,18 +347,19 @@ def restore_model(data: bytes, model: Module,
     """Restore a packed blob into ``model``, verifying integrity first.
 
     Check order: magic → version → trailer checksum (strict mode) →
-    layer manifest vs the model's architecture → per-layer payload
-    checksums.  With ``strict=True`` (the default) any failed check
-    raises before a single weight is touched; with ``strict=False``
-    layers whose payload checksum still verifies are restored and the
-    bad ones are reported in :attr:`RestoreReport.skipped`.
-    Architecture mismatches raise in both modes — restoring *some*
-    layers of the wrong model is never useful.
+    embedded IR section → layer manifest vs the model's architecture →
+    per-layer payload checksums.  With ``strict=True`` (the default)
+    any failed check raises before a single weight is touched; with
+    ``strict=False`` layers whose payload checksum still verifies are
+    restored and the bad ones are reported in
+    :attr:`RestoreReport.skipped`.  Architecture mismatches raise in
+    both modes — restoring *some* layers of the wrong model is never
+    useful.
     """
     header_len = len(_MAGIC) + 5
     if data[:len(_MAGIC)] != _MAGIC:
         raise BlobCorruptionError("not a UPAQ packed model")
-    if len(data) < header_len + _CHECKSUM_BYTES:
+    if len(data) < header_len + 4 + _CHECKSUM_BYTES:
         raise BlobCorruptionError(
             f"blob truncated: {len(data)} bytes is smaller than the "
             f"fixed header and trailer")
@@ -341,6 +377,12 @@ def restore_model(data: bytes, model: Module,
 
     buffer = io.BytesIO(body[header_len:])
     try:
+        ir_len = struct.unpack("<I", buffer.read(4))[0]
+        ir_bytes = buffer.read(ir_len)
+        if len(ir_bytes) != ir_len:
+            raise BlobCorruptionError("truncated IR section")
+        embedded_ir = ModelIR.from_json(json.loads(ir_bytes.decode())) \
+            if ir_bytes else None
         entries = _parse_manifest(buffer, count)
         payloads = [buffer.read(entry.payload_len) for entry in entries]
     except BlobCorruptionError:
@@ -372,7 +414,7 @@ def restore_model(data: bytes, model: Module,
                 f"{entry.shape}, model has "
                 f"{layers[entry.name].weight.data.shape}")
 
-    report = RestoreReport(model=model, version=version)
+    report = RestoreReport(model=model, version=version, ir=embedded_ir)
     from repro.hardware.deploy import CompressionMeta, annotate_layer
     for entry, payload in zip(entries, payloads):
         if len(payload) != entry.payload_len or \

@@ -1,12 +1,18 @@
 """UPAQ preprocessing stage (paper Algorithm 1).
 
-Computes the model's computational graph through a traced forward/
-backward structure (``repro.nn.compute_graph``) and runs DFS to group
-layers into *root → leaf* sets.  A layer joins the group of its nearest
-upstream layer with matching kernel properties (same spatial kernel
-size, so a k×k mask transfers); otherwise it roots its own group.
-UPAQ then searches patterns/bitwidths only on root layers and replicates
-the winning choice onto leaves, shrinking the search space.
+Groups a model's kernel layers into *root → leaf* sets by walking the
+layer-level IR (:class:`repro.ir.ModelIR`): a layer joins the group of
+its nearest upstream layer with matching kernel properties (same kind
+and spatial kernel size, so a k×k mask transfers); otherwise it roots
+its own group.  UPAQ then searches patterns/bitwidths only on root
+layers and replicates the winning choice onto leaves, shrinking the
+search space.
+
+:func:`group_layers` consumes an already-extracted IR — the normal path
+inside :class:`~repro.core.compressor.UPAQCompressor`, which extracts
+the IR once and shares it with profiling and plan lowering.
+:func:`preprocess_model` remains the one-call convenience wrapper
+(extract, then group); it no longer re-traces anything itself.
 """
 
 from __future__ import annotations
@@ -15,10 +21,14 @@ from dataclasses import dataclass, field
 
 import networkx as nx
 
-from repro.nn.graph import compute_graph, layer_map
 from repro.nn.module import Module
 
-__all__ = ["LayerGroups", "preprocess_model", "find_root"]
+__all__ = ["LayerGroups", "preprocess_model", "group_layers", "find_root"]
+
+#: Module class name → IR node kind, so module dicts and IR node dicts
+#: produce identical grouping signatures.
+_KIND_BY_TYPE = {"Conv2d": "conv", "ConvTranspose2d": "deconv",
+                 "Linear": "linear"}
 
 
 @dataclass
@@ -43,10 +53,17 @@ class LayerGroups:
         return iter(self.groups.items())
 
 
-def _kernel_signature(module: Module) -> tuple:
-    """Kernel properties that must match for a pattern to transfer."""
-    kernel_size = getattr(module, "kernel_size", 1)
-    return (type(module).__name__, kernel_size)
+def _kernel_signature(layer) -> tuple:
+    """Kernel properties that must match for a pattern to transfer.
+
+    Accepts either an :class:`~repro.ir.IRNode` (which carries ``kind``)
+    or a live module; both map onto the same (kind, kernel_size) space.
+    """
+    kind = getattr(layer, "kind", None)
+    if kind is None:
+        kind = _KIND_BY_TYPE.get(type(layer).__name__,
+                                 type(layer).__name__)
+    return (kind, getattr(layer, "kernel_size", 1))
 
 
 def find_root(graph: nx.DiGraph, layer: str, layers: dict,
@@ -56,6 +73,7 @@ def find_root(graph: nx.DiGraph, layer: str, layers: dict,
     Mirrors the paper's ``find_root``: a layer with no compatible
     predecessor becomes its own root; otherwise it inherits the root of
     the closest compatible predecessor (BFS over incoming edges).
+    ``layers`` may map names to modules or to IR nodes.
     """
     signature = _kernel_signature(layers[layer])
     frontier = list(graph.predecessors(layer))
@@ -74,21 +92,20 @@ def find_root(graph: nx.DiGraph, layer: str, layers: dict,
     return layer
 
 
-def preprocess_model(model: Module, *example_inputs) -> LayerGroups:
-    """Algorithm 1: group the model's layers into root→leaf sets."""
-    graph = compute_graph(model, *example_inputs)
-    layers = layer_map(model)
-    order = list(nx.topological_sort(graph))
-
+def group_layers(ir) -> LayerGroups:
+    """Algorithm 1 over an extracted IR: root→leaf sets from IR edges."""
+    graph = ir.graph()
+    nodes = ir.by_name()
     result = LayerGroups()
-    for layer_name in order:
-        root = find_root(graph, layer_name, layers, result.roots)
-        result.roots[layer_name] = root
+    for node in ir:
+        root = find_root(graph, node.name, nodes, result.roots)
+        result.roots[node.name] = root
         result.groups.setdefault(root, [])
-        result.groups[root].append(layer_name)
-    # Layers outside the traced graph (should not happen, but keep total).
-    for layer_name in layers:
-        if layer_name not in result.roots:
-            result.roots[layer_name] = layer_name
-            result.groups[layer_name] = [layer_name]
+        result.groups[root].append(node.name)
     return result
+
+
+def preprocess_model(model: Module, *example_inputs) -> LayerGroups:
+    """Algorithm 1 one-call form: extract the IR, then group it."""
+    from repro.ir import extract_ir
+    return group_layers(extract_ir(model, *example_inputs))

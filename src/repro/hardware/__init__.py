@@ -7,17 +7,18 @@ models for both boards, and a sampling energy meter.
 """
 
 from .deploy import (CompiledPlan, CompressionMeta, PlanLayer, SCHEMES,
-                     annotate_layer, compile_model, get_annotation)
+                     annotate_layer, compile_model, get_annotation,
+                     lower_to_plan)
 from .device import (DeviceModel, DeviceSpec, JETSON_ORIN_NANO, RTX_4080,
                      default_devices)
 from .energy import EnergyMeter, PowerSample
 from .fuse import count_foldable, fold_batchnorm, fold_conv_bn
-from .profile import LayerProfile, ModelProfile, profile_model
+from .profile import LayerProfile, ModelProfile, profile_model, profiling
 
 __all__ = [
-    "LayerProfile", "ModelProfile", "profile_model",
+    "LayerProfile", "ModelProfile", "profile_model", "profiling",
     "CompressionMeta", "PlanLayer", "CompiledPlan", "compile_model",
-    "annotate_layer", "get_annotation", "SCHEMES",
+    "lower_to_plan", "annotate_layer", "get_annotation", "SCHEMES",
     "DeviceSpec", "DeviceModel", "JETSON_ORIN_NANO", "RTX_4080",
     "default_devices", "EnergyMeter", "PowerSample",
     "fold_batchnorm", "fold_conv_bn", "count_foldable",

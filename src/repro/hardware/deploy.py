@@ -1,27 +1,26 @@
 """Deployment plans: what a TensorRT-style compiler sees.
 
 Compression frameworks annotate each layer with a
-:class:`CompressionMeta` (bits, pruning scheme).  :func:`compile_model`
-combines those annotations with a measured :class:`ModelProfile` and the
-layer's *actual* weight sparsity into a :class:`CompiledPlan` — the
-static description the device models price.  It also computes the
-storage footprint, which is what the paper's "compression ratio" column
-measures.
+:class:`CompressionMeta` (bits, pruning scheme).  :func:`lower_to_plan`
+is the *cost lowering*: it reads an annotated
+:class:`~repro.ir.ModelIR` — per-layer profile stats plus the measured
+compression outcome — into a :class:`CompiledPlan`, the static
+description the device models price.  It also computes the storage
+footprint, which is what the paper's "compression ratio" column
+measures.  :func:`compile_model` is the thin one-call wrapper that
+extracts (or adapts) the IR and lowers it.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
-
-from repro.nn.graph import KERNEL_LAYER_TYPES
 from repro.nn.module import Module
 
-from .profile import LayerProfile, ModelProfile, profile_model
+from .profile import LayerProfile, ModelProfile
 
 __all__ = ["CompressionMeta", "PlanLayer", "CompiledPlan", "compile_model",
-           "annotate_layer", "get_annotation", "SCHEMES"]
+           "lower_to_plan", "annotate_layer", "get_annotation", "SCHEMES"]
 
 #: Pruning schemes the device models understand.  ``skip_efficiency`` is
 #: the fraction of pruned MACs the hardware actually avoids: structured
@@ -161,32 +160,51 @@ class CompiledPlan:
         return sum(layer.effective_macs for layer in self.layers)
 
 
-def compile_model(model: Module, *example_inputs,
-                  profile: ModelProfile | None = None) -> CompiledPlan:
-    """Lower a (possibly compressed) model into a costed plan."""
-    if profile is None:
-        profile = profile_model(model, *example_inputs)
-    by_name = profile.by_name()
-    plan = CompiledPlan(model_name=profile.model_name)
+def lower_to_plan(ir) -> CompiledPlan:
+    """Cost lowering: annotated :class:`~repro.ir.ModelIR` → costed plan.
 
-    for name, module in model.named_modules():
-        if not isinstance(module, KERNEL_LAYER_TYPES) or name not in by_name:
+    Each IR node carries its profile (MACs, byte traffic) and its
+    measured compression outcome (bits, scheme, actual sparsity, kernel
+    count); lowering is a pure read of those annotations — no model
+    walk, no re-trace.  Nodes the profiling pass never saw (layers that
+    did not execute) are skipped, as they contribute no runtime cost.
+    """
+    plan = CompiledPlan(model_name=ir.model_name)
+    for node in ir:
+        if node.profile is None:
             continue
-        meta = get_annotation(module)
-        weights = module.weight.data
-        sparsity = float((weights == 0).mean())
-        if weights.ndim == 4:
-            kernel_count = weights.shape[0] * weights.shape[1]
-        else:
-            kernel_count = weights.shape[0]
+        meta = node.compression
+        bits = meta.bits if meta is not None else 32
+        scheme = meta.scheme if meta is not None else "dense"
+        sparsity = meta.sparsity if meta is not None else 0.0
+        kernel_count = meta.kernel_count if meta is not None else 0
         plan.layers.append(PlanLayer(
-            profile=by_name[name], bits=meta.bits, scheme=meta.scheme,
+            profile=node.profile, bits=bits, scheme=scheme,
             sparsity=sparsity, kernel_count=kernel_count))
-        plan.dense_weight_bytes += by_name[name].weight_count * 4.0
+        plan.dense_weight_bytes += node.profile.weight_count * 4.0
         # Activation nonlinearity after each kernel layer: one read and
         # one write of the layer's output.
-        plan.elementwise_bytes += 2.0 * by_name[name].output_bytes_fp32
+        plan.elementwise_bytes += 2.0 * node.profile.output_bytes_fp32
     # Normalization layers: read + write of each BN output.  This is the
     # traffic conv+BN folding (repro.hardware.fuse) removes.
-    plan.elementwise_bytes += 2.0 * profile.norm_output_bytes
+    plan.elementwise_bytes += 2.0 * ir.norm_output_bytes
     return plan
+
+
+def compile_model(model: Module, *example_inputs,
+                  profile: ModelProfile | None = None) -> CompiledPlan:
+    """Lower a (possibly compressed) model into a costed plan.
+
+    Convenience wrapper: extracts the model's IR (one traced forward
+    pass) — or, when a measured ``profile`` is supplied, adapts it into
+    a trace-free IR — and runs :func:`lower_to_plan` on it.  Pipelines
+    that already hold a :class:`~repro.ir.ModelIR` should annotate and
+    lower it directly instead of paying another extraction.
+    """
+    # Imported lazily: repro.ir consumes this module's annotations.
+    from repro.ir import extract_ir, ir_from_profile
+    if profile is None:
+        ir = extract_ir(model, *example_inputs)
+    else:
+        ir = ir_from_profile(profile, model)
+    return lower_to_plan(ir)

@@ -1,13 +1,21 @@
 """Per-layer compute/memory profiling of a model forward pass.
 
 Runs the model once on example inputs while hooking every kernel-bearing
-layer, recording input/output shapes, multiply-accumulate counts, and
-weight/activation byte traffic — the quantities the analytic device
-models turn into latency and energy.
+layer, recording input/output shapes, multiply-accumulate counts,
+weight/activation byte traffic, and the input activation range — the
+quantities the analytic device models turn into latency and energy and
+the executor lowering turns into activation quantization scales.
+
+:func:`profiling` exposes the hook machinery as a context manager so the
+IR extractor (:func:`repro.ir.extract_ir`) can collect a profile during
+the *same* traced forward pass that builds the layer graph; stats land
+in the :class:`~repro.ir.ModelIR` node annotations.  :func:`profile_model`
+remains the standalone one-call form.
 """
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -16,7 +24,7 @@ from repro.nn.graph import KERNEL_LAYER_TYPES
 from repro.nn.layers import Conv2d, ConvTranspose2d, Linear, _BatchNorm
 from repro.nn.module import Module
 
-__all__ = ["LayerProfile", "ModelProfile", "profile_model"]
+__all__ = ["LayerProfile", "ModelProfile", "profile_model", "profiling"]
 
 
 @dataclass
@@ -33,6 +41,9 @@ class LayerProfile:
     weight_count: int
     input_bytes_fp32: int
     output_bytes_fp32: int
+    #: max |x| over the layer's input activation — the max-calibration
+    #: statistic the executor lowering turns into an activation scale
+    input_absmax: float = 0.0
 
     @property
     def weight_bytes_fp32(self) -> int:
@@ -81,9 +92,14 @@ def _layer_kind(module: Module) -> str:
     return "linear"
 
 
-def profile_model(model: Module, *example_inputs,
-                  name: str | None = None) -> ModelProfile:
-    """Trace one forward pass and collect a :class:`ModelProfile`."""
+@contextmanager
+def profiling(model: Module, name: str | None = None):
+    """Hook every kernel layer of ``model``; yields the filling profile.
+
+    Any forward passes run inside the ``with`` block append their
+    per-layer stats — this is how IR extraction profiles the *same*
+    forward it traces.  Hooks are removed on exit even on error.
+    """
     profile = ModelProfile(model_name=name or getattr(model, "name",
                                                       type(model).__name__))
     hooked: list[tuple[Module, object]] = []
@@ -94,6 +110,7 @@ def profile_model(model: Module, *example_inputs,
         def hooked_forward(*args, **kwargs):
             out = original_forward(*args, **kwargs)
             x = args[0]
+            x_data = getattr(x, "data", x)
             in_elems = int(np.prod(x.shape))
             out_elems = int(np.prod(out.shape))
             if isinstance(module, (Conv2d, ConvTranspose2d)):
@@ -124,7 +141,9 @@ def profile_model(model: Module, *example_inputs,
                 output_elements=out_elems, macs=int(macs),
                 weight_count=int(weight_count),
                 input_bytes_fp32=in_elems * 4,
-                output_bytes_fp32=out_elems * 4))
+                output_bytes_fp32=out_elems * 4,
+                input_absmax=float(np.abs(x_data).max())
+                if x_data.size else 0.0))
             return out
 
         return original_forward, hooked_forward
@@ -149,12 +168,19 @@ def profile_model(model: Module, *example_inputs,
             object.__setattr__(module, "forward", wrapper)
             hooked.append((module, original))
     try:
+        yield profile
+    finally:
+        for module, original in hooked:
+            object.__setattr__(module, "forward", original)
+
+
+def profile_model(model: Module, *example_inputs,
+                  name: str | None = None) -> ModelProfile:
+    """Trace one forward pass and collect a :class:`ModelProfile`."""
+    with profiling(model, name=name) as profile:
         was_training = model.training
         model.eval()
         model(*example_inputs)
         if was_training:
             model.train()
-    finally:
-        for module, original in hooked:
-            object.__setattr__(module, "forward", original)
     return profile

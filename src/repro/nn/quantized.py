@@ -3,26 +3,40 @@
 Fake quantization (the training-side view used everywhere else in the
 repo) keeps weights as floats that happen to lie on an integer grid.
 Deployment engines instead run the *integer* arithmetic directly:
-``y = (W_q @ x_q) · s_w · s_x``.  This module implements that path so we
-can verify the two are numerically equivalent — the property that makes
-TensorRT-style INT8 engines produce the same results the fake-quantized
-model was validated with (Jacob et al., the paper's [35]).
+``y = (W_q @ x_q) · s_w · s_x``.  This module implements that path for
+every kernel layer the IR knows — :class:`QuantizedConv2d`,
+:class:`QuantizedConvTranspose2d`, :class:`QuantizedLinear` — so the
+runtime can execute a compressed model on real integer MACs
+(Jacob et al., the paper's [35]).
 
-``QuantizedConv2d.from_float`` captures a float convolution plus an
-activation scale into integer weights; ``forward`` quantizes the
-incoming activation, convolves entirely in int64, and rescales.
+Two guarantees make the executors testable:
+
+* **Pattern-aware skipping is exact.**  Pruned kernel positions are
+  zero *codes*; im2col columns (conv), scatter columns (deconv) and
+  input features (linear) whose weights are all-zero are skipped before
+  the integer matmul, and skipping a zero integer column cannot change
+  an integer accumulation.
+* **``reference()`` is bit-for-bit.**  Each executor's ``reference``
+  method runs the float-side semantics — dequantize *after* the
+  accumulation — in float64.  Integer sums of b≤16-bit codes stay far
+  below 2⁵³, so the float64 accumulation is exact and equals the int64
+  accumulation; both paths then apply the identical rescale multiply,
+  producing identical bit patterns.  This is the parity the
+  ``execution="lowered"`` runtime asserts against
+  ``execution="reference"``.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from .functional import im2col
-from .layers import Conv2d
+from .functional import col2im, im2col
+from .layers import Conv2d, ConvTranspose2d, Linear
 from .module import Module
 from .tensor import Tensor
 
-__all__ = ["QuantizedConv2d", "activation_scale", "quantize_activation"]
+__all__ = ["QuantizedConv2d", "QuantizedConvTranspose2d", "QuantizedLinear",
+           "activation_scale", "quantize_activation"]
 
 
 def activation_scale(x: np.ndarray, bits: int = 8) -> float:
@@ -40,12 +54,26 @@ def quantize_activation(x: np.ndarray, scale: float,
         .astype(np.int64)
 
 
+def _per_channel_codes(flat: np.ndarray, bits: int):
+    """Quantize (channels, k) rows to integer codes + per-row scales."""
+    max_code = 2 ** (bits - 1) - 1
+    alphas = np.abs(flat).max(axis=1)
+    scales = np.where(alphas > 0, alphas / max_code, 1.0)
+    codes = np.clip(np.round(flat / scales[:, None]), -max_code, max_code)
+    return codes.astype(np.int64), scales.astype(np.float64)
+
+
+def _as_array(x) -> np.ndarray:
+    return x.data if isinstance(x, Tensor) else np.asarray(x)
+
+
 class QuantizedConv2d(Module):
     """A convolution executed in integer arithmetic.
 
     Weights are stored as int64 codes with one scale per output filter
     (per-channel quantization, the deployment-standard granularity);
     activations are quantized on entry with a calibration scale.
+    Pattern-pruned weight columns are skipped in im2col.
     """
 
     def __init__(self, weight_codes: np.ndarray, weight_scales: np.ndarray,
@@ -59,6 +87,12 @@ class QuantizedConv2d(Module):
         self.padding = padding
         self.input_scale = float(input_scale)
         self.activation_bits = activation_bits
+        # Columns of the (out_c, in_c·k·k) weight matrix where *every*
+        # filter is zero — the positions pattern pruning blanked in all
+        # kernels of an input channel.  Skipped exactly (zero columns
+        # contribute nothing to an integer accumulation).
+        w_mat = self.weight_codes.reshape(self.weight_codes.shape[0], -1)
+        self._keep_cols = np.any(w_mat != 0, axis=0)
 
     @staticmethod
     def from_float(conv: Conv2d, input_scale: float,
@@ -67,31 +101,38 @@ class QuantizedConv2d(Module):
         """Quantize a float convolution with per-filter weight scales."""
         weights = conv.weight.data.astype(np.float64)
         out_c = weights.shape[0]
-        flat = weights.reshape(out_c, -1)
-        max_code = 2 ** (weight_bits - 1) - 1
-        alphas = np.abs(flat).max(axis=1)
-        scales = np.where(alphas > 0, alphas / max_code, 1.0)
-        codes = np.clip(np.round(flat / scales[:, None]),
-                        -max_code, max_code).reshape(weights.shape)
+        codes, scales = _per_channel_codes(weights.reshape(out_c, -1),
+                                           weight_bits)
         bias = None if conv.bias is None else conv.bias.data
-        return QuantizedConv2d(codes, scales, bias, conv.stride,
-                               conv.padding, input_scale, activation_bits)
+        return QuantizedConv2d(codes.reshape(weights.shape), scales, bias,
+                               conv.stride, conv.padding, input_scale,
+                               activation_bits)
 
-    def forward(self, x: Tensor) -> Tensor:
-        data = x.data if isinstance(x, Tensor) else np.asarray(x)
-        n, c, h, w = data.shape
+    def _accumulate(self, data: np.ndarray, dtype) -> np.ndarray:
+        """Shared core: quantize → im2col → matmul in ``dtype``.
+
+        ``dtype=int64`` is the deployment path; ``dtype=float64`` is the
+        reference semantics.  Both see the same codes and the same
+        skipped columns, and both accumulations are exact, so they
+        return equal values.
+        """
         out_c = self.weight_codes.shape[0]
         kernel = self.weight_codes.shape[-1]
-
         x_codes = quantize_activation(data, self.input_scale,
                                       self.activation_bits)
         cols = im2col(x_codes.astype(np.float64), kernel, self.stride,
-                      self.padding).astype(np.int64)
-        w_mat = self.weight_codes.reshape(out_c, -1)
-        # The integer core: int64 accumulation, exactly as a deployment
-        # engine's INT8 MACs with a 32/64-bit accumulator.
-        acc = np.einsum("ok,nkp->nop", w_mat, cols)
+                      self.padding).astype(dtype)
+        w_mat = self.weight_codes.reshape(out_c, -1).astype(dtype)
+        keep = self._keep_cols
+        if not keep.all():
+            cols = cols[:, keep, :]
+            w_mat = w_mat[:, keep]
+        return np.einsum("ok,nkp->nop", w_mat, cols)
 
+    def _finish(self, acc: np.ndarray, input_shape: tuple) -> Tensor:
+        n, _, h, w = input_shape
+        out_c = self.weight_codes.shape[0]
+        kernel = self.weight_codes.shape[-1]
         out_h = (h + 2 * self.padding - kernel) // self.stride + 1
         out_w = (w + 2 * self.padding - kernel) // self.stride + 1
         rescale = self.weight_scales[None, :, None] * self.input_scale
@@ -101,15 +142,28 @@ class QuantizedConv2d(Module):
             out = out + self.bias.reshape(1, -1, 1, 1)
         return Tensor(out.astype(np.float32))
 
-    def fake_quant_reference(self, x: Tensor) -> Tensor:
-        """The float-side view: dequantized weights × quantized input.
+    def forward(self, x: Tensor) -> Tensor:
+        data = _as_array(x)
+        # The integer core: int64 accumulation, exactly as a deployment
+        # engine's INT8 MACs with a 32/64-bit accumulator.
+        return self._finish(self._accumulate(data, np.int64), data.shape)
 
-        Used by tests to assert integer execution ≡ fake quantization.
+    def reference(self, x: Tensor) -> Tensor:
+        """Float-semantics twin: float64 accumulate, identical rescale."""
+        data = _as_array(x)
+        return self._finish(self._accumulate(data, np.float64), data.shape)
+
+    def fake_quant_reference(self, x: Tensor) -> Tensor:
+        """The float32 training-side view: dequantized weights convolved
+        with the quantized input by the normal float pipeline.
+
+        Used by tests to assert integer execution ≈ fake quantization
+        (within float32 rounding of the rescale — one ulp per output).
         """
         weights = (self.weight_codes.reshape(len(self.weight_scales), -1)
                    * self.weight_scales[:, None]) \
             .reshape(self.weight_codes.shape)
-        data = x.data if isinstance(x, Tensor) else np.asarray(x)
+        data = _as_array(x)
         x_deq = quantize_activation(data, self.input_scale,
                                     self.activation_bits) \
             * self.input_scale
@@ -119,4 +173,168 @@ class QuantizedConv2d(Module):
                        None if self.bias is None
                        else Tensor(self.bias.astype(np.float32)),
                        stride=self.stride, padding=self.padding)
+        return out
+
+
+class QuantizedConvTranspose2d(Module):
+    """A transposed convolution executed in integer arithmetic.
+
+    Weight layout is IOHW (matching :class:`ConvTranspose2d`); scales
+    are per *output* channel, so the rescale is applied after the
+    col2im scatter-add, which never mixes output channels.
+    """
+
+    def __init__(self, weight_codes: np.ndarray, weight_scales: np.ndarray,
+                 bias: np.ndarray | None, stride: int, padding: int,
+                 input_scale: float, activation_bits: int = 8):
+        super().__init__()
+        self.weight_codes = weight_codes.astype(np.int64)
+        self.weight_scales = weight_scales.astype(np.float64)
+        self.bias = None if bias is None else bias.astype(np.float64)
+        self.stride = stride
+        self.padding = padding
+        self.input_scale = float(input_scale)
+        self.activation_bits = activation_bits
+        in_c = self.weight_codes.shape[0]
+        w_mat = self.weight_codes.reshape(in_c, -1)
+        # Scatter columns (out-channel, ki, kj) that no input channel
+        # writes to — all-zero weights, skipped exactly.
+        self._keep_cols = np.any(w_mat != 0, axis=0)
+
+    @staticmethod
+    def from_float(deconv: ConvTranspose2d, input_scale: float,
+                   weight_bits: int = 8,
+                   activation_bits: int = 8) -> "QuantizedConvTranspose2d":
+        """Quantize a float deconvolution with per-out-channel scales."""
+        weights = deconv.weight.data.astype(np.float64)     # (in, out, k, k)
+        out_c = weights.shape[1]
+        per_out = weights.transpose(1, 0, 2, 3).reshape(out_c, -1)
+        codes_t, scales = _per_channel_codes(per_out, weight_bits)
+        codes = codes_t.reshape(out_c, weights.shape[0],
+                                *weights.shape[2:]).transpose(1, 0, 2, 3)
+        bias = None if deconv.bias is None else deconv.bias.data
+        return QuantizedConvTranspose2d(codes, scales, bias, deconv.stride,
+                                        deconv.padding, input_scale,
+                                        activation_bits)
+
+    def _accumulate(self, data: np.ndarray, dtype) -> np.ndarray:
+        n, c, h, w = data.shape
+        in_c, out_c, kernel, _ = self.weight_codes.shape
+        x_codes = quantize_activation(data, self.input_scale,
+                                      self.activation_bits)
+        x_mat = x_codes.reshape(n, in_c, h * w).astype(dtype)
+        w_mat = self.weight_codes.reshape(in_c, -1).astype(dtype)
+        keep = self._keep_cols
+        cols = np.zeros((n, w_mat.shape[1], h * w), dtype=dtype)
+        cols[:, keep, :] = np.einsum("io,nip->nop", w_mat[:, keep], x_mat)
+        out_h = (h - 1) * self.stride - 2 * self.padding + kernel
+        out_w = (w - 1) * self.stride - 2 * self.padding + kernel
+        return col2im(cols, (n, out_c, out_h, out_w), kernel,
+                      self.stride, self.padding)
+
+    def _finish(self, acc: np.ndarray) -> Tensor:
+        rescale = self.weight_scales[None, :, None, None] * self.input_scale
+        out = acc.astype(np.float64) * rescale
+        if self.bias is not None:
+            out = out + self.bias.reshape(1, -1, 1, 1)
+        return Tensor(out.astype(np.float32))
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self._finish(self._accumulate(_as_array(x), np.int64))
+
+    def reference(self, x: Tensor) -> Tensor:
+        """Float-semantics twin: float64 accumulate, identical rescale."""
+        return self._finish(self._accumulate(_as_array(x), np.float64))
+
+    def fake_quant_reference(self, x: Tensor) -> Tensor:
+        """Float32 view via the normal deconvolution pipeline."""
+        out_c = self.weight_codes.shape[1]
+        weights = (self.weight_codes.transpose(1, 0, 2, 3)
+                   .reshape(out_c, -1) * self.weight_scales[:, None]) \
+            .reshape(out_c, self.weight_codes.shape[0],
+                     *self.weight_codes.shape[2:]).transpose(1, 0, 2, 3)
+        data = _as_array(x)
+        x_deq = quantize_activation(data, self.input_scale,
+                                    self.activation_bits) \
+            * self.input_scale
+        from . import functional as F
+        out = F.conv_transpose2d(Tensor(x_deq.astype(np.float32)),
+                                 Tensor(weights.astype(np.float32)),
+                                 None if self.bias is None
+                                 else Tensor(self.bias.astype(np.float32)),
+                                 stride=self.stride, padding=self.padding)
+        return out
+
+
+class QuantizedLinear(Module):
+    """An affine layer executed in integer arithmetic.
+
+    Weight layout is (out, in) with per-output-row scales.  Input
+    features whose weight column is entirely zero (pruned in every
+    output row) are skipped before the integer matmul.
+    """
+
+    def __init__(self, weight_codes: np.ndarray, weight_scales: np.ndarray,
+                 bias: np.ndarray | None, input_scale: float,
+                 activation_bits: int = 8):
+        super().__init__()
+        self.weight_codes = weight_codes.astype(np.int64)
+        self.weight_scales = weight_scales.astype(np.float64)
+        self.bias = None if bias is None else bias.astype(np.float64)
+        self.input_scale = float(input_scale)
+        self.activation_bits = activation_bits
+        self._keep_cols = np.any(self.weight_codes != 0, axis=0)
+
+    @staticmethod
+    def from_float(linear: Linear, input_scale: float,
+                   weight_bits: int = 8,
+                   activation_bits: int = 8) -> "QuantizedLinear":
+        """Quantize a float affine layer with per-row weight scales."""
+        weights = linear.weight.data.astype(np.float64)
+        codes, scales = _per_channel_codes(weights, weight_bits)
+        bias = None if linear.bias is None else linear.bias.data
+        return QuantizedLinear(codes, scales, bias, input_scale,
+                               activation_bits)
+
+    def _accumulate(self, data: np.ndarray, dtype) -> np.ndarray:
+        in_features = self.weight_codes.shape[1]
+        x_codes = quantize_activation(data, self.input_scale,
+                                      self.activation_bits)
+        x_mat = x_codes.reshape(-1, in_features).astype(dtype)
+        w_mat = self.weight_codes.astype(dtype)
+        keep = self._keep_cols
+        if not keep.all():
+            x_mat = x_mat[:, keep]
+            w_mat = w_mat[:, keep]
+        return x_mat @ w_mat.T
+
+    def _finish(self, acc: np.ndarray, input_shape: tuple) -> Tensor:
+        out = acc.astype(np.float64) \
+            * (self.weight_scales[None, :] * self.input_scale)
+        if self.bias is not None:
+            out = out + self.bias[None, :]
+        out_shape = input_shape[:-1] + (self.weight_codes.shape[0],)
+        return Tensor(out.reshape(out_shape).astype(np.float32))
+
+    def forward(self, x: Tensor) -> Tensor:
+        data = _as_array(x)
+        return self._finish(self._accumulate(data, np.int64), data.shape)
+
+    def reference(self, x: Tensor) -> Tensor:
+        """Float-semantics twin: float64 accumulate, identical rescale."""
+        data = _as_array(x)
+        return self._finish(self._accumulate(data, np.float64), data.shape)
+
+    def fake_quant_reference(self, x: Tensor) -> Tensor:
+        """Float32 view via the normal affine pipeline."""
+        weights = self.weight_codes * self.weight_scales[:, None]
+        data = _as_array(x)
+        x_deq = quantize_activation(data, self.input_scale,
+                                    self.activation_bits) \
+            * self.input_scale
+        from . import functional as F
+        out = F.linear(Tensor(x_deq.astype(np.float32)),
+                       Tensor(weights.astype(np.float32)),
+                       None if self.bias is None
+                       else Tensor(self.bias.astype(np.float32)))
         return out

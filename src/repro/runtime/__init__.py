@@ -2,17 +2,22 @@
 
 Runs detectors over scene streams with per-frame simulated device
 latency/energy accounting and real-time deadline tracking; loads packed
-compressed checkpoints produced by :mod:`repro.core.packing`.  The
-fault-tolerance layer — seeded fault injection, degradation policies,
-and the deadline watchdog — lives in :mod:`repro.runtime.faults` and
+compressed checkpoints produced by :mod:`repro.core.packing`.  Quantized
+layers execute through integer kernels lowered from the model's
+:class:`~repro.ir.ModelIR` (:mod:`repro.runtime.executors`) in either
+``"lowered"`` (int64) or ``"reference"`` (float64 fake-quant) mode.
+The fault-tolerance layer — seeded fault injection, degradation
+policies, and the deadline watchdog — lives in
+:mod:`repro.runtime.faults` and
 :class:`~repro.runtime.engine.DegradationPolicy`; see
 ``docs/ROBUSTNESS.md`` for the taxonomy.
 """
 
 from .engine import (DegradationPolicy, FrameRecord, InferenceEngine,
                      StreamReport)
+from .executors import EXECUTION_MODES, LoweredProgram
 from .faults import FaultInjector, FaultSpec, FrameFaults
 
 __all__ = ["InferenceEngine", "StreamReport", "FrameRecord",
            "DegradationPolicy", "FaultInjector", "FaultSpec",
-           "FrameFaults"]
+           "FrameFaults", "LoweredProgram", "EXECUTION_MODES"]

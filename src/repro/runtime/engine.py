@@ -25,9 +25,11 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.detection import DetectionResult, evaluate_map
-from repro.hardware import CompiledPlan, DeviceModel, compile_model
+from repro.hardware import CompiledPlan, DeviceModel, lower_to_plan
+from repro.ir import ModelIR, extract_ir, lower_executors
 from repro.models.base import Detector3D
 
+from .executors import EXECUTION_MODES, LoweredProgram
 from .faults import FaultInjector, FrameFaults
 
 __all__ = ["FrameRecord", "StreamReport", "DegradationPolicy",
@@ -183,6 +185,17 @@ class InferenceEngine:
         energy_j)`` callable through which every processed frame's
         device cost flows — the extension point for per-frame cost
         models beyond the injector's latency jitter.
+    execution:
+        ``"reference"`` (default) runs quantized layers through the
+        float64 fake-quant reference executors; ``"lowered"`` runs the
+        same executors on int64 multiply-accumulates.  The two are
+        bit-for-bit identical after the final rescale (see
+        :mod:`repro.nn.quantized`).  Models with no quantized layers
+        execute their plain float forward in either mode.
+    ir:
+        Optional pre-extracted (or blob-restored)
+        :class:`~repro.ir.ModelIR` for ``model``; when omitted the
+        engine extracts it lazily with one traced forward pass.
     """
 
     def __init__(self, model: Detector3D, device: DeviceModel,
@@ -190,7 +203,11 @@ class InferenceEngine:
                  policy: DegradationPolicy | None = None,
                  fault_injector: FaultInjector | None = None,
                  fallback_model: Detector3D | None = None,
-                 cost_hook=None):
+                 cost_hook=None, execution: str = "reference",
+                 ir: ModelIR | None = None):
+        if execution not in EXECUTION_MODES:
+            raise ValueError(f"unknown execution mode {execution!r}; "
+                             f"expected one of {EXECUTION_MODES}")
         self.model = model
         self.device = device
         self.deadline_s = deadline_s
@@ -198,15 +215,41 @@ class InferenceEngine:
         self.fault_injector = fault_injector
         self.fallback_model = fallback_model
         self.cost_hook = cost_hook
+        self.execution = execution
+        self._ir = ir
         self._plan: CompiledPlan | None = None
+        self._program: LoweredProgram | None = None
         self._on_fallback = False
+
+    @property
+    def ir(self) -> ModelIR:
+        """The active model's IR — the single source for plan + program."""
+        if self._ir is None:
+            self._ir = extract_ir(self.model,
+                                  *self.model.example_inputs())
+        return self._ir
 
     @property
     def plan(self) -> CompiledPlan:
         if self._plan is None:
-            self._plan = compile_model(self.model,
-                                       *self.model.example_inputs())
+            self._plan = lower_to_plan(self.ir)
         return self._plan
+
+    @property
+    def program(self) -> LoweredProgram:
+        """Integer executors lowered from the shared IR (lazy)."""
+        if self._program is None:
+            self._program = LoweredProgram(
+                lower_executors(self.ir, self.model), mode=self.execution)
+        return self._program
+
+    def _predict(self, scene) -> DetectionResult:
+        """One inference, through the lowered program when it has work."""
+        program = self.program
+        if not program.executors:
+            return self.model.predict(scene)
+        with program.attached(self.model):
+            return self.model.predict(scene)
 
     @property
     def on_fallback(self) -> bool:
@@ -239,7 +282,10 @@ class InferenceEngine:
         if self.fallback_model is None or self._on_fallback:
             return False
         self.model = self.fallback_model
-        self._plan = None           # recompile the plan for the new model
+        # Re-extract and re-lower everything for the new model.
+        self._ir = None
+        self._plan = None
+        self._program = None
         self._on_fallback = True
         return True
 
@@ -300,7 +346,7 @@ class InferenceEngine:
                     fallback=self._on_fallback))
                 continue
 
-            result = self.model.predict(incoming)
+            result = self._predict(incoming)
             latency, energy = self.frame_cost(frame_id=frame_id)
             latency += faults.jitter_s
             deadline_met = latency <= self.deadline_s
@@ -339,12 +385,16 @@ class InferenceEngine:
         The blob's integrity is verified before a weight is touched —
         see :func:`repro.core.packing.restore_model`; corruption raises
         :class:`~repro.core.packing.BlobCorruptionError` here rather
-        than silently misreading on the vehicle.  Extra keyword
-        arguments (``policy``, ``fault_injector``, ``fallback_model``,
-        ``cost_hook``) pass through to the engine.
+        than silently misreading on the vehicle.  When the blob embeds
+        a :class:`~repro.ir.ModelIR` (packed with ``pack_model(model,
+        ir=...)``), the engine adopts it directly — the plan and the
+        lowered executors come from the stored IR, with no re-trace of
+        the restored model.  Extra keyword arguments (``policy``,
+        ``fault_injector``, ``fallback_model``, ``cost_hook``,
+        ``execution``) pass through to the engine.
         """
-        from repro.core.packing import unpack_model
-        unpack_model(blob, architecture)
+        from repro.core.packing import restore_model
+        report = restore_model(blob, architecture)
         architecture.eval()
         return InferenceEngine(architecture, device, deadline_s,
-                               **engine_kwargs)
+                               ir=report.ir, **engine_kwargs)

@@ -1,0 +1,95 @@
+"""Binding lowered integer executors to a live model forward pass.
+
+:func:`repro.ir.lowering.lower_executors` compiles a compressed
+:class:`~repro.ir.ModelIR` into per-layer integer executors;
+:class:`LoweredProgram` is the runtime object that owns them and swaps
+them into the model's kernel layers for the duration of a forward pass
+(the same ``object.__setattr__`` patching discipline the profiler
+uses — no model surgery, fully reversible, exception-safe).
+
+The program runs in one of two modes sharing the same executors:
+
+* ``"lowered"`` — int64 multiply-accumulate per layer;
+* ``"reference"`` — float64 fake-quant reference semantics.
+
+The two are bit-for-bit identical after the final rescale (see
+:mod:`repro.nn.quantized`), which is what lets the engine's parity
+tests compare whole detection outputs with ``==``.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from repro.nn.graph import layer_map
+from repro.nn.module import Module
+
+__all__ = ["LoweredProgram", "EXECUTION_MODES"]
+
+EXECUTION_MODES = ("reference", "lowered")
+
+
+class LoweredProgram:
+    """A model's quantized layers compiled to executable integer kernels.
+
+    Parameters
+    ----------
+    executors:
+        ``layer name → executor`` as produced by
+        :func:`repro.ir.lowering.lower_executors`.
+    mode:
+        ``"lowered"`` runs the integer path, ``"reference"`` the
+        float64 fake-quant reference path of the same executors.
+    """
+
+    def __init__(self, executors: dict[str, Module],
+                 mode: str = "lowered"):
+        if mode not in EXECUTION_MODES:
+            raise ValueError(f"unknown execution mode {mode!r}; "
+                             f"expected one of {EXECUTION_MODES}")
+        self.executors = dict(executors)
+        self.mode = mode
+
+    def __len__(self) -> int:
+        return len(self.executors)
+
+    @property
+    def layer_names(self) -> list[str]:
+        return list(self.executors)
+
+    def _run_fn(self, executor: Module):
+        if self.mode == "reference":
+            return executor.reference
+        return executor.forward
+
+    @contextmanager
+    def attached(self, model: Module):
+        """Patch ``model``'s layers to run through the executors.
+
+        Layers without an executor (unquantized, or absent from the
+        IR) keep their float forward.  Original forwards are restored
+        on exit even when inference raises.
+        """
+        layers = layer_map(model)
+        patched: list[tuple[Module, object]] = []
+        for name, executor in self.executors.items():
+            module = layers.get(name)
+            if module is None:
+                continue
+            original = module.forward
+            run = self._run_fn(executor)
+
+            def routed(*args, _run=run, **kwargs):
+                return _run(args[0])
+
+            object.__setattr__(module, "forward", routed)
+            patched.append((module, original))
+        try:
+            yield model
+        finally:
+            for module, original in patched:
+                object.__setattr__(module, "forward", original)
+
+    def summary(self) -> str:
+        return (f"lowered program: {len(self.executors)} integer "
+                f"executors, mode={self.mode}")

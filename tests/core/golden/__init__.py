@@ -1,0 +1,1 @@
+"""Golden packed-blob fixtures and their regeneration script."""

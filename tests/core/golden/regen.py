@@ -1,0 +1,119 @@
+"""Builder + regeneration script for the golden packed blob.
+
+The checked-in blob (``packed_model_v4.bin``) pins the on-disk pack
+format — header layout, embedded IR JSON, manifest encoding, per-scheme
+payloads — against accidental drift.  ``tests/core/test_packing.py``
+asserts that packing the deterministic golden model reproduces it
+byte for byte.
+
+After an *intentional* format change: bump ``_VERSION`` in
+``src/repro/core/packing.py``, name the golden file after it, and
+regenerate by script (never by hand)::
+
+    PYTHONPATH=src python -m tests.core.golden.regen
+
+See ``docs/TESTING.md`` ("Golden files").
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro import nn
+from repro.core import pack_model
+from repro.hardware import CompressionMeta, annotate_layer
+from repro.ir import extract_ir
+from repro.nn import Tensor
+
+GOLDEN_PATH = Path(__file__).parent / "packed_model_v4.bin"
+
+
+def _codes_to_weights(codes, shape, scale=2.0 ** -5):
+    return (codes.astype(np.float64) * scale).astype(np.float32) \
+        .reshape(shape)
+
+
+def _semi_structured_weights(bits, seed=10, shape=(4, 2, 3, 3)):
+    """Row-pattern sparse kernels with codes exactly on the grid."""
+    max_code = 2 ** (bits - 1) - 1
+    rng = np.random.default_rng(seed)
+    kernel_size = shape[-2] * shape[-1]
+    codes = np.zeros((int(np.prod(shape[:-2])), kernel_size),
+                     dtype=np.int64)
+    for kernel in codes:
+        start = int(rng.integers(0, shape[-2])) * shape[-1]
+        live = rng.integers(1, max_code + 1, size=shape[-1]) \
+            * rng.choice((-1, 1), size=shape[-1])
+        kernel[start:start + shape[-1]] = live
+        kernel[start] = max_code        # extreme attained → exact scale
+    return _codes_to_weights(codes, shape)
+
+
+def _dense_weights(bits, seed=11, shape=(4, 2, 3, 3)):
+    max_code = 2 ** (bits - 1) - 1
+    rng = np.random.default_rng(seed)
+    if len(shape) >= 2 and shape[-1] * shape[-2] == 1:
+        rows = shape[0]                 # 1×1 convs group per channel
+    else:
+        rows = int(np.prod(shape[:-2]))
+    codes = rng.integers(-max_code, max_code + 1,
+                         size=(rows, int(np.prod(shape)) // rows))
+    codes[:, 0] = max_code              # per-group extreme
+    return _codes_to_weights(codes, shape)
+
+
+def _unstructured_weights(bits, seed=12, shape=(6, 4)):
+    max_code = 2 ** (bits - 1) - 1
+    rng = np.random.default_rng(seed)
+    codes = rng.integers(-max_code, max_code + 1,
+                         size=int(np.prod(shape)))
+    codes[rng.random(codes.size) < 0.5] = 0
+    codes[0] = max_code                 # tensor-wide extreme
+    return _codes_to_weights(codes, shape)
+
+
+def golden_model():
+    """Deterministic model covering every scheme at 4/8/16 bits."""
+    rng = np.random.default_rng(0)
+    model = nn.Sequential(
+        nn.Conv2d(2, 4, 3, padding=1, rng=rng),
+        nn.ReLU(),
+        nn.Conv2d(4, 4, 3, padding=1, rng=rng),
+        nn.Conv2d(4, 2, 1, rng=rng),
+    )
+    model[0].weight.data = _semi_structured_weights(4, seed=20)
+    annotate_layer(model[0], CompressionMeta(bits=4,
+                                             scheme="semi-structured"))
+    model[2].weight.data = _unstructured_weights(16, seed=21,
+                                                 shape=(4, 4, 3, 3))
+    annotate_layer(model[2], CompressionMeta(bits=16,
+                                             scheme="unstructured"))
+    model[3].weight.data = _dense_weights(8, seed=22, shape=(2, 4, 1, 1))
+    annotate_layer(model[3], CompressionMeta(bits=8, scheme="dense"))
+    return model
+
+
+def golden_example_input():
+    """Deterministic input for the golden model's IR extraction."""
+    rng = np.random.default_rng(30)
+    return Tensor(rng.standard_normal((1, 2, 6, 6)).astype(np.float32))
+
+
+def golden_blob() -> bytes:
+    """Pack the golden model with its embedded IR — the golden bytes."""
+    model = golden_model()
+    ir = extract_ir(model, golden_example_input())
+    return pack_model(model, ir=ir)
+
+
+def main() -> int:
+    blob = golden_blob()
+    GOLDEN_PATH.write_bytes(blob)
+    print(f"wrote {len(blob)} bytes → {GOLDEN_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

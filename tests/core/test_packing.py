@@ -1,7 +1,5 @@
 """Tests for the packed sparse-model serialization format."""
 
-from pathlib import Path
-
 import numpy as np
 import pytest
 from hypothesis import given, settings
@@ -14,7 +12,10 @@ from repro.core import (UPAQCompressor, hck_config, pack_bits, pack_layer,
 from repro.hardware import CompressionMeta, annotate_layer
 from repro.nn import Tensor
 
-GOLDEN_PATH = Path(__file__).parent / "golden" / "packed_model_v3.bin"
+from tests.core.golden.regen import (GOLDEN_PATH, _dense_weights,
+                                     _semi_structured_weights,
+                                     _unstructured_weights, golden_blob,
+                                     golden_model)
 
 
 class TestBitPacking:
@@ -104,51 +105,9 @@ class TestLayerPacking:
 # from the weights themselves (per-kernel alpha / max_code), so weights
 # constructed as integer codes × a power-of-two scale — with the extreme
 # code attained in every scale group — survive pack → unpack *bitwise*.
+# The on-grid weight builders live in ``tests.core.golden.regen``, the
+# same module that regenerates the golden blob from them.
 # ----------------------------------------------------------------------
-def _codes_to_weights(codes, shape, scale=2.0 ** -5):
-    return (codes.astype(np.float64) * scale).astype(np.float32) \
-        .reshape(shape)
-
-
-def _semi_structured_weights(bits, seed=10, shape=(4, 2, 3, 3)):
-    """Row-pattern sparse kernels with codes exactly on the grid."""
-    max_code = 2 ** (bits - 1) - 1
-    rng = np.random.default_rng(seed)
-    kernel_size = shape[-2] * shape[-1]
-    codes = np.zeros((int(np.prod(shape[:-2])), kernel_size),
-                     dtype=np.int64)
-    for kernel in codes:
-        start = int(rng.integers(0, shape[-2])) * shape[-1]
-        live = rng.integers(1, max_code + 1, size=shape[-1]) \
-            * rng.choice((-1, 1), size=shape[-1])
-        kernel[start:start + shape[-1]] = live
-        kernel[start] = max_code        # extreme attained → exact scale
-    return _codes_to_weights(codes, shape)
-
-
-def _dense_weights(bits, seed=11, shape=(4, 2, 3, 3)):
-    max_code = 2 ** (bits - 1) - 1
-    rng = np.random.default_rng(seed)
-    if len(shape) >= 2 and shape[-1] * shape[-2] == 1:
-        rows = shape[0]                 # 1×1 convs group per channel
-    else:
-        rows = int(np.prod(shape[:-2]))
-    codes = rng.integers(-max_code, max_code + 1,
-                         size=(rows, int(np.prod(shape)) // rows))
-    codes[:, 0] = max_code              # per-group extreme
-    return _codes_to_weights(codes, shape)
-
-
-def _unstructured_weights(bits, seed=12, shape=(6, 4)):
-    max_code = 2 ** (bits - 1) - 1
-    rng = np.random.default_rng(seed)
-    codes = rng.integers(-max_code, max_code + 1,
-                         size=int(np.prod(shape)))
-    codes[rng.random(codes.size) < 0.5] = 0
-    codes[0] = max_code                 # tensor-wide extreme
-    return _codes_to_weights(codes, shape)
-
-
 class TestBitExactRoundTrip:
     """Satellite: pack → unpack is bit-exact for 4/8/16-bit kernels."""
 
@@ -184,55 +143,31 @@ class TestBitExactRoundTrip:
         assert restored.tobytes() == weights.tobytes()
 
 
-def _golden_model():
-    """Deterministic model covering every scheme at 4/8/16 bits."""
-    rng = np.random.default_rng(0)
-    model = nn.Sequential(
-        nn.Conv2d(2, 4, 3, padding=1, rng=rng),
-        nn.ReLU(),
-        nn.Conv2d(4, 4, 3, padding=1, rng=rng),
-        nn.Conv2d(4, 2, 1, rng=rng),
-    )
-    model[0].weight.data = _semi_structured_weights(4, seed=20)
-    annotate_layer(model[0], CompressionMeta(bits=4,
-                                             scheme="semi-structured"))
-    model[2].weight.data = _unstructured_weights(16, seed=21,
-                                                 shape=(4, 4, 3, 3))
-    annotate_layer(model[2], CompressionMeta(bits=16,
-                                             scheme="unstructured"))
-    model[3].weight.data = _dense_weights(8, seed=22, shape=(2, 4, 1, 1))
-    annotate_layer(model[3], CompressionMeta(bits=8, scheme="dense"))
-    return model
-
-
 class TestGoldenBlob:
     """The checked-in blob guards the on-disk format against drift.
 
     If these fail after an intentional format change, bump ``_VERSION``
-    in ``core/packing.py`` and regenerate the blob::
+    in ``core/packing.py``, rename the golden file after it, and
+    regenerate by script (never by hand)::
 
-        PYTHONPATH=src:tests python - <<'EOF'
-        from core.test_packing import GOLDEN_PATH, _golden_model
-        from repro.core import pack_model
-        GOLDEN_PATH.write_bytes(pack_model(_golden_model()))
-        EOF
+        PYTHONPATH=src python -m tests.core.golden.regen
     """
 
     def test_golden_blob_checked_in(self):
         assert GOLDEN_PATH.exists(), \
-            "golden blob missing — see TestGoldenBlob docstring"
+            "golden blob missing — run: python -m tests.core.golden.regen"
 
     def test_header_magic_and_version(self):
         blob = GOLDEN_PATH.read_bytes()
         assert blob[:4] == b"UPAQ"
-        assert blob[4] == 3             # _VERSION
+        assert blob[4] == 4             # _VERSION
 
     def test_pack_reproduces_golden_bytes(self):
-        assert pack_model(_golden_model()) == GOLDEN_PATH.read_bytes()
+        assert golden_blob() == GOLDEN_PATH.read_bytes()
 
     def test_golden_unpacks_bit_exact(self):
-        reference = _golden_model()
-        clone = _golden_model()
+        reference = golden_model()
+        clone = golden_model()
         for index in (0, 2, 3):
             clone[index].weight.data = np.zeros_like(
                 clone[index].weight.data)
@@ -240,6 +175,12 @@ class TestGoldenBlob:
         for index in (0, 2, 3):
             assert clone[index].weight.data.tobytes() \
                 == reference[index].weight.data.tobytes()
+
+    def test_golden_blob_carries_ir(self):
+        from repro.core import restore_model
+        report = restore_model(GOLDEN_PATH.read_bytes(), golden_model())
+        assert report.ir is not None
+        assert report.ir.layer_names == ["0", "2", "3"]
 
 
 class TestModelPacking:

@@ -1,4 +1,4 @@
-"""Integrity guarantees of the v3 packed-blob format.
+"""Integrity guarantees of the v4 packed-blob format.
 
 Acceptance pins: *any* single-byte corruption anywhere in the blob is
 detected as :class:`BlobCorruptionError` in strict mode; with
@@ -150,7 +150,7 @@ class TestCleanRoundTrip:
         report = restore_model(packed, model)
         assert report.complete
         assert not report.skipped
-        assert report.version == 3
+        assert report.version == 4
         assert report.restored == list(layer_map(model))
 
     def test_repacked_blob_is_identical(self, packed):

@@ -1,0 +1,1 @@
+"""Tests for the layer-level ModelIR and its two lowerings."""

@@ -1,0 +1,159 @@
+"""The ModelIR contract: one extraction, every consumer, round trips.
+
+Covers the tentpole acceptance criteria: extraction happens once (a
+single traced forward pass feeds grouping, profiling, and both
+lowerings), the IR serializes to JSON losslessly, and a packed blob's
+embedded IR re-lowers to an identical :class:`CompiledPlan` without
+ever re-tracing the original float model.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import (UPAQCompressor, group_layers, hck_config,
+                        pack_model, restore_model)
+from repro.core.preprocessing import preprocess_model
+from repro.hardware import compile_model, lower_to_plan
+from repro.ir import ModelIR, extract_ir
+from repro.ir.model_ir import NODE_KINDS
+from repro.models import PointPillars
+from repro.nn.graph import layer_map
+
+from tests.models.conftest import TINY_PILLARS
+
+
+def _tiny_pp(seed=0):
+    return PointPillars(seed=seed, **TINY_PILLARS)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return _tiny_pp()
+
+
+@pytest.fixture(scope="module")
+def ir(model):
+    return extract_ir(model, *model.example_inputs())
+
+
+class TestExtraction:
+    def test_covers_every_kernel_layer(self, model, ir):
+        assert sorted(ir.layer_names) == sorted(layer_map(model))
+
+    def test_nodes_in_topological_order(self, ir):
+        position = {name: i for i, name in enumerate(ir.layer_names)}
+        for node in ir:
+            for pred in node.predecessors:
+                assert position[pred] < position[node.name]
+
+    def test_nodes_carry_static_facts(self, model, ir):
+        layers = layer_map(model)
+        for node in ir:
+            assert node.kind in NODE_KINDS
+            assert node.weight_shape \
+                == tuple(layers[node.name].weight.data.shape)
+            assert node.weight_count > 0
+
+    def test_one_pass_profiles_every_node(self, ir):
+        for node in ir:
+            assert node.profile is not None
+            assert node.macs > 0
+            assert node.profile.input_absmax >= 0
+
+    def test_has_edges(self, ir):
+        assert len(ir.edges) > 0
+        assert ir.graph().number_of_edges() == len(ir.edges)
+
+    def test_fresh_extraction_annotates_dense(self, ir):
+        for node in ir:
+            assert node.compression is not None
+            assert node.compression.bits == 32
+            assert node.compression.scheme == "dense"
+
+
+class TestGroupingOnIR:
+    def test_group_layers_matches_one_call_wrapper(self, model, ir):
+        from_ir = group_layers(ir)
+        one_call = preprocess_model(model, *model.example_inputs())
+        assert from_ir.groups == one_call.groups
+        assert from_ir.roots == one_call.roots
+
+    def test_every_layer_grouped_exactly_once(self, ir):
+        groups = group_layers(ir)
+        assert groups.num_layers == len(ir)
+        members = [name for _, layers in groups for name in layers]
+        assert sorted(members) == sorted(ir.layer_names)
+
+
+class TestSerialization:
+    def test_json_round_trip_is_lossless(self, ir):
+        record = ir.to_json()
+        restored = ModelIR.from_json(json.loads(json.dumps(record)))
+        assert restored.to_json() == record
+
+    def test_round_trip_preserves_annotations(self, model):
+        compressed = UPAQCompressor(hck_config()).compress(
+            model, *model.example_inputs())
+        restored = ModelIR.from_json(compressed.ir.to_json())
+        for original in compressed.ir:
+            twin = restored.node(original.name)
+            assert twin.compression == original.compression
+            assert twin.profile == original.profile
+
+
+class TestSingleExtraction:
+    """The compressor traces once and shares the IR with every stage."""
+
+    def test_report_ir_prices_identically(self):
+        model = _tiny_pp(seed=1)
+        report = UPAQCompressor(hck_config()).compress(
+            model, *model.example_inputs())
+        assert report.ir is not None
+        replayed = lower_to_plan(report.ir)
+        assert replayed.compression_ratio == report.compression_ratio
+
+    def test_compile_model_agrees_with_ir_lowering(self, model, ir):
+        plan = compile_model(model, *model.example_inputs())
+        assert lower_to_plan(ir) == plan
+
+
+class TestPackedRoundTrip:
+    """Acceptance: pack → restore → re-lower with no re-trace."""
+
+    @pytest.fixture(scope="class")
+    def compressed(self):
+        model = _tiny_pp(seed=2)
+        return UPAQCompressor(hck_config()).compress(
+            model, *model.example_inputs())
+
+    def test_restored_ir_lowering_is_identical(self, compressed,
+                                               monkeypatch):
+        original_plan = lower_to_plan(compressed.ir)
+        blob = pack_model(compressed.model, ir=compressed.ir)
+
+        target = _tiny_pp(seed=3)
+        report = restore_model(blob, target)
+        assert report.complete
+        assert report.ir is not None
+
+        # From here on, tracing is forbidden: the embedded IR must be
+        # enough to rebuild the plan.
+        def _no_retrace(*args, **kwargs):
+            raise AssertionError("restore path re-traced the model")
+        monkeypatch.setattr("repro.ir.extract.compute_graph", _no_retrace)
+
+        restored_plan = lower_to_plan(report.ir)
+        assert restored_plan == original_plan
+
+    def test_restored_ir_preserves_per_layer_choices(self, compressed):
+        blob = pack_model(compressed.model, ir=compressed.ir)
+        report = restore_model(blob, _tiny_pp(seed=4))
+        for original in compressed.ir:
+            twin = report.ir.node(original.name)
+            assert (twin.compression.bits, twin.compression.scheme,
+                    twin.compression.sparsity) \
+                == (original.compression.bits,
+                    original.compression.scheme,
+                    original.compression.sparsity)

@@ -145,3 +145,42 @@ class TestCLI:
         assert not args.inject_faults
         assert args.on_corrupt == "last_good"
         assert args.fallback_model == "none"
+
+
+class TestIrDumpCLI:
+    """`repro ir dump <model>` prints the extracted ModelIR as JSON."""
+
+    def test_dump_prints_parseable_ir_json(self, capsys, monkeypatch):
+        import json
+
+        import repro.models.registry as registry
+        monkeypatch.setitem(registry.MODEL_REGISTRY, "pointpillars",
+                            lambda **kw: _tiny_pp())
+        assert main(["ir", "dump", "pointpillars", "--compact"]) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["model_name"]
+        names = [node["name"] for node in record["nodes"]]
+        assert names and len(set(names)) == len(names)
+        for node in record["nodes"]:
+            assert node["kind"] in ("conv", "deconv", "linear")
+            assert "profile" in node
+            assert node["compression"]["scheme"] == "dense"
+        assert any(node["predecessors"] for node in record["nodes"])
+
+    def test_dump_with_preset_shows_compression(self, capsys,
+                                                monkeypatch):
+        import json
+
+        import repro.models.registry as registry
+        monkeypatch.setitem(registry.MODEL_REGISTRY, "pointpillars",
+                            lambda **kw: _tiny_pp())
+        assert main(["ir", "dump", "pointpillars", "--preset", "hck",
+                     "--compact"]) == 0
+        record = json.loads(capsys.readouterr().out)
+        schemes = {node["compression"]["scheme"]
+                   for node in record["nodes"]}
+        assert schemes - {"dense"}      # the preset compressed something
+
+    def test_ir_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["ir"])
