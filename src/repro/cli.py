@@ -185,7 +185,9 @@ def _cmd_stream(args) -> int:
                              deadline_s=args.deadline_ms / 1e3,
                              policy=policy, fault_injector=injector,
                              fallback_model=fallback,
-                             execution=args.execution)
+                             execution=args.execution,
+                             trace=bool(args.trace),
+                             telemetry=args.telemetry)
     generator = SceneGenerator(seed=args.seed)
     scenes = [generator.generate(i, with_image=with_image)
               for i in range(args.frames)]
@@ -194,6 +196,19 @@ def _cmd_stream(args) -> int:
     if engine.on_fallback:
         print(f"watchdog swapped to the {args.fallback_model.upper()} "
               f"fallback model after repeated deadline misses")
+    if args.trace:
+        import json
+
+        from repro.runtime import export_trace
+        with open(args.trace, "w") as handle:
+            json.dump(export_trace(report), handle, indent=2)
+        offenders = report.top_offenders(k=3)
+        print(f"trace: {len(report.trace)} events → {args.trace}")
+        if offenders:
+            worst = ", ".join(
+                f"{entry.layer} ({entry.latency_s * 1e3:.3f} ms)"
+                for entry in offenders)
+            print(f"deadline-miss attribution: {worst}")
     return 0
 
 
@@ -340,6 +355,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="run quantized layers on float64 fake-quant "
                         "reference executors or int64 lowered kernels "
                         "(bit-for-bit identical outputs)")
+    p.add_argument("--trace", default=None, metavar="PATH",
+                   help="record per-frame per-layer cost attributions "
+                        "and export them as a JSON trace (see "
+                        "docs/OBSERVABILITY.md)")
+    p.add_argument("--telemetry", action="store_true",
+                   help="attach per-layer executor counters (MACs, "
+                        "skipped columns, saturation, accumulator "
+                        "headroom); the summary gains a digest line")
     p.set_defaults(func=_cmd_stream)
 
     p = sub.add_parser("ir", help="inspect the layer-level model IR")

@@ -84,6 +84,11 @@ class PlanLayer:
     kernel_count: int            # number of k×k kernels (for pattern ids)
 
     @property
+    def name(self) -> str:
+        """The IR node / layer name this plan layer was lowered from."""
+        return self.profile.name
+
+    @property
     def effective_macs(self) -> float:
         """MACs after the hardware skips what the scheme lets it skip.
 
@@ -158,6 +163,23 @@ class CompiledPlan:
     @property
     def total_effective_macs(self) -> float:
         return sum(layer.effective_macs for layer in self.layers)
+
+    @property
+    def layer_names(self) -> list[str]:
+        return [layer.name for layer in self.layers]
+
+    def cost_breakdown(self, device) -> list[tuple[str, float, float]]:
+        """Per-layer ``(name, latency_s, energy_j)`` priced by ``device``.
+
+        The attribution substrate for the runtime's deadline-miss
+        tracing: the same per-layer costs
+        :meth:`~repro.hardware.device.DeviceModel.latency` /
+        :meth:`~repro.hardware.device.DeviceModel.energy` sum over,
+        exposed layer by layer (non-kernel overhead excluded — it
+        belongs to no single layer).
+        """
+        return [(layer.name, device.layer_latency(layer),
+                 device.layer_energy(layer)) for layer in self.layers]
 
 
 def lower_to_plan(ir) -> CompiledPlan:

@@ -21,7 +21,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.nn.graph import KERNEL_LAYER_TYPES
-from repro.nn.layers import Conv2d, ConvTranspose2d, Linear, _BatchNorm
+from repro.nn.layers import Conv2d, ConvTranspose2d, _BatchNorm
 from repro.nn.module import Module
 
 __all__ = ["LayerProfile", "ModelProfile", "profile_model", "profiling"]

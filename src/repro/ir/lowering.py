@@ -66,7 +66,13 @@ def lowerable_nodes(ir: ModelIR) -> list[IRNode]:
 
 
 def executor_for(node: IRNode, module: Module) -> Module:
-    """Compile one compressed IR node into its integer executor."""
+    """Compile one compressed IR node into its integer executor.
+
+    The executor is tagged with the IR node's name (``layer_name``) so
+    telemetry attached outside a
+    :class:`~repro.runtime.executors.LoweredProgram` can still be
+    attributed to the right layer.
+    """
     expected, executor_type = _EXECUTOR_TYPES[node.kind]
     if not isinstance(module, expected):
         raise TypeError(
@@ -74,9 +80,11 @@ def executor_for(node: IRNode, module: Module) -> Module:
             f"provides {type(module).__name__}")
     bits = node.compression.bits
     act_bits = _activation_bits(bits)
-    return executor_type.from_float(
+    executor = executor_type.from_float(
         module, _input_scale(node, act_bits),
         weight_bits=bits, activation_bits=act_bits)
+    object.__setattr__(executor, "layer_name", node.name)
+    return executor
 
 
 def lower_executors(ir: ModelIR, model: Module) -> dict[str, Module]:

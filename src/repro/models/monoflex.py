@@ -99,7 +99,6 @@ class MonoFlex(SMOKE):
         # ensemble of direct and geometric depth.
         num_classes, fh, fw = heat.shape
         refined: list[Box3D] = []
-        k = self.camera.intrinsics()
         for box in boxes:
             # Recover the keypoint cell from the box's projection.
             pixel, depth = project_points(box.center[None], self.camera)

@@ -11,7 +11,6 @@ graph from the outputs back to the inputs, and lift it to a layer-level
 from __future__ import annotations
 
 import networkx as nx
-import numpy as np
 
 from .layers import Conv2d, ConvTranspose2d, Linear
 from .module import Module

@@ -24,6 +24,13 @@ Two guarantees make the executors testable:
   producing identical bit patterns.  This is the parity the
   ``execution="lowered"`` runtime asserts against
   ``execution="reference"``.
+
+Each executor carries an opt-in ``telemetry`` slot (a
+:class:`repro.runtime.telemetry.LayerTelemetry`); when set, the shared
+``_accumulate`` core counts executed MACs, skipped vs. total columns,
+activation saturation, and the accumulator extrema.  Counters only
+observe values both paths already compute, so attaching them cannot
+perturb either guarantee (see ``docs/OBSERVABILITY.md``).
 """
 
 from __future__ import annotations
@@ -47,11 +54,20 @@ def activation_scale(x: np.ndarray, bits: int = 8) -> float:
 
 
 def quantize_activation(x: np.ndarray, scale: float,
-                        bits: int = 8) -> np.ndarray:
-    """Activation → integer codes at a fixed scale."""
+                        bits: int = 8, telemetry=None) -> np.ndarray:
+    """Activation → integer codes at a fixed scale.
+
+    ``telemetry`` (a :class:`repro.runtime.telemetry.LayerTelemetry`)
+    optionally counts how many values saturate — round outside
+    ``[-max_code, max_code]`` and get clipped, i.e. fall outside the
+    calibrated range.  Counting never changes the returned codes.
+    """
     max_code = 2 ** (bits - 1) - 1
-    return np.clip(np.round(x / scale), -max_code, max_code) \
-        .astype(np.int64)
+    rounded = np.round(x / scale)
+    if telemetry is not None:
+        telemetry.record_quantization(
+            rounded.size, int((np.abs(rounded) > max_code).sum()))
+    return np.clip(rounded, -max_code, max_code).astype(np.int64)
 
 
 def _per_channel_codes(flat: np.ndarray, bits: int):
@@ -87,6 +103,8 @@ class QuantizedConv2d(Module):
         self.padding = padding
         self.input_scale = float(input_scale)
         self.activation_bits = activation_bits
+        #: opt-in counter slot (LayerTelemetry); never touches outputs
+        self.telemetry = None
         # Columns of the (out_c, in_c·k·k) weight matrix where *every*
         # filter is zero — the positions pattern pruning blanked in all
         # kernels of an input channel.  Skipped exactly (zero columns
@@ -118,8 +136,10 @@ class QuantizedConv2d(Module):
         """
         out_c = self.weight_codes.shape[0]
         kernel = self.weight_codes.shape[-1]
+        telemetry = self.telemetry
         x_codes = quantize_activation(data, self.input_scale,
-                                      self.activation_bits)
+                                      self.activation_bits,
+                                      telemetry=telemetry)
         cols = im2col(x_codes.astype(np.float64), kernel, self.stride,
                       self.padding).astype(dtype)
         w_mat = self.weight_codes.reshape(out_c, -1).astype(dtype)
@@ -127,7 +147,16 @@ class QuantizedConv2d(Module):
         if not keep.all():
             cols = cols[:, keep, :]
             w_mat = w_mat[:, keep]
-        return np.einsum("ok,nkp->nop", w_mat, cols)
+        acc = np.einsum("ok,nkp->nop", w_mat, cols)
+        if telemetry is not None:
+            n, kept, positions = cols.shape
+            telemetry.record_matmul(
+                macs=n * out_c * kept * positions,
+                columns_total=keep.size,
+                columns_skipped=int(keep.size - keep.sum()))
+            if acc.size:
+                telemetry.record_accumulator(acc.min(), acc.max())
+        return acc
 
     def _finish(self, acc: np.ndarray, input_shape: tuple) -> Tensor:
         n, _, h, w = input_shape
@@ -195,6 +224,8 @@ class QuantizedConvTranspose2d(Module):
         self.padding = padding
         self.input_scale = float(input_scale)
         self.activation_bits = activation_bits
+        #: opt-in counter slot (LayerTelemetry); never touches outputs
+        self.telemetry = None
         in_c = self.weight_codes.shape[0]
         w_mat = self.weight_codes.reshape(in_c, -1)
         # Scatter columns (out-channel, ki, kj) that no input channel
@@ -220,8 +251,10 @@ class QuantizedConvTranspose2d(Module):
     def _accumulate(self, data: np.ndarray, dtype) -> np.ndarray:
         n, c, h, w = data.shape
         in_c, out_c, kernel, _ = self.weight_codes.shape
+        telemetry = self.telemetry
         x_codes = quantize_activation(data, self.input_scale,
-                                      self.activation_bits)
+                                      self.activation_bits,
+                                      telemetry=telemetry)
         x_mat = x_codes.reshape(n, in_c, h * w).astype(dtype)
         w_mat = self.weight_codes.reshape(in_c, -1).astype(dtype)
         keep = self._keep_cols
@@ -229,8 +262,19 @@ class QuantizedConvTranspose2d(Module):
         cols[:, keep, :] = np.einsum("io,nip->nop", w_mat[:, keep], x_mat)
         out_h = (h - 1) * self.stride - 2 * self.padding + kernel
         out_w = (w - 1) * self.stride - 2 * self.padding + kernel
-        return col2im(cols, (n, out_c, out_h, out_w), kernel,
-                      self.stride, self.padding)
+        acc = col2im(cols, (n, out_c, out_h, out_w), kernel,
+                     self.stride, self.padding)
+        if telemetry is not None:
+            kept = int(keep.sum())
+            telemetry.record_matmul(
+                macs=n * in_c * kept * h * w,
+                columns_total=keep.size,
+                columns_skipped=int(keep.size - kept))
+            if acc.size:
+                # Range of the *scatter-added* accumulator — the value
+                # the 2^53 exactness bound must cover.
+                telemetry.record_accumulator(acc.min(), acc.max())
+        return acc
 
     def _finish(self, acc: np.ndarray) -> Tensor:
         rescale = self.weight_scales[None, :, None, None] * self.input_scale
@@ -283,6 +327,8 @@ class QuantizedLinear(Module):
         self.bias = None if bias is None else bias.astype(np.float64)
         self.input_scale = float(input_scale)
         self.activation_bits = activation_bits
+        #: opt-in counter slot (LayerTelemetry); never touches outputs
+        self.telemetry = None
         self._keep_cols = np.any(self.weight_codes != 0, axis=0)
 
     @staticmethod
@@ -298,15 +344,26 @@ class QuantizedLinear(Module):
 
     def _accumulate(self, data: np.ndarray, dtype) -> np.ndarray:
         in_features = self.weight_codes.shape[1]
+        telemetry = self.telemetry
         x_codes = quantize_activation(data, self.input_scale,
-                                      self.activation_bits)
+                                      self.activation_bits,
+                                      telemetry=telemetry)
         x_mat = x_codes.reshape(-1, in_features).astype(dtype)
         w_mat = self.weight_codes.astype(dtype)
         keep = self._keep_cols
         if not keep.all():
             x_mat = x_mat[:, keep]
             w_mat = w_mat[:, keep]
-        return x_mat @ w_mat.T
+        acc = x_mat @ w_mat.T
+        if telemetry is not None:
+            rows, kept = x_mat.shape
+            telemetry.record_matmul(
+                macs=rows * kept * w_mat.shape[0],
+                columns_total=keep.size,
+                columns_skipped=int(keep.size - keep.sum()))
+            if acc.size:
+                telemetry.record_accumulator(acc.min(), acc.max())
+        return acc
 
     def _finish(self, acc: np.ndarray, input_shape: tuple) -> Tensor:
         out = acc.astype(np.float64) \

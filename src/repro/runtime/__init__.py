@@ -10,14 +10,21 @@ The fault-tolerance layer — seeded fault injection, degradation
 policies, and the deadline watchdog — lives in
 :mod:`repro.runtime.faults` and
 :class:`~repro.runtime.engine.DegradationPolicy`; see
-``docs/ROBUSTNESS.md`` for the taxonomy.
+``docs/ROBUSTNESS.md`` for the taxonomy.  Opt-in observability —
+per-layer executor counters and per-frame deadline-miss cost
+attribution — lives in :mod:`repro.runtime.telemetry`; see
+``docs/OBSERVABILITY.md``.
 """
 
 from .engine import (DegradationPolicy, FrameRecord, InferenceEngine,
                      StreamReport)
 from .executors import EXECUTION_MODES, LoweredProgram
 from .faults import FaultInjector, FaultSpec, FrameFaults
+from .telemetry import (LayerAttribution, LayerTelemetry, TraceEvent,
+                        aggregate_telemetry, export_trace)
 
 __all__ = ["InferenceEngine", "StreamReport", "FrameRecord",
            "DegradationPolicy", "FaultInjector", "FaultSpec",
-           "FrameFaults", "LoweredProgram", "EXECUTION_MODES"]
+           "FrameFaults", "LoweredProgram", "EXECUTION_MODES",
+           "LayerTelemetry", "TraceEvent", "LayerAttribution",
+           "aggregate_telemetry", "export_trace"]

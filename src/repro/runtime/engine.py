@@ -31,6 +31,9 @@ from repro.models.base import Detector3D
 
 from .executors import EXECUTION_MODES, LoweredProgram
 from .faults import FaultInjector, FrameFaults
+from .telemetry import (JITTER_LAYER, OVERHEAD_LAYER, LayerAttribution,
+                        LayerTelemetry, TraceEvent, attribute_trace,
+                        telemetry_digest)
 
 __all__ = ["FrameRecord", "StreamReport", "DegradationPolicy",
            "InferenceEngine"]
@@ -88,6 +91,11 @@ class StreamReport:
     deadline_s: float = 0.1
     #: Times the deadline watchdog swapped in the fallback model.
     fallback_activations: int = 0
+    #: Per-frame per-layer cost attributions (engine ``trace=True``).
+    trace: list[TraceEvent] = field(default_factory=list)
+    #: Per-layer executor counters (engine ``telemetry=True``) —
+    #: snapshots taken when the run finished.
+    telemetry: dict[str, LayerTelemetry] = field(default_factory=dict)
 
     @property
     def num_frames(self) -> int:
@@ -112,10 +120,16 @@ class StreamReport:
 
     @property
     def mean_latency_s(self) -> float:
+        """Mean device latency over frames that actually ran inference.
+
+        NaN for an empty (or fully dropped/degraded) stream, matching
+        :attr:`deadline_hit_rate` — a 0 ms mean over zero frames would
+        read as an impossibly fast stream.
+        """
         processed = [f.device_latency_s for f in self.frames
                      if f.status == "ok"]
         if not processed:
-            return 0.0
+            return math.nan
         return float(np.mean(processed))
 
     @property
@@ -143,17 +157,43 @@ class StreamReport:
                 "processed (was every frame dropped before the engine?)")
         return evaluate_map(self.predictions, ground_truth)
 
+    def top_offenders(self, k: int = 5,
+                      missed_only: bool = True) -> list[LayerAttribution]:
+        """The layers that cost the most over deadline-missing frames.
+
+        Aggregates the per-frame trace attributions (engine
+        ``trace=True``) across every processed frame that missed its
+        deadline — ``missed_only=False`` aggregates over all processed
+        frames instead — and returns the ``k`` most latency-expensive
+        layers, sorted descending.  Pseudo-layers (``"nonkernel"``
+        overhead, ``"fault_jitter"``) participate: injected jitter or
+        the incompressible non-kernel floor can legitimately be what
+        broke the deadline.  Empty when tracing was disabled or no
+        frame qualified.
+        """
+        if missed_only:
+            frame_ids = {f.frame_id for f in self.frames
+                         if f.status == "ok" and not f.deadline_met}
+        else:
+            frame_ids = {f.frame_id for f in self.frames
+                         if f.status == "ok"}
+        return attribute_trace(self.trace, frame_ids)[:k]
+
     def summary(self) -> str:
         hit = self.deadline_hit_rate
         hit_text = "n/a" if math.isnan(hit) else f"{hit:.0%}"
+        mean = self.mean_latency_s
+        mean_text = "n/a" if math.isnan(mean) else f"{mean * 1e3:.3f} ms"
         text = (f"stream: {self.num_frames} frames "
                 f"({self.ok_frames} ok, {self.degraded_frames} degraded, "
                 f"{self.dropped_frames} dropped), "
                 f"deadline hit rate {hit_text}, "
-                f"mean latency {self.mean_latency_s * 1e3:.3f} ms, "
+                f"mean latency {mean_text}, "
                 f"total energy {self.total_energy_j * 1e3:.1f} mJ")
         if self.fallback_activations:
             text += (f", watchdog fallbacks: {self.fallback_activations}")
+        if self.telemetry:
+            text += "\n" + telemetry_digest(self.telemetry)
         return text
 
 
@@ -196,6 +236,22 @@ class InferenceEngine:
         Optional pre-extracted (or blob-restored)
         :class:`~repro.ir.ModelIR` for ``model``; when omitted the
         engine extracts it lazily with one traced forward pass.
+    trace:
+        When true, :meth:`run` records per-frame
+        :class:`~repro.runtime.telemetry.TraceEvent` attributions —
+        each processed frame's simulated device cost split across the
+        plan's layers (plus non-kernel overhead and injected jitter),
+        summing to the frame's recorded ``device_latency_s`` — so
+        :meth:`StreamReport.top_offenders` can name the layers behind
+        deadline misses.  Off by default (zero cost when off).
+    telemetry:
+        When true, attach per-layer
+        :class:`~repro.runtime.telemetry.LayerTelemetry` counters to
+        the lowered executors; the finished
+        :class:`StreamReport.telemetry` carries snapshots and
+        ``summary()`` gains a one-line digest.  Strictly opt-in and
+        observation-only — the lowered ≡ reference bit-for-bit parity
+        is unaffected.
     """
 
     def __init__(self, model: Detector3D, device: DeviceModel,
@@ -204,7 +260,8 @@ class InferenceEngine:
                  fault_injector: FaultInjector | None = None,
                  fallback_model: Detector3D | None = None,
                  cost_hook=None, execution: str = "reference",
-                 ir: ModelIR | None = None):
+                 ir: ModelIR | None = None, trace: bool = False,
+                 telemetry: bool = False):
         if execution not in EXECUTION_MODES:
             raise ValueError(f"unknown execution mode {execution!r}; "
                              f"expected one of {EXECUTION_MODES}")
@@ -216,9 +273,16 @@ class InferenceEngine:
         self.fallback_model = fallback_model
         self.cost_hook = cost_hook
         self.execution = execution
+        self.trace = trace
+        self.telemetry = telemetry
+        #: long-lived collector map — survives a watchdog fallback
+        #: re-lowering, so counters for a layer name accumulate across
+        #: the swap instead of being lost with the old program
+        self._collectors: dict[str, LayerTelemetry] = {}
         self._ir = ir
         self._plan: CompiledPlan | None = None
         self._program: LoweredProgram | None = None
+        self._layer_costs: tuple | None = None
         self._on_fallback = False
 
     @property
@@ -241,7 +305,59 @@ class InferenceEngine:
         if self._program is None:
             self._program = LoweredProgram(
                 lower_executors(self.ir, self.model), mode=self.execution)
+            if self.telemetry:
+                self._program.enable_telemetry(self._collectors)
         return self._program
+
+    def _cost_model(self) -> tuple:
+        """Cached per-layer cost split of the active plan.
+
+        Returns ``(breakdown, base_latency, base_energy, overhead_lat,
+        overhead_energy)`` where ``breakdown`` is the plan's per-layer
+        ``(name, latency_s, energy_j)`` and the overhead terms are the
+        non-kernel remainders, computed by subtraction so the parts sum
+        to the whole-plan base costs exactly.
+        """
+        if self._layer_costs is None:
+            plan = self.plan
+            breakdown = plan.cost_breakdown(self.device)
+            base_latency = self.device.latency(plan)
+            base_energy = self.device.energy(plan)
+            kernel_lat = sum(lat for _, lat, _ in breakdown)
+            kernel_energy = sum(en for _, _, en in breakdown)
+            self._layer_costs = (breakdown, base_latency, base_energy,
+                                 base_latency - kernel_lat,
+                                 base_energy - kernel_energy)
+        return self._layer_costs
+
+    def _trace_events(self, frame_id: int, latency_s: float,
+                      energy_j: float,
+                      jitter_s: float) -> list[TraceEvent]:
+        """Attribute one frame's recorded cost to the plan's layers.
+
+        ``latency_s`` / ``energy_j`` are the frame's charged device
+        costs *excluding* jitter (the cost-hook output).  Each layer
+        receives its plan-cost share scaled by whatever the hook did to
+        the base cost; jitter gets its own pseudo-event.  The event sums
+        reproduce the frame's recorded totals within float tolerance.
+        """
+        breakdown, base_lat, base_energy, over_lat, over_energy = \
+            self._cost_model()
+        lat_scale = latency_s / base_lat if base_lat > 0 else 0.0
+        energy_scale = energy_j / base_energy if base_energy > 0 else 0.0
+        events = [TraceEvent(frame_id=frame_id, layer=name,
+                             latency_s=lat * lat_scale,
+                             energy_j=en * energy_scale)
+                  for name, lat, en in breakdown]
+        events.append(TraceEvent(frame_id=frame_id, layer=OVERHEAD_LAYER,
+                                 latency_s=over_lat * lat_scale,
+                                 energy_j=over_energy * energy_scale,
+                                 kind="overhead"))
+        if jitter_s:
+            events.append(TraceEvent(frame_id=frame_id, layer=JITTER_LAYER,
+                                     latency_s=jitter_s, energy_j=0.0,
+                                     kind="jitter"))
+        return events
 
     def _predict(self, scene) -> DetectionResult:
         """One inference, through the lowered program when it has work."""
@@ -286,6 +402,7 @@ class InferenceEngine:
         self._ir = None
         self._plan = None
         self._program = None
+        self._layer_costs = None
         self._on_fallback = True
         return True
 
@@ -348,6 +465,9 @@ class InferenceEngine:
 
             result = self._predict(incoming)
             latency, energy = self.frame_cost(frame_id=frame_id)
+            if self.trace:
+                report.trace.extend(self._trace_events(
+                    frame_id, latency, energy, faults.jitter_s))
             latency += faults.jitter_s
             deadline_met = latency <= self.deadline_s
             report.predictions.append(result)
@@ -373,6 +493,10 @@ class InferenceEngine:
                     if self._activate_fallback():
                         report.fallback_activations += 1
                         consecutive_misses = 0
+        if self.telemetry:
+            report.telemetry = {name: counter.snapshot()
+                                for name, counter
+                                in self._collectors.items()}
         return report
 
     @staticmethod
@@ -391,7 +515,8 @@ class InferenceEngine:
         lowered executors come from the stored IR, with no re-trace of
         the restored model.  Extra keyword arguments (``policy``,
         ``fault_injector``, ``fallback_model``, ``cost_hook``,
-        ``execution``) pass through to the engine.
+        ``execution``, ``trace``, ``telemetry``) pass through to the
+        engine.
         """
         from repro.core.packing import restore_model
         report = restore_model(blob, architecture)

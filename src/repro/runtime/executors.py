@@ -15,6 +15,11 @@ The program runs in one of two modes sharing the same executors:
 The two are bit-for-bit identical after the final rescale (see
 :mod:`repro.nn.quantized`), which is what lets the engine's parity
 tests compare whole detection outputs with ``==``.
+
+The program also owns the per-layer telemetry collectors
+(:meth:`LoweredProgram.enable_telemetry`): one
+:class:`~repro.runtime.telemetry.LayerTelemetry` per executor, strictly
+opt-in, populated by the executors while they run.
 """
 
 from __future__ import annotations
@@ -23,6 +28,8 @@ from contextlib import contextmanager
 
 from repro.nn.graph import layer_map
 from repro.nn.module import Module
+
+from .telemetry import LayerTelemetry, telemetry_digest
 
 __all__ = ["LoweredProgram", "EXECUTION_MODES"]
 
@@ -40,15 +47,23 @@ class LoweredProgram:
     mode:
         ``"lowered"`` runs the integer path, ``"reference"`` the
         float64 fake-quant reference path of the same executors.
+    telemetry:
+        When true, attach a per-layer counter to every executor on
+        construction (equivalent to calling :meth:`enable_telemetry`).
     """
 
     def __init__(self, executors: dict[str, Module],
-                 mode: str = "lowered"):
+                 mode: str = "lowered", telemetry: bool = False):
         if mode not in EXECUTION_MODES:
             raise ValueError(f"unknown execution mode {mode!r}; "
                              f"expected one of {EXECUTION_MODES}")
         self.executors = dict(executors)
         self.mode = mode
+        #: ``layer name → LayerTelemetry`` — empty until telemetry is
+        #: enabled; the counters are live objects the executors update.
+        self.telemetry: dict[str, LayerTelemetry] = {}
+        if telemetry:
+            self.enable_telemetry()
 
     def __len__(self) -> int:
         return len(self.executors)
@@ -57,6 +72,45 @@ class LoweredProgram:
     def layer_names(self) -> list[str]:
         return list(self.executors)
 
+    # ------------------------------------------------------------------
+    # Telemetry ownership
+    # ------------------------------------------------------------------
+    def enable_telemetry(self, collectors: dict[str, LayerTelemetry]
+                         | None = None) -> dict[str, LayerTelemetry]:
+        """Attach one counter per executor; returns the collector map.
+
+        ``collectors`` lets a caller (the engine) supply a long-lived
+        map so counters survive the program being re-lowered — e.g.
+        across a watchdog fallback swap; missing entries are created.
+        Telemetry is strictly opt-in: until this is called, executors
+        carry ``telemetry = None`` and count nothing.
+        """
+        store = self.telemetry if collectors is None else collectors
+        for name, executor in self.executors.items():
+            counter = store.get(name)
+            if counter is None:
+                counter = LayerTelemetry(layer=name)
+                store[name] = counter
+            object.__setattr__(executor, "telemetry", counter)
+        self.telemetry = store
+        return store
+
+    def disable_telemetry(self) -> None:
+        """Detach counters from the executors (the map is kept)."""
+        for executor in self.executors.values():
+            object.__setattr__(executor, "telemetry", None)
+
+    def reset_telemetry(self) -> None:
+        for counter in self.telemetry.values():
+            counter.reset()
+
+    def telemetry_summary(self) -> str:
+        """One-line digest of the attached counters."""
+        if not self.telemetry:
+            return "telemetry: disabled"
+        return telemetry_digest(self.telemetry)
+
+    # ------------------------------------------------------------------
     def _run_fn(self, executor: Module):
         if self.mode == "reference":
             return executor.reference
@@ -68,7 +122,13 @@ class LoweredProgram:
 
         Layers without an executor (unquantized, or absent from the
         IR) keep their float forward.  Original forwards are restored
-        on exit even when inference raises.
+        on exit even when inference raises.  Restoration walks the
+        patch list in *reverse* order: when two IR names resolve to the
+        same shared module, the second patch captured the first
+        ``routed`` as its "original", and only a LIFO unwind puts the
+        true original back.  Patched forwards pass every argument
+        through to the executor, so a call the executor cannot satisfy
+        fails loudly instead of silently dropping arguments.
         """
         layers = layer_map(model)
         patched: list[tuple[Module, object]] = []
@@ -80,14 +140,14 @@ class LoweredProgram:
             run = self._run_fn(executor)
 
             def routed(*args, _run=run, **kwargs):
-                return _run(args[0])
+                return _run(*args, **kwargs)
 
             object.__setattr__(module, "forward", routed)
             patched.append((module, original))
         try:
             yield model
         finally:
-            for module, original in patched:
+            for module, original in reversed(patched):
                 object.__setattr__(module, "forward", original)
 
     def summary(self) -> str:

@@ -113,9 +113,13 @@ class FaultInjector:
         poisoned = np.array(points, dtype=points.dtype, copy=True)
         if poisoned.size == 0:
             return poisoned
-        rng = self._rng(_PAYLOAD_STREAM, frame_id)
         n_points = poisoned.shape[0]
-        n_poison = max(1, int(round(self.spec.nan_fraction * n_points)))
+        # Round, don't floor to 1: a fraction that rounds to zero is a
+        # spec'd no-op (``nan_fraction=0.0`` must poison nothing).
+        n_poison = int(round(self.spec.nan_fraction * n_points))
+        if n_poison == 0:
+            return poisoned
+        rng = self._rng(_PAYLOAD_STREAM, frame_id)
         victims = rng.choice(n_points, size=min(n_poison, n_points),
                              replace=False)
         poisoned[victims] = np.nan

@@ -67,7 +67,6 @@ class TestRenderer:
         assert image.max() <= 1.0
 
     def test_object_changes_pixels(self, camera):
-        rng = np.random.default_rng(0)
         empty = render_scene(camera, [], rng=np.random.default_rng(0))
         with_car = render_scene(
             camera, [Box3D(15, 0, 0.8, 3.9, 1.6, 1.56, 0, label="Car")],

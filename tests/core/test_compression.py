@@ -6,7 +6,7 @@ import pytest
 from repro import nn
 from repro.core import (UPAQCompressor, apply_patterns, compress_1x1,
                         compress_kxk, hck_config, lck_config,
-                        preprocess_model, UPAQConfig)
+                        preprocess_model)
 from repro.nn import Tensor
 
 

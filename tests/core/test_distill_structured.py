@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro import nn
 from repro.baselines import StructuredPruner
 from repro.core import (DistillConfig, UPAQCompressor,
                         channel_prune_mask, distill_finetune,

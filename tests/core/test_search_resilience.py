@@ -18,7 +18,7 @@ import numpy as np
 import pytest
 
 from repro import nn
-from repro.core import (MemoCache, SearchEngine, SearchJournal,
+from repro.core import (SearchEngine, SearchJournal,
                         SearchTaskError, UPAQCompressor, hck_config,
                         pack_model)
 from repro.nn import Tensor

@@ -1,7 +1,6 @@
 """Property-based invariants of NMS and AP evaluation."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -1,7 +1,6 @@
 """Tests for conv+BN folding."""
 
 import numpy as np
-import pytest
 
 from repro import nn
 from repro.hardware.fuse import count_foldable, fold_batchnorm, fold_conv_bn

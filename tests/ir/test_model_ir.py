@@ -9,7 +9,6 @@ ever re-tracing the original float model.
 
 import json
 
-import numpy as np
 import pytest
 
 from repro.core import (UPAQCompressor, group_layers, hck_config,

@@ -5,7 +5,6 @@ import pytest
 
 from repro import nn
 from repro.models import MonoFlex
-from repro.nn import Tensor
 
 from .conftest import TINY_CAMERA
 

@@ -7,7 +7,6 @@ from repro import nn
 from repro.models import SMOKE
 from repro.models.smoke.model import (_DEPTH_REF, _gaussian_radius,
                                       _splat_gaussian)
-from repro.nn import Tensor
 
 from .conftest import TINY_SMOKE
 
@@ -154,7 +153,6 @@ class TestTable1Models:
         assert np.isfinite(out["cls"].data).all()
 
     def test_second_predict_and_loss(self, tiny_scene):
-        from repro import nn as _nn
         from repro.models import SECOND
         from .conftest import TINY_VOXELS
         model = SECOND(seed=1, **TINY_VOXELS)

@@ -6,7 +6,6 @@ guarantee that arbitrary model compositions differentiate correctly.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -69,7 +69,6 @@ class TestQuantizedConv:
         np.testing.assert_allclose(accs, np.round(accs), atol=1e-3)
 
     def test_lower_bits_larger_error(self, conv, activation):
-        scale = activation_scale(activation)
         float_out = conv(Tensor(activation)).data
 
         def max_err(bits):

@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.pointcloud import (Box3D, LidarConfig, SceneConfig,
+from repro.pointcloud import (LidarConfig, SceneConfig,
                               SceneGenerator, points_in_box)
 from repro.pointcloud.augment import (AugmentConfig, augment_scene,
                                       global_flip_y, global_rotation,

@@ -1,0 +1,143 @@
+"""Regression tests for LoweredProgram's forward patching.
+
+Two bugs are pinned here:
+
+* restore order — when two IR names resolve to the *same* shared
+  module, the second patch captures the first ``routed`` as its
+  "original"; restoring in insertion order left the module permanently
+  patched (same shape as the TiedLeafNet dedup fix in the search).
+* argument forwarding — ``routed`` used to silently discard extra
+  positional args and all kwargs, changing the patched layer's call
+  semantics instead of failing loudly.
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.graph import layer_map
+from repro.nn.quantized import QuantizedConv2d, activation_scale
+from repro.nn.tensor import Tensor
+from repro.runtime import LoweredProgram
+
+
+class SharedConvNet(nn.Module):
+    """One Conv2d object reachable under two attribute names.
+
+    ``layer_map`` (which walks ``named_modules``) hands back *both*
+    names mapped to the same module — exactly what happens when an IR
+    carries two nodes that a weight-tied model implements with one
+    shared layer object.
+    """
+
+    def __init__(self):
+        super().__init__()
+        rng = np.random.default_rng(7)
+        conv = nn.Conv2d(3, 3, 3, padding=1, rng=rng)
+        self.trunk = conv
+        self.alias = conv
+
+    def forward(self, x):
+        return self.alias(self.trunk(x))
+
+
+def _input(shape=(1, 3, 6, 6), seed=0):
+    rng = np.random.default_rng(seed)
+    return Tensor(rng.standard_normal(shape).astype(np.float32))
+
+
+def _program_for(model):
+    layers = layer_map(model)
+    x = _input()
+    executors = {
+        name: QuantizedConv2d.from_float(
+            module, activation_scale(x.data), weight_bits=8)
+        for name, module in layers.items()}
+    return layers, LoweredProgram(executors)
+
+
+class TestSharedModuleRestore:
+    def test_two_names_one_module(self):
+        model = SharedConvNet()
+        layers = layer_map(model)
+        assert layers["trunk"] is layers["alias"]
+
+    @staticmethod
+    def _runs_class_forward(module) -> bool:
+        """True iff calling ``module.forward`` runs ``Conv2d.forward``.
+
+        Identity on the bound-method *object* is too strict (every
+        attribute access builds a fresh bound method); what must hold
+        after detach is that the attribute resolves back to the class's
+        forward — not to a leaked ``routed`` wrapper, which is a plain
+        function with no ``__func__``.
+        """
+        return getattr(module.forward, "__func__", None) \
+            is nn.Conv2d.forward
+
+    def test_restore_order_with_shared_module(self):
+        """The headline regression: a module patched under two names
+        must come back with its true original forward, not the first
+        patch's ``routed`` wrapper."""
+        model = SharedConvNet()
+        layers, program = _program_for(model)
+        conv = layers["trunk"]
+        assert self._runs_class_forward(conv)
+        with program.attached(model):
+            assert not self._runs_class_forward(conv)
+        assert self._runs_class_forward(conv)
+
+    def test_restore_order_on_exception(self):
+        model = SharedConvNet()
+        layers, program = _program_for(model)
+        conv = layers["trunk"]
+        with pytest.raises(RuntimeError):
+            with program.attached(model):
+                raise RuntimeError("inference blew up")
+        assert self._runs_class_forward(conv)
+
+    def test_repeated_attach_stays_reversible(self):
+        """Attach/detach twice — a leaked patch would compound."""
+        model = SharedConvNet()
+        layers, program = _program_for(model)
+        conv = layers["trunk"]
+        for _ in range(2):
+            with program.attached(model):
+                pass
+            assert self._runs_class_forward(conv)
+
+    def test_model_output_unchanged_after_detach(self):
+        model = SharedConvNet()
+        model.eval()
+        x = _input()
+        before = model.forward(x).data.copy()
+        _, program = _program_for(model)
+        with program.attached(model):
+            model.forward(x)
+        after = model.forward(x).data
+        np.testing.assert_array_equal(before, after)
+
+
+class TestRoutedArgumentForwarding:
+    def test_single_positional_still_works(self):
+        model = SharedConvNet()
+        layers, program = _program_for(model)
+        with program.attached(model):
+            out = layers["trunk"].forward(_input())
+        assert out.data.shape == (1, 3, 6, 6)
+
+    def test_unexpected_kwarg_raises(self):
+        """Kwargs are forwarded to the executor, which rejects ones it
+        does not understand — the old code silently swallowed them."""
+        model = SharedConvNet()
+        layers, program = _program_for(model)
+        with program.attached(model):
+            with pytest.raises(TypeError):
+                layers["trunk"].forward(_input(), training=True)
+
+    def test_extra_positional_raises(self):
+        model = SharedConvNet()
+        layers, program = _program_for(model)
+        with program.attached(model):
+            with pytest.raises(TypeError):
+                layers["trunk"].forward(_input(), _input())

@@ -76,7 +76,7 @@ class TestSceneEffects:
         assert poisoned is not scenes[0]
         np.testing.assert_array_equal(scenes[0].points, original)
         bad_rows = np.isnan(poisoned.points).any(axis=1)
-        expected = max(1, int(round(0.1 * len(original))))
+        expected = int(round(0.1 * len(original)))
         assert bad_rows.sum() == expected
 
     def test_corruption_is_deterministic(self, scenes):
@@ -93,3 +93,41 @@ class TestSceneEffects:
         injector = FaultInjector(FaultSpec(corrupt_rate=1.0, seed=0))
         empty = np.zeros((0, 4), dtype=np.float32)
         assert injector.corrupt_points(empty, 0).size == 0
+
+
+class TestNanFractionBoundaries:
+    """``nan_fraction`` rounds to a poison count; it never floors to 1.
+
+    Regression: ``max(1, round(...))`` used to poison one point even at
+    ``nan_fraction=0.0``, so a spec that promised clean payloads lied.
+    """
+
+    def test_zero_fraction_poisons_nothing(self):
+        injector = FaultInjector(FaultSpec(corrupt_rate=1.0,
+                                           nan_fraction=0.0, seed=0))
+        points = np.ones((100, 4), dtype=np.float32)
+        poisoned = injector.corrupt_points(points, frame_id=0)
+        assert not np.isnan(poisoned).any()
+        np.testing.assert_array_equal(poisoned, points)
+
+    def test_fraction_rounding_to_zero_poisons_nothing(self):
+        # 0.004 * 100 = 0.4 → rounds to 0 points.
+        injector = FaultInjector(FaultSpec(corrupt_rate=1.0,
+                                           nan_fraction=0.004, seed=0))
+        points = np.ones((100, 4), dtype=np.float32)
+        assert not np.isnan(injector.corrupt_points(points, 0)).any()
+
+    def test_fraction_rounding_up_poisons_exactly_that_many(self):
+        # 0.006 * 100 = 0.6 → rounds to 1 point.
+        injector = FaultInjector(FaultSpec(corrupt_rate=1.0,
+                                           nan_fraction=0.006, seed=0))
+        points = np.ones((100, 4), dtype=np.float32)
+        poisoned = injector.corrupt_points(points, 0)
+        assert np.isnan(poisoned).any(axis=1).sum() == 1
+
+    def test_full_fraction_poisons_everything(self):
+        injector = FaultInjector(FaultSpec(corrupt_rate=1.0,
+                                           nan_fraction=1.0, seed=0))
+        points = np.ones((25, 4), dtype=np.float32)
+        poisoned = injector.corrupt_points(points, 0)
+        assert np.isnan(poisoned).any(axis=1).all()

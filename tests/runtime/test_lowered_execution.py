@@ -6,7 +6,6 @@ match ``execution="reference"`` bit-for-bit after the final rescale;
 ``from_packed`` adopts the blob-embedded IR with no re-trace.
 """
 
-import numpy as np
 import pytest
 
 from repro.core import UPAQCompressor, hck_config, pack_model
@@ -14,7 +13,7 @@ from repro.hardware import default_devices
 from repro.ir import lower_executors, lowerable_nodes
 from repro.models import PointPillars
 from repro.nn.graph import layer_map
-from repro.pointcloud import (LidarConfig, PillarConfig, SceneConfig,
+from repro.pointcloud import (LidarConfig, SceneConfig,
                               SceneGenerator)
 from repro.runtime import InferenceEngine, LoweredProgram
 

@@ -1,0 +1,249 @@
+"""Per-frame cost attribution and deadline-miss ranking.
+
+Acceptance: with ``trace=True`` every processed frame's per-layer
+latency (and energy) attributions sum — within float tolerance — to
+the frame's recorded ``device_latency_s`` / ``device_energy_j``, even
+under cost hooks and injected jitter; ``top_offenders()`` names the
+layers behind deadline misses; lowered ≡ reference parity holds with
+telemetry and tracing enabled; the ``repro stream --trace`` CLI
+exports a well-formed JSON trace.
+"""
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.core import UPAQCompressor, hck_config
+from repro.hardware import default_devices
+from repro.models import PointPillars
+from repro.pointcloud import LidarConfig, SceneConfig, SceneGenerator
+from repro.pointcloud.voxelize import PillarConfig
+from repro.runtime import (FaultInjector, FaultSpec, InferenceEngine,
+                           StreamReport, export_trace)
+from repro.runtime.telemetry import JITTER_LAYER, OVERHEAD_LAYER
+
+
+def _tiny_pp(seed=1):
+    return PointPillars(
+        pillar_config=PillarConfig(x_range=(0, 25.6), y_range=(-12.8, 12.8)),
+        pfn_channels=8, stage_channels=(8, 16, 32), stage_depths=(1, 1, 1),
+        upsample_channels=8, seed=seed)
+
+
+@pytest.fixture(scope="module")
+def compressed():
+    model = _tiny_pp()
+    report = UPAQCompressor(hck_config()).compress(
+        model, *model.example_inputs())
+    report.model.eval()
+    return report
+
+
+@pytest.fixture(scope="module")
+def scenes():
+    cfg = SceneConfig(x_range=(5, 24), y_range=(-10, 10),
+                      lidar=LidarConfig(channels=10, azimuth_steps=80))
+    generator = SceneGenerator(cfg, seed=0)
+    return [generator.generate(i, with_image=False) for i in range(4)]
+
+
+@pytest.fixture(scope="module")
+def jetson():
+    return default_devices()["jetson"]
+
+
+def _frame_sums(report):
+    by_frame = {}
+    for event in report.trace:
+        lat, energy = by_frame.get(event.frame_id, (0.0, 0.0))
+        by_frame[event.frame_id] = (lat + event.latency_s,
+                                    energy + event.energy_j)
+    return by_frame
+
+
+class TestTraceSumsToFrameCost:
+    def test_plain_stream(self, compressed, scenes, jetson):
+        engine = InferenceEngine(compressed.model, jetson,
+                                 execution="lowered", ir=compressed.ir,
+                                 trace=True)
+        report = engine.run(scenes)
+        sums = _frame_sums(report)
+        assert len(sums) == len(scenes)
+        for frame in report.frames:
+            lat, energy = sums[frame.frame_id]
+            assert np.isclose(lat, frame.device_latency_s, rtol=1e-9)
+            assert np.isclose(energy, frame.device_energy_j, rtol=1e-9)
+
+    def test_with_cost_hook_and_jitter(self, compressed, scenes, jetson):
+        """Attribution follows whatever the hook did to the base cost,
+        and injected jitter appears as its own pseudo-event."""
+        injector = FaultInjector(FaultSpec(
+            jitter="lognormal", jitter_scale_s=0.002, seed=3))
+        hook = lambda fid, lat, en: (lat * (1.0 + 0.25 * fid),
+                                     en * (1.0 + 0.125 * fid))
+        engine = InferenceEngine(compressed.model, jetson,
+                                 execution="lowered", ir=compressed.ir,
+                                 trace=True, fault_injector=injector,
+                                 cost_hook=hook)
+        report = engine.run(scenes)
+        sums = _frame_sums(report)
+        for frame in report.frames:
+            lat, energy = sums[frame.frame_id]
+            assert np.isclose(lat, frame.device_latency_s, rtol=1e-9)
+            assert np.isclose(energy, frame.device_energy_j, rtol=1e-9)
+        jitter_events = [e for e in report.trace if e.kind == "jitter"]
+        assert jitter_events
+        assert all(e.layer == JITTER_LAYER and e.energy_j == 0.0
+                   for e in jitter_events)
+
+    def test_event_layers_come_from_plan(self, compressed, scenes,
+                                         jetson):
+        engine = InferenceEngine(compressed.model, jetson,
+                                 execution="lowered", ir=compressed.ir,
+                                 trace=True)
+        report = engine.run(scenes[:1])
+        plan_names = set(engine.plan.layer_names)
+        event_names = {e.layer for e in report.trace}
+        assert plan_names <= event_names
+        assert event_names - plan_names <= {OVERHEAD_LAYER, JITTER_LAYER}
+
+    def test_trace_off_by_default(self, compressed, scenes, jetson):
+        engine = InferenceEngine(compressed.model, jetson,
+                                 execution="lowered", ir=compressed.ir)
+        report = engine.run(scenes[:1])
+        assert report.trace == []
+        assert report.telemetry == {}
+
+
+class TestTopOffenders:
+    def test_ranks_missed_frames_only(self, compressed, scenes, jetson):
+        # Deadline nobody can make: every processed frame misses.
+        engine = InferenceEngine(compressed.model, jetson,
+                                 deadline_s=1e-9, execution="lowered",
+                                 ir=compressed.ir, trace=True)
+        report = engine.run(scenes)
+        offenders = report.top_offenders(k=3)
+        assert 0 < len(offenders) <= 3
+        latencies = [entry.latency_s for entry in offenders]
+        assert latencies == sorted(latencies, reverse=True)
+        assert all(entry.frames == len(scenes) for entry in offenders)
+
+    def test_empty_when_no_misses(self, compressed, scenes, jetson):
+        engine = InferenceEngine(compressed.model, jetson,
+                                 deadline_s=10.0, execution="lowered",
+                                 ir=compressed.ir, trace=True)
+        report = engine.run(scenes[:2])
+        assert report.top_offenders() == []
+        # ...but the all-frames view still attributes everything.
+        assert report.top_offenders(missed_only=False)
+
+    def test_empty_without_trace(self):
+        assert StreamReport().top_offenders() == []
+
+
+class TestParityWithObservability:
+    def test_lowered_reference_bit_for_bit(self, compressed, scenes,
+                                           jetson):
+        """Telemetry + tracing attached on both sides must not cost a
+        single output bit of the parity guarantee."""
+        def boxes(report):
+            return [[(b.x, b.y, b.z, b.dx, b.dy, b.dz, b.yaw, b.label,
+                      b.score) for b in p.boxes]
+                    for p in report.predictions]
+        reference = InferenceEngine(compressed.model, jetson,
+                                    execution="reference",
+                                    ir=compressed.ir, trace=True,
+                                    telemetry=True)
+        lowered = InferenceEngine(compressed.model, jetson,
+                                  execution="lowered", ir=compressed.ir,
+                                  trace=True, telemetry=True)
+        ref_report = reference.run(scenes)
+        low_report = lowered.run(scenes)
+        assert boxes(ref_report) == boxes(low_report)
+        # Counters observed identical work on both sides.
+        assert set(ref_report.telemetry) == set(low_report.telemetry)
+        for name, counter in ref_report.telemetry.items():
+            assert counter == low_report.telemetry[name]
+
+    def test_report_carries_snapshots_and_digest(self, compressed,
+                                                 scenes, jetson):
+        engine = InferenceEngine(compressed.model, jetson,
+                                 execution="lowered", ir=compressed.ir,
+                                 telemetry=True)
+        report = engine.run(scenes[:2])
+        assert report.telemetry
+        for counter in report.telemetry.values():
+            assert counter.calls >= 2           # one per frame
+            assert counter.macs > 0
+            assert counter.headroom_bits > 0
+        assert "telemetry:" in report.summary()
+        # Snapshots, not live views: another run must not mutate them.
+        frozen = {name: counter.calls
+                  for name, counter in report.telemetry.items()}
+        engine.run(scenes[:1])
+        assert {name: counter.calls
+                for name, counter in report.telemetry.items()} == frozen
+
+
+class TestEmptyStreamStats:
+    """mean_latency_s and deadline_hit_rate agree: NaN on empty."""
+
+    def test_both_nan_on_empty_report(self):
+        report = StreamReport()
+        assert math.isnan(report.mean_latency_s)
+        assert math.isnan(report.deadline_hit_rate)
+
+    def test_both_nan_on_fully_dropped_stream(self, jetson, scenes):
+        engine = InferenceEngine(
+            _tiny_pp(), jetson,
+            fault_injector=FaultInjector(FaultSpec(drop_rate=1.0,
+                                                   seed=0)))
+        report = engine.run(scenes[:3])
+        assert report.dropped_frames == 3
+        assert math.isnan(report.mean_latency_s)
+        assert math.isnan(report.deadline_hit_rate)
+
+    def test_summary_prints_na_for_both(self):
+        summary = StreamReport().summary()
+        assert "deadline hit rate n/a" in summary
+        assert "mean latency n/a" in summary
+
+
+class TestStreamTraceCLI:
+    def test_trace_export(self, tmp_path, capsys, monkeypatch):
+        import repro.models.registry as registry
+        monkeypatch.setitem(registry.MODEL_REGISTRY, "tinypp",
+                            lambda **kw: _tiny_pp())
+        out = tmp_path / "trace.json"
+        code = main(["stream", "--model", "tinypp", "--frames", "3",
+                     "--deadline-ms", "0.0001", "--trace", str(out),
+                     "--telemetry"])
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "trace: " in printed
+        assert "deadline-miss attribution:" in printed
+        record = json.loads(out.read_text())
+        assert len(record["frames"]) == 3
+        assert record["events"]
+        assert record["top_offenders"]
+        # The exported attributions reproduce each frame's cost.
+        sums = {}
+        for event in record["events"]:
+            sums[event["frame_id"]] = sums.get(event["frame_id"], 0.0) \
+                + event["latency_s"]
+        for frame in record["frames"]:
+            assert np.isclose(sums[frame["frame_id"]],
+                              frame["device_latency_s"], rtol=1e-9)
+
+    def test_export_trace_roundtrip(self, compressed, scenes, jetson):
+        engine = InferenceEngine(compressed.model, jetson,
+                                 execution="lowered", ir=compressed.ir,
+                                 trace=True, telemetry=True)
+        report = engine.run(scenes[:2])
+        record = export_trace(report)
+        assert json.loads(json.dumps(record)) == record
+        assert set(record) >= {"deadline_s", "frames", "events",
+                               "top_offenders", "telemetry"}

@@ -3,7 +3,6 @@
 import importlib
 import os
 
-import numpy as np
 import pytest
 
 from repro.cli import main

@@ -14,7 +14,7 @@ from repro.detection import DetectionResult, evaluate_map
 from repro.hardware import compile_model, default_devices, profile_model
 from repro.models import PointPillars
 from repro.nn import Tensor
-from repro.pointcloud import (Box3D, LidarConfig, PillarConfig,
+from repro.pointcloud import (LidarConfig, PillarConfig,
                               PillarEncoder, Scene, SceneConfig,
                               SceneGenerator)
 

@@ -1,9 +1,7 @@
 """Tests for the deployment runtime and the CLI."""
 
-import numpy as np
 import pytest
 
-from repro import nn
 from repro.cli import build_parser, main
 from repro.core import UPAQCompressor, hck_config, pack_model
 from repro.hardware import default_devices
