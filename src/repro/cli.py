@@ -161,6 +161,10 @@ def _cmd_stream(args) -> int:
     from repro.runtime import (DegradationPolicy, FaultInjector, FaultSpec,
                                InferenceEngine)
 
+    if args.batch < 1:
+        print(f"error: --batch must be >= 1, got {args.batch} "
+              "(1 disables micro-batching)", file=sys.stderr)
+        return 2
     presets = {"hck": hck_config, "lck": lck_config}
     with_image = args.model == "smoke"
     model = build_model(args.model)
@@ -187,7 +191,8 @@ def _cmd_stream(args) -> int:
                              fallback_model=fallback,
                              execution=args.execution,
                              trace=bool(args.trace),
-                             telemetry=args.telemetry)
+                             telemetry=args.telemetry,
+                             batch_size=args.batch)
     generator = SceneGenerator(seed=args.seed)
     scenes = [generator.generate(i, with_image=with_image)
               for i in range(args.frames)]
@@ -363,6 +368,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="attach per-layer executor counters (MACs, "
                         "skipped columns, saturation, accumulator "
                         "headroom); the summary gains a digest line")
+    p.add_argument("--batch", type=int, default=1, metavar="N",
+                   help="micro-batching window: run up to N valid "
+                        "in-flight frames as one batched lowered pass "
+                        "(byte-identical to per-frame execution; "
+                        "see docs/PERFORMANCE.md)")
     p.set_defaults(func=_cmd_stream)
 
     p = sub.add_parser("ir", help="inspect the layer-level model IR")

@@ -33,6 +33,16 @@ class Detector3D(nn.Module):
         """Full inference: preprocess → forward → decode → NMS."""
         raise NotImplementedError
 
+    def predict_batch(self, scenes) -> list[DetectionResult]:
+        """Inference over a micro-batch of scenes, one result per scene.
+
+        Subclasses with a batch-parallel trunk override this to run the
+        shared backbone/head in one pass (the streaming engine's
+        micro-batching window relies on it); the default is the
+        sequential loop, which is always semantically equivalent.
+        """
+        return [self.predict(scene) for scene in scenes]
+
     def loss(self, outputs, scene: Scene):
         """Training loss for one frame."""
         raise NotImplementedError

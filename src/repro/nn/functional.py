@@ -5,17 +5,40 @@ NCHW layout and return tensors wired into the autograd graph.  Convolution
 is implemented with im2col + matmul, which is the standard dense lowering
 and keeps the arithmetic visible to the hardware cost model
 (:mod:`repro.hardware.latency`).
+
+Geometry cache
+--------------
+Every frame of a LiDAR/camera stream has identical spatial geometry, so
+the patch-extraction bookkeeping of ``im2col``/``col2im`` — which input
+element lands in which column — depends only on ``(C, H, W, kernel,
+stride, padding)``, never on the data.  :func:`im2col_plan` and
+:func:`col2im_plan` compile that bookkeeping once into flat gather /
+scatter index arrays and memoize them in a shape-keyed LRU cache shared
+process-wide; :func:`im2col` and :func:`col2im_indexed` are thin
+data-only gathers over the cached plans.  A gather is a pure
+permutation, so the cached ``im2col`` is bit-identical to the strided
+original for every dtype; :class:`Col2imPlan` sums each output cell's
+contributors in a fixed deterministic order, which is exact whenever
+the column data is integer-valued (the quantized executors' case).
+:func:`geometry_cache_stats` / :func:`clear_geometry_cache` expose the
+cache for tests and benchmarks.
 """
 
 from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from .tensor import Tensor
 
 __all__ = [
-    "im2col", "col2im", "conv2d", "conv_transpose2d", "max_pool2d",
-    "avg_pool2d", "upsample_nearest2d", "scatter_to_grid", "linear",
+    "im2col", "col2im", "col2im_indexed", "conv2d", "conv_transpose2d",
+    "max_pool2d", "avg_pool2d", "upsample_nearest2d", "scatter_to_grid",
+    "linear", "Im2colPlan", "Col2imPlan", "im2col_plan", "col2im_plan",
+    "geometry_cache_stats", "clear_geometry_cache",
 ]
 
 
@@ -23,22 +46,236 @@ def _out_size(size: int, kernel: int, stride: int, padding: int) -> int:
     return (size + 2 * padding - kernel) // stride + 1
 
 
-def im2col(x: np.ndarray, kernel: int, stride: int, padding: int) -> np.ndarray:
-    """Lower NCHW input into (N, C*k*k, out_h*out_w) patch columns."""
-    n, c, h, w = x.shape
+@dataclass(frozen=True, eq=False)
+class Im2colPlan:
+    """Precompiled patch-extraction geometry for one input shape.
+
+    ``indices[r, p]`` is the flat offset (within one zero-padded sample
+    of shape ``(C, H+2p, W+2p)``) of the input element that row ``r``
+    (= flattened ``(c, ki, kj)``) of output column ``p`` (= flattened
+    ``(oi, oj)``) reads.  Applying the plan is a single gather.
+    """
+
+    c: int
+    h: int
+    w: int
+    kernel: int
+    stride: int
+    padding: int
+    out_h: int
+    out_w: int
+    #: (C*k*k, out_h*out_w) gather offsets into one padded sample
+    indices: np.ndarray = field(repr=False)
+
+    @property
+    def rows(self) -> int:
+        return self.c * self.kernel * self.kernel
+
+    @property
+    def positions(self) -> int:
+        return self.out_h * self.out_w
+
+    def pad(self, x: np.ndarray) -> np.ndarray:
+        if self.padding > 0:
+            return np.pad(x, ((0, 0), (0, 0),
+                              (self.padding, self.padding),
+                              (self.padding, self.padding)))
+        return x
+
+    def apply(self, x: np.ndarray) -> np.ndarray:
+        """Gather (N, C, H, W) data into (N, C*k*k, P) patch columns."""
+        n = x.shape[0]
+        flat = self.pad(x).reshape(n, -1)
+        return flat.take(self.indices.ravel(), axis=1) \
+            .reshape(n, self.rows, self.positions)
+
+
+@dataclass(frozen=True, eq=False)
+class Col2imPlan:
+    """Precompiled scatter-add geometry — the inverse of an im2col.
+
+    Scatter-add is lowered to a *gather*: ``contributors[t]`` lists, for
+    padded output cell ``t``, the flat ``(row, position)`` offsets of
+    every column entry that scatters into it (at most ``ceil(k/s)²``),
+    padded with a sentinel index that points at an appended zero column.
+    Applying the plan gathers the contributors and sums them along the
+    last axis in one fixed order — deterministic, and exact whenever the
+    column data is integer-valued.
+    """
+
+    c: int
+    h: int
+    w: int
+    kernel: int
+    stride: int
+    padding: int
+    out_h: int
+    out_w: int
+    #: number of column rows the plan expects (C*k*k before restriction)
+    rows: int
+    #: (C*(H+2p)*(W+2p), m) gather offsets into flattened (rows*P)+1 cols
+    contributors: np.ndarray = field(repr=False)
+
+    @property
+    def positions(self) -> int:
+        return self.out_h * self.out_w
+
+    @property
+    def sentinel(self) -> int:
+        return self.rows * self.positions
+
+    def apply(self, cols: np.ndarray) -> np.ndarray:
+        """Scatter-add (N, rows, P) columns back to (N, C, H, W)."""
+        n = cols.shape[0]
+        flat = cols.reshape(n, -1)
+        flat = np.concatenate(
+            [flat, np.zeros((n, 1), dtype=flat.dtype)], axis=1)
+        cells = self.contributors.shape[0]
+        gathered = flat.take(self.contributors.ravel(), axis=1) \
+            .reshape(n, cells, self.contributors.shape[1])
+        padded = gathered.sum(axis=2).reshape(
+            n, self.c, self.h + 2 * self.padding, self.w + 2 * self.padding)
+        if self.padding > 0:
+            return padded[:, :, self.padding:-self.padding,
+                          self.padding:-self.padding]
+        return padded
+
+    def restrict(self, keep: np.ndarray) -> "Col2imPlan":
+        """A plan over only the kept column rows.
+
+        ``keep`` is the boolean row mask; the returned plan consumes
+        ``(N, keep.sum(), P)`` columns directly.  Dropped rows are
+        remapped to the zero sentinel, which is exact when those rows
+        are all-zero (pattern-pruned weight columns).
+        """
+        keep = np.asarray(keep, dtype=bool)
+        if keep.size != self.rows:
+            raise ValueError(f"keep mask covers {keep.size} rows, "
+                             f"plan has {self.rows}")
+        if keep.all():
+            return self
+        positions = self.positions
+        kept_rows = np.flatnonzero(keep)
+        kept = kept_rows.size
+        rowmap = np.full(self.rows * positions + 1, kept * positions,
+                         dtype=np.int64)
+        src = (kept_rows[:, None] * positions
+               + np.arange(positions)[None, :]).ravel()
+        rowmap[src] = np.arange(kept * positions, dtype=np.int64)
+        return Col2imPlan(c=self.c, h=self.h, w=self.w, kernel=self.kernel,
+                          stride=self.stride, padding=self.padding,
+                          out_h=self.out_h, out_w=self.out_w, rows=kept,
+                          contributors=rowmap[self.contributors])
+
+
+# ----------------------------------------------------------------------
+# Shape-keyed LRU cache of geometry plans
+# ----------------------------------------------------------------------
+_GEOMETRY_CACHE: OrderedDict = OrderedDict()
+_GEOMETRY_LOCK = threading.Lock()
+_GEOMETRY_CAPACITY = 64
+_GEOMETRY_STATS = {"hits": 0, "misses": 0}
+
+
+def _cached_plan(key: tuple, build):
+    with _GEOMETRY_LOCK:
+        plan = _GEOMETRY_CACHE.get(key)
+        if plan is not None:
+            _GEOMETRY_CACHE.move_to_end(key)
+            _GEOMETRY_STATS["hits"] += 1
+            return plan
+        _GEOMETRY_STATS["misses"] += 1
+    plan = build()
+    with _GEOMETRY_LOCK:
+        _GEOMETRY_CACHE[key] = plan
+        _GEOMETRY_CACHE.move_to_end(key)
+        while len(_GEOMETRY_CACHE) > _GEOMETRY_CAPACITY:
+            _GEOMETRY_CACHE.popitem(last=False)
+    return plan
+
+
+def geometry_cache_stats() -> dict:
+    """Hit/miss counters and occupancy of the shared geometry cache."""
+    with _GEOMETRY_LOCK:
+        return {"size": len(_GEOMETRY_CACHE),
+                "capacity": _GEOMETRY_CAPACITY,
+                "hits": _GEOMETRY_STATS["hits"],
+                "misses": _GEOMETRY_STATS["misses"]}
+
+
+def clear_geometry_cache() -> None:
+    """Drop every cached plan and reset the hit/miss counters."""
+    with _GEOMETRY_LOCK:
+        _GEOMETRY_CACHE.clear()
+        _GEOMETRY_STATS["hits"] = 0
+        _GEOMETRY_STATS["misses"] = 0
+
+
+def _build_im2col_plan(c: int, h: int, w: int, kernel: int, stride: int,
+                       padding: int) -> Im2colPlan:
     out_h = _out_size(h, kernel, stride, padding)
     out_w = _out_size(w, kernel, stride, padding)
-    if padding > 0:
-        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
-    strides = x.strides
-    windows = np.lib.stride_tricks.as_strided(
-        x,
-        shape=(n, c, kernel, kernel, out_h, out_w),
-        strides=(strides[0], strides[1], strides[2], strides[3],
-                 strides[2] * stride, strides[3] * stride),
-        writeable=False,
-    )
-    return windows.reshape(n, c * kernel * kernel, out_h * out_w).copy()
+    hp, wp = h + 2 * padding, w + 2 * padding
+    window = (np.arange(kernel)[:, None] * wp
+              + np.arange(kernel)[None, :]).ravel()          # (k*k,)
+    row_off = (np.arange(c)[:, None] * (hp * wp)
+               + window[None, :]).reshape(-1)                # (c*k*k,)
+    col_off = (np.arange(out_h)[:, None] * (stride * wp)
+               + np.arange(out_w)[None, :] * stride).ravel()  # (P,)
+    indices = row_off[:, None] + col_off[None, :]
+    indices.setflags(write=False)
+    return Im2colPlan(c=c, h=h, w=w, kernel=kernel, stride=stride,
+                      padding=padding, out_h=out_h, out_w=out_w,
+                      indices=indices)
+
+
+def im2col_plan(c: int, h: int, w: int, kernel: int, stride: int,
+                padding: int) -> Im2colPlan:
+    """The (cached) gather plan for this input geometry."""
+    key = ("im2col", c, h, w, kernel, stride, padding)
+    return _cached_plan(
+        key, lambda: _build_im2col_plan(c, h, w, kernel, stride, padding))
+
+
+def _build_col2im_plan(c: int, h: int, w: int, kernel: int, stride: int,
+                       padding: int) -> Col2imPlan:
+    fwd = _build_im2col_plan(c, h, w, kernel, stride, padding)
+    positions = fwd.positions
+    targets = fwd.indices.ravel()            # column entry -> padded cell
+    cells = c * (h + 2 * padding) * (w + 2 * padding)
+    counts = np.bincount(targets, minlength=cells)
+    width = int(counts.max()) if counts.size else 0
+    sentinel = fwd.rows * positions
+    contributors = np.full((cells, max(width, 1)), sentinel, dtype=np.int64)
+    order = np.argsort(targets, kind="stable")
+    starts = np.concatenate(([0], np.cumsum(counts)))
+    sorted_targets = targets[order]
+    ranks = np.arange(targets.size) - starts[sorted_targets]
+    contributors[sorted_targets, ranks] = order
+    contributors.setflags(write=False)
+    return Col2imPlan(c=c, h=h, w=w, kernel=kernel, stride=stride,
+                      padding=padding, out_h=fwd.out_h, out_w=fwd.out_w,
+                      rows=fwd.rows, contributors=contributors)
+
+
+def col2im_plan(c: int, h: int, w: int, kernel: int, stride: int,
+                padding: int) -> Col2imPlan:
+    """The (cached) scatter plan: ``(c, h, w)`` is the *image* shape."""
+    key = ("col2im", c, h, w, kernel, stride, padding)
+    return _cached_plan(
+        key, lambda: _build_col2im_plan(c, h, w, kernel, stride, padding))
+
+
+def im2col(x: np.ndarray, kernel: int, stride: int, padding: int) -> np.ndarray:
+    """Lower NCHW input into (N, C*k*k, out_h*out_w) patch columns.
+
+    Runs through the shape-keyed geometry cache: the gather indices are
+    compiled once per ``(C, H, W, kernel, stride, padding)`` and reused
+    across frames and batches.  A gather is a pure permutation, so the
+    result is bit-identical to the strided extraction for every dtype.
+    """
+    _, c, h, w = x.shape
+    return im2col_plan(c, h, w, kernel, stride, padding).apply(x)
 
 
 def col2im(cols: np.ndarray, input_shape: tuple, kernel: int, stride: int,
@@ -57,6 +294,20 @@ def col2im(cols: np.ndarray, input_shape: tuple, kernel: int, stride: int,
     if padding > 0:
         return padded[:, :, padding:-padding, padding:-padding]
     return padded
+
+
+def col2im_indexed(cols: np.ndarray, input_shape: tuple, kernel: int,
+                   stride: int, padding: int) -> np.ndarray:
+    """:func:`col2im` via the cached gather plan.
+
+    Sums each output cell's contributors in one fixed deterministic
+    order, so it is exact (and equal to :func:`col2im`) whenever the
+    column data is integer-valued — the quantized executors' case.  The
+    float ``col2im`` keeps its kernel-loop accumulation order so float32
+    training numerics are untouched.
+    """
+    _, c, h, w = input_shape
+    return col2im_plan(c, h, w, kernel, stride, padding).apply(cols)
 
 
 def conv2d(x: Tensor, weight: Tensor, bias: Tensor | None = None,

@@ -31,19 +31,59 @@ Each executor carries an opt-in ``telemetry`` slot (a
 activation saturation, and the accumulator extrema.  Counters only
 observe values both paths already compute, so attaching them cannot
 perturb either guarantee (see ``docs/OBSERVABILITY.md``).
+
+Batching and compile-once packing (see ``docs/PERFORMANCE.md``):
+
+* Every executor accepts a leading batch dimension and runs the whole
+  micro-batch through **one** matmul.  Because both accumulation paths
+  are exact, the batched result is *byte-identical* to stacking the
+  per-frame results — summation blocking cannot change an exact sum.
+* The pruned weight matrix is **compacted once** at construction
+  (:meth:`_compact`): ``weight_codes`` reduced to the ``_keep_cols``
+  columns, instead of boolean-masked on every forward.
+* The im2col / scatter geometry comes from the shape-keyed plan cache
+  in :mod:`repro.nn.functional`, restricted to the kept columns and
+  memoized per input shape on the executor.
+* When the a-priori accumulator bound certifies every intermediate sum
+  stays below 2⁵³ (true for all 4–16-bit configurations this repo
+  produces), both paths share a float64 BLAS gemm whose result is the
+  exact integer accumulation; otherwise each path falls back to an
+  int64/float64 einsum.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from .functional import col2im, im2col
+from .functional import col2im_plan, im2col_plan
 from .layers import Conv2d, ConvTranspose2d, Linear
 from .module import Module
 from .tensor import Tensor
 
 __all__ = ["QuantizedConv2d", "QuantizedConvTranspose2d", "QuantizedLinear",
            "activation_scale", "quantize_activation"]
+
+#: Accumulator magnitude below which float64 integer arithmetic is exact
+#: (kept equal to ``2 ** repro.runtime.telemetry.ACC_EXACT_BITS``; not
+#: imported to keep :mod:`repro.nn` free of runtime dependencies).
+_EXACT_ACC_LIMIT = 2 ** 53
+
+#: Per-executor cap on memoized input-shape plans.
+_MAX_SHAPE_PLANS = 8
+
+
+def _batched_gemm(w: np.ndarray, cols: np.ndarray) -> np.ndarray:
+    """``(o, k) @ (n, k, p) -> (n, o, p)`` as one broadcast BLAS gemm.
+
+    ``matmul`` broadcasts the stacked operand without materializing a
+    rearranged copy of ``cols``, which is what makes the batched path
+    cheaper than ``n`` separate calls.  Only used when the accumulation
+    is certified exact, where any summation order or blocking yields
+    the identical integer result.
+    """
+    if cols.shape[0] == 1:
+        return np.matmul(w, cols[0])[None]
+    return np.matmul(w, cols)
 
 
 def activation_scale(x: np.ndarray, bits: int = 8) -> float:
@@ -111,6 +151,42 @@ class QuantizedConv2d(Module):
         # contribute nothing to an integer accumulation).
         w_mat = self.weight_codes.reshape(self.weight_codes.shape[0], -1)
         self._keep_cols = np.any(w_mat != 0, axis=0)
+        self._compact()
+
+    def _compact(self) -> None:
+        """(Re)build the packed execution structures from ``_keep_cols``.
+
+        Call after mutating ``_keep_cols``; also clears the per-shape
+        plan cache, whose gather indices embed the kept columns.
+        """
+        out_c = self.weight_codes.shape[0]
+        w_mat = self.weight_codes.reshape(out_c, -1)
+        self._w_kept = np.ascontiguousarray(w_mat[:, self._keep_cols])
+        self._w_kept_f64 = self._w_kept.astype(np.float64)
+        self._kept = int(self._keep_cols.sum())
+        max_w = int(np.abs(self._w_kept).max()) if self._w_kept.size else 0
+        act_max = 2 ** (self.activation_bits - 1) - 1
+        # |acc| <= kept · max|w| · max|x|: when below 2^53 every partial
+        # sum is an exactly-representable float64 integer, certifying
+        # the shared BLAS gemm path.
+        self._use_gemm = self._kept * max_w * act_max < _EXACT_ACC_LIMIT
+        self._plans: dict = {}
+
+    def _shape_plan(self, c: int, h: int, w: int):
+        """Kept-column gather indices + geometry for one input shape."""
+        key = (c, h, w)
+        entry = self._plans.get(key)
+        if entry is None:
+            kernel = self.weight_codes.shape[-1]
+            geometry = im2col_plan(c, h, w, kernel, self.stride,
+                                   self.padding)
+            idx = geometry.indices if self._keep_cols.all() \
+                else geometry.indices[self._keep_cols]
+            if len(self._plans) >= _MAX_SHAPE_PLANS:
+                self._plans.pop(next(iter(self._plans)))
+            entry = (idx.ravel(), geometry)
+            self._plans[key] = entry
+        return entry
 
     @staticmethod
     def from_float(conv: Conv2d, input_scale: float,
@@ -127,33 +203,42 @@ class QuantizedConv2d(Module):
                                activation_bits)
 
     def _accumulate(self, data: np.ndarray, dtype) -> np.ndarray:
-        """Shared core: quantize → im2col → matmul in ``dtype``.
+        """Shared core: quantize → gather kept columns → one matmul.
 
         ``dtype=int64`` is the deployment path; ``dtype=float64`` is the
         reference semantics.  Both see the same codes and the same
         skipped columns, and both accumulations are exact, so they
-        return equal values.
+        return equal values — and when the compaction-time bound
+        certified exactness, both share the float64 gemm outright.  The
+        whole micro-batch (leading ``n``) runs as one matmul, which is
+        byte-identical to ``n`` single-frame calls because exact sums
+        are blocking-independent.
         """
+        n, c, h, w = data.shape
         out_c = self.weight_codes.shape[0]
-        kernel = self.weight_codes.shape[-1]
         telemetry = self.telemetry
         x_codes = quantize_activation(data, self.input_scale,
                                       self.activation_bits,
                                       telemetry=telemetry)
-        cols = im2col(x_codes.astype(np.float64), kernel, self.stride,
-                      self.padding).astype(dtype)
-        w_mat = self.weight_codes.reshape(out_c, -1).astype(dtype)
-        keep = self._keep_cols
-        if not keep.all():
-            cols = cols[:, keep, :]
-            w_mat = w_mat[:, keep]
-        acc = np.einsum("ok,nkp->nop", w_mat, cols)
+        idx, geometry = self._shape_plan(c, h, w)
+        use_gemm = self._use_gemm
+        work = x_codes if not use_gemm and np.dtype(dtype) == np.int64 \
+            else x_codes.astype(np.float64)
+        cols = geometry.pad(work).reshape(n, -1).take(idx, axis=1) \
+            .reshape(n, self._kept, geometry.positions)
+        if use_gemm:
+            acc = _batched_gemm(self._w_kept_f64, cols)
+        elif np.dtype(dtype) == np.int64:
+            acc = np.einsum("ok,nkp->nop", self._w_kept, cols)
+        else:
+            acc = np.einsum("ok,nkp->nop", self._w_kept_f64, cols)
         if telemetry is not None:
-            n, kept, positions = cols.shape
+            keep = self._keep_cols
             telemetry.record_matmul(
-                macs=n * out_c * kept * positions,
-                columns_total=keep.size,
-                columns_skipped=int(keep.size - keep.sum()))
+                macs=n * out_c * self._kept * geometry.positions,
+                columns_total=n * keep.size,
+                columns_skipped=n * (keep.size - self._kept),
+                frames=n)
             if acc.size:
                 telemetry.record_accumulator(acc.min(), acc.max())
         return acc
@@ -173,8 +258,9 @@ class QuantizedConv2d(Module):
 
     def forward(self, x: Tensor) -> Tensor:
         data = _as_array(x)
-        # The integer core: int64 accumulation, exactly as a deployment
-        # engine's INT8 MACs with a 32/64-bit accumulator.
+        # The integer core: exact accumulation of the int64 codes (via
+        # the certified gemm when the bound holds), exactly as a
+        # deployment engine's INT8 MACs with a 32/64-bit accumulator.
         return self._finish(self._accumulate(data, np.int64), data.shape)
 
     def reference(self, x: Tensor) -> Tensor:
@@ -231,6 +317,39 @@ class QuantizedConvTranspose2d(Module):
         # Scatter columns (out-channel, ki, kj) that no input channel
         # writes to — all-zero weights, skipped exactly.
         self._keep_cols = np.any(w_mat != 0, axis=0)
+        self._compact()
+
+    def _compact(self) -> None:
+        """(Re)build the packed execution structures from ``_keep_cols``."""
+        in_c, _, kernel, _ = self.weight_codes.shape
+        w_mat = self.weight_codes.reshape(in_c, -1)
+        # (kept, in_c): rows are the kept scatter columns, ready for the
+        # (kept, in_c) @ (n, in_c, h·w) gemm.
+        self._w_keptT = np.ascontiguousarray(w_mat[:, self._keep_cols].T)
+        self._w_keptT_f64 = self._w_keptT.astype(np.float64)
+        self._kept = int(self._keep_cols.sum())
+        max_w = int(np.abs(self._w_keptT).max()) if self._w_keptT.size else 0
+        act_max = 2 ** (self.activation_bits - 1) - 1
+        # Each scatter-added output cell sums at most k·k contributors,
+        # each an in_c-length dot: |acc| <= k²·in_c·max|w|·max|x|.
+        self._use_gemm = (kernel * kernel * in_c * max_w * act_max
+                          < _EXACT_ACC_LIMIT)
+        self._plans: dict = {}
+
+    def _shape_plan(self, h: int, w: int):
+        """The kept-column scatter plan for one input spatial shape."""
+        key = (h, w)
+        plan = self._plans.get(key)
+        if plan is None:
+            _, out_c, kernel, _ = self.weight_codes.shape
+            out_h = (h - 1) * self.stride - 2 * self.padding + kernel
+            out_w = (w - 1) * self.stride - 2 * self.padding + kernel
+            plan = col2im_plan(out_c, out_h, out_w, kernel, self.stride,
+                               self.padding).restrict(self._keep_cols)
+            if len(self._plans) >= _MAX_SHAPE_PLANS:
+                self._plans.pop(next(iter(self._plans)))
+            self._plans[key] = plan
+        return plan
 
     @staticmethod
     def from_float(deconv: ConvTranspose2d, input_scale: float,
@@ -250,26 +369,29 @@ class QuantizedConvTranspose2d(Module):
 
     def _accumulate(self, data: np.ndarray, dtype) -> np.ndarray:
         n, c, h, w = data.shape
-        in_c, out_c, kernel, _ = self.weight_codes.shape
+        in_c = self.weight_codes.shape[0]
         telemetry = self.telemetry
         x_codes = quantize_activation(data, self.input_scale,
                                       self.activation_bits,
                                       telemetry=telemetry)
-        x_mat = x_codes.reshape(n, in_c, h * w).astype(dtype)
-        w_mat = self.weight_codes.reshape(in_c, -1).astype(dtype)
-        keep = self._keep_cols
-        cols = np.zeros((n, w_mat.shape[1], h * w), dtype=dtype)
-        cols[:, keep, :] = np.einsum("io,nip->nop", w_mat[:, keep], x_mat)
-        out_h = (h - 1) * self.stride - 2 * self.padding + kernel
-        out_w = (w - 1) * self.stride - 2 * self.padding + kernel
-        acc = col2im(cols, (n, out_c, out_h, out_w), kernel,
-                     self.stride, self.padding)
+        use_gemm = self._use_gemm
+        x_mat = x_codes.reshape(n, in_c, h * w)
+        if use_gemm or np.dtype(dtype) != np.int64:
+            x_mat = x_mat.astype(np.float64)
+        if use_gemm:
+            cols = _batched_gemm(self._w_keptT_f64, x_mat)
+        elif np.dtype(dtype) == np.int64:
+            cols = np.einsum("oi,nip->nop", self._w_keptT, x_mat)
+        else:
+            cols = np.einsum("oi,nip->nop", self._w_keptT_f64, x_mat)
+        acc = self._shape_plan(h, w).apply(cols)
         if telemetry is not None:
-            kept = int(keep.sum())
+            keep = self._keep_cols
             telemetry.record_matmul(
-                macs=n * in_c * kept * h * w,
-                columns_total=keep.size,
-                columns_skipped=int(keep.size - kept))
+                macs=n * in_c * self._kept * h * w,
+                columns_total=n * keep.size,
+                columns_skipped=n * (keep.size - self._kept),
+                frames=n)
             if acc.size:
                 # Range of the *scatter-added* accumulator — the value
                 # the 2^53 exactness bound must cover.
@@ -330,6 +452,18 @@ class QuantizedLinear(Module):
         #: opt-in counter slot (LayerTelemetry); never touches outputs
         self.telemetry = None
         self._keep_cols = np.any(self.weight_codes != 0, axis=0)
+        self._compact()
+
+    def _compact(self) -> None:
+        """(Re)build the packed execution structures from ``_keep_cols``."""
+        self._w_kept = np.ascontiguousarray(
+            self.weight_codes[:, self._keep_cols])
+        self._w_kept_f64 = self._w_kept.astype(np.float64)
+        self._keep_idx = np.flatnonzero(self._keep_cols)
+        self._kept = int(self._keep_idx.size)
+        max_w = int(np.abs(self._w_kept).max()) if self._w_kept.size else 0
+        act_max = 2 ** (self.activation_bits - 1) - 1
+        self._use_gemm = self._kept * max_w * act_max < _EXACT_ACC_LIMIT
 
     @staticmethod
     def from_float(linear: Linear, input_scale: float,
@@ -348,19 +482,25 @@ class QuantizedLinear(Module):
         x_codes = quantize_activation(data, self.input_scale,
                                       self.activation_bits,
                                       telemetry=telemetry)
-        x_mat = x_codes.reshape(-1, in_features).astype(dtype)
-        w_mat = self.weight_codes.astype(dtype)
-        keep = self._keep_cols
-        if not keep.all():
-            x_mat = x_mat[:, keep]
-            w_mat = w_mat[:, keep]
-        acc = x_mat @ w_mat.T
+        # A leading batch dimension (ndim > 2) folds into the row axis:
+        # one gemm covers the whole micro-batch.
+        frames = data.shape[0] if data.ndim > 2 else 1
+        x_mat = x_codes.reshape(-1, in_features)
+        if self._kept != in_features:
+            x_mat = x_mat.take(self._keep_idx, axis=1)
+        if self._use_gemm:
+            acc = x_mat.astype(np.float64) @ self._w_kept_f64.T
+        elif np.dtype(dtype) == np.int64:
+            acc = x_mat @ self._w_kept.T
+        else:
+            acc = x_mat.astype(np.float64) @ self._w_kept_f64.T
         if telemetry is not None:
-            rows, kept = x_mat.shape
+            keep = self._keep_cols
             telemetry.record_matmul(
-                macs=rows * kept * w_mat.shape[0],
-                columns_total=keep.size,
-                columns_skipped=int(keep.size - keep.sum()))
+                macs=x_mat.shape[0] * self._kept * self._w_kept.shape[0],
+                columns_total=frames * keep.size,
+                columns_skipped=frames * (keep.size - self._kept),
+                frames=frames)
             if acc.size:
                 telemetry.record_accumulator(acc.min(), acc.max())
         return acc

@@ -252,6 +252,14 @@ class InferenceEngine:
         ``summary()`` gains a one-line digest.  Strictly opt-in and
         observation-only — the lowered ≡ reference bit-for-bit parity
         is unaffected.
+    batch_size:
+        Micro-batching window: :meth:`run` collects up to this many
+        valid in-flight scenes and executes them in one batched lowered
+        pass before emitting their per-frame records (in arrival
+        order).  Deadline, watchdog, fault and degradation semantics
+        stay per frame, and the batched pass is byte-identical to the
+        sequential one (see ``docs/PERFORMANCE.md``), so ``1`` (the
+        default) only disables the amortization, not any behavior.
     """
 
     def __init__(self, model: Detector3D, device: DeviceModel,
@@ -261,10 +269,14 @@ class InferenceEngine:
                  fallback_model: Detector3D | None = None,
                  cost_hook=None, execution: str = "reference",
                  ir: ModelIR | None = None, trace: bool = False,
-                 telemetry: bool = False):
+                 telemetry: bool = False, batch_size: int = 1):
         if execution not in EXECUTION_MODES:
             raise ValueError(f"unknown execution mode {execution!r}; "
                              f"expected one of {EXECUTION_MODES}")
+        if not isinstance(batch_size, int) or isinstance(batch_size, bool) \
+                or batch_size < 1:
+            raise ValueError(
+                f"batch_size must be a positive integer, got {batch_size!r}")
         self.model = model
         self.device = device
         self.deadline_s = deadline_s
@@ -275,6 +287,7 @@ class InferenceEngine:
         self.execution = execution
         self.trace = trace
         self.telemetry = telemetry
+        self.batch_size = batch_size
         #: long-lived collector map — survives a watchdog fallback
         #: re-lowering, so counters for a layer name accumulate across
         #: the swap instead of being lost with the old program
@@ -367,6 +380,12 @@ class InferenceEngine:
         with program.attached(self.model):
             return self.model.predict(scene)
 
+    def _predict_window(self, scenes) -> list[DetectionResult]:
+        """One micro-batch of inferences through the lowered program."""
+        if not scenes:
+            return []
+        return self.program.predict_window(self.model, scenes)
+
     @property
     def on_fallback(self) -> bool:
         """Whether the watchdog has swapped in the fallback model."""
@@ -424,11 +443,20 @@ class InferenceEngine:
         watchdog on consecutive misses.  The report always carries one
         prediction per non-skipped input frame, so downstream
         evaluation stays aligned with ground truth.
+
+        With ``batch_size > 1`` the engine buffers frames until it
+        holds that many *valid* scenes, runs them as one batched
+        lowered pass, then emits every buffered frame's record in
+        arrival order.  Dropped/corrupt frames never trigger inference
+        and don't count toward the window, and all per-frame semantics
+        (deadline, watchdog, degradation, cost hook, trace) are
+        evaluated exactly as in the sequential path — the batched pass
+        itself is byte-identical to per-frame execution.
         """
         report = StreamReport(deadline_s=self.deadline_s)
-        policy = self.policy
-        last_good: DetectionResult | None = None
-        consecutive_misses = 0
+        self._run_last_good: DetectionResult | None = None
+        self._run_misses = 0
+        pending: list[tuple] = []
         for scene in scenes:
             frame_id = scene.frame_id
             faults = self.fault_injector.faults_for(frame_id) \
@@ -438,66 +466,109 @@ class InferenceEngine:
                 if self.fault_injector is not None else scene
 
             if incoming is None:        # dropped before the engine
-                report.predictions.append(
-                    DetectionResult(boxes=[], frame_id=frame_id))
-                report.frames.append(FrameRecord(
-                    frame_id=frame_id, num_detections=0,
-                    device_latency_s=0.0, device_energy_j=0.0,
-                    deadline_met=True, status="dropped",
-                    fallback=self._on_fallback))
-                continue
-
-            if not self._scene_valid(incoming):
-                # Corrupt frame: no inference, degrade per policy.
-                if policy.on_corrupt == "skip":
-                    status = "dropped"
-                    result = DetectionResult(boxes=[], frame_id=frame_id)
-                else:
-                    status = "degraded"
-                    result = self._held_result(frame_id, last_good)
-                report.predictions.append(result)
-                report.frames.append(FrameRecord(
-                    frame_id=frame_id, num_detections=len(result.boxes),
-                    device_latency_s=0.0, device_energy_j=0.0,
-                    deadline_met=True, status=status,
-                    fallback=self._on_fallback))
-                continue
-
-            result = self._predict(incoming)
-            latency, energy = self.frame_cost(frame_id=frame_id)
-            if self.trace:
-                report.trace.extend(self._trace_events(
-                    frame_id, latency, energy, faults.jitter_s))
-            latency += faults.jitter_s
-            deadline_met = latency <= self.deadline_s
-            report.predictions.append(result)
-            report.frames.append(FrameRecord(
-                frame_id=frame_id,
-                num_detections=len(result.boxes),
-                device_latency_s=latency,
-                device_energy_j=energy,
-                deadline_met=deadline_met,
-                status="ok",
-                fallback=self._on_fallback))
-            last_good = result
-
-            # Deadline watchdog: consecutive misses trigger the swap to
-            # the more aggressive preset, once.
-            if deadline_met:
-                consecutive_misses = 0
+                pending.append(("dropped", frame_id, None, faults))
+            elif not self._scene_valid(incoming):
+                pending.append(("corrupt", frame_id, None, faults))
             else:
-                consecutive_misses += 1
-                if policy.max_consecutive_misses and \
-                        consecutive_misses >= \
-                        policy.max_consecutive_misses:
-                    if self._activate_fallback():
-                        report.fallback_activations += 1
-                        consecutive_misses = 0
+                pending.append(("run", frame_id, incoming, faults))
+            if sum(1 for kind, *_ in pending if kind == "run") \
+                    >= self.batch_size:
+                self._flush_window(pending, report)
+                pending = []
+        if pending:
+            self._flush_window(pending, report)
         if self.telemetry:
             report.telemetry = {name: counter.snapshot()
                                 for name, counter
                                 in self._collectors.items()}
         return report
+
+    def _flush_window(self, pending: list[tuple],
+                      report: StreamReport) -> None:
+        """Emit one buffered window's frames, in arrival order.
+
+        The window's valid frames run as one batched pass; records are
+        then emitted per frame with sequential last-good / watchdog
+        state.  If the watchdog swaps in the fallback model mid-window,
+        the not-yet-emitted frames are re-predicted on the fallback —
+        exactly what sequential execution would have done.
+        """
+        policy = self.policy
+        idx = 0
+        while idx < len(pending):
+            results = self._predict_window(
+                [scene for kind, _, scene, _ in pending[idx:]
+                 if kind == "run"])
+            results = list(reversed(results))       # pop() in order
+            restarted = False
+            while idx < len(pending):
+                kind, frame_id, scene, faults = pending[idx]
+                idx += 1
+                if kind == "dropped":
+                    report.predictions.append(
+                        DetectionResult(boxes=[], frame_id=frame_id))
+                    report.frames.append(FrameRecord(
+                        frame_id=frame_id, num_detections=0,
+                        device_latency_s=0.0, device_energy_j=0.0,
+                        deadline_met=True, status="dropped",
+                        fallback=self._on_fallback))
+                    continue
+                if kind == "corrupt":
+                    # Corrupt frame: no inference, degrade per policy.
+                    if policy.on_corrupt == "skip":
+                        status = "dropped"
+                        result = DetectionResult(boxes=[],
+                                                 frame_id=frame_id)
+                    else:
+                        status = "degraded"
+                        result = self._held_result(frame_id,
+                                                   self._run_last_good)
+                    report.predictions.append(result)
+                    report.frames.append(FrameRecord(
+                        frame_id=frame_id,
+                        num_detections=len(result.boxes),
+                        device_latency_s=0.0, device_energy_j=0.0,
+                        deadline_met=True, status=status,
+                        fallback=self._on_fallback))
+                    continue
+
+                result = results.pop()
+                latency, energy = self.frame_cost(frame_id=frame_id)
+                if self.trace:
+                    report.trace.extend(self._trace_events(
+                        frame_id, latency, energy, faults.jitter_s))
+                latency += faults.jitter_s
+                deadline_met = latency <= self.deadline_s
+                report.predictions.append(result)
+                report.frames.append(FrameRecord(
+                    frame_id=frame_id,
+                    num_detections=len(result.boxes),
+                    device_latency_s=latency,
+                    device_energy_j=energy,
+                    deadline_met=deadline_met,
+                    status="ok",
+                    fallback=self._on_fallback))
+                self._run_last_good = result
+
+                # Deadline watchdog: consecutive misses trigger the
+                # swap to the more aggressive preset, once.
+                if deadline_met:
+                    self._run_misses = 0
+                else:
+                    self._run_misses += 1
+                    if policy.max_consecutive_misses and \
+                            self._run_misses >= \
+                            policy.max_consecutive_misses:
+                        if self._activate_fallback():
+                            report.fallback_activations += 1
+                            self._run_misses = 0
+                            if results:
+                                # Remaining window frames must run on
+                                # the fallback, as sequentially.
+                                restarted = True
+                                break
+            if not restarted:
+                break
 
     @staticmethod
     def from_packed(blob: bytes, architecture: Detector3D,
@@ -515,8 +586,8 @@ class InferenceEngine:
         lowered executors come from the stored IR, with no re-trace of
         the restored model.  Extra keyword arguments (``policy``,
         ``fault_injector``, ``fallback_model``, ``cost_hook``,
-        ``execution``, ``trace``, ``telemetry``) pass through to the
-        engine.
+        ``execution``, ``trace``, ``telemetry``, ``batch_size``) pass
+        through to the engine.
         """
         from repro.core.packing import restore_model
         report = restore_model(blob, architecture)

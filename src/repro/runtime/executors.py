@@ -27,6 +27,7 @@ from __future__ import annotations
 from contextlib import contextmanager
 
 from repro.nn.graph import layer_map
+from repro.nn.layers import Conv2d, ConvTranspose2d, Linear
 from repro.nn.module import Module
 
 from .telemetry import LayerTelemetry, telemetry_digest
@@ -149,6 +150,39 @@ class LoweredProgram:
         finally:
             for module, original in reversed(patched):
                 object.__setattr__(module, "forward", original)
+
+    def covers_kernels(self, model: Module) -> bool:
+        """Whether every kernel layer of ``model`` has an executor.
+
+        The micro-batching window is only byte-identical to sequential
+        execution when every conv/deconv/linear runs through an exact
+        integer executor — float32 kernels batched through BLAS may
+        round differently per batch shape.  Elementwise trunk ops
+        (BN eval, activations, pooling, upsampling) are per-sample and
+        always safe.
+        """
+        if not self.executors:
+            return False
+        kernel_types = (Conv2d, ConvTranspose2d, Linear)
+        return all(name in self.executors
+                   for name, module in layer_map(model).items()
+                   if isinstance(module, kernel_types))
+
+    def predict_window(self, model: Module, scenes) -> list:
+        """Run a micro-batch window of scenes through ``model``.
+
+        Uses the model's batched trunk (:meth:`Detector3D.predict_batch`)
+        with the executors attached when batching is certified exact
+        (:meth:`covers_kernels`); otherwise falls back to sequential
+        single-frame predicts, which define the semantics either way.
+        """
+        scenes = list(scenes)
+        if not self.executors:
+            return [model.predict(scene) for scene in scenes]
+        with self.attached(model):
+            if len(scenes) > 1 and self.covers_kernels(model):
+                return model.predict_batch(scenes)
+            return [model.predict(scene) for scene in scenes]
 
     def summary(self) -> str:
         return (f"lowered program: {len(self.executors)} integer "

@@ -81,8 +81,15 @@ class LayerTelemetry:
         self.activations_saturated += int(saturated)
 
     def record_matmul(self, macs: int, columns_total: int,
-                      columns_skipped: int) -> None:
-        self.calls += 1
+                      columns_skipped: int, frames: int = 1) -> None:
+        """Record one matmul covering ``frames`` micro-batched frames.
+
+        Callers pass per-batch totals (columns already multiplied by the
+        batch size), so a batched call leaves counters equal to the sum
+        of the ``frames`` single-frame calls it replaced — the batching
+        telemetry contract ``tests/nn/test_batched_quantized.py`` pins.
+        """
+        self.calls += int(frames)
         self.macs += int(macs)
         self.columns_total += int(columns_total)
         self.columns_skipped += int(columns_skipped)

@@ -114,6 +114,8 @@ class TestSkippingExactness:
             weight_bits=bits, activation_bits=act_bits)
         skipped = executor(activation)
         executor._keep_cols = np.ones_like(executor._keep_cols)
+        executor._compact()     # rebuild packed weights from the mask
+        assert executor._kept == executor._keep_cols.size
         dense = executor(activation)
         assert skipped.data.tobytes() == dense.data.tobytes()
 

@@ -1,0 +1,157 @@
+"""Shape-keyed geometry cache: gather im2col and indexed col2im.
+
+Acceptance: the plan-based ``im2col`` is bit-identical to the strided
+reference for every dtype (a gather is a pure permutation);
+``col2im_indexed`` equals the kernel-loop ``col2im`` exactly on
+integer-valued data; restricted scatter plans match masking; and the
+LRU cache reuses, evicts, and reports stats correctly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn import functional as F
+
+GEOMETRIES = [
+    # (n, c, h, w, kernel, stride, padding)
+    (1, 3, 6, 6, 3, 1, 1),
+    (2, 4, 7, 5, 3, 2, 1),
+    (3, 2, 8, 8, 2, 2, 0),
+    (1, 1, 5, 5, 5, 1, 2),
+    (2, 3, 9, 7, 1, 1, 0),
+]
+
+
+def _strided_im2col(x, kernel, stride, padding):
+    """The pre-cache as_strided implementation, kept as the oracle."""
+    n, c, h, w = x.shape
+    out_h = (h + 2 * padding - kernel) // stride + 1
+    out_w = (w + 2 * padding - kernel) // stride + 1
+    if padding > 0:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding),
+                       (padding, padding)))
+    s = x.strides
+    windows = np.lib.stride_tricks.as_strided(
+        x, shape=(n, c, kernel, kernel, out_h, out_w),
+        strides=(s[0], s[1], s[2], s[3], s[2] * stride, s[3] * stride),
+        writeable=False)
+    return windows.reshape(n, c * kernel * kernel, out_h * out_w).copy()
+
+
+class TestIm2colGather:
+    @pytest.mark.parametrize("geometry", GEOMETRIES)
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64, np.int64])
+    def test_bit_identical_to_strided(self, geometry, dtype):
+        n, c, h, w, k, s, p = geometry
+        rng = np.random.default_rng(hash(geometry) % 2 ** 32)
+        if np.issubdtype(dtype, np.integer):
+            x = rng.integers(-500, 500, (n, c, h, w)).astype(dtype)
+        else:
+            x = rng.standard_normal((n, c, h, w)).astype(dtype)
+        expected = _strided_im2col(x, k, s, p)
+        got = F.im2col(x, k, s, p)
+        assert got.dtype == expected.dtype
+        assert got.tobytes() == expected.tobytes()
+
+    def test_batch_rows_match_single_frames(self):
+        """Batched gather == stacked per-frame gathers, byte for byte."""
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((4, 3, 6, 6)).astype(np.float32)
+        batched = F.im2col(x, 3, 1, 1)
+        for i in range(4):
+            single = F.im2col(x[i:i + 1], 3, 1, 1)
+            assert batched[i:i + 1].tobytes() == single.tobytes()
+
+
+class TestCol2imIndexed:
+    @pytest.mark.parametrize("geometry", GEOMETRIES)
+    def test_matches_kernel_loop_on_integers(self, geometry):
+        n, c, h, w, k, s, p = geometry
+        rng = np.random.default_rng(hash(geometry) % 2 ** 31)
+        positions = ((h + 2 * p - k) // s + 1) * ((w + 2 * p - k) // s + 1)
+        cols = rng.integers(-1000, 1000,
+                            (n, c * k * k, positions)).astype(np.int64)
+        loop = F.col2im(cols, (n, c, h, w), k, s, p)
+        indexed = F.col2im_indexed(cols, (n, c, h, w), k, s, p)
+        assert (loop == indexed).all()
+        # ...and on integer-valued float64, where exactness certifies
+        # the order-independent sum.
+        indexed_f = F.col2im_indexed(cols.astype(np.float64),
+                                     (n, c, h, w), k, s, p)
+        assert (indexed_f == loop).all()
+
+    def test_roundtrip_counts_contributors(self):
+        """col2im(im2col(ones)) counts how many patches cover a cell."""
+        x = np.ones((1, 2, 6, 6), dtype=np.int64)
+        cols = F.im2col(x, 3, 1, 1)
+        back = F.col2im_indexed(cols, (1, 2, 6, 6), 3, 1, 1)
+        # Interior cells are covered by all 9 kernel offsets.
+        assert back[0, :, 2:-2, 2:-2].min() == 9
+        assert (back == F.col2im(cols, (1, 2, 6, 6), 3, 1, 1)).all()
+
+    def test_restrict_equals_masked_columns(self):
+        rng = np.random.default_rng(5)
+        c, h, w, k, s, p = 3, 8, 8, 3, 2, 1
+        plan = F.col2im_plan(c, h, w, k, s, p)
+        cols = rng.integers(-50, 50,
+                            (2, plan.rows, plan.positions)).astype(np.int64)
+        keep = rng.random(plan.rows) > 0.5
+        masked = cols.copy()
+        masked[:, ~keep, :] = 0
+        full = plan.apply(masked)
+        restricted = plan.restrict(keep).apply(
+            np.ascontiguousarray(cols[:, keep, :]))
+        assert (full == restricted).all()
+
+    def test_restrict_rejects_wrong_mask_size(self):
+        plan = F.col2im_plan(2, 6, 6, 3, 1, 1)
+        with pytest.raises(ValueError, match="rows"):
+            plan.restrict(np.ones(plan.rows + 1, dtype=bool))
+
+
+class TestGeometryCache:
+    def test_hit_on_reuse(self):
+        F.clear_geometry_cache()
+        x = np.zeros((1, 2, 6, 6), dtype=np.float32)
+        F.im2col(x, 3, 1, 1)
+        misses = F.geometry_cache_stats()["misses"]
+        F.im2col(x, 3, 1, 1)                    # same geometry
+        F.im2col(np.zeros((5, 2, 6, 6), np.float32), 3, 1, 1)  # batch too
+        stats = F.geometry_cache_stats()
+        assert stats["misses"] == misses
+        assert stats["hits"] >= 2
+
+    def test_distinct_keys_per_geometry(self):
+        F.clear_geometry_cache()
+        F.im2col(np.zeros((1, 2, 6, 6), np.float32), 3, 1, 1)
+        F.im2col(np.zeros((1, 2, 6, 6), np.float32), 3, 2, 1)
+        F.im2col(np.zeros((1, 2, 7, 6), np.float32), 3, 1, 1)
+        F.col2im_indexed(np.zeros((1, 18, 36)), (1, 2, 6, 6), 3, 1, 1)
+        assert F.geometry_cache_stats()["size"] == 4
+
+    def test_clear_resets(self):
+        F.im2col(np.zeros((1, 1, 4, 4), np.float32), 2, 2, 0)
+        F.clear_geometry_cache()
+        stats = F.geometry_cache_stats()
+        assert stats == {"size": 0, "capacity": stats["capacity"],
+                         "hits": 0, "misses": 0}
+
+    def test_lru_eviction(self, monkeypatch):
+        monkeypatch.setattr(F, "_GEOMETRY_CAPACITY", 3)
+        F.clear_geometry_cache()
+        for h in range(5, 11):
+            F.im2col(np.zeros((1, 1, h, h), np.float32), 3, 1, 1)
+        stats = F.geometry_cache_stats()
+        assert stats["size"] == 3
+        # The most recent geometry is still cached (a hit, no miss).
+        misses = stats["misses"]
+        F.im2col(np.zeros((1, 1, 10, 10), np.float32), 3, 1, 1)
+        assert F.geometry_cache_stats()["misses"] == misses
+
+    def test_plans_are_read_only(self):
+        plan = F.im2col_plan(2, 6, 6, 3, 1, 1)
+        with pytest.raises(ValueError):
+            plan.indices[0, 0] = 0
+        scatter = F.col2im_plan(2, 6, 6, 3, 1, 1)
+        with pytest.raises(ValueError):
+            scatter.contributors[0, 0] = 0

@@ -89,8 +89,9 @@ class TestPatternSkipCounts:
         telemetry = LayerTelemetry(layer="conv")
         q.telemetry = telemetry
         q.forward(Tensor(x))
-        assert telemetry.columns_total == total
-        assert telemetry.columns_skipped == expected_skipped
+        # Column counters are per frame; the (batch 2) call records 2x.
+        assert telemetry.columns_total == 2 * total
+        assert telemetry.columns_skipped == 2 * expected_skipped
         assert telemetry.skip_rate == expected_skipped / total
 
     def test_deconv_skip_count(self, pattern_type, bits):
@@ -104,8 +105,8 @@ class TestPatternSkipCounts:
         telemetry = LayerTelemetry(layer="deconv")
         q.telemetry = telemetry
         q.forward(Tensor(x))
-        assert telemetry.columns_total == total
-        assert telemetry.columns_skipped == expected_skipped
+        assert telemetry.columns_total == 2 * total
+        assert telemetry.columns_skipped == 2 * expected_skipped
 
 
 @pytest.mark.parametrize("bits", BITS)
@@ -213,7 +214,8 @@ class TestMacsAndAccumulator:
         kept = total - expected_skipped
         positions = 6 * 6                       # stride 1, padding 1
         assert telemetry.macs == 2 * 4 * kept * positions
-        assert telemetry.calls == 1
+        # one batched matmul over 2 frames counts as 2 per-frame calls
+        assert telemetry.calls == 2
 
     def test_accumulator_extrema_match_recompute(self):
         rng = np.random.default_rng(6)

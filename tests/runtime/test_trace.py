@@ -65,10 +65,15 @@ def _frame_sums(report):
 
 
 class TestTraceSumsToFrameCost:
-    def test_plain_stream(self, compressed, scenes, jetson):
+    """Conservation must hold for batch_size == 1 and batched windows:
+    a batched window's events still sum to each frame's recorded
+    ``device_latency_s`` / ``device_energy_j`` exactly."""
+
+    @pytest.mark.parametrize("batch_size", [1, 3])
+    def test_plain_stream(self, compressed, scenes, jetson, batch_size):
         engine = InferenceEngine(compressed.model, jetson,
                                  execution="lowered", ir=compressed.ir,
-                                 trace=True)
+                                 trace=True, batch_size=batch_size)
         report = engine.run(scenes)
         sums = _frame_sums(report)
         assert len(sums) == len(scenes)
@@ -77,7 +82,9 @@ class TestTraceSumsToFrameCost:
             assert np.isclose(lat, frame.device_latency_s, rtol=1e-9)
             assert np.isclose(energy, frame.device_energy_j, rtol=1e-9)
 
-    def test_with_cost_hook_and_jitter(self, compressed, scenes, jetson):
+    @pytest.mark.parametrize("batch_size", [1, 3])
+    def test_with_cost_hook_and_jitter(self, compressed, scenes, jetson,
+                                       batch_size):
         """Attribution follows whatever the hook did to the base cost,
         and injected jitter appears as its own pseudo-event."""
         injector = FaultInjector(FaultSpec(
@@ -87,7 +94,7 @@ class TestTraceSumsToFrameCost:
         engine = InferenceEngine(compressed.model, jetson,
                                  execution="lowered", ir=compressed.ir,
                                  trace=True, fault_injector=injector,
-                                 cost_hook=hook)
+                                 cost_hook=hook, batch_size=batch_size)
         report = engine.run(scenes)
         sums = _frame_sums(report)
         for frame in report.frames:
