@@ -11,11 +11,14 @@ Subcommands mirror the library's workflow::
     python -m repro.cli sensitivity --model pointpillars           # analysis
     python -m repro.cli stream --inject-faults --fault-seed 7      # chaos
     python -m repro.cli ir dump pointpillars --preset hck          # model IR
+    python -m repro.cli fuzz --out /tmp/sweep.json                 # fuzz gate
+    python -m repro.cli query "status = degraded" --report /tmp/sweep.json
 """
 
 from __future__ import annotations
 
 import argparse
+import math
 import sys
 
 
@@ -93,10 +96,17 @@ def _cmd_evaluate(args) -> int:
                                with_image=(args.model == "smoke"))
     predictions = [model.predict(scene) for scene in scenes]
     result = evaluate_by_difficulty(predictions, [s.boxes for s in scenes])
+
+    def fmt(value, width=6, digits=2):
+        # NaN means "no ground truth at this difficulty", not zero.
+        if isinstance(value, float) and math.isnan(value):
+            return "n/a".rjust(width)
+        return f"{value:{width}.{digits}f}"
+
     for bucket, metrics in result.items():
-        per_class = " ".join(f"{k}={v:.1f}" for k, v in metrics.items()
-                             if k != "mAP")
-        print(f"{bucket:9s} mAP={metrics['mAP']:6.2f}  {per_class}")
+        per_class = " ".join(f"{k}={fmt(v, 0, 1)}"
+                             for k, v in metrics.items() if k != "mAP")
+        print(f"{bucket:9s} mAP={fmt(metrics['mAP'])}  {per_class}")
     return 0
 
 
@@ -254,6 +264,135 @@ def _cmd_sensitivity(args) -> int:
     return 0
 
 
+def _parse_axis(value, default, known, label):
+    """CSV axis flag: ``all`` → every known name, None → the default."""
+    if value is None:
+        return tuple(default)
+    if value == "all":
+        return tuple(known)
+    names = tuple(part.strip() for part in value.split(",") if part.strip())
+    if not names:
+        raise SystemExit(f"error: empty --{label} list")
+    return names
+
+
+def _cmd_fuzz(args) -> int:
+    import json
+
+    from repro.fuzzing import (CONDITIONS, DEFAULT_CONDITIONS,
+                               DEFAULT_PRESETS, DEFAULT_SCENARIOS,
+                               FuzzConfig, GateThresholds, check_gate,
+                               load_baseline, run_fuzz, write_baseline,
+                               write_report)
+    from repro.fuzzing import preset_names as all_presets
+    from repro.pointcloud import scenario_names
+
+    if args.list:
+        print("scenarios: " + ", ".join(scenario_names()))
+        print("presets:   " + ", ".join(all_presets()))
+        print("conditions:" + "".join(f"\n  {c.name:10s} {c.description}"
+                                      for c in CONDITIONS.values()))
+        return 0
+
+    try:
+        config = FuzzConfig(
+            scenarios=_parse_axis(args.scenarios, DEFAULT_SCENARIOS,
+                                  scenario_names(), "scenarios"),
+            presets=_parse_axis(args.presets, DEFAULT_PRESETS,
+                                all_presets(), "presets"),
+            conditions=_parse_axis(args.conditions, DEFAULT_CONDITIONS,
+                                   tuple(CONDITIONS), "conditions"),
+            frames_per_cell=args.frames, seed=args.seed, model=args.model,
+            execution=args.execution)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    print(f"sweeping {config.num_cells} cells "
+          f"({len(config.scenarios)} scenarios x {len(config.presets)} "
+          f"presets x {len(config.conditions)} conditions, "
+          f"{config.frames_per_cell} frames/cell, seed {config.seed})")
+
+    def progress(key, metrics):
+        map_text = "n/a" if math.isnan(metrics["mAP"]) \
+            else f"{metrics['mAP']:5.1f}"
+        print(f"  {key:48s} mAP {map_text}  "
+              f"p99 {metrics['p99_ms']:7.3f} ms  "
+              f"hit {metrics['deadline_hit_rate']:.2f}  "
+              f"({metrics['ok_frames']} ok/"
+              f"{metrics['degraded_frames']} degraded/"
+              f"{metrics['dropped_frames']} dropped)")
+
+    report = run_fuzz(config, progress=progress)
+    if args.out:
+        write_report(report, args.out)
+        print(f"wrote sweep report to {args.out}")
+
+    if args.write_baseline:
+        write_baseline(report, args.baseline)
+        print(f"wrote baseline ({len(report.cells)} cells) "
+              f"to {args.baseline}")
+        return 0
+
+    try:
+        baseline = load_baseline(args.baseline)
+    except FileNotFoundError:
+        print(f"error: no baseline at {args.baseline}; run with "
+              "--write-baseline to create one", file=sys.stderr)
+        return 2
+    thresholds = GateThresholds(map_drop=args.map_drop,
+                                p99_rise_frac=args.p99_rise,
+                                hit_rate_drop=args.hit_rate_drop)
+    try:
+        gate = check_gate(report, baseline, thresholds)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if args.gate_report:
+        with open(args.gate_report, "w") as handle:
+            json.dump(gate.to_json(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote gate report to {args.gate_report}")
+    print(gate.summary())
+    for failure in gate.failures:
+        print(f"  FAIL {failure['cell']}: {failure['metric']} "
+              f"{failure['baseline']} -> {failure['current']} "
+              f"({failure['kind']}, allowed {failure['allowed']})")
+    for key in gate.new_cells:
+        print(f"  NEW  {key}: not in baseline (refresh with "
+              "--write-baseline to bless)")
+    return 0 if gate.passed else 1
+
+
+def _cmd_query(args) -> int:
+    import json
+
+    from repro.fuzzing import QueryError, load_report, parse_query
+    try:
+        predicate = parse_query(args.expr)
+    except QueryError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    try:
+        report = load_report(args.report)
+    except FileNotFoundError:
+        print(f"error: no sweep report at {args.report}; produce one "
+              "with `repro fuzz --out`", file=sys.stderr)
+        return 2
+    matches = predicate.filter(report.rows)
+    if args.count:
+        print(len(matches))
+        return 0
+    for row in matches:
+        safe = {key: (None if isinstance(value, float)
+                      and math.isnan(value) else value)
+                for key, value in row.items()}
+        print(json.dumps(safe, sort_keys=True))
+    print(f"{len(matches)} of {len(report.rows)} rows matched",
+          file=sys.stderr)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="UPAQ reproduction command line")
@@ -388,6 +527,52 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--compact", action="store_true",
                    help="single-line JSON instead of indented")
     p.set_defaults(func=_cmd_ir_dump)
+
+    p = sub.add_parser(
+        "fuzz", help="scenario-matrix fuzz sweep with regression gating")
+    p.add_argument("--scenarios", default=None,
+                   help="CSV of scenario families, or 'all' "
+                        "(default: all families)")
+    p.add_argument("--presets", default=None,
+                   help="CSV of compression presets, or 'all' "
+                        "(default: hck,lck,hck-4bit,lck-16bit)")
+    p.add_argument("--conditions", default=None,
+                   help="CSV of runtime conditions, or 'all' "
+                        "(default: clean,faulty,pressure)")
+    p.add_argument("--frames", type=int, default=3,
+                   help="frames streamed per cell")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--model", default="tiny",
+                   choices=["tiny", "pointpillars"])
+    p.add_argument("--execution", default="reference",
+                   choices=["reference", "lowered"])
+    p.add_argument("--baseline", default="artifacts/fuzz_baseline.json",
+                   help="committed baseline to gate against")
+    p.add_argument("--out", default=None,
+                   help="write the full sweep report (cells + rows) here")
+    p.add_argument("--gate-report", default=None,
+                   help="write the machine-readable gate verdict here")
+    p.add_argument("--write-baseline", action="store_true",
+                   help="bless this sweep as the new baseline (no gating)")
+    p.add_argument("--map-drop", type=float, default=3.0,
+                   help="allowed absolute mAP drop in points")
+    p.add_argument("--p99-rise", type=float, default=0.25,
+                   help="allowed relative p99 latency rise")
+    p.add_argument("--hit-rate-drop", type=float, default=0.15,
+                   help="allowed absolute deadline-hit-rate drop")
+    p.add_argument("--list", action="store_true",
+                   help="list scenario/preset/condition names and exit")
+    p.set_defaults(func=_cmd_fuzz)
+
+    p = sub.add_parser(
+        "query", help="filter saved fuzz-sweep rows with a query expression")
+    p.add_argument("expr",
+                   help="e.g. \"status = degraded and latency_ms > 30\"")
+    p.add_argument("--report", required=True,
+                   help="sweep report written by `repro fuzz --out`")
+    p.add_argument("--count", action="store_true",
+                   help="print only the number of matching rows")
+    p.set_defaults(func=_cmd_query)
 
     p = sub.add_parser("sensitivity",
                        help="per-layer quantization sensitivity")

@@ -5,10 +5,21 @@ detections are matched to ground truth greedily by descending score under
 a class-specific BEV IoU threshold; precision is sampled at 40 equally
 spaced recall positions.  ``evaluate_map`` averages over classes, which
 is the single mAP number the paper reports in Table 2.
+
+Empty-input conventions mirror the streaming runtime's NaN-on-empty
+rule (:class:`repro.runtime.StreamReport`): a metric that is
+*undefined* is NaN, a metric that is *genuinely zero* is 0.0.
+Concretely: a class absent from the ground truth has NaN AP (there was
+nothing to find — 0.0 would read as a catastrophic miss) and is
+excluded from the mAP mean; ``mAP`` itself is NaN only when no
+evaluated class has any ground truth.  A class with ground truth but
+zero matching predictions — e.g. the all-dropped stream, whose
+predictions are all empty — scores a legitimate 0.0.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -66,9 +77,14 @@ def average_precision(predictions: list[DetectionResult],
                       ground_truth: list[list[Box3D]],
                       class_name: str,
                       config: EvalConfig | None = None) -> float:
-    """R40 interpolated AP (0-100 scale) for one class."""
+    """R40 interpolated AP (0-100 scale) for one class.
+
+    NaN when the class has no ground truth in any frame (the metric is
+    undefined); 0.0 when ground truth exists but nothing matched.
+    """
     config = config or EvalConfig()
     threshold = config.iou_thresholds[class_name]
+    _check_aligned(predictions, ground_truth)
 
     scores: list[float] = []
     tps: list[bool] = []
@@ -84,7 +100,7 @@ def average_precision(predictions: list[DetectionResult],
         total_gt += n_gt
 
     if total_gt == 0:
-        return 0.0
+        return math.nan
     if not scores:
         return 0.0
 
@@ -105,20 +121,34 @@ def average_precision(predictions: list[DetectionResult],
     return 100.0 * ap / config.recall_positions
 
 
+def _check_aligned(predictions, ground_truth) -> None:
+    if len(predictions) != len(ground_truth):
+        raise ValueError(
+            f"predictions and ground truth are misaligned: "
+            f"{len(predictions)} predicted frames vs "
+            f"{len(ground_truth)} ground-truth frames")
+
+
 def evaluate_map(predictions: list[DetectionResult],
                  ground_truth: list[list[Box3D]],
                  config: EvalConfig | None = None) -> dict:
-    """Per-class AP plus their mean (the paper's mAP)."""
+    """Per-class AP plus their mean (the paper's mAP).
+
+    Classes absent from the ground truth carry NaN AP and are excluded
+    from the mean; ``mAP`` is NaN only when *no* class has ground truth
+    (empty frame list, or frames with no annotations at the evaluated
+    difficulty).
+    """
     config = config or EvalConfig()
+    _check_aligned(predictions, ground_truth)
     result = {}
     present = []
     for cls in config.class_names:
-        has_gt = any(b.label == cls for frame in ground_truth for b in frame)
         ap = average_precision(predictions, ground_truth, cls, config)
         result[cls] = ap
-        if has_gt:
+        if not math.isnan(ap):
             present.append(ap)
-    result["mAP"] = float(np.mean(present)) if present else 0.0
+    result["mAP"] = float(np.mean(present)) if present else math.nan
     return result
 
 
@@ -150,6 +180,7 @@ def precision_recall_curve(predictions: list[DetectionResult],
     """Raw (recall, precision) points for one class, score-ordered."""
     config = config or EvalConfig()
     threshold = config.iou_thresholds[class_name]
+    _check_aligned(predictions, ground_truth)
     scores: list[float] = []
     tps: list[bool] = []
     total_gt = 0

@@ -1,0 +1,47 @@
+"""``repro.fuzzing`` — scenario-matrix fuzzing with regression gating.
+
+The evaluation substrate for the streaming runtime: a chaos-style
+harness (:mod:`repro.fuzzing.harness`) sweeps the adverse scenario
+families of :data:`repro.pointcloud.SCENARIOS` against compression
+presets (HCK/LCK and fixed 4/8/16-bit ladders) and runtime conditions
+(fault injection, deadline pressure, micro-batching), collects per-cell
+mAP and latency percentiles from the
+:class:`~repro.runtime.InferenceEngine`, and gates the result against a
+committed baseline (:mod:`repro.fuzzing.gate`,
+``artifacts/fuzz_baseline.json``) with explicit regression thresholds.
+
+On top sits a small EVA-style declarative query layer
+(:mod:`repro.fuzzing.query`) over the per-frame rows the sweep records:
+
+>>> from repro.fuzzing import F, parse_query
+>>> q = (F.label == "Pedestrian") & (F.status == "degraded") \\
+...     & (F.condition == "pressure")
+>>> same = parse_query(
+...     "label = Pedestrian and status = degraded and "
+...     "condition = pressure")
+
+Both the gate's per-cell aggregation and the ``repro fuzz`` /
+``repro query`` CLI commands run through this layer.  See
+``docs/TESTING.md`` ("Scenario matrix & fuzz gating").
+"""
+
+from .gate import (GateReport, GateThresholds, check_gate, load_baseline,
+                   make_baseline, write_baseline)
+from .harness import FuzzReport, load_report, run_fuzz, write_report
+from .matrix import (CONDITIONS, DEFAULT_CONDITIONS, DEFAULT_PRESETS,
+                     DEFAULT_SCENARIOS, PRESETS, FuzzConfig,
+                     RuntimeCondition, build_fuzz_model,
+                     build_preset_config, cell_key, cell_seed,
+                     condition_names, preset_names)
+from .query import F, Predicate, QueryError, parse_query
+
+__all__ = [
+    "FuzzConfig", "RuntimeCondition", "PRESETS", "CONDITIONS",
+    "DEFAULT_SCENARIOS", "DEFAULT_PRESETS", "DEFAULT_CONDITIONS",
+    "preset_names", "condition_names", "cell_key", "cell_seed",
+    "build_fuzz_model", "build_preset_config",
+    "FuzzReport", "run_fuzz", "write_report", "load_report",
+    "GateThresholds", "GateReport", "check_gate", "make_baseline",
+    "write_baseline", "load_baseline",
+    "F", "Predicate", "QueryError", "parse_query",
+]

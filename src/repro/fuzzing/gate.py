@@ -1,0 +1,202 @@
+"""Regression gating: compare a fuzz sweep against a committed baseline.
+
+The baseline (``artifacts/fuzz_baseline.json``) stores per-cell metrics
+from a blessed full-matrix sweep.  :func:`check_gate` compares every
+cell the *current* sweep ran against the baseline cell of the same key
+and fails when
+
+* mAP dropped by more than ``map_drop`` points (absolute, on the 0-100
+  KITTI scale),
+* p99 device latency rose by more than ``p99_rise_frac`` (relative),
+* the deadline hit rate dropped by more than ``hit_rate_drop``
+  (absolute, on the 0-1 scale).
+
+Because cell randomness is seeded from ``cell_seed(sweep_seed, key)``
+(independent of sweep composition), a *subset* sweep with the same
+seed/frames reproduces exactly the cells of the full baseline matrix —
+CI can gate a reduced smoke sweep against the full committed baseline.
+
+NaN rules (mirroring the metric layer's NaN-on-undefined convention):
+
+* baseline NaN → the check is skipped (nothing to regress from);
+* current NaN where the baseline is finite → hard failure (a metric
+  that used to exist vanished);
+* cells in the current sweep but absent from the baseline are reported
+  as ``new`` (a warning, not a failure — refresh the baseline to bless
+  them).
+
+A baseline is only comparable when seed, frames_per_cell, model and
+execution backend match; :func:`check_gate` raises :class:`ValueError`
+otherwise so a stale baseline can never silently pass.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+
+from .harness import REPORT_VERSION, FuzzReport, _json_safe, _nan_safe
+
+__all__ = ["GateThresholds", "GateReport", "check_gate", "make_baseline",
+           "write_baseline", "load_baseline"]
+
+#: metrics where *larger is better* / *smaller is better* checks apply
+_MAP_METRICS = ("mAP", "mAP_easy", "mAP_moderate", "mAP_hard")
+
+
+@dataclass(frozen=True)
+class GateThresholds:
+    """How much regression the gate tolerates before failing."""
+
+    #: absolute mAP drop allowed, in KITTI points (0-100 scale)
+    map_drop: float = 3.0
+    #: relative p99 latency rise allowed (0.25 = +25 %)
+    p99_rise_frac: float = 0.25
+    #: absolute deadline-hit-rate drop allowed (0-1 scale)
+    hit_rate_drop: float = 0.15
+
+
+@dataclass
+class GateReport:
+    """The verdict: per-cell failures, warnings, and summary counts."""
+
+    passed: bool
+    thresholds: GateThresholds
+    #: cells that breached a threshold: list of violation dicts
+    failures: list = field(default_factory=list)
+    #: cells present now but not in the baseline
+    new_cells: list = field(default_factory=list)
+    #: baseline cells the current sweep did not run (informational)
+    unchecked_cells: list = field(default_factory=list)
+    checked_cells: int = 0
+
+    def to_json(self) -> dict:
+        return {
+            "passed": self.passed,
+            "thresholds": {
+                "map_drop": self.thresholds.map_drop,
+                "p99_rise_frac": self.thresholds.p99_rise_frac,
+                "hit_rate_drop": self.thresholds.hit_rate_drop,
+            },
+            "checked_cells": self.checked_cells,
+            "failures": [_json_safe(f) for f in self.failures],
+            "new_cells": sorted(self.new_cells),
+            "unchecked_cells": sorted(self.unchecked_cells),
+        }
+
+    def summary(self) -> str:
+        verdict = "PASS" if self.passed else "FAIL"
+        parts = [f"gate {verdict}: {self.checked_cells} cells checked, "
+                 f"{len(self.failures)} violations"]
+        if self.new_cells:
+            parts.append(f"{len(self.new_cells)} new cells not in baseline")
+        if self.unchecked_cells:
+            parts.append(f"{len(self.unchecked_cells)} baseline cells "
+                         "not exercised")
+        return "; ".join(parts)
+
+
+def _finite(value) -> bool:
+    return isinstance(value, (int, float)) and not math.isnan(value)
+
+
+def _compare_cell(key: str, base: dict, cur: dict,
+                  thresholds: GateThresholds) -> list:
+    """All threshold violations for one cell."""
+    violations = []
+
+    def violation(metric, kind, allowed, baseline_value, current_value):
+        violations.append({
+            "cell": key, "metric": metric, "kind": kind,
+            "allowed": allowed,
+            "baseline": baseline_value, "current": current_value,
+        })
+
+    def check(metric, kind, allowed, breached):
+        baseline_value = base.get(metric, math.nan)
+        current_value = cur.get(metric, math.nan)
+        if not _finite(baseline_value):
+            return  # nothing to regress from
+        if not _finite(current_value):
+            violation(metric, "vanished", allowed, baseline_value,
+                      current_value)
+            return
+        if breached(baseline_value, current_value):
+            violation(metric, kind, allowed, baseline_value, current_value)
+
+    for metric in _MAP_METRICS:
+        check(metric, "map_drop", thresholds.map_drop,
+              lambda b, c: b - c > thresholds.map_drop)
+    check("p99_ms", "p99_rise", thresholds.p99_rise_frac,
+          lambda b, c: b > 0 and (c - b) / b > thresholds.p99_rise_frac)
+    check("deadline_hit_rate", "hit_rate_drop", thresholds.hit_rate_drop,
+          lambda b, c: b - c > thresholds.hit_rate_drop)
+    return violations
+
+
+def check_gate(current: FuzzReport, baseline: dict,
+               thresholds: GateThresholds | None = None) -> GateReport:
+    """Gate ``current`` against a baseline payload (see make_baseline).
+
+    Raises :class:`ValueError` if the baseline was produced under a
+    different seed, frames_per_cell, model or execution backend — those
+    runs are not comparable and must never silently pass.
+    """
+    thresholds = thresholds or GateThresholds()
+    mismatches = []
+    for key_name in ("seed", "frames_per_cell", "model", "execution"):
+        base_value = baseline.get(key_name)
+        cur_value = getattr(current.config, key_name)
+        if base_value != cur_value:
+            mismatches.append(f"{key_name}: baseline={base_value!r} "
+                              f"current={cur_value!r}")
+    if mismatches:
+        raise ValueError(
+            "baseline is not comparable to this sweep ("
+            + "; ".join(mismatches)
+            + "); regenerate it with --write-baseline")
+
+    base_cells = {key: _nan_safe(metrics)
+                  for key, metrics in baseline.get("cells", {}).items()}
+    report = GateReport(passed=True, thresholds=thresholds)
+    for key, metrics in sorted(current.cells.items()):
+        if key not in base_cells:
+            report.new_cells.append(key)
+            continue
+        report.checked_cells += 1
+        report.failures.extend(
+            _compare_cell(key, base_cells[key], metrics, thresholds))
+    report.unchecked_cells = sorted(set(base_cells) - set(current.cells))
+    report.passed = not report.failures
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Baseline files
+# ---------------------------------------------------------------------------
+
+def make_baseline(report: FuzzReport) -> dict:
+    """The committable baseline payload for a sweep (cells only, no rows)."""
+    return {
+        "version": REPORT_VERSION,
+        "seed": report.config.seed,
+        "frames_per_cell": report.config.frames_per_cell,
+        "model": report.config.model,
+        "execution": report.config.execution,
+        "device": report.config.device,
+        "cells": {key: _json_safe(metrics)
+                  for key, metrics in sorted(report.cells.items())},
+    }
+
+
+def write_baseline(report: FuzzReport, path: str) -> None:
+    with open(path, "w") as handle:
+        json.dump(make_baseline(report), handle, indent=2, sort_keys=True,
+                  allow_nan=False)
+        handle.write("\n")
+
+
+def load_baseline(path: str) -> dict:
+    with open(path) as handle:
+        return json.load(handle)

@@ -1,0 +1,365 @@
+"""Declarative queries over fuzz-harness frame rows.
+
+EVA (PAPERS.md) popularized asking SQL-ish questions of a video
+detector's output stream ("frames where a pedestrian was detected...").
+This module is that idiom over the per-frame rows the fuzzing harness
+records: each row is a flat dict (scenario, preset, condition,
+frame_id, status, deadline_met, latency_ms, labels, ...) and a query is
+a composable predicate over one row.
+
+Two equivalent front-ends:
+
+* **Combinators** — ``F.<field>`` builds a field reference whose
+  comparison operators return predicates, composable with ``&``, ``|``
+  and ``~``::
+
+      q = (F.label == "Pedestrian") & (F.status == "degraded") \
+          & ~F.deadline_met
+      held = q.filter(report.rows)
+
+* **Text** — :func:`parse_query` accepts the same logic in a tiny
+  expression language used by the ``repro query`` CLI::
+
+      label = Pedestrian and status = degraded and deadline_met = false
+
+Comparison semantics: when the row value is a list/tuple/set (e.g.
+``labels``), ``=`` means membership and ``!=`` its negation — matching
+EVA's array-contains idiom.  A field missing from a row never matches.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+__all__ = ["F", "Field", "Predicate", "QueryError", "parse_query",
+           "ROW_FIELDS"]
+
+#: The row schema the harness emits (documented here so queries and
+#: readers of saved reports have one reference).
+ROW_FIELDS = (
+    "scenario", "preset", "condition", "cell", "frame_id", "status",
+    "deadline_met", "fallback", "latency_ms", "energy_mj",
+    "num_detections", "labels", "max_score", "gt_labels", "gt_count",
+)
+
+
+class QueryError(ValueError):
+    """Malformed query text or an unusable predicate."""
+
+
+class Predicate:
+    """A boolean test over one frame row; composable with ``& | ~``."""
+
+    def matches(self, row: dict) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def filter(self, rows) -> list:
+        """The rows satisfying this predicate, in input order."""
+        return [row for row in rows if self.matches(row)]
+
+    def count(self, rows) -> int:
+        return sum(1 for row in rows if self.matches(row))
+
+    def __and__(self, other: "Predicate") -> "Predicate":
+        return _And(self, _coerce(other))
+
+    def __or__(self, other: "Predicate") -> "Predicate":
+        return _Or(self, _coerce(other))
+
+    def __invert__(self) -> "Predicate":
+        return _Not(self)
+
+
+def _coerce(value) -> Predicate:
+    if isinstance(value, Field):
+        return value._truthy()
+    if not isinstance(value, Predicate):
+        raise QueryError(f"cannot combine a query with {value!r}")
+    return value
+
+
+@dataclass(frozen=True)
+class _And(Predicate):
+    left: Predicate
+    right: Predicate
+
+    def matches(self, row):
+        return self.left.matches(row) and self.right.matches(row)
+
+    def __repr__(self):
+        return f"({self.left!r} and {self.right!r})"
+
+
+@dataclass(frozen=True)
+class _Or(Predicate):
+    left: Predicate
+    right: Predicate
+
+    def matches(self, row):
+        return self.left.matches(row) or self.right.matches(row)
+
+    def __repr__(self):
+        return f"({self.left!r} or {self.right!r})"
+
+
+@dataclass(frozen=True)
+class _Not(Predicate):
+    inner: Predicate
+
+    def matches(self, row):
+        return not self.inner.matches(row)
+
+    def __repr__(self):
+        return f"(not {self.inner!r})"
+
+
+_MISSING = object()
+
+
+@dataclass(frozen=True)
+class _Cmp(Predicate):
+    field: str
+    op: str
+    value: object
+
+    def matches(self, row):
+        actual = row.get(self.field, _MISSING)
+        if actual is _MISSING:
+            return False
+        if isinstance(actual, (list, tuple, set, frozenset)):
+            # Containment semantics for collection-valued fields.
+            if self.op == "=":
+                return self.value in actual
+            if self.op == "!=":
+                return self.value not in actual
+            raise QueryError(
+                f"field {self.field!r} holds a collection; only = and != "
+                f"apply, not {self.op!r}")
+        try:
+            if self.op == "=":
+                return actual == self.value
+            if self.op == "!=":
+                return actual != self.value
+            if self.op == "<":
+                return actual < self.value
+            if self.op == "<=":
+                return actual <= self.value
+            if self.op == ">":
+                return actual > self.value
+            if self.op == ">=":
+                return actual >= self.value
+        except TypeError:
+            return False
+        raise QueryError(f"unknown operator {self.op!r}")
+
+    def __repr__(self):
+        return f"{self.field} {self.op} {self.value!r}"
+
+
+@dataclass(frozen=True)
+class _Truthy(Predicate):
+    field: str
+
+    def matches(self, row):
+        return bool(row.get(self.field, False))
+
+    def __repr__(self):
+        return self.field
+
+
+class Field:
+    """A named row field; comparisons yield :class:`Predicate`."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __eq__(self, value):          # type: ignore[override]
+        return _Cmp(self.name, "=", value)
+
+    def __ne__(self, value):          # type: ignore[override]
+        return _Cmp(self.name, "!=", value)
+
+    def __lt__(self, value):
+        return _Cmp(self.name, "<", value)
+
+    def __le__(self, value):
+        return _Cmp(self.name, "<=", value)
+
+    def __gt__(self, value):
+        return _Cmp(self.name, ">", value)
+
+    def __ge__(self, value):
+        return _Cmp(self.name, ">=", value)
+
+    def contains(self, value):
+        """Explicit membership test for collection fields."""
+        return _Cmp(self.name, "=", value)
+
+    def _truthy(self) -> Predicate:
+        return _Truthy(self.name)
+
+    def __invert__(self) -> Predicate:
+        return _Not(self._truthy())
+
+    def __and__(self, other):
+        return self._truthy() & _coerce(other)
+
+    def __rand__(self, other):
+        return _coerce(other) & self._truthy()
+
+    def __or__(self, other):
+        return self._truthy() | _coerce(other)
+
+    def __ror__(self, other):
+        return _coerce(other) | self._truthy()
+
+    def __hash__(self):
+        return hash(("Field", self.name))
+
+    def __repr__(self):
+        return f"F.{self.name}"
+
+
+class _FieldFactory:
+    """``F.status``, ``F.latency_ms``, ... — attribute access mints fields."""
+
+    def __getattr__(self, name: str) -> Field:
+        if name.startswith("_"):
+            raise AttributeError(name)
+        return Field(name)
+
+    def __call__(self, name: str) -> Field:
+        return Field(name)
+
+
+F = _FieldFactory()
+
+
+# ---------------------------------------------------------------------------
+# Text front-end
+# ---------------------------------------------------------------------------
+
+_TOKEN = re.compile(r"""
+    \s*(?:
+      (?P<lparen>\() | (?P<rparen>\)) |
+      (?P<op><=|>=|!=|==|=|<|>) |
+      (?P<string>'[^']*'|"[^"]*") |
+      (?P<word>[A-Za-z_][A-Za-z0-9_.\-]*) |
+      (?P<number>-?\d+(?:\.\d+)?)
+    )""", re.VERBOSE)
+
+_KEYWORDS = {"and", "or", "not"}
+_BOOLEANS = {"true": True, "false": False}
+
+
+def _tokenize(text: str) -> list[tuple[str, str]]:
+    tokens = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN.match(text, pos)
+        if match is None or match.end() == match.start():
+            remainder = text[pos:].strip()
+            if not remainder:
+                break
+            raise QueryError(f"cannot parse query near {remainder[:20]!r}")
+        pos = match.end()
+        kind = match.lastgroup
+        value = match.group(kind)
+        if kind == "word" and value.lower() in _KEYWORDS:
+            tokens.append((value.lower(), value))
+        else:
+            tokens.append((kind, value))
+    return tokens
+
+
+class _Parser:
+    """Recursive descent over: or → and → not/paren/comparison."""
+
+    def __init__(self, tokens: list[tuple[str, str]]):
+        self.tokens = tokens
+        self.pos = 0
+
+    def peek(self):
+        return self.tokens[self.pos] if self.pos < len(self.tokens) \
+            else (None, None)
+
+    def take(self):
+        token = self.peek()
+        self.pos += 1
+        return token
+
+    def parse(self) -> Predicate:
+        result = self.or_expr()
+        if self.peek()[0] is not None:
+            raise QueryError(
+                f"unexpected trailing input at {self.peek()[1]!r}")
+        return result
+
+    def or_expr(self) -> Predicate:
+        left = self.and_expr()
+        while self.peek()[0] == "or":
+            self.take()
+            left = left | self.and_expr()
+        return left
+
+    def and_expr(self) -> Predicate:
+        left = self.unary()
+        while self.peek()[0] == "and":
+            self.take()
+            left = left & self.unary()
+        return left
+
+    def unary(self) -> Predicate:
+        kind, value = self.peek()
+        if kind == "not":
+            self.take()
+            return ~self.unary()
+        if kind == "lparen":
+            self.take()
+            inner = self.or_expr()
+            if self.take()[0] != "rparen":
+                raise QueryError("unbalanced parenthesis")
+            return inner
+        return self.comparison()
+
+    def comparison(self) -> Predicate:
+        kind, name = self.take()
+        if kind != "word":
+            raise QueryError(f"expected a field name, got {name!r}")
+        if self.peek()[0] != "op":
+            # Bare field → truthiness ("fallback", "deadline_met").
+            return _Truthy(name)
+        op = self.take()[1]
+        if op == "==":
+            op = "="
+        return _Cmp(name, op, self.literal())
+
+    def literal(self):
+        kind, value = self.take()
+        if kind == "string":
+            return value[1:-1]
+        if kind == "number":
+            return float(value) if "." in value else int(value)
+        if kind == "word":
+            lowered = value.lower()
+            if lowered in _BOOLEANS:
+                return _BOOLEANS[lowered]
+            return value
+        raise QueryError(f"expected a literal value, got {value!r}")
+
+
+def parse_query(text: str) -> Predicate:
+    """Parse query text into a :class:`Predicate`.
+
+    Grammar (loosest to tightest): ``or`` < ``and`` < ``not`` /
+    parentheses < ``field op literal``.  Operators: ``= == != < <= >
+    >=``; bare identifiers are truthiness tests; literals are numbers,
+    ``true``/``false``, quoted strings, or bare words.
+    """
+    tokens = _tokenize(text)
+    if not tokens:
+        raise QueryError("empty query")
+    return _Parser(tokens).parse()

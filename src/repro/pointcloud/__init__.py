@@ -12,7 +12,10 @@ from .boxes import (CLASS_IDS, CLASS_NAMES, Box3D, array_to_boxes,
                     iou_matrix_bev, points_in_box, polygon_area)
 from .kitti import export_kitti, load_kitti, read_labels, write_labels
 from .lidar import LidarConfig, LidarScanner
-from .scenes import Scene, SceneConfig, SceneGenerator, make_dataset
+from .scenes import (SCENARIOS, Scene, SceneConfig, SceneGenerator,
+                     ScenarioGenerator, ScenarioSpec, get_scenario,
+                     make_dataset, make_scenario_scenes, scenario_digest,
+                     scenario_names, scene_digest)
 from .voxelize import (PillarConfig, PillarEncoder, Pillars, VoxelConfig,
                        VoxelEncoder, Voxels)
 
@@ -23,6 +26,9 @@ __all__ = [
     "CLASS_NAMES", "CLASS_IDS",
     "LidarConfig", "LidarScanner",
     "Scene", "SceneConfig", "SceneGenerator", "make_dataset",
+    "ScenarioSpec", "ScenarioGenerator", "SCENARIOS", "scenario_names",
+    "get_scenario", "make_scenario_scenes", "scene_digest",
+    "scenario_digest",
     "PillarConfig", "PillarEncoder", "Pillars",
     "VoxelConfig", "VoxelEncoder", "Voxels",
     "export_kitti", "load_kitti", "read_labels", "write_labels",

@@ -1,4 +1,4 @@
-"""Synthetic KITTI-like driving scenes.
+"""Synthetic KITTI-like driving scenes and the adverse-scenario matrix.
 
 Stands in for the KITTI dataset: each scene is a forward-facing road
 strip populated with cars, pedestrians and cyclists at plausible poses,
@@ -6,18 +6,36 @@ scanned by the simulated LiDAR (:mod:`repro.pointcloud.lidar`) and
 rendered by the synthetic camera (:mod:`repro.camera.render`).
 Difficulty follows KITTI's spirit: distance and occlusion push objects
 from *easy* toward *hard*.
+
+Beyond the parametric base scene, :data:`SCENARIOS` names a matrix of
+adverse **scenario families** (dense traffic, occlusion chains,
+night/rain noise, sensor-dropout bursts, adversarial near-duplicate
+boxes, long-range sparsity) built on the same generator.  Every family
+is fully seed-deterministic — ``ScenarioGenerator(spec, seed)`` draws
+every decision from a generator keyed on ``(seed, family, frame_id)``,
+so the same seed always reproduces bit-identical point clouds and
+ground truth (pinned by golden digests in
+``tests/pointcloud/golden/``).  The fuzzing harness
+(:mod:`repro.fuzzing`) sweeps these families against compression
+presets and runtime conditions.
 """
 
 from __future__ import annotations
 
+import hashlib
+import zlib
 from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 
 from .boxes import Box3D, iou_matrix_bev, boxes_to_array
 from .lidar import LidarConfig, LidarScanner
 
-__all__ = ["SceneConfig", "Scene", "SceneGenerator", "make_dataset"]
+__all__ = ["SceneConfig", "Scene", "SceneGenerator", "make_dataset",
+           "ScenarioSpec", "ScenarioGenerator", "SCENARIOS",
+           "scenario_names", "get_scenario", "make_scenario_scenes",
+           "scene_digest", "scenario_digest"]
 
 # Mean object dimensions (dx=length, dy=width, dz=height), from KITTI stats.
 _CLASS_DIMS = {
@@ -169,3 +187,311 @@ def make_dataset(num_frames: int, config: SceneConfig | None = None,
         "val": scenes[n_train:n_train + n_val],
         "test": scenes[n_train + n_val:],
     }
+
+
+# ---------------------------------------------------------------------------
+# Scenario matrix
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One named adverse-scenario family.
+
+    A spec owns its :class:`SceneConfig` (via ``config_factory`` so each
+    generator gets a fresh config) plus two optional hooks:
+
+    * ``place(rng, generator)`` replaces the default object placement —
+      this is where a family shapes its ground truth (traffic density,
+      occlusion chains, near-duplicate clones, ...).
+    * ``mutate_points(rng, points)`` edits the scanned cloud — weather
+      clutter, intensity attenuation, azimuth-sector dropout bursts.
+
+    Both hooks draw exclusively from the ``rng`` they are handed, which
+    :class:`ScenarioGenerator` seeds from ``(seed, family, frame_id)``,
+    so a spec is deterministic by construction.
+    """
+
+    name: str
+    description: str
+    config_factory: Callable[[], SceneConfig]
+    place: Callable | None = None
+    mutate_points: Callable | None = None
+
+
+class ScenarioGenerator(SceneGenerator):
+    """Seed-deterministic generator for one :class:`ScenarioSpec`.
+
+    Reuses the base generator's sampling/culling machinery but seeds
+    every frame from ``(seed, crc32(family name), frame_id)`` so
+    distinct families draw from distinct streams even at equal seeds.
+    """
+
+    def __init__(self, spec: ScenarioSpec, seed: int = 0):
+        super().__init__(spec.config_factory(), seed=seed)
+        self.spec = spec
+
+    def generate(self, frame_id: int = 0,
+                 with_image: bool = False) -> Scene:
+        spec = self.spec
+        rng = np.random.default_rng(
+            (self.seed, zlib.crc32(spec.name.encode("utf-8")), frame_id))
+        if spec.place is not None:
+            boxes = spec.place(rng, self)
+        else:
+            boxes = self._place_objects(rng)
+        scanner = LidarScanner(self.config.lidar, rng=rng)
+        points = scanner.scan(boxes)
+        if spec.mutate_points is not None:
+            points = spec.mutate_points(rng, points)
+        boxes = self._assign_difficulty(boxes, points)
+        image = None
+        calib: dict = {}
+        if with_image:
+            from repro.camera import CameraModel, render_scene
+            camera = CameraModel.kitti_like()
+            image = render_scene(camera, boxes, rng=rng)
+            calib = {"K": camera.intrinsics(), "height": camera.height}
+        return Scene(points=points, boxes=boxes, image=image,
+                     calib=calib, frame_id=frame_id)
+
+
+def _scenario_lidar(**overrides) -> LidarConfig:
+    """The reduced scanner the scenario matrix standardizes on."""
+    kwargs = dict(channels=20, azimuth_steps=180)
+    kwargs.update(overrides)
+    return LidarConfig(**kwargs)
+
+
+def _lanes(cfg: SceneConfig) -> list[float]:
+    return [-cfg.lane_width / 2, cfg.lane_width / 2,
+            -3 * cfg.lane_width / 2, 3 * cfg.lane_width / 2]
+
+
+def _accepts(candidate: Box3D, boxes: list[Box3D],
+             max_iou: float = 1e-3) -> bool:
+    if not boxes:
+        return True
+    ious = iou_matrix_bev(boxes_to_array([candidate]),
+                          boxes_to_array(boxes))
+    return float(ious.max()) < max_iou
+
+
+# --- family: dense traffic -------------------------------------------------
+
+def _place_dense_traffic(rng: np.random.Generator,
+                         gen: SceneGenerator) -> list[Box3D]:
+    """Base placement topped up to a crowded scene (≥ 8 objects)."""
+    cfg = gen.config
+    boxes = gen._place_objects(rng)
+    lanes = _lanes(cfg)
+    attempts = 0
+    while len(boxes) < 8 and attempts < 60:
+        attempts += 1
+        label = str(rng.choice(["Car", "Car", "Car", "Pedestrian",
+                                "Cyclist"]))
+        lane = float(rng.choice(lanes)) if label == "Car" else None
+        candidate = gen._sample_box(rng, label, lane)
+        if _accepts(candidate, boxes):
+            boxes.append(candidate)
+    return boxes
+
+
+# --- family: occlusion chain ----------------------------------------------
+
+def _place_occlusion_chain(rng: np.random.Generator,
+                           gen: SceneGenerator) -> list[Box3D]:
+    """Cars queued nose-to-tail in one lane: each occludes the next."""
+    cfg = gen.config
+    lane = float(rng.choice(_lanes(cfg)[:2]))
+    n_chain = int(rng.integers(3, 6))
+    boxes: list[Box3D] = []
+    x = float(rng.uniform(7.0, 10.0))
+    for _ in range(n_chain):
+        car = gen._sample_box(rng, "Car", lane)
+        car.x = x
+        car.y = lane + float(rng.normal(0, 0.12))
+        car.yaw = float(rng.normal(0, 0.03))
+        boxes.append(car)
+        x += float(rng.uniform(5.5, 8.0))
+    # A pedestrian shadowed behind the chain stresses small-object recall.
+    pedestrian = gen._sample_box(rng, "Pedestrian")
+    pedestrian.x = x + float(rng.uniform(1.0, 3.0))
+    pedestrian.y = lane + float(rng.normal(0, 0.4))
+    if _accepts(pedestrian, boxes):
+        boxes.append(pedestrian)
+    return boxes
+
+
+# --- family: night / rain noise -------------------------------------------
+
+def _mutate_night_rain(rng: np.random.Generator,
+                       points: np.ndarray) -> np.ndarray:
+    """Attenuated returns plus near-range rain clutter."""
+    out = np.array(points, dtype=points.dtype, copy=True)
+    if out.size:
+        out[:, 3] *= 0.5            # wet surfaces reflect less
+    n_clutter = max(4, int(round(0.04 * len(out))))
+    az = rng.uniform(np.deg2rad(-45), np.deg2rad(45), n_clutter)
+    el = rng.uniform(np.deg2rad(-10), np.deg2rad(3), n_clutter)
+    rad = rng.uniform(1.0, 12.0, n_clutter)
+    clutter = np.stack([
+        rad * np.cos(el) * np.cos(az),
+        rad * np.cos(el) * np.sin(az),
+        rad * np.sin(el) + 1.73,
+        np.full(n_clutter, 0.05),
+    ], axis=1).astype(points.dtype if points.size else np.float32)
+    return np.concatenate([out, clutter], axis=0) if out.size else clutter
+
+
+# --- family: sensor dropout bursts ----------------------------------------
+
+def _mutate_sensor_dropout(rng: np.random.Generator,
+                           points: np.ndarray) -> np.ndarray:
+    """Kill one or two contiguous azimuth sectors (bus stalls, blockage)."""
+    out = np.array(points, dtype=points.dtype, copy=True)
+    n_bursts = int(rng.integers(1, 3))
+    centers = rng.uniform(-40.0, 40.0, n_bursts)
+    widths = rng.uniform(8.0, 18.0, n_bursts)
+    if not out.size:
+        return out
+    azimuth = np.rad2deg(np.arctan2(out[:, 1], out[:, 0]))
+    keep = np.ones(len(out), dtype=bool)
+    for center, width in zip(centers, widths):
+        keep &= np.abs(azimuth - center) > width / 2
+    return out[keep]
+
+
+# --- family: adversarial near-duplicates ----------------------------------
+
+def _place_near_duplicates(rng: np.random.Generator,
+                           gen: SceneGenerator) -> list[Box3D]:
+    """Clone objects at sub-meter offsets to stress NMS and matching."""
+    boxes = gen._place_objects(rng)
+    clones: list[Box3D] = []
+    for box in boxes:
+        if rng.random() >= 0.7:
+            continue
+        angle = float(rng.uniform(-np.pi, np.pi))
+        shift = float(rng.uniform(0.25, 0.7))
+        clone = Box3D(box.x + shift * np.cos(angle),
+                      box.y + shift * np.sin(angle),
+                      box.z,
+                      box.dx * float(rng.uniform(0.95, 1.05)),
+                      box.dy * float(rng.uniform(0.95, 1.05)),
+                      box.dz,
+                      box.yaw + float(rng.normal(0, 0.05)),
+                      label=box.label,
+                      meta=dict(box.meta, near_duplicate=True))
+        clones.append(clone)
+    return boxes + clones
+
+
+# --- family: long-range sparsity ------------------------------------------
+
+def _place_far_sparse(rng: np.random.Generator,
+                      gen: SceneGenerator) -> list[Box3D]:
+    boxes = gen._place_objects(rng)
+    # Guarantee at least two distant objects survive the id draw.
+    while len(boxes) < 2:
+        candidate = gen._sample_box(rng, "Car",
+                                    float(rng.choice(_lanes(gen.config))))
+        if _accepts(candidate, boxes):
+            boxes.append(candidate)
+    return boxes
+
+
+SCENARIOS: dict[str, ScenarioSpec] = {
+    "dense_traffic": ScenarioSpec(
+        name="dense_traffic",
+        description="crowded multi-lane scene (≥8 objects before culling)",
+        config_factory=lambda: SceneConfig(
+            x_range=(5.0, 42.0), max_cars=10, max_pedestrians=5,
+            max_cyclists=3, lidar=_scenario_lidar()),
+        place=_place_dense_traffic),
+    "occlusion_chain": ScenarioSpec(
+        name="occlusion_chain",
+        description="cars queued in one lane, each occluding the next, "
+                    "with a pedestrian shadowed behind the chain",
+        config_factory=lambda: SceneConfig(
+            x_range=(6.0, 48.0), lidar=_scenario_lidar()),
+        place=_place_occlusion_chain),
+    "night_rain": ScenarioSpec(
+        name="night_rain",
+        description="weather noise model: range noise + extra dropout, "
+                    "attenuated intensity, near-range rain clutter",
+        config_factory=lambda: SceneConfig(
+            lidar=_scenario_lidar(range_noise=0.06, dropout=0.10)),
+        mutate_points=_mutate_night_rain),
+    "sensor_dropout": ScenarioSpec(
+        name="sensor_dropout",
+        description="burst loss of one or two contiguous azimuth sectors",
+        config_factory=lambda: SceneConfig(lidar=_scenario_lidar()),
+        mutate_points=_mutate_sensor_dropout),
+    "near_duplicate": ScenarioSpec(
+        name="near_duplicate",
+        description="adversarial sub-meter near-duplicate ground-truth "
+                    "boxes stressing NMS and greedy matching",
+        config_factory=lambda: SceneConfig(lidar=_scenario_lidar()),
+        place=_place_near_duplicates),
+    "far_sparse": ScenarioSpec(
+        name="far_sparse",
+        description="objects only beyond 28 m — few returns per object, "
+                    "moderate/hard difficulty dominated",
+        config_factory=lambda: SceneConfig(
+            x_range=(28.0, 58.0),
+            lidar=_scenario_lidar(max_range=80.0)),
+        place=_place_far_sparse),
+}
+
+
+def scenario_names() -> tuple:
+    """The registered scenario families, in registry order."""
+    return tuple(SCENARIOS)
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        known = ", ".join(SCENARIOS)
+        raise KeyError(f"unknown scenario {name!r}; known: {known}") \
+            from None
+
+
+def make_scenario_scenes(name: str, num_frames: int, seed: int = 0,
+                         with_image: bool = False) -> list[Scene]:
+    """Generate ``num_frames`` frames of one scenario family."""
+    generator = ScenarioGenerator(get_scenario(name), seed=seed)
+    return [generator.generate(i, with_image=with_image)
+            for i in range(num_frames)]
+
+
+# ---------------------------------------------------------------------------
+# Determinism digests
+# ---------------------------------------------------------------------------
+
+def scene_digest(scene: Scene) -> str:
+    """Content digest of a scene's points and ground truth.
+
+    Covers the point cloud bytes and every box's geometry, label and
+    difficulty — two scenes digest equal iff their detector-visible
+    content is bit-identical.  Images/calibration are excluded (camera
+    rendering is covered by its own tests).
+    """
+    h = hashlib.blake2b(digest_size=16)
+    points = np.ascontiguousarray(scene.points, dtype=np.float32)
+    h.update(str(points.shape).encode())
+    h.update(points.tobytes())
+    for box in scene.boxes:
+        h.update(np.ascontiguousarray(box.as_vector()).tobytes())
+        h.update(box.label.encode())
+        h.update(bytes([box.difficulty & 0xFF]))
+    return h.hexdigest()
+
+
+def scenario_digest(name: str, num_frames: int = 2, seed: int = 0) -> str:
+    """Digest of a scenario family's first ``num_frames`` frames."""
+    h = hashlib.blake2b(digest_size=16)
+    for scene in make_scenario_scenes(name, num_frames, seed=seed):
+        h.update(scene_digest(scene).encode())
+    return h.hexdigest()

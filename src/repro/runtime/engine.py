@@ -136,6 +136,21 @@ class StreamReport:
     def total_energy_j(self) -> float:
         return float(sum(f.device_energy_j for f in self.frames))
 
+    def latency_percentile(self, q: float) -> float:
+        """``q``-th percentile device latency over frames that ran.
+
+        Linear-interpolated percentile (``q`` in [0, 100]) over ``ok``
+        frames only — degraded and dropped frames never ran inference,
+        so their 0 ms placeholders would drag tail estimates down.  NaN
+        on an empty (or fully dropped/degraded) stream, matching
+        :attr:`mean_latency_s`.
+        """
+        processed = [f.device_latency_s for f in self.frames
+                     if f.status == "ok"]
+        if not processed:
+            return math.nan
+        return float(np.percentile(processed, q))
+
     @property
     def deadline_hit_rate(self) -> float:
         """Deadline hit rate over frames that actually ran inference.
@@ -150,7 +165,15 @@ class StreamReport:
         return float(np.mean(processed))
 
     def evaluate(self, ground_truth) -> dict:
-        """mAP of the streamed predictions against ground-truth boxes."""
+        """mAP of the streamed predictions against ground-truth boxes.
+
+        Degraded and dropped frames contribute their (held or empty)
+        predictions like any other frame, so detection quality reflects
+        what the stream actually emitted.  Per-class conventions follow
+        :func:`repro.detection.evaluate_map`: a class with no ground
+        truth is NaN and excluded from the mean — an all-dropped stream
+        against real ground truth scores a legitimate mAP of 0.0.
+        """
         if not self.frames:
             raise ValueError(
                 "cannot evaluate an empty stream: no frames were "

@@ -195,8 +195,11 @@ class TestAveragePrecision:
         assert result["mAP"] == pytest.approx(50.0)
 
     def test_difficulty_filtering(self):
+        import math
         hard_gt = Box3D(40, 0, 0.78, 3.9, 1.6, 1.56, 0.0, label="Car",
                         difficulty=2)
         config = EvalConfig(max_difficulty=1)
         ap = average_precision([_det([])], [[hard_gt]], "Car", config)
-        assert ap == 0.0  # no gt within difficulty → 0 by convention
+        # No gt within difficulty → the metric is undefined, not zero
+        # (mirrors StreamReport's NaN-on-empty convention).
+        assert math.isnan(ap)

@@ -1,0 +1,109 @@
+"""Boundary behavior of the AP/mAP evaluators on empty inputs.
+
+The conventions under test (see ``repro.detection.evaluation``):
+
+* no ground truth for a class → AP is NaN (undefined, not zero),
+  mirroring ``StreamReport``'s NaN-on-empty latency statistics;
+* ground truth present but zero predictions → AP is 0.0 (a real miss);
+* ``mAP`` averages only classes with ground truth and is NaN only when
+  no class has any;
+* prediction/ground-truth lists of different lengths are a caller bug
+  and raise ``ValueError`` instead of silently zipping short.
+"""
+
+import math
+
+import pytest
+
+from repro.detection import (DetectionResult, average_precision,
+                             evaluate_by_difficulty, evaluate_map,
+                             precision_recall_curve)
+from repro.pointcloud import Box3D
+
+
+def _car(x=10.0, score=None, difficulty=0):
+    kwargs = {"label": "Car", "difficulty": difficulty}
+    if score is not None:
+        kwargs["score"] = score
+    return Box3D(x, 0, 0.78, 3.9, 1.6, 1.56, 0.0, **kwargs)
+
+
+class TestEmptyInputs:
+    def test_no_gt_no_predictions_is_nan(self):
+        ap = average_precision([DetectionResult([])], [[]], "Car")
+        assert math.isnan(ap)
+
+    def test_no_gt_with_predictions_is_nan(self):
+        # False positives against an empty class: still undefined —
+        # recall has no denominator.
+        ap = average_precision([DetectionResult([_car(score=0.9)])],
+                               [[]], "Car")
+        assert math.isnan(ap)
+
+    def test_gt_without_predictions_is_zero(self):
+        ap = average_precision([DetectionResult([])], [[_car()]], "Car")
+        assert ap == 0.0
+
+    def test_zero_frames(self):
+        assert math.isnan(average_precision([], [], "Car"))
+
+    def test_map_skips_absent_classes(self):
+        gt = [[_car()]]
+        pred = [DetectionResult([_car(score=0.9)])]
+        result = evaluate_map(pred, gt)
+        assert math.isnan(result["Pedestrian"])
+        assert math.isnan(result["Cyclist"])
+        assert result["mAP"] == pytest.approx(result["Car"])
+
+    def test_map_nan_only_when_no_class_has_gt(self):
+        result = evaluate_map([DetectionResult([])], [[]])
+        assert math.isnan(result["mAP"])
+        assert all(math.isnan(result[c])
+                   for c in ("Car", "Pedestrian", "Cyclist"))
+
+    def test_all_empty_prediction_stream_scores_zero(self):
+        # The "model never fires" regression: GT exists on every frame,
+        # predictions are all empty → mAP must be 0.0, not NaN.
+        gt = [[_car(10.0)], [_car(14.0)]]
+        pred = [DetectionResult([]), DetectionResult([])]
+        result = evaluate_map(pred, gt)
+        assert result["Car"] == 0.0
+        assert result["mAP"] == 0.0
+
+    def test_difficulty_stratification_on_empty_tiers(self):
+        # Only a hard object: easy/moderate tiers have no GT → NaN mAP,
+        # the cumulative hard tier sees it.
+        gt = [[_car(40.0, difficulty=2)]]
+        pred = [DetectionResult([])]
+        tiers = evaluate_by_difficulty(pred, gt)
+        assert math.isnan(tiers["easy"]["mAP"])
+        assert math.isnan(tiers["moderate"]["mAP"])
+        assert tiers["hard"]["Car"] == 0.0
+
+
+class TestAlignment:
+    def test_average_precision_rejects_mismatch(self):
+        with pytest.raises(ValueError, match="predictions"):
+            average_precision([DetectionResult([])], [[], []], "Car")
+
+    def test_evaluate_map_rejects_mismatch(self):
+        with pytest.raises(ValueError, match="ground-truth"):
+            evaluate_map([DetectionResult([])], [])
+
+    def test_pr_curve_rejects_mismatch(self):
+        with pytest.raises(ValueError):
+            precision_recall_curve([], [[_car()]], "Car")
+
+
+class TestPrecisionRecallEdges:
+    def test_empty_everything(self):
+        recall, precision = precision_recall_curve([DetectionResult([])],
+                                                   [[]], "Car")
+        assert len(recall) == 0 and len(precision) == 0
+
+    def test_single_perfect_detection(self):
+        gt = [[_car()]]
+        pred = [DetectionResult([_car(score=0.9)])]
+        recall, precision = precision_recall_curve(pred, gt, "Car")
+        assert recall[-1] == pytest.approx(1.0)
+        assert precision[-1] == pytest.approx(1.0)

@@ -43,6 +43,28 @@ class TestNMSProperties:
 
     @given(st.integers(0, 9999), st.integers(1, 15))
     @settings(max_examples=30, deadline=None)
+    def test_input_order_invariance(self, seed, count):
+        """Shuffling the input boxes never changes the surviving set.
+
+        NMS is defined by score order, not presentation order — the
+        kept (box, score) pairs must be permutation-invariant.
+        """
+        rng = np.random.default_rng(seed)
+        boxes = _random_boxes(rng, count)
+        # Distinct scores so the score ranking is unambiguous.
+        scores = np.linspace(0.95, 0.1, count)
+        rng.shuffle(scores)
+        keep = nms_bev(boxes, scores, iou_threshold=0.3)
+        kept = {(round(float(scores[i]), 9), boxes[i].tobytes())
+                for i in keep}
+        perm = rng.permutation(count)
+        keep_perm = nms_bev(boxes[perm], scores[perm], iou_threshold=0.3)
+        kept_perm = {(round(float(scores[perm][i]), 9),
+                      boxes[perm][i].tobytes()) for i in keep_perm}
+        assert kept == kept_perm
+
+    @given(st.integers(0, 9999), st.integers(1, 15))
+    @settings(max_examples=30, deadline=None)
     def test_survivors_mutually_below_threshold(self, seed, count):
         from repro.pointcloud import iou_bev
         rng = np.random.default_rng(seed)
@@ -87,3 +109,37 @@ class TestAPProperties:
         better_ap = average_precision(
             [DetectionResult(pred + [extra])], [gt], "Car")
         assert better_ap >= base_ap - 1e-9
+
+    @given(st.integers(0, 9999), st.integers(1, 4), st.integers(1, 5))
+    @settings(max_examples=25, deadline=None)
+    def test_removing_false_positive_never_hurts(self, seed, n_gt, n_fp):
+        """Dropping a detection that matches nothing cannot lower AP."""
+        rng = np.random.default_rng(seed)
+        gt = [Box3D(5.0 + 8.0 * i, 0.0, 0.78, 3.9, 1.6, 1.56, 0.0,
+                    label="Car") for i in range(n_gt)]
+        hits = [Box3D(g.x, g.y, 0.78, 3.9, 1.6, 1.56, 0.0, label="Car",
+                      score=float(rng.uniform(0.5, 1.0))) for g in gt]
+        # False positives far outside every gt footprint.
+        fps = [Box3D(100.0 + 10.0 * i, 30.0, 0.78, 3.9, 1.6, 1.56, 0.0,
+                     label="Car", score=float(rng.uniform(0.05, 1.0)))
+               for i in range(n_fp)]
+        with_fp = average_precision([DetectionResult(hits + fps)], [gt],
+                                    "Car")
+        without_one = average_precision(
+            [DetectionResult(hits + fps[1:])], [gt], "Car")
+        assert without_one >= with_fp - 1e-9
+
+    @given(st.integers(0, 9999), st.integers(1, 6), st.integers(0, 6))
+    @settings(max_examples=25, deadline=None)
+    def test_ap_never_nan_when_gt_present(self, seed, n_gt, n_pred):
+        import math
+        rng = np.random.default_rng(seed)
+        gt = [Box3D(float(rng.uniform(5, 45)), float(rng.uniform(-15, 15)),
+                    0.78, 3.9, 1.6, 1.56, 0.0, label="Car")
+              for _ in range(n_gt)]
+        pred = [Box3D(float(rng.uniform(5, 45)), float(rng.uniform(-15, 15)),
+                      0.78, 3.9, 1.6, 1.56, 0.0, label="Car",
+                      score=float(rng.uniform(0.05, 1.0)))
+                for _ in range(n_pred)]
+        ap = average_precision([DetectionResult(pred)], [gt], "Car")
+        assert not math.isnan(ap)

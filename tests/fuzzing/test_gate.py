@@ -1,0 +1,169 @@
+"""Gate logic against synthetic baselines — no model runs needed."""
+
+import json
+import math
+
+import pytest
+
+from repro.fuzzing import (FuzzConfig, FuzzReport, GateThresholds,
+                           check_gate, load_baseline, make_baseline,
+                           write_baseline)
+
+
+def _metrics(**overrides):
+    metrics = {
+        "mAP": 40.0, "ap_car": 50.0, "ap_pedestrian": 30.0,
+        "ap_cyclist": 40.0, "mAP_easy": 55.0, "mAP_moderate": 40.0,
+        "mAP_hard": 30.0, "p50_ms": 10.0, "p99_ms": 20.0,
+        "deadline_hit_rate": 1.0, "ok_frames": 3, "degraded_frames": 0,
+        "dropped_frames": 0, "missed_deadline_frames": 0,
+        "held_detection_frames": 0, "silent_miss_frames": 0,
+        "fallback_activations": 0, "total_energy_mj": 1.0,
+        "num_detections": 12,
+    }
+    metrics.update(overrides)
+    return metrics
+
+
+def _report(cells):
+    config = FuzzConfig(scenarios=("dense_traffic",), presets=("hck",),
+                        conditions=("clean",), frames_per_cell=3, seed=0)
+    return FuzzReport(config=config, cells=dict(cells))
+
+
+BASE = _report({"dense_traffic|hck|clean": _metrics()})
+BASELINE = make_baseline(BASE)
+
+
+class TestThresholds:
+    def test_identical_run_passes(self):
+        gate = check_gate(_report(BASE.cells), BASELINE)
+        assert gate.passed
+        assert gate.checked_cells == 1
+        assert gate.failures == []
+
+    def test_small_map_drop_tolerated(self):
+        current = _report({"dense_traffic|hck|clean": _metrics(mAP=37.5)})
+        assert check_gate(current, BASELINE).passed
+
+    def test_large_map_drop_fails(self):
+        current = _report({"dense_traffic|hck|clean": _metrics(mAP=36.0)})
+        gate = check_gate(current, BASELINE)
+        assert not gate.passed
+        assert gate.failures[0]["metric"] == "mAP"
+        assert gate.failures[0]["kind"] == "map_drop"
+
+    def test_map_improvement_passes(self):
+        current = _report({"dense_traffic|hck|clean": _metrics(mAP=90.0)})
+        assert check_gate(current, BASELINE).passed
+
+    def test_difficulty_tier_drop_fails(self):
+        current = _report(
+            {"dense_traffic|hck|clean": _metrics(mAP_hard=20.0)})
+        gate = check_gate(current, BASELINE)
+        assert not gate.passed
+        assert gate.failures[0]["metric"] == "mAP_hard"
+
+    def test_p99_rise_fails(self):
+        current = _report({"dense_traffic|hck|clean": _metrics(p99_ms=26.0)})
+        gate = check_gate(current, BASELINE)
+        assert not gate.passed
+        assert gate.failures[0]["kind"] == "p99_rise"
+
+    def test_p99_within_fraction_passes(self):
+        current = _report({"dense_traffic|hck|clean": _metrics(p99_ms=24.0)})
+        assert check_gate(current, BASELINE).passed
+
+    def test_hit_rate_drop_fails(self):
+        current = _report(
+            {"dense_traffic|hck|clean": _metrics(deadline_hit_rate=0.5)})
+        gate = check_gate(current, BASELINE)
+        assert not gate.passed
+        assert gate.failures[0]["kind"] == "hit_rate_drop"
+
+    def test_custom_thresholds(self):
+        current = _report({"dense_traffic|hck|clean": _metrics(mAP=36.0)})
+        loose = GateThresholds(map_drop=10.0)
+        assert check_gate(current, BASELINE, loose).passed
+        strict = GateThresholds(map_drop=0.5)
+        current = _report({"dense_traffic|hck|clean": _metrics(mAP=39.0)})
+        assert not check_gate(current, BASELINE, strict).passed
+
+
+class TestNaNRules:
+    def test_nan_baseline_metric_skipped(self):
+        base = make_baseline(_report(
+            {"dense_traffic|hck|clean": _metrics(mAP=math.nan)}))
+        current = _report({"dense_traffic|hck|clean": _metrics(mAP=0.0)})
+        assert check_gate(current, base).passed
+
+    def test_metric_vanishing_fails(self):
+        current = _report(
+            {"dense_traffic|hck|clean": _metrics(mAP=math.nan)})
+        gate = check_gate(current, BASELINE)
+        assert not gate.passed
+        assert gate.failures[0]["kind"] == "vanished"
+
+    def test_nan_roundtrips_through_baseline_json(self, tmp_path):
+        base_report = _report(
+            {"dense_traffic|hck|clean": _metrics(ap_pedestrian=math.nan)})
+        path = tmp_path / "baseline.json"
+        write_baseline(base_report, str(path))
+        payload = json.loads(path.read_text())
+        cell = payload["cells"]["dense_traffic|hck|clean"]
+        assert cell["ap_pedestrian"] is None  # strict JSON, no NaN
+        assert check_gate(base_report, load_baseline(str(path))).passed
+
+
+class TestCellCoverage:
+    def test_new_cell_warns_but_passes(self):
+        current = _report({
+            "dense_traffic|hck|clean": _metrics(),
+            "night_rain|hck|clean": _metrics(),
+        })
+        gate = check_gate(current, BASELINE)
+        assert gate.passed
+        assert gate.new_cells == ["night_rain|hck|clean"]
+        assert gate.checked_cells == 1
+
+    def test_subset_sweep_reports_unchecked(self):
+        base = make_baseline(_report({
+            "dense_traffic|hck|clean": _metrics(),
+            "night_rain|hck|clean": _metrics(),
+        }))
+        gate = check_gate(_report({"dense_traffic|hck|clean": _metrics()}),
+                          base)
+        assert gate.passed
+        assert gate.unchecked_cells == ["night_rain|hck|clean"]
+
+    @pytest.mark.parametrize("key,value", [
+        ("seed", 1), ("frames_per_cell", 5), ("model", "pointpillars"),
+        ("execution", "lowered"),
+    ])
+    def test_config_mismatch_raises(self, key, value):
+        baseline = dict(BASELINE)
+        baseline[key] = value
+        with pytest.raises(ValueError, match=key):
+            check_gate(BASE, baseline)
+
+
+class TestGateReportPayload:
+    def test_json_shape(self):
+        current = _report({"dense_traffic|hck|clean": _metrics(mAP=10.0)})
+        payload = check_gate(current, BASELINE).to_json()
+        assert payload["passed"] is False
+        assert payload["checked_cells"] == 1
+        assert payload["thresholds"]["map_drop"] == 3.0
+        failure = payload["failures"][0]
+        assert failure["cell"] == "dense_traffic|hck|clean"
+        assert failure["baseline"] == 40.0
+        assert failure["current"] == 10.0
+        json.dumps(payload)  # serializable
+
+    def test_summary_mentions_verdict(self):
+        gate = check_gate(_report(BASE.cells), BASELINE)
+        assert "PASS" in gate.summary()
+        failing = check_gate(
+            _report({"dense_traffic|hck|clean": _metrics(mAP=1.0)}),
+            BASELINE)
+        assert "FAIL" in failing.summary()

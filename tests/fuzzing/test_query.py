@@ -1,0 +1,120 @@
+"""The EVA-style query layer: combinators, parser, and their agreement."""
+
+import math
+
+import pytest
+
+from repro.fuzzing import F, QueryError, parse_query
+
+ROWS = [
+    {"scenario": "dense_traffic", "condition": "clean", "status": "ok",
+     "deadline_met": True, "fallback": False, "latency_ms": 12.5,
+     "num_detections": 4, "labels": ["Car", "Cyclist"], "gt_count": 5,
+     "max_score": 0.9},
+    {"scenario": "night_rain", "condition": "faulty", "status": "degraded",
+     "deadline_met": True, "fallback": False, "latency_ms": 30.0,
+     "num_detections": 2, "labels": ["Pedestrian"], "gt_count": 3,
+     "max_score": 0.4},
+    {"scenario": "night_rain", "condition": "pressure", "status": "ok",
+     "deadline_met": False, "fallback": True, "latency_ms": 55.0,
+     "num_detections": 0, "labels": [], "gt_count": 2,
+     "max_score": math.nan},
+    {"scenario": "sensor_dropout", "condition": "faulty",
+     "status": "dropped", "deadline_met": True, "fallback": False,
+     "latency_ms": 0.0, "num_detections": 0, "labels": [], "gt_count": 0,
+     "max_score": math.nan},
+]
+
+
+class TestCombinators:
+    def test_equality(self):
+        assert (F.status == "ok").count(ROWS) == 2
+
+    def test_inequality_and_ordering(self):
+        assert (F.latency_ms > 20).count(ROWS) == 2
+        assert (F.latency_ms <= 12.5).count(ROWS) == 2
+        assert (F.status != "ok").count(ROWS) == 2
+
+    def test_and_or_not(self):
+        q = (F.status == "ok") & (F.deadline_met == False)  # noqa: E712
+        assert [r["condition"] for r in q.filter(ROWS)] == ["pressure"]
+        q = (F.status == "dropped") | (F.status == "degraded")
+        assert q.count(ROWS) == 2
+        assert (~(F.status == "ok")).count(ROWS) == 2
+
+    def test_bare_field_truthiness(self):
+        assert F.fallback._truthy().count(ROWS) == 1
+        assert (~F.deadline_met).count(ROWS) == 1
+
+    def test_membership_on_collection_fields(self):
+        assert (F.labels == "Car").count(ROWS) == 1
+        assert (F.labels != "Car").count(ROWS) == 3
+        assert F.labels.contains("Pedestrian").count(ROWS) == 1
+
+    def test_ordering_on_collection_raises(self):
+        with pytest.raises(QueryError, match="collection"):
+            (F.labels > "Car").matches(ROWS[0])
+
+    def test_missing_field_never_matches(self):
+        assert (F.nope == 1).count(ROWS) == 0
+        # ...so its negation matches everything.
+        assert (~(F.nope == 1)).count(ROWS) == len(ROWS)
+
+    def test_type_mismatch_is_false_not_error(self):
+        assert (F.status > 3).count(ROWS) == 0
+
+    def test_nan_compares_false(self):
+        assert (F.max_score > 0.0).count(ROWS) == 2
+
+    def test_filter_preserves_order(self):
+        kept = (F.gt_count > 0).filter(ROWS)
+        assert [r["scenario"] for r in kept] == [
+            "dense_traffic", "night_rain", "night_rain"]
+
+
+class TestParser:
+    def test_simple_equality(self):
+        assert parse_query("status = ok").count(ROWS) == 2
+        assert parse_query("status == ok").count(ROWS) == 2
+
+    def test_quoted_strings_and_numbers(self):
+        assert parse_query("scenario = 'night_rain'").count(ROWS) == 2
+        assert parse_query("latency_ms >= 30.0").count(ROWS) == 2
+        assert parse_query("num_detections = 0").count(ROWS) == 2
+
+    def test_booleans(self):
+        assert parse_query("deadline_met = false").count(ROWS) == 1
+        assert parse_query("fallback = true").count(ROWS) == 1
+
+    def test_bare_word_truthiness(self):
+        assert parse_query("fallback").count(ROWS) == 1
+        assert parse_query("not deadline_met").count(ROWS) == 1
+
+    def test_precedence_and_parens(self):
+        # `and` binds tighter than `or`.
+        q = parse_query("status = dropped or status = ok and "
+                        "latency_ms > 20")
+        assert q.count(ROWS) == 2
+        q = parse_query("(status = dropped or status = ok) and "
+                        "latency_ms > 20")
+        assert q.count(ROWS) == 1
+
+    def test_membership_via_text(self):
+        assert parse_query("labels = Car").count(ROWS) == 1
+
+    @pytest.mark.parametrize("expr", [
+        "", "status =", "= ok", "status ~ ok", "(status = ok",
+        "status = ok extra garbage ???",
+    ])
+    def test_malformed_queries_raise(self, expr):
+        with pytest.raises(QueryError):
+            parse_query(expr)
+
+    def test_parser_matches_combinators(self):
+        text = ("status = degraded and latency_ms > 20 or "
+                "not deadline_met")
+        built = ((F.status == "degraded") & (F.latency_ms > 20)) \
+            | (~F.deadline_met)
+        parsed = parse_query(text)
+        for row in ROWS:
+            assert parsed.matches(row) == built.matches(row)

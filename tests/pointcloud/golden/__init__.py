@@ -1,0 +1,42 @@
+"""Golden scene digests pinning the synthetic-data generators.
+
+``scenario_digests.json`` holds blake2b digests of the base
+``SceneGenerator``/``make_dataset`` output and of every scenario
+family, all at a fixed seed/frame budget.  The determinism regression
+tests compare freshly generated scenes against these values, so any
+change to scene synthesis — intentional or not — shows up as a test
+failure instead of a silent shift in every downstream metric.
+
+To bless new digests after an intentional generator change::
+
+    PYTHONPATH=src python -m tests.pointcloud.golden.regen
+"""
+
+import json
+import os
+
+GOLDEN_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                           "scenario_digests.json")
+
+#: frames/seed the golden digests were computed with
+GOLDEN_FRAMES = 2
+GOLDEN_SEED = 0
+
+
+def load_golden() -> dict:
+    with open(GOLDEN_PATH) as handle:
+        return json.load(handle)
+
+
+def compute_digests() -> dict:
+    """Recompute every digest the golden file pins (current code)."""
+    from repro.pointcloud import (SceneGenerator, scenario_digest,
+                                  scenario_names, scene_digest)
+    digests = {}
+    generator = SceneGenerator(seed=GOLDEN_SEED)
+    digests["base"] = "+".join(
+        scene_digest(generator.generate(i)) for i in range(GOLDEN_FRAMES))
+    for name in scenario_names():
+        digests[name] = scenario_digest(name, num_frames=GOLDEN_FRAMES,
+                                        seed=GOLDEN_SEED)
+    return digests

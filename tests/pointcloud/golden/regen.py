@@ -1,0 +1,28 @@
+"""Regenerate the golden scene digests after an intentional change.
+
+Run from the repository root::
+
+    PYTHONPATH=src python -m tests.pointcloud.golden.regen
+
+Then review the diff of ``scenario_digests.json`` and commit it together
+with the generator change that motivated it.
+"""
+
+import json
+
+from . import GOLDEN_PATH, compute_digests
+
+
+def main() -> int:
+    digests = compute_digests()
+    with open(GOLDEN_PATH, "w") as handle:
+        json.dump(digests, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {len(digests)} digests to {GOLDEN_PATH}")
+    for name, value in sorted(digests.items()):
+        print(f"  {name:20s} {value}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

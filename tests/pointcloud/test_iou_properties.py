@@ -1,0 +1,87 @@
+"""Property-based invariants of the BEV/3D IoU geometry kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pointcloud import (iou_3d, iou_bev, iou_matrix_bev)
+
+_coord = st.floats(-40.0, 40.0)
+_size = st.floats(0.5, 6.0)
+_angle = st.floats(-np.pi, np.pi)
+
+
+@st.composite
+def _box(draw):
+    return np.array([draw(_coord), draw(_coord), draw(st.floats(-1.0, 2.0)),
+                     draw(_size), draw(_size), draw(_size), draw(_angle)],
+                    dtype=np.float64)
+
+
+class TestIoUProperties:
+    @given(_box(), _box())
+    @settings(max_examples=60, deadline=None)
+    def test_symmetry(self, a, b):
+        # Polygon clipping accumulates last-ulp differences depending on
+        # which box plays subject vs clip, so symmetry is approximate.
+        assert iou_bev(a, b) == pytest.approx(iou_bev(b, a), abs=1e-9)
+        assert iou_3d(a, b) == pytest.approx(iou_3d(b, a), abs=1e-9)
+
+    @given(_box(), _box())
+    @settings(max_examples=60, deadline=None)
+    def test_bounds(self, a, b):
+        for value in (iou_bev(a, b), iou_3d(a, b)):
+            assert 0.0 <= value <= 1.0 + 1e-9
+
+    @given(_box())
+    @settings(max_examples=40, deadline=None)
+    def test_self_iou_is_one(self, a):
+        assert abs(iou_bev(a, a) - 1.0) < 1e-6
+        assert abs(iou_3d(a, a) - 1.0) < 1e-6
+
+    @given(_box(), st.floats(0, 2 * np.pi))
+    @settings(max_examples=40, deadline=None)
+    def test_rotation_by_pi_is_identity(self, a, _):
+        """A BEV rectangle is symmetric under a half-turn."""
+        b = a.copy()
+        b[6] += np.pi
+        assert abs(iou_bev(a, b) - 1.0) < 1e-6
+
+    @given(_box(), st.floats(50.0, 100.0))
+    @settings(max_examples=40, deadline=None)
+    def test_disjoint_boxes_score_zero(self, a, gap):
+        b = a.copy()
+        # Move past any possible extent of either footprint.
+        b[0] += a[3] + a[4] + gap
+        assert iou_bev(a, b) == 0.0
+        assert iou_3d(a, b) == 0.0
+
+    @given(_box(), st.floats(20.0, 40.0))
+    @settings(max_examples=40, deadline=None)
+    def test_vertical_separation_kills_3d_overlap(self, a, dz):
+        """Same footprint, stacked far apart: BEV 1.0 but 3D 0.0."""
+        b = a.copy()
+        b[2] += a[5] + dz
+        assert abs(iou_bev(a, b) - 1.0) < 1e-6
+        assert iou_3d(a, b) == 0.0
+
+    @given(st.integers(0, 9999), st.integers(1, 6), st.integers(1, 6))
+    @settings(max_examples=25, deadline=None)
+    def test_matrix_matches_pairwise(self, seed, n, m):
+        rng = np.random.default_rng(seed)
+
+        def batch(count):
+            boxes = np.zeros((count, 7))
+            boxes[:, 0] = rng.uniform(-20, 20, count)
+            boxes[:, 1] = rng.uniform(-20, 20, count)
+            boxes[:, 3:6] = rng.uniform(1, 4, (count, 3))
+            boxes[:, 6] = rng.uniform(-np.pi, np.pi, count)
+            return boxes
+
+        a, b = batch(n), batch(m)
+        matrix = iou_matrix_bev(a, b)
+        assert matrix.shape == (n, m)
+        for i in range(n):
+            for j in range(m):
+                assert matrix[i, j] == iou_bev(a[i], b[j])

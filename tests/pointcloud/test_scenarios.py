@@ -1,0 +1,143 @@
+"""Determinism and shape regression tests for the scenario matrix."""
+
+import numpy as np
+import pytest
+
+from repro.pointcloud import (SCENARIOS, SceneGenerator, get_scenario,
+                              make_dataset, make_scenario_scenes,
+                              scenario_digest, scenario_names, scene_digest)
+
+from .golden import GOLDEN_FRAMES, GOLDEN_SEED, compute_digests, load_golden
+
+
+class TestRegistry:
+    def test_at_least_five_families(self):
+        # The fuzz matrix promises >= 5 adverse families.
+        assert len(scenario_names()) >= 5
+
+    def test_get_scenario_roundtrip(self):
+        for name in scenario_names():
+            assert get_scenario(name).name == name
+
+    def test_unknown_scenario_lists_known(self):
+        with pytest.raises(KeyError, match="dense_traffic"):
+            get_scenario("nope")
+
+    def test_descriptions_present(self):
+        for spec in SCENARIOS.values():
+            assert spec.description
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("name", scenario_names())
+    def test_same_seed_same_scene(self, name):
+        first = make_scenario_scenes(name, 2, seed=7)
+        second = make_scenario_scenes(name, 2, seed=7)
+        for a, b in zip(first, second):
+            assert scene_digest(a) == scene_digest(b)
+            np.testing.assert_array_equal(a.points, b.points)
+
+    @pytest.mark.parametrize("name", scenario_names())
+    def test_different_seed_different_scene(self, name):
+        assert (scenario_digest(name, num_frames=2, seed=0)
+                != scenario_digest(name, num_frames=2, seed=1))
+
+    def test_frames_are_independent_of_count(self):
+        # Frame k is a pure function of (scenario, seed, k): generating
+        # more frames never perturbs earlier ones.
+        short = make_scenario_scenes("dense_traffic", 2, seed=3)
+        long = make_scenario_scenes("dense_traffic", 4, seed=3)
+        for a, b in zip(short, long):
+            assert scene_digest(a) == scene_digest(b)
+
+    def test_base_generator_deterministic(self):
+        a = SceneGenerator(seed=5).generate(1)
+        b = SceneGenerator(seed=5).generate(1)
+        assert scene_digest(a) == scene_digest(b)
+
+    def test_make_dataset_deterministic(self):
+        a = make_dataset(4, seed=2)
+        b = make_dataset(4, seed=2)
+        for split in ("train", "val", "test"):
+            for x, y in zip(a[split], b[split]):
+                assert scene_digest(x) == scene_digest(y)
+
+
+class TestGoldenDigests:
+    def test_digests_match_golden(self):
+        """Scene synthesis is pinned bit-for-bit.
+
+        A failure here means the generators changed output — if the
+        change is intentional, re-bless via
+        ``python -m tests.pointcloud.golden.regen`` and commit the new
+        ``scenario_digests.json`` alongside the generator change.
+        """
+        assert compute_digests() == load_golden()
+
+    def test_golden_covers_every_family(self):
+        golden = load_golden()
+        assert set(golden) == set(scenario_names()) | {"base"}
+
+    def test_golden_parameters_documented(self):
+        # The regen script and this test must agree on the budget.
+        assert GOLDEN_FRAMES == 2
+        assert GOLDEN_SEED == 0
+
+
+def _scenes(name, frames=4, seed=0):
+    return make_scenario_scenes(name, frames, seed=seed)
+
+
+class TestFamilyShapes:
+    def test_dense_traffic_is_dense(self):
+        counts = [len(s.boxes) for s in _scenes("dense_traffic")]
+        # Placement tops up to >= 8 objects; some are culled for having
+        # too few points, but the surviving crowd stays well above the
+        # base generator's 2-6 range on average.
+        assert sum(counts) / len(counts) >= 5.0
+
+    def test_occlusion_chain_has_aligned_cars(self):
+        for scene in _scenes("occlusion_chain"):
+            cars = [b for b in scene.boxes if b.label == "Car"]
+            if len(cars) < 2:
+                continue  # near boxes can cull the chain down
+            spread = max(c.y for c in cars) - min(c.y for c in cars)
+            assert spread < 1.0  # chain shares one lane (small jitter)
+
+    def test_night_rain_attenuates_intensity(self):
+        clean = _scenes("dense_traffic", frames=2)
+        rain = _scenes("night_rain", frames=2)
+        clean_mean = np.mean([s.points[:, 3].mean() for s in clean])
+        rain_mean = np.mean([s.points[:, 3].mean() for s in rain])
+        assert rain_mean < clean_mean
+
+    def test_sensor_dropout_removes_azimuth_sectors(self):
+        for scene in _scenes("sensor_dropout"):
+            azimuth = np.degrees(np.arctan2(scene.points[:, 1],
+                                            scene.points[:, 0]))
+            hist, _ = np.histogram(azimuth, bins=36, range=(-90, 90))
+            occupied = hist > 0
+            # At least one empty sector flanked by occupied ones: a
+            # burst hole, not just the field-of-view edge.
+            interior = occupied[1:-1]
+            assert (~interior).any()
+
+    def test_near_duplicate_marks_clones(self):
+        flagged = [b
+                   for scene in _scenes("near_duplicate", frames=6)
+                   for b in scene.boxes
+                   if b.meta.get("near_duplicate")]
+        assert flagged  # the family actually produces duplicates
+
+    def test_far_sparse_objects_are_far(self):
+        for scene in _scenes("far_sparse"):
+            for box in scene.boxes:
+                assert box.x >= 25.0
+
+    @pytest.mark.parametrize("name", scenario_names())
+    def test_points_shape_and_finite(self, name):
+        for scene in _scenes(name, frames=2):
+            assert scene.points.ndim == 2 and scene.points.shape[1] == 4
+            assert np.isfinite(scene.points).all()
+            for box in scene.boxes:
+                assert box.difficulty in (0, 1, 2)

@@ -1,0 +1,133 @@
+"""StreamReport analytics under a mixed ok/degraded/dropped stream.
+
+Drives scenario scenes through an engine with aggressive fault
+injection so one report contains every frame status, then exercises
+``evaluate``, ``latency_percentile`` and ``top_offenders`` — the
+analytics the fuzzing gate aggregates per cell.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.hardware import default_devices
+from repro.models import PointPillars
+from repro.pointcloud import PillarConfig, make_scenario_scenes
+from repro.runtime import (DegradationPolicy, FaultInjector, FaultSpec,
+                           InferenceEngine, StreamReport)
+
+
+@pytest.fixture(scope="module")
+def model():
+    model = PointPillars(
+        pillar_config=PillarConfig(x_range=(0, 25.6), y_range=(-12.8, 12.8)),
+        pfn_channels=8, stage_channels=(8, 16, 32), stage_depths=(1, 1, 1),
+        upsample_channels=8, seed=1)
+    model.eval()
+    return model
+
+
+@pytest.fixture(scope="module")
+def scenes():
+    return make_scenario_scenes("dense_traffic", 8, seed=0)
+
+
+@pytest.fixture(scope="module")
+def mixed_report(model, scenes):
+    # High rates so 8 frames reliably contain drops and corruptions.
+    injector = FaultInjector(FaultSpec(drop_rate=0.35, corrupt_rate=0.35,
+                                       nan_fraction=0.5, seed=11))
+    engine = InferenceEngine(model, default_devices()["jetson"],
+                             deadline_s=0.05,
+                             policy=DegradationPolicy(on_corrupt="last_good"),
+                             fault_injector=injector, trace=True)
+    return engine.run(scenes)
+
+
+class TestMixedStatuses:
+    def test_stream_actually_mixed(self, mixed_report):
+        counts = mixed_report.status_counts
+        assert counts.get("ok", 0) > 0
+        assert counts.get("degraded", 0) > 0
+        assert counts.get("dropped", 0) > 0
+        assert mixed_report.num_frames == 8
+
+    def test_predictions_align_with_frames(self, mixed_report):
+        assert len(mixed_report.predictions) == mixed_report.num_frames
+        for record, result in zip(mixed_report.frames,
+                                  mixed_report.predictions):
+            assert record.num_detections == len(result.boxes)
+            if record.status == "dropped":
+                assert result.boxes == []
+
+    def test_evaluate_scores_full_stream(self, mixed_report, scenes):
+        metrics = mixed_report.evaluate([s.boxes for s in scenes])
+        # Dropped frames contribute empty predictions, so the stream
+        # mAP is well-defined (GT present) even with drops.
+        assert not math.isnan(metrics["mAP"])
+        assert 0.0 <= metrics["mAP"] <= 100.0
+
+    def test_evaluate_rejects_misaligned_gt(self, mixed_report, scenes):
+        with pytest.raises(ValueError):
+            mixed_report.evaluate([s.boxes for s in scenes[:-1]])
+
+
+class TestLatencyPercentile:
+    def test_percentiles_ordered(self, mixed_report):
+        p50 = mixed_report.latency_percentile(50)
+        p99 = mixed_report.latency_percentile(99)
+        assert 0 < p50 <= p99
+
+    def test_only_processed_frames_counted(self, mixed_report):
+        # Dropped frames record 0 latency; percentiles must ignore
+        # them or p50 would be dragged toward zero.
+        latencies = [f.device_latency_s for f in mixed_report.frames
+                     if f.status == "ok"]
+        assert mixed_report.latency_percentile(100) == pytest.approx(
+            max(latencies))
+        assert mixed_report.latency_percentile(0) == pytest.approx(
+            min(latencies))
+
+    def test_median_matches_numpy(self, mixed_report):
+        latencies = [f.device_latency_s for f in mixed_report.frames
+                     if f.status == "ok"]
+        assert mixed_report.latency_percentile(50) == pytest.approx(
+            float(np.percentile(latencies, 50)))
+
+    def test_empty_stream_is_nan(self):
+        assert math.isnan(StreamReport().latency_percentile(50))
+
+    def test_all_dropped_is_nan(self, model, scenes):
+        injector = FaultInjector(FaultSpec(drop_rate=1.0, seed=0))
+        engine = InferenceEngine(model, default_devices()["jetson"],
+                                 deadline_s=0.05, fault_injector=injector)
+        report = engine.run(scenes[:3])
+        assert report.dropped_frames == 3
+        assert math.isnan(report.latency_percentile(50))
+        assert math.isnan(report.deadline_hit_rate)
+        # All-dropped still evaluates: every prediction is empty, GT
+        # is present, so detection quality is a hard 0 — not NaN.
+        metrics = report.evaluate([s.boxes for s in scenes[:3]])
+        assert metrics["mAP"] == 0.0
+
+
+class TestTopOffenders:
+    def test_missed_only_empty_when_deadline_generous(self, mixed_report):
+        # 50 ms deadline is never missed by the tiny model.
+        assert mixed_report.top_offenders(missed_only=True) == []
+
+    def test_all_frames_attribution(self, mixed_report):
+        offenders = mixed_report.top_offenders(k=3, missed_only=False)
+        assert 0 < len(offenders) <= 3
+        # Sorted by descending latency share.
+        latencies = [o.latency_s for o in offenders]
+        assert latencies == sorted(latencies, reverse=True)
+
+    def test_impossible_deadline_blames_layers(self, model, scenes):
+        engine = InferenceEngine(model, default_devices()["jetson"],
+                                 deadline_s=1e-9, trace=True)
+        report = engine.run(scenes[:3])
+        assert report.deadline_hit_rate == 0.0
+        offenders = report.top_offenders(k=5, missed_only=True)
+        assert offenders

@@ -51,8 +51,12 @@ class TestEmptyInputs:
         assert isinstance(result, DetectionResult)
 
     def test_evaluation_with_nothing(self):
+        import math
         metrics = evaluate_map([], [])
-        assert metrics["mAP"] == 0.0
+        # No class has any ground truth: the metric is undefined — NaN,
+        # mirroring StreamReport's NaN-on-empty convention — not a
+        # spurious perfect-looking 0.0.
+        assert math.isnan(metrics["mAP"])
 
 
 class TestCorruption:
