@@ -10,6 +10,10 @@ Subcommands mirror the library's workflow::
     python -m repro.cli table2 --model pointpillars --scale quick  # Table 2
     python -m repro.cli sensitivity --model pointpillars           # analysis
     python -m repro.cli stream --inject-faults --fault-seed 7      # chaos
+    python -m repro.cli pack-archive --model tiny --out fleet.upak # archive
+    python -m repro.cli archive ls fleet.upak                      # inspect
+    python -m repro.cli stream --archive fleet.upak \\
+        --ladder lck-16bit,lck-8bit,hck-8bit,hck-4bit              # ladder
     python -m repro.cli ir dump pointpillars --preset hck          # model IR
     python -m repro.cli fuzz --out /tmp/sweep.json                 # fuzz gate
     python -m repro.cli query "status = degraded" --report /tmp/sweep.json
@@ -162,11 +166,19 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _build_stream_model(name: str):
+    """Fresh architecture for a streamed / archived model name."""
+    if name == "tiny":
+        from repro.fuzzing import build_fuzz_model
+        return build_fuzz_model("tiny")
+    from repro.models import build_model
+    return build_model(name)
+
+
 def _cmd_stream(args) -> int:
     """Stream scenes through a deployment engine, optionally under chaos."""
     from repro.core import UPAQCompressor, hck_config, lck_config
     from repro.hardware import default_devices
-    from repro.models import build_model
     from repro.pointcloud import SceneGenerator
     from repro.runtime import (DegradationPolicy, FaultInjector, FaultSpec,
                                InferenceEngine)
@@ -175,17 +187,54 @@ def _cmd_stream(args) -> int:
         print(f"error: --batch must be >= 1, got {args.batch} "
               "(1 disables micro-batching)", file=sys.stderr)
         return 2
+    if args.ladder and not args.archive:
+        print("error: --ladder needs --archive (rung names index "
+              "archive entries)", file=sys.stderr)
+        return 2
     presets = {"hck": hck_config, "lck": lck_config}
     with_image = args.model == "smoke"
-    model = build_model(args.model)
-    if args.preset != "none":
-        model = UPAQCompressor(presets[args.preset]()).compress(
-            model, *model.example_inputs()).model
+    model = None
     fallback = None
-    if args.fallback_model != "none":
-        base = build_model(args.model)
-        fallback = UPAQCompressor(presets[args.fallback_model]()).compress(
-            base, *base.example_inputs()).model
+    ladder = None
+    if args.archive:
+        if args.fallback_model != "none":
+            print("error: --fallback-model conflicts with --archive; "
+                  "the ladder already orders the fallbacks",
+                  file=sys.stderr)
+            return 2
+        from repro.core import ArchiveError, ArchiveReader
+        from repro.runtime import DegradationLadder
+        try:
+            reader = ArchiveReader.open(args.archive)
+        except (OSError, ArchiveError) as error:
+            print(f"error: cannot open archive {args.archive}: {error}",
+                  file=sys.stderr)
+            return 2
+        names = [part.strip() for part in args.ladder.split(",")
+                 if part.strip()] if args.ladder else reader.names
+
+        def factory(meta):
+            return _build_stream_model(meta.get("model", args.model))
+
+        try:
+            ladder = DegradationLadder.from_archive(
+                reader, names, factory,
+                promote_after=args.promote_after,
+                probation=args.probation)
+        except (KeyError, ValueError, ArchiveError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        print(f"ladder from {args.archive}: " + " -> ".join(names))
+    else:
+        model = _build_stream_model(args.model)
+        if args.preset != "none":
+            model = UPAQCompressor(presets[args.preset]()).compress(
+                model, *model.example_inputs()).model
+        if args.fallback_model != "none":
+            base = _build_stream_model(args.model)
+            fallback = UPAQCompressor(
+                presets[args.fallback_model]()).compress(
+                base, *base.example_inputs()).model
 
     injector = None
     if args.inject_faults:
@@ -198,7 +247,7 @@ def _cmd_stream(args) -> int:
     engine = InferenceEngine(model, default_devices()[args.device],
                              deadline_s=args.deadline_ms / 1e3,
                              policy=policy, fault_injector=injector,
-                             fallback_model=fallback,
+                             fallback_model=fallback, ladder=ladder,
                              execution=args.execution,
                              trace=bool(args.trace),
                              telemetry=args.telemetry,
@@ -209,8 +258,33 @@ def _cmd_stream(args) -> int:
     report = engine.run(scenes)
     print(report.summary())
     if engine.on_fallback:
-        print(f"watchdog swapped to the {args.fallback_model.upper()} "
-              f"fallback model after repeated deadline misses")
+        if ladder is not None:
+            print(f"stream ended on rung {engine.active_rung!r} after "
+                  f"repeated deadline misses")
+        else:
+            print(f"watchdog swapped to the {args.fallback_model.upper()} "
+                  f"fallback model after repeated deadline misses")
+    if args.swap_report:
+        import json
+        payload = {
+            "ladder": list(engine.ladder.names),
+            "swap_events": [{"frame_id": event.frame_id,
+                             "kind": event.kind,
+                             "from_rung": event.from_rung,
+                             "to_rung": event.to_rung}
+                            for event in report.swap_events],
+            "frame_rungs": [{"frame_id": record.frame_id,
+                             "rung": record.rung}
+                            for record in report.frames],
+            "rung_residency": report.rung_residency,
+            "demotions": report.demotions,
+            "promotions": report.promotions,
+        }
+        with open(args.swap_report, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"swap-event report ({len(report.swap_events)} events) "
+              f"→ {args.swap_report}")
     if args.trace:
         import json
 
@@ -224,6 +298,89 @@ def _cmd_stream(args) -> int:
                 f"{entry.layer} ({entry.latency_s * 1e3:.3f} ms)"
                 for entry in offenders)
             print(f"deadline-miss attribution: {worst}")
+    return 0
+
+
+def _cmd_pack_archive(args) -> int:
+    """Compress preset variants of one model into a variant archive."""
+    from repro.core import ArchiveWriter, UPAQCompressor, pack_model
+    from repro.fuzzing import build_preset_config
+    from repro.ir import extract_ir
+
+    variants = [part.strip() for part in args.variants.split(",")
+                if part.strip()]
+    if not variants:
+        print("error: empty --variants list", file=sys.stderr)
+        return 2
+    writer = ArchiveWriter()
+    for name in variants:
+        try:
+            preset = build_preset_config(name)
+        except KeyError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        model = _build_stream_model(args.model)
+        if preset is None:
+            ir = extract_ir(model, *model.example_inputs())
+        else:
+            outcome = UPAQCompressor(preset).compress(
+                model, *model.example_inputs())
+            model, ir = outcome.model, outcome.ir
+        blob = pack_model(model, ir=ir)
+        writer.add(name, blob, model=args.model, preset=name)
+        print(f"  {name:12s} {len(blob) / 1024:8.1f} KiB packed")
+    payload = writer.finish()
+    with open(args.out, "wb") as handle:
+        handle.write(payload)
+    stats = writer.stats
+    print(f"wrote {args.out}: {stats.entries} entries, "
+          f"{stats.chunks_stored} chunks "
+          f"({stats.shared_chunks} deduplicated), "
+          f"{len(payload) / 1024:.1f} KiB on disk / "
+          f"{stats.logical_bytes / 1024:.1f} KiB logical")
+    return 0
+
+
+def _open_archive(path):
+    from repro.core import ArchiveError, ArchiveReader
+    try:
+        return ArchiveReader.open(path)
+    except (OSError, ArchiveError) as error:
+        print(f"error: cannot open archive {path}: {error}",
+              file=sys.stderr)
+        return None
+
+
+def _cmd_archive_ls(args) -> int:
+    reader = _open_archive(args.path)
+    if reader is None:
+        return 2
+    print(f"{'name':16s} {'bytes':>10s} {'chunks':>7s}  meta")
+    for entry in reader.entries:
+        meta = " ".join(f"{key}={value}"
+                        for key, value in sorted(entry.meta.items()))
+        print(f"{entry.name:16s} {entry.length:10d} "
+              f"{len(entry.chunks):7d}  {meta}")
+    print(reader.summary())
+    return 0
+
+
+def _cmd_archive_verify(args) -> int:
+    from repro.core import ArchiveError
+    reader = _open_archive(args.path)
+    if reader is None:
+        return 2
+    try:
+        reader.verify()
+    except ArchiveError as error:
+        print(f"CORRUPT: {error}", file=sys.stderr)
+        salvage = reader.salvage()
+        for name in salvage.intact:
+            print(f"  intact  {name}")
+        for name, reason in salvage.corrupt.items():
+            print(f"  corrupt {name}: {reason}")
+        return 1
+    print(f"OK: {reader.summary()}")
     return 0
 
 
@@ -512,7 +669,52 @@ def build_parser() -> argparse.ArgumentParser:
                         "in-flight frames as one batched lowered pass "
                         "(byte-identical to per-frame execution; "
                         "see docs/PERFORMANCE.md)")
+    p.add_argument("--archive", default=None, metavar="PATH",
+                   help="model-variant archive (see `repro "
+                        "pack-archive`); the stream runs a degradation "
+                        "ladder of its entries instead of a single "
+                        "model")
+    p.add_argument("--ladder", default=None, metavar="RUNGS",
+                   help="CSV of archive entry names ordering the "
+                        "ladder, primary first (default: every entry "
+                        "in pack order)")
+    p.add_argument("--promote-after", type=int, default=5, metavar="N",
+                   help="consecutive on-deadline frames before the "
+                        "ladder promotes one rung back up (0 disables "
+                        "promotion)")
+    p.add_argument("--probation", type=int, default=3, metavar="N",
+                   help="frames after a promotion during which a "
+                        "single miss demotes immediately")
+    p.add_argument("--swap-report", default=None, metavar="PATH",
+                   help="write the swap events, per-frame rung "
+                        "attribution and residency as JSON")
     p.set_defaults(func=_cmd_stream)
+
+    p = sub.add_parser("pack-archive",
+                       help="compress preset variants into one "
+                            "checksummed model-variant archive")
+    p.add_argument("--model", default="tiny",
+                   choices=["tiny", "pointpillars", "smoke"])
+    p.add_argument("--variants",
+                   default="lck-16bit,lck-8bit,hck-8bit,hck-4bit",
+                   help="CSV of fuzz-preset names to pack (identical "
+                        "packed layers across variants are stored "
+                        "once)")
+    p.add_argument("--out", required=True,
+                   help="write the archive here")
+    p.set_defaults(func=_cmd_pack_archive)
+
+    p = sub.add_parser("archive",
+                       help="inspect a model-variant archive")
+    archive_sub = p.add_subparsers(dest="archive_command", required=True)
+    p = archive_sub.add_parser("ls", help="list entries and dedup stats")
+    p.add_argument("path", help="archive file")
+    p.set_defaults(func=_cmd_archive_ls)
+    p = archive_sub.add_parser(
+        "verify", help="strict integrity check (trailer + every entry); "
+                       "on corruption, prints what salvage would keep")
+    p.add_argument("path", help="archive file")
+    p.set_defaults(func=_cmd_archive_verify)
 
     p = sub.add_parser("ir", help="inspect the layer-level model IR")
     ir_sub = p.add_subparsers(dest="ir_command", required=True)

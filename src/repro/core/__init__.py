@@ -27,6 +27,9 @@ from .packing import (BlobArchitectureError, BlobCorruptionError, BlobError,
                       pack_layer, pack_model, packed_size_report,
                       restore_model, unpack_bits, unpack_layer,
                       unpack_model)
+from .archive import (ArchiveCorruptionError, ArchiveEntry, ArchiveError,
+                      ArchiveReader, ArchiveVersionError, ArchiveWriter,
+                      DedupStats, SalvageReport, pack_archive, split_blob)
 from .sensitivity import (LayerSensitivity, SensitivityProfile,
                           analyze_sensitivity, suggest_bit_allocation)
 from .patterns import (KernelPattern, PATTERN_TYPES, generate_pattern,
@@ -55,6 +58,9 @@ __all__ = [
     "pack_model", "unpack_model", "restore_model", "RestoreReport",
     "packed_size_report", "BlobError", "BlobCorruptionError",
     "BlobVersionError", "BlobArchitectureError",
+    "ArchiveError", "ArchiveCorruptionError", "ArchiveVersionError",
+    "ArchiveEntry", "ArchiveWriter", "ArchiveReader", "DedupStats",
+    "SalvageReport", "pack_archive", "split_blob",
     "LayerSensitivity", "SensitivityProfile", "analyze_sensitivity",
     "suggest_bit_allocation",
     "LayerGroups", "preprocess_model", "group_layers", "find_root",

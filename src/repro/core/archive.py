@@ -1,0 +1,465 @@
+"""Model-variant archive (format v1) — many packed models, one file.
+
+Blob v4 (:mod:`repro.core.packing`) stores *one* compressed model per
+file.  A deployed fleet needs many: the same detector compressed at
+several (preset, bitwidth) operating points, shipped together so the
+runtime's degradation ladder can hot-swap between them without a
+re-trace.  This module packs any number of blob-v4 entries into one
+checksummed, TOC-indexed archive, following the rocm-kpack layout
+referenced in ROADMAP.md:
+
+* **magic/version header** — ``b"UPAK"`` + version byte;
+* **JSON TOC** — entry names with per-entry blake2b-128 digests,
+  lengths and chunk references, plus the chunk table with absolute
+  byte offsets into the data region; the TOC carries its own digest so
+  a reader can trust the index even when the data region is damaged;
+* **content-addressed chunk store** — each entry is split at its
+  blob-v4 layer-payload boundaries and every segment is stored once,
+  keyed by digest: identical packed layers *shared across variants*
+  (same weights, bits and scheme — common for layers the bitwidth
+  ladder leaves untouched) occupy one chunk no matter how many entries
+  reference them;
+* **lazy per-entry loading** — :class:`ArchiveReader` parses only the
+  header and TOC up front; entry bytes are read (and digest-verified)
+  on demand, chunk by chunk, so opening a fleet archive never touches
+  the variants the ladder does not use;
+* **salvage mode** — :meth:`ArchiveReader.salvage` verifies every
+  entry and reports the corrupt ones instead of failing the whole
+  archive; a truncated or bit-flipped entry never blocks restoring the
+  intact ones.
+
+Determinism: chunks are stored in order of first reference and the TOC
+is serialized with sorted keys and canonical separators, so packing the
+same entries in the same order is byte-identical — the golden archive
+under ``tests/core/golden/`` pins this.
+
+Typed errors mirror the blob hierarchy: :class:`ArchiveError` (base),
+:class:`ArchiveCorruptionError`, :class:`ArchiveVersionError`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import struct
+from dataclasses import dataclass, field
+
+from .packing import (_CHECKSUM_BYTES, _MAGIC, BlobError, _parse_manifest,
+                      _read_exact, restore_model)
+
+__all__ = ["ArchiveError", "ArchiveCorruptionError", "ArchiveVersionError",
+           "ArchiveEntry", "DedupStats", "SalvageReport", "ArchiveWriter",
+           "ArchiveReader", "pack_archive", "split_blob"]
+
+_ARCHIVE_MAGIC = b"UPAK"
+_ARCHIVE_VERSION = 1
+_DIGEST_BYTES = 16
+
+
+class ArchiveError(ValueError):
+    """Base class for every model-archive failure."""
+
+
+class ArchiveCorruptionError(ArchiveError):
+    """The archive's bytes fail an integrity check (magic, digest, …)."""
+
+
+class ArchiveVersionError(ArchiveCorruptionError):
+    """The version byte is not one this reader supports.
+
+    Subclasses :class:`ArchiveCorruptionError` for the same reason the
+    blob hierarchy does: on a checksummed file an unexpected version
+    byte is indistinguishable from a header bit flip.
+    """
+
+
+def _digest(data: bytes) -> str:
+    return hashlib.blake2b(data, digest_size=_DIGEST_BYTES).hexdigest()
+
+
+def split_blob(blob: bytes) -> list[bytes]:
+    """Split a blob-v4 into its dedup segments, concatenating back exactly.
+
+    Segments: ``[header+IR+manifest, payload_1, …, payload_N,
+    trailer]``.  The per-layer payloads are the dedup unit — two
+    variants that compress a layer identically (same weights, bits,
+    scheme) produce byte-identical payload segments.  Raises
+    :class:`ArchiveError` when ``blob`` is not a structurally valid
+    packed model.
+    """
+    try:
+        if blob[:len(_MAGIC)] != _MAGIC:
+            raise ArchiveError("entry is not a UPAQ packed model blob")
+        buffer = io.BytesIO(blob)
+        _read_exact(buffer, len(_MAGIC), "blob magic")
+        _, count = struct.unpack(
+            "<BI", _read_exact(buffer, 5, "blob header"))
+        ir_len = struct.unpack(
+            "<I", _read_exact(buffer, 4, "IR section length"))[0]
+        _read_exact(buffer, ir_len, "IR section")
+        entries = _parse_manifest(buffer, count)
+        header_end = buffer.tell()
+        segments = [blob[:header_end]]
+        offset = header_end
+        for entry in entries:
+            end = offset + entry.payload_len
+            if end > len(blob) - _CHECKSUM_BYTES:
+                raise ArchiveError(
+                    "blob payloads overrun the trailer — truncated or "
+                    "inconsistent manifest")
+            segments.append(blob[offset:end])
+            offset = end
+        if offset != len(blob) - _CHECKSUM_BYTES:
+            raise ArchiveError(
+                "blob has trailing bytes between payloads and trailer")
+        segments.append(blob[offset:])
+        return segments
+    except ArchiveError:
+        raise
+    except (BlobError, struct.error, IndexError) as error:
+        raise ArchiveError(
+            f"entry is not a valid packed model blob: {error}") from error
+
+
+@dataclass(frozen=True)
+class ArchiveEntry:
+    """One TOC entry: a named blob-v4 variant and where its bytes live."""
+
+    name: str
+    length: int
+    #: blake2b-128 hex digest of the reassembled entry blob
+    digest: str
+    #: indices into the archive's chunk table, in concatenation order
+    chunks: tuple
+    #: free-form metadata recorded at pack time (model, preset, bits, …)
+    meta: dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class DedupStats:
+    """Content-addressed sharing accounting for one archive."""
+
+    entries: int
+    #: chunk references across all entries (pre-dedup count)
+    chunks_referenced: int
+    #: distinct chunks actually stored
+    chunks_stored: int
+    #: sum of entry lengths (what N separate blob files would occupy)
+    logical_bytes: int
+    #: bytes the data region actually holds
+    stored_bytes: int
+
+    @property
+    def saved_bytes(self) -> int:
+        return self.logical_bytes - self.stored_bytes
+
+    @property
+    def shared_chunks(self) -> int:
+        return self.chunks_referenced - self.chunks_stored
+
+
+@dataclass
+class SalvageReport:
+    """Outcome of a full-archive verification pass."""
+
+    #: entry names whose bytes verified end to end, TOC order
+    intact: list = field(default_factory=list)
+    #: entry name → human-readable corruption reason
+    corrupt: dict = field(default_factory=dict)
+
+    @property
+    def complete(self) -> bool:
+        return not self.corrupt
+
+
+class ArchiveWriter:
+    """Accumulates named blob-v4 entries; :meth:`finish` emits the bytes.
+
+    Entries are split at layer-payload boundaries and stored through a
+    content-addressed chunk table — adding the same packed layer twice
+    (under two variants) stores it once.  Add order is preserved in the
+    TOC and in chunk storage order, so the output is a pure function of
+    the (name, blob, meta) sequence.
+    """
+
+    def __init__(self):
+        self._entries: dict[str, ArchiveEntry] = {}
+        self._chunk_index: dict[str, int] = {}
+        self._chunks: list[bytes] = []
+
+    def add(self, name: str, blob: bytes, **meta) -> ArchiveEntry:
+        """Add one packed-model blob under ``name``.
+
+        ``meta`` keys (e.g. ``model=``, ``preset=``, ``bits=``) land in
+        the TOC verbatim and come back on :class:`ArchiveEntry.meta`.
+        Raises :class:`ArchiveError` on duplicate names or a blob that
+        does not parse as a packed model.
+        """
+        if name in self._entries:
+            raise ArchiveError(f"duplicate archive entry {name!r}")
+        if not name:
+            raise ArchiveError("archive entry name must be non-empty")
+        indices = []
+        for segment in split_blob(blob):
+            key = _digest(segment)
+            index = self._chunk_index.get(key)
+            if index is None:
+                index = len(self._chunks)
+                self._chunk_index[key] = index
+                self._chunks.append(segment)
+            indices.append(index)
+        entry = ArchiveEntry(name=name, length=len(blob),
+                             digest=_digest(blob), chunks=tuple(indices),
+                             meta=dict(meta))
+        self._entries[name] = entry
+        return entry
+
+    @property
+    def stats(self) -> DedupStats:
+        return DedupStats(
+            entries=len(self._entries),
+            chunks_referenced=sum(len(e.chunks)
+                                  for e in self._entries.values()),
+            chunks_stored=len(self._chunks),
+            logical_bytes=sum(e.length for e in self._entries.values()),
+            stored_bytes=sum(len(c) for c in self._chunks))
+
+    def finish(self) -> bytes:
+        """Serialize: header + TOC(+digest) + data region + trailer."""
+        if not self._entries:
+            raise ArchiveError("cannot finish an empty archive")
+        offsets = []
+        position = 0
+        for chunk in self._chunks:
+            offsets.append(position)
+            position += len(chunk)
+        digests = {index: key
+                   for key, index in self._chunk_index.items()}
+        toc = {
+            "chunks": [{"digest": digests[i], "length": len(chunk),
+                        "offset": offsets[i]}
+                       for i, chunk in enumerate(self._chunks)],
+            # a list, not a mapping: sort_keys would alphabetize a
+            # mapping and lose the pack order (= default ladder order)
+            "entries": [
+                {
+                    "name": entry.name,
+                    "chunks": list(entry.chunks),
+                    "digest": entry.digest,
+                    "length": entry.length,
+                    "meta": entry.meta,
+                } for entry in self._entries.values()
+            ],
+        }
+        toc_bytes = json.dumps(toc, sort_keys=True,
+                               separators=(",", ":")).encode()
+        body = (_ARCHIVE_MAGIC
+                + struct.pack("<B", _ARCHIVE_VERSION)
+                + struct.pack("<I", len(toc_bytes)) + toc_bytes
+                + hashlib.blake2b(toc_bytes,
+                                  digest_size=_DIGEST_BYTES).digest()
+                + b"".join(self._chunks))
+        return body + hashlib.blake2b(
+            body, digest_size=_DIGEST_BYTES).digest()
+
+
+def pack_archive(named_blobs, metadata: dict | None = None) -> bytes:
+    """One-shot archive from ``{name: blob}`` (+ optional per-name meta)."""
+    writer = ArchiveWriter()
+    metadata = metadata or {}
+    for name, blob in named_blobs.items():
+        writer.add(name, blob, **metadata.get(name, {}))
+    return writer.finish()
+
+
+class _ByteSource:
+    """Random-access reads over bytes or a seekable binary file."""
+
+    def __init__(self, source):
+        if isinstance(source, (bytes, bytearray)):
+            self._data = bytes(source)
+            self._handle = None
+        else:
+            self._data = None
+            self._handle = source
+
+    def read_at(self, offset: int, length: int) -> bytes:
+        if self._data is not None:
+            return self._data[offset:offset + length]
+        self._handle.seek(offset)
+        return self._handle.read(length)
+
+    def read_all(self) -> bytes:
+        if self._data is not None:
+            return self._data
+        self._handle.seek(0)
+        return self._handle.read()
+
+
+class ArchiveReader:
+    """Lazy, integrity-checking view over a model-variant archive.
+
+    Construction parses only the fixed header and the TOC (verified
+    against its embedded digest); entry bytes are fetched and verified
+    on :meth:`load`.  Accepts raw ``bytes`` or any seekable binary
+    file object; :meth:`open` is the path convenience.
+    """
+
+    def __init__(self, source):
+        self._source = _ByteSource(source)
+        head_len = len(_ARCHIVE_MAGIC) + 5
+        head = self._source.read_at(0, head_len)
+        if head[:len(_ARCHIVE_MAGIC)] != _ARCHIVE_MAGIC:
+            raise ArchiveCorruptionError("not a UPAQ model archive")
+        if len(head) < head_len:
+            raise ArchiveCorruptionError(
+                "archive truncated inside the fixed header")
+        version, toc_len = struct.unpack(
+            "<BI", head[len(_ARCHIVE_MAGIC):])
+        if version != _ARCHIVE_VERSION:
+            raise ArchiveVersionError(
+                f"unsupported archive version {version} (this reader "
+                f"handles version {_ARCHIVE_VERSION})")
+        toc_bytes = self._source.read_at(head_len, toc_len)
+        toc_digest = self._source.read_at(head_len + toc_len,
+                                          _DIGEST_BYTES)
+        if len(toc_bytes) != toc_len or len(toc_digest) != _DIGEST_BYTES:
+            raise ArchiveCorruptionError("archive truncated inside the TOC")
+        if hashlib.blake2b(toc_bytes,
+                           digest_size=_DIGEST_BYTES).digest() \
+                != toc_digest:
+            raise ArchiveCorruptionError(
+                "archive TOC failed its digest — the index cannot be "
+                "trusted")
+        try:
+            toc = json.loads(toc_bytes.decode())
+            self._chunks = [(chunk["digest"], int(chunk["offset"]),
+                             int(chunk["length"]))
+                            for chunk in toc["chunks"]]
+            self._entries = {
+                spec["name"]: ArchiveEntry(
+                    name=spec["name"], length=int(spec["length"]),
+                    digest=spec["digest"],
+                    chunks=tuple(int(i) for i in spec["chunks"]),
+                    meta=dict(spec.get("meta", {})))
+                for spec in toc["entries"]}
+        except (KeyError, TypeError, ValueError) as error:
+            raise ArchiveCorruptionError(
+                f"malformed archive TOC: {error}") from error
+        self._data_start = head_len + toc_len + _DIGEST_BYTES
+
+    @classmethod
+    def open(cls, path) -> "ArchiveReader":
+        return cls(open(path, "rb"))
+
+    # ------------------------------------------------------------------
+    @property
+    def names(self) -> list[str]:
+        """Entry names in TOC (= pack) order."""
+        return list(self._entries)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def entry(self, name: str) -> ArchiveEntry:
+        try:
+            return self._entries[name]
+        except KeyError:
+            known = ", ".join(self._entries) or "<none>"
+            raise KeyError(
+                f"no archive entry {name!r}; known: {known}") from None
+
+    @property
+    def entries(self) -> list[ArchiveEntry]:
+        return list(self._entries.values())
+
+    @property
+    def stats(self) -> DedupStats:
+        return DedupStats(
+            entries=len(self._entries),
+            chunks_referenced=sum(len(e.chunks)
+                                  for e in self._entries.values()),
+            chunks_stored=len(self._chunks),
+            logical_bytes=sum(e.length for e in self._entries.values()),
+            stored_bytes=sum(length for _, _, length in self._chunks))
+
+    # ------------------------------------------------------------------
+    def _chunk(self, index: int) -> bytes:
+        try:
+            digest, offset, length = self._chunks[index]
+        except IndexError:
+            raise ArchiveCorruptionError(
+                f"entry references chunk {index} beyond the chunk "
+                f"table") from None
+        data = self._source.read_at(self._data_start + offset, length)
+        if len(data) != length:
+            raise ArchiveCorruptionError(
+                f"chunk {index} truncated: wanted {length} bytes, got "
+                f"{len(data)}")
+        if _digest(data) != digest:
+            raise ArchiveCorruptionError(
+                f"chunk {index} failed its content digest")
+        return data
+
+    def load(self, name: str) -> bytes:
+        """The verified blob-v4 bytes of one entry (lazy, per chunk)."""
+        entry = self.entry(name)
+        blob = b"".join(self._chunk(index) for index in entry.chunks)
+        if len(blob) != entry.length or _digest(blob) != entry.digest:
+            raise ArchiveCorruptionError(
+                f"entry {name!r} failed its digest after reassembly")
+        return blob
+
+    def restore(self, name: str, model, strict: bool = True):
+        """Restore one entry into ``model``; returns the RestoreReport.
+
+        The archive-level digests run first (:meth:`load`), then the
+        blob's own integrity checks — double bookkeeping, by design:
+        the archive detects storage corruption, the blob detects a bad
+        pack.
+        """
+        return restore_model(self.load(name), model, strict=strict)
+
+    def salvage(self) -> SalvageReport:
+        """Verify every entry; corrupt ones are reported, not raised.
+
+        The per-entry, per-chunk digests make damage local: a truncated
+        file or a flipped bit corrupts only the entries whose chunks it
+        touches, and every other entry stays loadable.
+        """
+        report = SalvageReport()
+        for name in self._entries:
+            try:
+                self.load(name)
+            except ArchiveError as error:
+                report.corrupt[name] = str(error)
+            else:
+                report.intact.append(name)
+        return report
+
+    def verify(self) -> None:
+        """Strict whole-file check: trailer checksum plus every entry."""
+        data = self._source.read_all()
+        body, trailer = data[:-_DIGEST_BYTES], data[-_DIGEST_BYTES:]
+        if hashlib.blake2b(body, digest_size=_DIGEST_BYTES).digest() \
+                != trailer:
+            raise ArchiveCorruptionError(
+                "archive failed its trailer checksum — at least one "
+                "byte is corrupt")
+        report = self.salvage()
+        if not report.complete:
+            name, reason = next(iter(report.corrupt.items()))
+            raise ArchiveCorruptionError(
+                f"entry {name!r} is corrupt: {reason}")
+
+    def summary(self) -> str:
+        stats = self.stats
+        return (f"archive: {stats.entries} entries, "
+                f"{stats.chunks_stored} chunks stored "
+                f"({stats.shared_chunks} deduplicated), "
+                f"{stats.stored_bytes / 1024:.1f} KiB stored / "
+                f"{stats.logical_bytes / 1024:.1f} KiB logical")

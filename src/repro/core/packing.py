@@ -87,6 +87,21 @@ def _checksum(data: bytes) -> bytes:
     return hashlib.blake2b(data, digest_size=_CHECKSUM_BYTES).digest()
 
 
+def _read_exact(buffer: io.BytesIO, size: int, what: str) -> bytes:
+    """Read exactly ``size`` bytes or raise a *typed* corruption error.
+
+    Every reader in this module goes through here so a truncated or
+    empty blob surfaces as :class:`BlobCorruptionError` instead of a
+    bare ``struct.error`` / ``IndexError`` escaping to the caller.
+    """
+    data = buffer.read(size)
+    if len(data) != size:
+        raise BlobCorruptionError(
+            f"blob truncated reading {what}: wanted {size} bytes, "
+            f"got {len(data)}")
+    return data
+
+
 def pack_bits(codes: np.ndarray, bits: int) -> bytes:
     """Pack signed integer codes into a little-endian bitstream."""
     if bits < 1 or bits > 32:
@@ -112,7 +127,12 @@ def pack_bits(codes: np.ndarray, bits: int) -> bytes:
 
 
 def unpack_bits(data: bytes, bits: int, count: int) -> np.ndarray:
-    """Inverse of :func:`pack_bits`."""
+    """Inverse of :func:`pack_bits`.
+
+    Raises :class:`BlobCorruptionError` when the bitstream is too short
+    for ``count`` codes — truncation is a data-integrity failure, not an
+    index bug.
+    """
     offset = 1 << (bits - 1)
     mask = (1 << bits) - 1
     values = np.empty(count, dtype=np.int64)
@@ -121,6 +141,10 @@ def unpack_bits(data: bytes, bits: int, count: int) -> np.ndarray:
     position = 0
     for i in range(count):
         while filled < bits:
+            if position >= len(data):
+                raise BlobCorruptionError(
+                    f"bitstream truncated: {len(data)} bytes hold fewer "
+                    f"than {count} codes at {bits} bits")
             accumulator |= data[position] << filled
             position += 1
             filled += 8
@@ -137,8 +161,14 @@ def _write_array(buffer: io.BytesIO, array: np.ndarray) -> None:
 
 
 def _read_array(buffer: io.BytesIO, dtype, count: int) -> np.ndarray:
-    size = struct.unpack("<I", buffer.read(4))[0]
-    return np.frombuffer(buffer.read(size), dtype=dtype, count=count).copy()
+    size = struct.unpack("<I", _read_exact(buffer, 4, "array length"))[0]
+    raw = _read_exact(buffer, size, "array data")
+    try:
+        return np.frombuffer(raw, dtype=dtype, count=count).copy()
+    except ValueError as error:
+        raise BlobCorruptionError(
+            f"array section inconsistent with its declared length: "
+            f"{error}") from error
 
 
 def pack_layer(weights: np.ndarray, bits: int, scheme: str) -> bytes:
@@ -205,35 +235,57 @@ def pack_layer(weights: np.ndarray, bits: int, scheme: str) -> bytes:
 
 
 def unpack_layer(data: bytes) -> tuple[np.ndarray, int, str]:
-    """Inverse of :func:`pack_layer`: returns (weights, bits, scheme)."""
+    """Inverse of :func:`pack_layer`: returns (weights, bits, scheme).
+
+    Empty or truncated payloads raise :class:`BlobCorruptionError` —
+    callers never see ``struct.error`` / ``IndexError`` from a short
+    read.
+    """
     buffer = io.BytesIO(data)
-    ndim = struct.unpack("<B", buffer.read(1))[0]
-    shape = tuple(struct.unpack("<I", buffer.read(4))[0]
-                  for _ in range(ndim))
-    scheme_code, bits = struct.unpack("<BB", buffer.read(2))
+    ndim = struct.unpack("<B", _read_exact(buffer, 1, "layer rank"))[0]
+    shape = tuple(
+        struct.unpack("<I", _read_exact(buffer, 4, "layer shape"))[0]
+        for _ in range(ndim))
+    scheme_code, bits = struct.unpack(
+        "<BB", _read_exact(buffer, 2, "layer scheme/bits"))
+    if scheme_code not in _SCHEME_NAMES:
+        raise BlobCorruptionError(
+            f"layer payload declares unknown scheme {scheme_code}")
     scheme = _SCHEME_NAMES[scheme_code]
     total = int(np.prod(shape))
 
     if scheme == "unstructured":
-        nnz, scale = struct.unpack("<Id", buffer.read(12))
+        nnz, scale = struct.unpack(
+            "<Id", _read_exact(buffer, 12, "sparse header"))
         indices = _read_array(buffer, np.uint32, nnz)
-        packed_len = struct.unpack("<I", buffer.read(4))[0]
-        codes = unpack_bits(buffer.read(packed_len), bits, nnz)
+        packed_len = struct.unpack(
+            "<I", _read_exact(buffer, 4, "code stream length"))[0]
+        codes = unpack_bits(_read_exact(buffer, packed_len, "code stream"),
+                            bits, nnz)
         flat = np.zeros(total, dtype=np.float32)
         flat[indices] = (codes * scale).astype(np.float32)
     else:
         n_kernels, kernel_size, pool_size = struct.unpack(
-            "<IIB", buffer.read(9))
-        pool_bits = struct.unpack("<I", buffer.read(4))[0]
-        pool_raw = np.frombuffer(buffer.read(pool_bits), dtype=np.uint8)
-        pool = np.unpackbits(pool_raw)[:pool_size * kernel_size] \
+            "<IIB", _read_exact(buffer, 9, "kernel header"))
+        pool_bits = struct.unpack(
+            "<I", _read_exact(buffer, 4, "mask pool length"))[0]
+        pool_raw = np.frombuffer(
+            _read_exact(buffer, pool_bits, "mask pool"), dtype=np.uint8)
+        unpacked = np.unpackbits(pool_raw)
+        if unpacked.size < pool_size * kernel_size:
+            raise BlobCorruptionError(
+                "mask pool shorter than its declared dimensions")
+        pool = unpacked[:pool_size * kernel_size] \
             .reshape(pool_size, kernel_size).astype(bool)
         inverse = _read_array(buffer, np.uint8, n_kernels) \
             .astype(np.int64)
         scales = _read_array(buffer, np.float32, n_kernels)
-        n_surviving = struct.unpack("<I", buffer.read(4))[0]
-        packed_len = struct.unpack("<I", buffer.read(4))[0]
-        codes = unpack_bits(buffer.read(packed_len), bits, n_surviving)
+        n_surviving = struct.unpack(
+            "<I", _read_exact(buffer, 4, "surviving-code count"))[0]
+        packed_len = struct.unpack(
+            "<I", _read_exact(buffer, 4, "code stream length"))[0]
+        codes = unpack_bits(_read_exact(buffer, packed_len, "code stream"),
+                            bits, n_surviving)
         kernels = np.zeros((n_kernels, kernel_size), dtype=np.float64)
         kept = pool[inverse]
         kernels[kept] = codes
@@ -322,13 +374,16 @@ def pack_model(model: Module, ir: ModelIR | None = None) -> bytes:
 def _parse_manifest(buffer: io.BytesIO, count: int) -> list[_ManifestEntry]:
     entries = []
     for _ in range(count):
-        name_len = struct.unpack("<H", buffer.read(2))[0]
-        name = buffer.read(name_len).decode()
-        ndim = struct.unpack("<B", buffer.read(1))[0]
-        shape = tuple(struct.unpack("<I", buffer.read(4))[0]
-                      for _ in range(ndim))
-        bits, scheme_code, payload_len = struct.unpack("<BBI",
-                                                       buffer.read(6))
+        name_len = struct.unpack(
+            "<H", _read_exact(buffer, 2, "manifest name length"))[0]
+        name = _read_exact(buffer, name_len, "manifest name").decode()
+        ndim = struct.unpack(
+            "<B", _read_exact(buffer, 1, "manifest rank"))[0]
+        shape = tuple(
+            struct.unpack("<I", _read_exact(buffer, 4, "manifest shape"))[0]
+            for _ in range(ndim))
+        bits, scheme_code, payload_len = struct.unpack(
+            "<BBI", _read_exact(buffer, 6, "manifest layer header"))
         if scheme_code not in _SCHEME_NAMES:
             raise BlobCorruptionError(
                 f"layer {name!r} declares unknown scheme {scheme_code}")

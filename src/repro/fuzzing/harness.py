@@ -107,7 +107,7 @@ def _nan_safe(mapping: dict) -> dict:
 # ---------------------------------------------------------------------------
 
 def _build_engine(model, ir, condition, device, execution, seed_value,
-                  fallback):
+                  fallback, ladder=None):
     from repro.hardware import default_devices
     from repro.runtime import (DegradationPolicy, FaultInjector, FaultSpec,
                                InferenceEngine)
@@ -120,12 +120,19 @@ def _build_engine(model, ir, condition, device, execution, seed_value,
             jitter=condition.jitter,
             jitter_scale_s=condition.jitter_ms / 1e3,
             seed=seed_value))
+    cost_hook = None
+    if condition.pressure_factor and condition.pressure_frames:
+        def cost_hook(frame_id, latency, energy):
+            if frame_id < condition.pressure_frames:
+                return latency * condition.pressure_factor, energy
+            return latency, energy
     policy = DegradationPolicy(on_corrupt=condition.on_corrupt,
                                max_consecutive_misses=condition.miss_limit)
     return InferenceEngine(model, default_devices()[device],
                            deadline_s=condition.deadline_ms / 1e3,
                            policy=policy, fault_injector=injector,
-                           fallback_model=fallback, execution=execution,
+                           fallback_model=fallback, ladder=ladder,
+                           cost_hook=cost_hook, execution=execution,
                            batch_size=condition.batch_size, ir=ir)
 
 
@@ -144,6 +151,7 @@ def _frame_rows(key, scenario, preset, condition_name, report, scenes):
             "status": record.status,
             "deadline_met": bool(record.deadline_met),
             "fallback": bool(record.fallback),
+            "rung": record.rung if record.rung is not None else "primary",
             "latency_ms": record.device_latency_s * 1e3,
             "energy_mj": record.device_energy_j * 1e3,
             "num_detections": record.num_detections,
@@ -196,6 +204,8 @@ def _cell_metrics(report, rows, scenes):
         "held_detection_frames": held,
         "silent_miss_frames": silent,
         "fallback_activations": report.fallback_activations,
+        "ladder_demotions": report.demotions,
+        "ladder_promotions": report.promotions,
         "total_energy_mj": float(report.total_energy_j * 1e3),
         "num_detections": int(sum(row["num_detections"] for row in rows)),
     }
@@ -246,9 +256,23 @@ def run_fuzz(config: FuzzConfig | None = None, progress=None) -> FuzzReport:
         if condition.fallback_preset \
                 and condition.fallback_preset != preset:
             fallback = model_for(condition.fallback_preset)[0]
+        ladder = None
+        if condition.ladder_presets:
+            from repro.runtime import DegradationLadder, LadderRung
+            rungs = [LadderRung(name=preset, model=model, ir=ir)]
+            for rung_preset in condition.ladder_presets:
+                if rung_preset == preset:
+                    continue    # the cell's preset is already rung 0
+                rung_model, rung_ir = model_for(rung_preset)
+                rungs.append(LadderRung(name=rung_preset,
+                                        model=rung_model, ir=rung_ir))
+            ladder = DegradationLadder(
+                rungs, promote_after=condition.promote_after,
+                probation=condition.probation)
         engine = _build_engine(model, ir, condition, config.device,
                                config.execution,
-                               cell_seed(config.seed, key), fallback)
+                               cell_seed(config.seed, key), fallback,
+                               ladder=ladder)
         scenes = scenes_for(scenario)
         stream = engine.run(scenes)
         rows = _frame_rows(key, scenario, preset, condition_name,

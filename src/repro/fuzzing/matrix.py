@@ -10,8 +10,9 @@ tests all speak the same vocabulary:
   uncompressed ``float`` control.
 * **Conditions** are runtime environments for the
   :class:`~repro.runtime.InferenceEngine`: clean streaming, seeded
-  fault injection, deadline pressure with a watchdog fallback, and
-  micro-batching.
+  fault injection, deadline pressure with a watchdog fallback,
+  micro-batching, and a multi-rung degradation ladder under transient
+  pressure.
 
 Cell identity is ``scenario|preset|condition``; every stochastic knob
 inside a cell (fault schedules) is seeded from a digest of the sweep
@@ -93,6 +94,17 @@ class RuntimeCondition:
     miss_limit: int = 3
     #: preset compressed as the deadline watchdog's fallback model
     fallback_preset: str | None = None
+    #: lower rungs of a degradation ladder (the cell's preset is the
+    #: primary rung; it is skipped here if repeated)
+    ladder_presets: tuple | None = None
+    #: ladder promotion knobs (see DegradationLadder)
+    promote_after: int = 0
+    probation: int = 0
+    #: transient deadline pressure: frames with ``frame_id <
+    #: pressure_frames`` have their device latency multiplied by
+    #: ``pressure_factor`` through the engine's cost hook
+    pressure_factor: float = 0.0
+    pressure_frames: int = 0
 
     @property
     def injects_faults(self) -> bool:
@@ -119,6 +131,15 @@ CONDITIONS: dict[str, RuntimeCondition] = {
         name="batched",
         description="clean stream through a batch-3 micro-batching window",
         batch_size=3),
+    "ladder": RuntimeCondition(
+        name="ladder",
+        description="transient deadline pressure on the first frame "
+                    "demotes through a preset degradation ladder, then "
+                    "on-deadline frames promote back to the primary",
+        miss_limit=1,
+        ladder_presets=("lck-8bit", "hck-8bit", "hck-4bit"),
+        promote_after=1,
+        pressure_factor=1e6, pressure_frames=1),
 }
 
 

@@ -39,7 +39,7 @@ __all__ = ["F", "Field", "Predicate", "QueryError", "parse_query",
 #: readers of saved reports have one reference).
 ROW_FIELDS = (
     "scenario", "preset", "condition", "cell", "frame_id", "status",
-    "deadline_met", "fallback", "latency_ms", "energy_mj",
+    "deadline_met", "fallback", "rung", "latency_ms", "energy_mj",
     "num_detections", "labels", "max_score", "gt_labels", "gt_count",
 )
 

@@ -16,15 +16,17 @@ attribution — lives in :mod:`repro.runtime.telemetry`; see
 ``docs/OBSERVABILITY.md``.
 """
 
-from .engine import (DegradationPolicy, FrameRecord, InferenceEngine,
-                     StreamReport)
+from .engine import (DegradationLadder, DegradationPolicy, FrameRecord,
+                     InferenceEngine, LadderRung, StreamReport,
+                     SwapEvent)
 from .executors import EXECUTION_MODES, LoweredProgram
 from .faults import FaultInjector, FaultSpec, FrameFaults
 from .telemetry import (LayerAttribution, LayerTelemetry, TraceEvent,
                         aggregate_telemetry, export_trace)
 
 __all__ = ["InferenceEngine", "StreamReport", "FrameRecord",
-           "DegradationPolicy", "FaultInjector", "FaultSpec",
+           "DegradationPolicy", "DegradationLadder", "LadderRung",
+           "SwapEvent", "FaultInjector", "FaultSpec",
            "FrameFaults", "LoweredProgram", "EXECUTION_MODES",
            "LayerTelemetry", "TraceEvent", "LayerAttribution",
            "aggregate_telemetry", "export_trace"]

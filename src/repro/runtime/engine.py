@@ -10,11 +10,17 @@ Failure is a modeled part of the stream, not an abort: frames that
 never arrive are recorded as ``dropped``, frames whose point cloud
 fails validation (NaN/Inf returns) are handled by a
 :class:`DegradationPolicy` — hold the last good detections or emit an
-empty frame — and a deadline watchdog can swap the active model to a
-cheaper fallback preset after consecutive misses.  Every degraded path
-leaves an explicit trace in :class:`FrameRecord.status` and the
-:class:`StreamReport` counters, so graceful degradation is measurable
-rather than anecdotal (see ``docs/ROBUSTNESS.md``).
+empty frame — and a deadline watchdog walks a
+:class:`DegradationLadder` of model variants: consecutive misses demote
+execution to the next-cheaper rung (zero-retrace, via each rung's
+pre-extracted :class:`~repro.ir.ModelIR`), consecutive on-deadline
+frames promote it back up through a probation window, and every swap is
+recorded as a :class:`SwapEvent`.  The single ``fallback_model`` of the
+original watchdog is the degenerate two-rung, never-promote ladder and
+keeps its exact semantics.  Every degraded path leaves an explicit
+trace in :class:`FrameRecord.status` / :class:`FrameRecord.rung` and
+the :class:`StreamReport` counters, so graceful degradation is
+measurable rather than anecdotal (see ``docs/ROBUSTNESS.md``).
 """
 
 from __future__ import annotations
@@ -36,6 +42,7 @@ from .telemetry import (JITTER_LAYER, OVERHEAD_LAYER, LayerAttribution,
                         telemetry_digest)
 
 __all__ = ["FrameRecord", "StreamReport", "DegradationPolicy",
+           "SwapEvent", "LadderRung", "DegradationLadder",
            "InferenceEngine"]
 
 FRAME_STATUSES = ("ok", "degraded", "dropped")
@@ -54,8 +61,121 @@ class FrameRecord:
     #: was corrupt and the policy substituted detections; ``dropped`` —
     #: the frame never reached (or was discarded by) the engine.
     status: str = "ok"
-    #: True once the watchdog has swapped execution to the fallback model.
+    #: True while the watchdog has execution on any rung below the
+    #: primary (the legacy "on the fallback model" flag).
     fallback: bool = False
+    #: Name of the ladder rung that served this frame; ``None`` on the
+    #: primary.  Makes mixed-rung streams attributable per frame.
+    rung: str | None = None
+
+
+@dataclass(frozen=True)
+class SwapEvent:
+    """One watchdog hot swap between ladder rungs.
+
+    ``frame_id`` is the frame whose deadline outcome *triggered* the
+    swap; the swap takes effect from the next processed frame, so this
+    frame's :class:`FrameRecord.rung` still names ``from_rung``.
+    """
+
+    frame_id: int
+    #: ``"demote"`` (deadline misses) or ``"promote"`` (recovery)
+    kind: str
+    from_rung: str | None
+    to_rung: str | None
+
+
+@dataclass
+class LadderRung:
+    """One operating point of a :class:`DegradationLadder`.
+
+    ``ir`` is the rung's pre-extracted (typically archive-embedded)
+    :class:`~repro.ir.ModelIR`; when every rung carries one, hot swaps
+    are zero-retrace — the engine never traces a model after
+    construction.  ``miss_limit`` overrides the policy's
+    ``max_consecutive_misses`` for demotion *off* this rung (``None``
+    inherits the policy value).
+    """
+
+    name: str
+    model: Detector3D
+    ir: ModelIR | None = None
+    miss_limit: int | None = None
+
+
+class DegradationLadder:
+    """An ordered list of model variants the watchdog walks at runtime.
+
+    ``rungs[0]`` is the primary; each later rung is the next-cheaper
+    variant to demote to (e.g. LCK-16 → LCK-8 → HCK-8 → HCK-4).
+    ``promote_after`` consecutive on-deadline frames on a lower rung
+    promote execution one rung back up (``0`` disables promotion — the
+    legacy one-way watchdog).  Each promotion opens a ``probation``
+    window of that many processed frames during which a *single*
+    deadline miss demotes immediately, so a rung that only looked
+    healthy under falling load cannot flap.
+    """
+
+    def __init__(self, rungs, promote_after: int = 5,
+                 probation: int = 3):
+        rungs = list(rungs)
+        if not rungs:
+            raise ValueError("a degradation ladder needs at least one rung")
+        names = [rung.name for rung in rungs]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate rung names in ladder: {names}")
+        if promote_after < 0:
+            raise ValueError("promote_after must be >= 0 (0 disables)")
+        if probation < 0:
+            raise ValueError("probation must be >= 0")
+        self.rungs = rungs
+        self.promote_after = promote_after
+        self.probation = probation
+
+    def __len__(self) -> int:
+        return len(self.rungs)
+
+    @property
+    def names(self) -> list[str]:
+        return [rung.name for rung in self.rungs]
+
+    @staticmethod
+    def from_archive(reader, names, model_factory,
+                     promote_after: int = 5, probation: int = 3,
+                     miss_limits=None) -> "DegradationLadder":
+        """Restore the named archive entries into a ready ladder.
+
+        ``reader`` is a :class:`~repro.core.archive.ArchiveReader`;
+        ``names`` orders the rungs, primary first.  ``model_factory``
+        builds a fresh architecture per rung — called either with no
+        arguments or, if that raises ``TypeError``, with the entry's
+        recorded ``meta`` dict.  Every rung adopts the IR embedded in
+        its blob, so the resulting engine hot-swaps with zero re-trace.
+        Raises :class:`ValueError` when an entry lacks an embedded IR —
+        a ladder without IRs would silently re-trace on every swap.
+        """
+        names = list(names)
+        if not names:
+            raise ValueError("ladder needs at least one archive entry name")
+        miss_limits = dict(miss_limits or {})
+        rungs = []
+        for name in names:
+            entry = reader.entry(name)
+            try:
+                model = model_factory()
+            except TypeError:
+                model = model_factory(entry.meta)
+            report = reader.restore(name, model)
+            if report.ir is None:
+                raise ValueError(
+                    f"archive entry {name!r} has no embedded ModelIR — "
+                    f"pack variants with pack_model(model, ir=...) so "
+                    f"ladder swaps never re-trace")
+            model.eval()
+            rungs.append(LadderRung(name=name, model=model, ir=report.ir,
+                                    miss_limit=miss_limits.get(name)))
+        return DegradationLadder(rungs, promote_after=promote_after,
+                                 probation=probation)
 
 
 @dataclass
@@ -89,8 +209,13 @@ class StreamReport:
     frames: list[FrameRecord] = field(default_factory=list)
     predictions: list[DetectionResult] = field(default_factory=list)
     deadline_s: float = 0.1
-    #: Times the deadline watchdog swapped in the fallback model.
+    #: Times the watchdog demoted to a lower rung (legacy counter: for
+    #: a single-fallback engine this is the fallback activation count).
     fallback_activations: int = 0
+    #: Every watchdog hot swap, in stream order (demotions *and*
+    #: promotions) — the frame that triggered each is recorded, so swap
+    #: events reconcile exactly with per-frame ``FrameRecord.rung``.
+    swap_events: list[SwapEvent] = field(default_factory=list)
     #: Per-frame per-layer cost attributions (engine ``trace=True``).
     trace: list[TraceEvent] = field(default_factory=list)
     #: Per-layer executor counters (engine ``telemetry=True``) —
@@ -150,6 +275,31 @@ class StreamReport:
         if not processed:
             return math.nan
         return float(np.percentile(processed, q))
+
+    @property
+    def demotions(self) -> int:
+        return sum(1 for e in self.swap_events if e.kind == "demote")
+
+    @property
+    def promotions(self) -> int:
+        return sum(1 for e in self.swap_events if e.kind == "promote")
+
+    @property
+    def rung_residency(self) -> dict:
+        """Frames served per rung name (``"primary"`` for rung None)."""
+        residency: dict[str, int] = {}
+        for frame in self.frames:
+            label = frame.rung if frame.rung is not None else "primary"
+            residency[label] = residency.get(label, 0) + 1
+        return residency
+
+    def ladder_summary(self) -> str:
+        """One line of swap-event accounting for ladder streams."""
+        residency = ", ".join(f"{name} {count}"
+                              for name, count in
+                              self.rung_residency.items())
+        return (f"ladder: {self.demotions} demotions, "
+                f"{self.promotions} promotions; residency: {residency}")
 
     @property
     def deadline_hit_rate(self) -> float:
@@ -215,9 +365,30 @@ class StreamReport:
                 f"total energy {self.total_energy_j * 1e3:.1f} mJ")
         if self.fallback_activations:
             text += (f", watchdog fallbacks: {self.fallback_activations}")
+        if self.swap_events:
+            text += "\n" + self.ladder_summary()
         if self.telemetry:
             text += "\n" + telemetry_digest(self.telemetry)
         return text
+
+
+class _LadderLevel:
+    """Per-rung compiled state: IR → plan → lowered program, cached.
+
+    Levels are built once at engine construction and survive swaps in
+    both directions, so demoting back to (or promoting back from) a
+    rung reuses its compiled plan and executors — hot swaps never
+    re-trace and never re-lower a rung already visited.
+    """
+
+    __slots__ = ("rung", "ir", "plan", "program", "layer_costs")
+
+    def __init__(self, rung: LadderRung):
+        self.rung = rung
+        self.ir: ModelIR | None = rung.ir
+        self.plan: CompiledPlan | None = None
+        self.program: LoweredProgram | None = None
+        self.layer_costs: tuple | None = None
 
 
 class InferenceEngine:
@@ -242,7 +413,14 @@ class InferenceEngine:
     fallback_model:
         Optional cheaper detector (e.g. the HCK preset of the deployed
         LCK model) the watchdog swaps in after consecutive deadline
-        misses.
+        misses — shorthand for a two-rung, never-promote ``ladder``.
+    ladder:
+        Optional :class:`DegradationLadder` of model variants.  Rung 0
+        is the primary (``model`` may then be ``None``, or must be the
+        rung-0 model); consecutive deadline misses demote execution
+        rung by rung, and with ``ladder.promote_after > 0`` consecutive
+        on-deadline frames promote it back up through a probation
+        window.  Mutually exclusive with ``fallback_model``.
     cost_hook:
         Optional ``(frame_id, latency_s, energy_j) -> (latency_s,
         energy_j)`` callable through which every processed frame's
@@ -285,14 +463,15 @@ class InferenceEngine:
         default) only disables the amortization, not any behavior.
     """
 
-    def __init__(self, model: Detector3D, device: DeviceModel,
+    def __init__(self, model: Detector3D | None, device: DeviceModel,
                  deadline_s: float = 0.1,
                  policy: DegradationPolicy | None = None,
                  fault_injector: FaultInjector | None = None,
                  fallback_model: Detector3D | None = None,
                  cost_hook=None, execution: str = "reference",
                  ir: ModelIR | None = None, trace: bool = False,
-                 telemetry: bool = False, batch_size: int = 1):
+                 telemetry: bool = False, batch_size: int = 1,
+                 ladder: DegradationLadder | None = None):
         if execution not in EXECUTION_MODES:
             raise ValueError(f"unknown execution mode {execution!r}; "
                              f"expected one of {EXECUTION_MODES}")
@@ -300,7 +479,19 @@ class InferenceEngine:
                 or batch_size < 1:
             raise ValueError(
                 f"batch_size must be a positive integer, got {batch_size!r}")
-        self.model = model
+        if ladder is not None and fallback_model is not None:
+            raise ValueError(
+                "pass either ladder or fallback_model, not both — a "
+                "fallback model is the two-rung ladder")
+        if ladder is not None:
+            if model is not None and model is not ladder.rungs[0].model:
+                raise ValueError(
+                    "model must be the ladder's rung-0 (primary) model "
+                    "or None when a ladder is provided")
+            if ir is not None and ladder.rungs[0].ir is None:
+                ladder.rungs[0].ir = ir
+        elif model is None:
+            raise ValueError("model is required without a ladder")
         self.device = device
         self.deadline_s = deadline_s
         self.policy = policy or DegradationPolicy()
@@ -311,39 +502,62 @@ class InferenceEngine:
         self.trace = trace
         self.telemetry = telemetry
         self.batch_size = batch_size
-        #: long-lived collector map — survives a watchdog fallback
-        #: re-lowering, so counters for a layer name accumulate across
-        #: the swap instead of being lost with the old program
+        #: long-lived collector map — survives a watchdog rung swap,
+        #: so counters for a layer name accumulate across the swap
+        #: instead of being lost with the old program
         self._collectors: dict[str, LayerTelemetry] = {}
-        self._ir = ir
-        self._plan: CompiledPlan | None = None
-        self._program: LoweredProgram | None = None
-        self._layer_costs: tuple | None = None
-        self._on_fallback = False
+        if ladder is None:
+            rungs = [LadderRung(name="primary", model=model, ir=ir)]
+            if fallback_model is not None:
+                rungs.append(LadderRung(name="fallback",
+                                        model=fallback_model))
+            # Legacy semantics: one-way swap, no promotion.
+            ladder = DegradationLadder(rungs, promote_after=0,
+                                       probation=0)
+        self.ladder = ladder
+        self._levels = [_LadderLevel(rung) for rung in ladder.rungs]
+        self._active = 0
+        self.model = self._levels[0].rung.model
+
+    # ------------------------------------------------------------------
+    # Active-rung compiled state (per level, cached across swaps)
+    # ------------------------------------------------------------------
+    @property
+    def _level(self) -> _LadderLevel:
+        return self._levels[self._active]
 
     @property
     def ir(self) -> ModelIR:
-        """The active model's IR — the single source for plan + program."""
-        if self._ir is None:
-            self._ir = extract_ir(self.model,
-                                  *self.model.example_inputs())
-        return self._ir
+        """The active model's IR — the single source for plan + program.
+
+        Extracted lazily only for rungs constructed without one (the
+        legacy ``fallback_model`` path); archive-built ladders carry
+        every rung's IR, so no trace ever happens after construction.
+        """
+        level = self._level
+        if level.ir is None:
+            level.ir = extract_ir(level.rung.model,
+                                  *level.rung.model.example_inputs())
+        return level.ir
 
     @property
     def plan(self) -> CompiledPlan:
-        if self._plan is None:
-            self._plan = lower_to_plan(self.ir)
-        return self._plan
+        level = self._level
+        if level.plan is None:
+            level.plan = lower_to_plan(self.ir)
+        return level.plan
 
     @property
     def program(self) -> LoweredProgram:
         """Integer executors lowered from the shared IR (lazy)."""
-        if self._program is None:
-            self._program = LoweredProgram(
-                lower_executors(self.ir, self.model), mode=self.execution)
+        level = self._level
+        if level.program is None:
+            level.program = LoweredProgram(
+                lower_executors(self.ir, level.rung.model),
+                mode=self.execution)
             if self.telemetry:
-                self._program.enable_telemetry(self._collectors)
-        return self._program
+                level.program.enable_telemetry(self._collectors)
+        return level.program
 
     def _cost_model(self) -> tuple:
         """Cached per-layer cost split of the active plan.
@@ -354,17 +568,18 @@ class InferenceEngine:
         non-kernel remainders, computed by subtraction so the parts sum
         to the whole-plan base costs exactly.
         """
-        if self._layer_costs is None:
+        level = self._level
+        if level.layer_costs is None:
             plan = self.plan
             breakdown = plan.cost_breakdown(self.device)
             base_latency = self.device.latency(plan)
             base_energy = self.device.energy(plan)
             kernel_lat = sum(lat for _, lat, _ in breakdown)
             kernel_energy = sum(en for _, _, en in breakdown)
-            self._layer_costs = (breakdown, base_latency, base_energy,
+            level.layer_costs = (breakdown, base_latency, base_energy,
                                  base_latency - kernel_lat,
                                  base_energy - kernel_energy)
-        return self._layer_costs
+        return level.layer_costs
 
     def _trace_events(self, frame_id: int, latency_s: float,
                       energy_j: float,
@@ -411,8 +626,15 @@ class InferenceEngine:
 
     @property
     def on_fallback(self) -> bool:
-        """Whether the watchdog has swapped in the fallback model."""
-        return self._on_fallback
+        """Whether the watchdog has demoted off the primary rung."""
+        return self._active > 0
+
+    @property
+    def active_rung(self) -> str | None:
+        """Name of the serving rung; ``None`` while on the primary."""
+        if self._active == 0:
+            return None
+        return self._level.rung.name
 
     def frame_cost(self, frame_id: int | None = None) -> tuple[float, float]:
         """(latency s, energy J) charged for a frame on this device.
@@ -436,16 +658,29 @@ class InferenceEngine:
             return False
         return bool(np.isfinite(points).all())
 
-    def _activate_fallback(self) -> bool:
-        if self.fallback_model is None or self._on_fallback:
+    def _switch(self, index: int) -> None:
+        """Hot-swap execution to ``self._levels[index]`` — zero retrace.
+
+        Only the active index and ``self.model`` change; every level
+        keeps its compiled plan/program/cost cache, so revisiting a rung
+        costs nothing and ``extract_ir`` is never re-entered for rungs
+        constructed with an IR.
+        """
+        self._active = index
+        self.model = self._level.rung.model
+
+    def _demote(self) -> bool:
+        """Swap one rung down; False when already at the bottom."""
+        if self._active + 1 >= len(self._levels):
             return False
-        self.model = self.fallback_model
-        # Re-extract and re-lower everything for the new model.
-        self._ir = None
-        self._plan = None
-        self._program = None
-        self._layer_costs = None
-        self._on_fallback = True
+        self._switch(self._active + 1)
+        return True
+
+    def _promote(self) -> bool:
+        """Swap one rung up; False when already on the primary."""
+        if self._active == 0:
+            return False
+        self._switch(self._active - 1)
         return True
 
     def _held_result(self, frame_id: int,
@@ -479,6 +714,8 @@ class InferenceEngine:
         report = StreamReport(deadline_s=self.deadline_s)
         self._run_last_good: DetectionResult | None = None
         self._run_misses = 0
+        self._run_hits = 0
+        self._run_probation = 0
         pending: list[tuple] = []
         for scene in scenes:
             frame_id = scene.frame_id
@@ -512,8 +749,8 @@ class InferenceEngine:
 
         The window's valid frames run as one batched pass; records are
         then emitted per frame with sequential last-good / watchdog
-        state.  If the watchdog swaps in the fallback model mid-window,
-        the not-yet-emitted frames are re-predicted on the fallback —
+        state.  If the watchdog demotes (or promotes) mid-window, the
+        not-yet-emitted frames are re-predicted on the new rung —
         exactly what sequential execution would have done.
         """
         policy = self.policy
@@ -534,7 +771,8 @@ class InferenceEngine:
                         frame_id=frame_id, num_detections=0,
                         device_latency_s=0.0, device_energy_j=0.0,
                         deadline_met=True, status="dropped",
-                        fallback=self._on_fallback))
+                        fallback=self.on_fallback,
+                        rung=self.active_rung))
                     continue
                 if kind == "corrupt":
                     # Corrupt frame: no inference, degrade per policy.
@@ -552,7 +790,8 @@ class InferenceEngine:
                         num_detections=len(result.boxes),
                         device_latency_s=0.0, device_energy_j=0.0,
                         deadline_met=True, status=status,
-                        fallback=self._on_fallback))
+                        fallback=self.on_fallback,
+                        rung=self.active_rung))
                     continue
 
                 result = results.pop()
@@ -570,28 +809,83 @@ class InferenceEngine:
                     device_energy_j=energy,
                     deadline_met=deadline_met,
                     status="ok",
-                    fallback=self._on_fallback))
+                    fallback=self.on_fallback,
+                    rung=self.active_rung))
                 self._run_last_good = result
 
-                # Deadline watchdog: consecutive misses trigger the
-                # swap to the more aggressive preset, once.
-                if deadline_met:
-                    self._run_misses = 0
-                else:
-                    self._run_misses += 1
-                    if policy.max_consecutive_misses and \
-                            self._run_misses >= \
-                            policy.max_consecutive_misses:
-                        if self._activate_fallback():
-                            report.fallback_activations += 1
-                            self._run_misses = 0
-                            if results:
-                                # Remaining window frames must run on
-                                # the fallback, as sequentially.
-                                restarted = True
-                                break
+                # Deadline watchdog: consecutive misses demote rung by
+                # rung; with promotion enabled, consecutive on-deadline
+                # frames climb back up through a probation window.
+                swapped = self._watchdog_step(frame_id, deadline_met,
+                                              report)
+                if swapped and results:
+                    # Remaining window frames must run on the new
+                    # rung, as sequentially.
+                    restarted = True
+                    break
             if not restarted:
                 break
+
+    def _watchdog_step(self, frame_id: int, deadline_met: bool,
+                       report: StreamReport) -> bool:
+        """Advance watchdog state after one processed frame.
+
+        Returns True when the serving rung changed (demotion or
+        promotion), so a batched window can restart on the new rung.
+        The swap takes effect from the *next* frame — the triggering
+        frame's record was already emitted on the old rung.
+        """
+        ladder = self.ladder
+        if deadline_met:
+            self._run_misses = 0
+            if self._run_probation > 0:
+                self._run_probation -= 1
+            if self._active > 0 and ladder.promote_after > 0:
+                self._run_hits += 1
+                if self._run_hits >= ladder.promote_after \
+                        and self._run_probation == 0:
+                    from_rung = self.active_rung
+                    self._promote()
+                    report.swap_events.append(SwapEvent(
+                        frame_id=frame_id, kind="promote",
+                        from_rung=from_rung,
+                        to_rung=self.active_rung))
+                    self._run_hits = 0
+                    self._run_probation = ladder.probation
+                    return True
+            return False
+
+        self._run_hits = 0
+        if self._run_probation > 0:
+            # A miss during probation falls straight back down.
+            return self._demote_now(frame_id, report)
+        self._run_misses += 1
+        limit = self._level.rung.miss_limit
+        if limit is None:
+            limit = self.policy.max_consecutive_misses
+        if limit and self._run_misses >= limit:
+            return self._demote_now(frame_id, report)
+        return False
+
+    def _demote_now(self, frame_id: int,
+                    report: StreamReport) -> bool:
+        """Demote one rung, recording the swap; False at the bottom.
+
+        A failed demotion (already on the last rung) leaves the miss
+        counter untouched — matching the legacy single-fallback
+        behavior where an exhausted ladder keeps the watchdog armed.
+        """
+        from_rung = self.active_rung
+        if not self._demote():
+            return False
+        report.swap_events.append(SwapEvent(
+            frame_id=frame_id, kind="demote",
+            from_rung=from_rung, to_rung=self.active_rung))
+        report.fallback_activations += 1
+        self._run_misses = 0
+        self._run_hits = 0
+        self._run_probation = 0
+        return True
 
     @staticmethod
     def from_packed(blob: bytes, architecture: Detector3D,

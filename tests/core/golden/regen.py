@@ -1,13 +1,17 @@
-"""Builder + regeneration script for the golden packed blob.
+"""Builder + regeneration script for the golden packed blob + archive.
 
 The checked-in blob (``packed_model_v4.bin``) pins the on-disk pack
 format — header layout, embedded IR JSON, manifest encoding, per-scheme
 payloads — against accidental drift.  ``tests/core/test_packing.py``
 asserts that packing the deterministic golden model reproduces it
-byte for byte.
+byte for byte.  The checked-in archive (``model_archive_v1.upak``)
+likewise pins the model-variant archive format — header, JSON TOC,
+content-addressed chunk region, trailer — and its cross-variant dedup;
+``tests/core/test_archive.py`` asserts byte-identical regeneration.
 
 After an *intentional* format change: bump ``_VERSION`` in
-``src/repro/core/packing.py``, name the golden file after it, and
+``src/repro/core/packing.py`` (or ``_ARCHIVE_VERSION`` in
+``src/repro/core/archive.py``), name the golden file after it, and
 regenerate by script (never by hand)::
 
     PYTHONPATH=src python -m tests.core.golden.regen
@@ -22,12 +26,13 @@ from pathlib import Path
 import numpy as np
 
 from repro import nn
-from repro.core import pack_model
+from repro.core import ArchiveWriter, pack_model
 from repro.hardware import CompressionMeta, annotate_layer
 from repro.ir import extract_ir
 from repro.nn import Tensor
 
 GOLDEN_PATH = Path(__file__).parent / "packed_model_v4.bin"
+GOLDEN_ARCHIVE_PATH = Path(__file__).parent / "model_archive_v1.upak"
 
 
 def _codes_to_weights(codes, shape, scale=2.0 ** -5):
@@ -108,10 +113,43 @@ def golden_blob() -> bytes:
     return pack_model(model, ir=ir)
 
 
+#: archive variants: entry name → first-layer bitwidth.  Only layer 0
+#: varies, so layers 2 and 3 pack to identical payloads across all
+#: three variants and must deduplicate to shared chunks.
+GOLDEN_VARIANTS = (("lck-16", 16), ("lck-8", 8), ("hck-4", 4))
+
+
+def golden_variant(bits: int):
+    """The golden model with its semi-structured layer at ``bits``."""
+    model = golden_model()
+    model[0].weight.data = _semi_structured_weights(bits, seed=20)
+    annotate_layer(model[0], CompressionMeta(bits=bits,
+                                             scheme="semi-structured"))
+    return model
+
+
+def golden_variant_blob(bits: int) -> bytes:
+    model = golden_variant(bits)
+    ir = extract_ir(model, golden_example_input())
+    return pack_model(model, ir=ir)
+
+
+def golden_archive() -> bytes:
+    """Three bitwidth variants of the golden model, deduplicated."""
+    writer = ArchiveWriter()
+    for name, bits in GOLDEN_VARIANTS:
+        writer.add(name, golden_variant_blob(bits),
+                   model="golden", preset=name, bits=bits)
+    return writer.finish()
+
+
 def main() -> int:
     blob = golden_blob()
     GOLDEN_PATH.write_bytes(blob)
     print(f"wrote {len(blob)} bytes → {GOLDEN_PATH}")
+    archive = golden_archive()
+    GOLDEN_ARCHIVE_PATH.write_bytes(archive)
+    print(f"wrote {len(archive)} bytes → {GOLDEN_ARCHIVE_PATH}")
     return 0
 
 

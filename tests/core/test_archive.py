@@ -1,0 +1,225 @@
+"""Model-variant archive format: round-trip, dedup, golden pin, salvage.
+
+The committed golden archive (``tests/core/golden/model_archive_v1.upak``)
+pins the on-disk layout — header, deterministic JSON TOC, content-
+addressed chunk region, trailer — and the cross-variant dedup of the
+three bitwidth variants it packs.  Regenerate after an intentional
+format change with ``PYTHONPATH=src python -m tests.core.golden.regen``
+(see ``docs/TESTING.md``).
+"""
+
+import pytest
+
+from repro.core import (ArchiveCorruptionError, ArchiveError,
+                        ArchiveReader, ArchiveVersionError, ArchiveWriter,
+                        BlobError, pack_archive, split_blob)
+
+from tests.core.golden.regen import (GOLDEN_ARCHIVE_PATH, GOLDEN_PATH,
+                                     GOLDEN_VARIANTS, golden_archive,
+                                     golden_model, golden_variant,
+                                     golden_variant_blob)
+
+
+@pytest.fixture(scope="module")
+def archive_bytes() -> bytes:
+    return GOLDEN_ARCHIVE_PATH.read_bytes()
+
+
+@pytest.fixture(scope="module")
+def reader(archive_bytes) -> ArchiveReader:
+    return ArchiveReader(archive_bytes)
+
+
+class TestRoundTrip:
+    def test_entry_names_in_pack_order(self, reader):
+        assert reader.names == [name for name, _ in GOLDEN_VARIANTS]
+
+    def test_load_returns_exact_blob_bytes(self, reader):
+        for name, bits in GOLDEN_VARIANTS:
+            assert reader.load(name) == golden_variant_blob(bits)
+
+    def test_meta_round_trips(self, reader):
+        for name, bits in GOLDEN_VARIANTS:
+            entry = reader.entry(name)
+            assert entry.meta == {"model": "golden", "preset": name,
+                                  "bits": bits}
+
+    def test_restore_hands_back_weights_and_ir(self, reader):
+        for name, bits in GOLDEN_VARIANTS:
+            target = golden_model()     # same architecture, any weights
+            report = reader.restore(name, target)
+            assert report.ir is not None
+            expected = golden_variant(bits)
+            for restored, want in zip(target.parameters(),
+                                      expected.parameters()):
+                assert (restored.data == want.data).all()
+
+    def test_open_reads_from_a_file(self, reader):
+        from_file = ArchiveReader.open(GOLDEN_ARCHIVE_PATH)
+        assert from_file.names == reader.names
+        for name in reader.names:
+            assert from_file.load(name) == reader.load(name)
+
+    def test_verify_passes_on_the_committed_archive(self, reader):
+        reader.verify()
+
+    def test_golden_blob_is_the_4bit_variant(self, reader):
+        # golden_model() *is* the 4-bit variant, so the archive's
+        # ``hck-4`` entry must reproduce the committed packed blob.
+        assert reader.load("hck-4") == GOLDEN_PATH.read_bytes()
+
+
+class TestDeterminism:
+    def test_regeneration_is_byte_identical_to_committed(
+            self, archive_bytes):
+        assert golden_archive() == archive_bytes
+
+    def test_pack_archive_is_a_pure_function_of_its_inputs(self):
+        blobs = {name: golden_variant_blob(bits)
+                 for name, bits in GOLDEN_VARIANTS}
+        meta = {name: {"bits": bits} for name, bits in GOLDEN_VARIANTS}
+        assert pack_archive(blobs, meta) == pack_archive(blobs, meta)
+
+
+class TestDedup:
+    def test_shared_layers_are_stored_once(self, reader):
+        stats = reader.stats
+        # 3 variants x (header + 3 layer payloads + trailer) = 15
+        # references; layers 2 and 3 are identical across variants so
+        # 2 chunks absorb 3 references each: 15 - 2*2 = 11 stored.
+        assert stats.entries == 3
+        assert stats.chunks_referenced == 15
+        assert stats.chunks_stored == 11
+        assert stats.shared_chunks == 4
+        assert stats.saved_bytes > 0
+        assert stats.stored_bytes \
+            == stats.logical_bytes - stats.saved_bytes
+
+    def test_writer_and_reader_agree_on_stats(self, reader):
+        writer = ArchiveWriter()
+        for name, bits in GOLDEN_VARIANTS:
+            writer.add(name, golden_variant_blob(bits))
+        assert writer.stats == reader.stats
+
+    def test_identical_blobs_share_every_payload_chunk(self):
+        blob = golden_variant_blob(8)
+        writer = ArchiveWriter()
+        writer.add("a", blob)
+        writer.add("b", blob)
+        stats = writer.stats
+        assert stats.chunks_stored == len(split_blob(blob))
+        assert stats.chunks_referenced == 2 * stats.chunks_stored
+        assert stats.saved_bytes == len(blob)
+
+    def test_split_blob_reassembles_exactly(self):
+        blob = golden_variant_blob(16)
+        segments = split_blob(blob)
+        assert len(segments) >= 3      # header + payloads + trailer
+        assert b"".join(segments) == blob
+
+
+class TestWriterErrors:
+    def test_duplicate_name_rejected(self):
+        writer = ArchiveWriter()
+        writer.add("x", golden_variant_blob(8))
+        with pytest.raises(ArchiveError, match="duplicate"):
+            writer.add("x", golden_variant_blob(8))
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ArchiveError, match="non-empty"):
+            ArchiveWriter().add("", golden_variant_blob(8))
+
+    def test_empty_archive_rejected(self):
+        with pytest.raises(ArchiveError, match="empty"):
+            ArchiveWriter().finish()
+
+    def test_non_blob_payload_rejected(self):
+        with pytest.raises((ArchiveError, BlobError)):
+            ArchiveWriter().add("junk", b"this is not a packed model")
+
+
+class TestReaderErrors:
+    def test_not_an_archive(self):
+        with pytest.raises(ArchiveCorruptionError, match="not a UPAQ"):
+            ArchiveReader(b"garbage that is long enough to read")
+
+    def test_truncated_header(self):
+        with pytest.raises(ArchiveCorruptionError):
+            ArchiveReader(b"UPAK")
+
+    def test_unsupported_version(self, archive_bytes):
+        tampered = bytearray(archive_bytes)
+        tampered[4] = 99                # version byte after magic
+        with pytest.raises(ArchiveVersionError):
+            ArchiveReader(bytes(tampered))
+
+    def test_unknown_entry(self, reader):
+        with pytest.raises(KeyError, match="no archive entry"):
+            reader.entry("missing")
+
+    def test_corrupt_toc_is_unusable(self, archive_bytes):
+        tampered = bytearray(archive_bytes)
+        # First TOC byte sits right after magic + version + u32 length.
+        tampered[9] ^= 0xFF
+        with pytest.raises(ArchiveCorruptionError, match="TOC"):
+            ArchiveReader(bytes(tampered))
+
+
+def _chunk_span(reader, archive_bytes, index):
+    """(absolute_start, length) of one chunk in the archive bytes."""
+    digest, offset, length = reader._chunks[index]
+    return reader._data_start + offset, length
+
+
+class TestSalvage:
+    def test_bit_flip_corrupts_only_the_touched_variant(
+            self, reader, archive_bytes):
+        # Chunk 8 is the hck-4 header segment — exclusive to hck-4.
+        start, _ = _chunk_span(reader, archive_bytes, 8)
+        tampered = bytearray(archive_bytes)
+        tampered[start] ^= 0x01
+        damaged = ArchiveReader(bytes(tampered))
+        report = damaged.salvage()
+        assert not report.complete
+        assert sorted(report.corrupt) == ["hck-4"]
+        assert report.intact == ["lck-16", "lck-8"]
+        # Intact entries still load to their exact bytes.
+        for name, bits in GOLDEN_VARIANTS:
+            if name in report.intact:
+                assert damaged.load(name) == golden_variant_blob(bits)
+        with pytest.raises(ArchiveCorruptionError):
+            damaged.verify()
+
+    def test_bit_flip_in_a_shared_chunk_corrupts_all_sharers(
+            self, reader, archive_bytes):
+        # Chunk 2 is a layer payload deduplicated across all variants.
+        start, _ = _chunk_span(reader, archive_bytes, 2)
+        tampered = bytearray(archive_bytes)
+        tampered[start] ^= 0x01
+        report = ArchiveReader(bytes(tampered)).salvage()
+        assert sorted(report.corrupt) == ["hck-4", "lck-16", "lck-8"]
+        assert report.intact == []
+
+    def test_truncation_salvages_every_complete_entry(
+            self, reader, archive_bytes):
+        # Cut mid-way through the last entry's exclusive chunks: the
+        # TOC (at the front) survives, earlier entries stay loadable.
+        start, _ = _chunk_span(reader, archive_bytes, 8)
+        truncated = ArchiveReader(archive_bytes[:start + 10])
+        report = truncated.salvage()
+        assert "hck-4" in report.corrupt
+        assert "lck-16" in report.intact
+        assert "lck-8" in report.intact
+        assert truncated.load("lck-16") == golden_variant_blob(16)
+
+    def test_salvage_on_intact_archive_is_complete(self, reader):
+        report = reader.salvage()
+        assert report.complete
+        assert report.corrupt == {}
+        assert report.intact == [name for name, _ in GOLDEN_VARIANTS]
+
+    def test_summary_counts_dedup(self, reader):
+        text = reader.summary()
+        assert "3 entries" in text
+        assert "11 chunks stored" in text
+        assert "4 deduplicated" in text

@@ -6,9 +6,10 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro import nn
-from repro.core import (UPAQCompressor, hck_config, pack_bits, pack_layer,
-                        pack_model, packed_size_report, unpack_bits,
-                        unpack_layer, unpack_model)
+from repro.core import (BlobCorruptionError, BlobError, UPAQCompressor,
+                        hck_config, pack_bits, pack_layer, pack_model,
+                        packed_size_report, unpack_bits, unpack_layer,
+                        unpack_model)
 from repro.hardware import CompressionMeta, annotate_layer
 from repro.nn import Tensor
 
@@ -226,3 +227,45 @@ class TestModelPacking:
         analytic = compile_model(report.model, x).compression_ratio
         assert measured["measured_ratio"] == pytest.approx(analytic,
                                                            rel=0.35)
+
+
+class TestTruncationBoundaries:
+    """Empty/truncated input raises typed :class:`BlobError`, never a
+    bare ``struct.error`` or ``IndexError`` from the parsing internals.
+    """
+
+    def test_empty_blob_raises_blob_error(self):
+        with pytest.raises(BlobError):
+            unpack_model(b"", golden_model())
+
+    def test_empty_layer_raises_blob_error(self):
+        with pytest.raises(BlobError):
+            unpack_layer(b"")
+
+    def test_every_blob_prefix_raises_blob_error(self):
+        blob = golden_blob()
+        model = golden_model()
+        for cut in range(len(blob)):
+            with pytest.raises(BlobError):
+                unpack_model(blob[:cut], model)
+
+    def test_every_layer_prefix_raises_blob_error(self):
+        payload = pack_layer(
+            _semi_structured_weights(4, seed=20), bits=4,
+            scheme="semi-structured")
+        for cut in range(len(payload)):
+            with pytest.raises(BlobError):
+                unpack_layer(payload[:cut])
+
+    def test_truncated_bitstream_raises_blob_error(self):
+        codes = np.arange(-7, 8)
+        packed = pack_bits(codes, 4)
+        with pytest.raises(BlobCorruptionError):
+            unpack_bits(packed[:-1], 4, len(codes))
+        with pytest.raises(BlobCorruptionError):
+            unpack_bits(b"", 4, 1)
+
+    def test_garbage_after_magic_raises_blob_error(self):
+        blob = golden_blob()
+        with pytest.raises(BlobError):
+            unpack_model(blob[:8] + b"\x00" * 16, golden_model())

@@ -73,9 +73,28 @@ class TestCommittedBaseline:
             sort_keys=True)
         assert first == second
 
+    def test_ladder_subset_reproduces_baseline_cells(self):
+        # Cell seeding is composition-independent: a ladder-only subset
+        # sweep must reproduce the full matrix's ladder cells exactly.
+        sweep = FuzzConfig(scenarios=("dense_traffic", "night_rain"),
+                           presets=("hck", "lck-16bit"),
+                           conditions=("ladder",),
+                           frames_per_cell=3, seed=0)
+        report = run_fuzz(sweep)
+        gate = check_gate(report, load_baseline(BASELINE_PATH))
+        assert gate.checked_cells == 4
+        assert gate.new_cells == []
+        assert gate.passed, gate.to_json()["failures"]
+        for metrics in report.cells.values():
+            assert metrics["ladder_demotions"] >= 1
+            assert metrics["ladder_promotions"] >= 1
+
     def test_baseline_covers_full_default_matrix(self):
         baseline = load_baseline(BASELINE_PATH)
-        # 6 scenarios x 4 presets x 4 conditions committed.
-        assert len(baseline["cells"]) == 96
+        # 6 scenarios x 4 presets x 5 conditions committed.
+        assert len(baseline["cells"]) == 120
+        conditions = {key.split("|")[2] for key in baseline["cells"]}
+        assert conditions == {"clean", "faulty", "pressure", "batched",
+                              "ladder"}
         assert baseline["seed"] == 0
         assert baseline["frames_per_cell"] == 3
