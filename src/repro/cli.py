@@ -652,10 +652,12 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=["none", "hck", "lck"],
                    help="preset compressed as the watchdog fallback")
     p.add_argument("--execution", default="reference",
-                   choices=["reference", "lowered"],
+                   choices=["reference", "lowered", "lowered-sparse"],
                    help="run quantized layers on float64 fake-quant "
-                        "reference executors or int64 lowered kernels "
-                        "(bit-for-bit identical outputs)")
+                        "reference executors, int64 lowered kernels, or "
+                        "occupancy-windowed lowered kernels that skip "
+                        "verified all-zero columns (all bit-for-bit "
+                        "identical outputs)")
     p.add_argument("--trace", default=None, metavar="PATH",
                    help="record per-frame per-layer cost attributions "
                         "and export them as a JSON trace (see "
@@ -747,7 +749,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--model", default="tiny",
                    choices=["tiny", "pointpillars"])
     p.add_argument("--execution", default="reference",
-                   choices=["reference", "lowered"])
+                   choices=["reference", "lowered", "lowered-sparse"])
     p.add_argument("--baseline", default="artifacts/fuzz_baseline.json",
                    help="committed baseline to gate against")
     p.add_argument("--out", default=None,

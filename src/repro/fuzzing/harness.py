@@ -132,7 +132,8 @@ def _build_engine(model, ir, condition, device, execution, seed_value,
                            deadline_s=condition.deadline_ms / 1e3,
                            policy=policy, fault_injector=injector,
                            fallback_model=fallback, ladder=ladder,
-                           cost_hook=cost_hook, execution=execution,
+                           cost_hook=cost_hook,
+                           execution=condition.execution or execution,
                            batch_size=condition.batch_size, ir=ir)
 
 

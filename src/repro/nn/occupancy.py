@@ -1,0 +1,198 @@
+"""Per-frame occupancy context: the canvas-sparsity seam.
+
+Pillar-based detectors scatter a handful of occupied pillars onto a BEV
+canvas that is mostly zeros; everything downstream of the scatter then
+convolves those zeros densely.  This module carries the *observation*
+side of the sparsity story: :func:`repro.nn.functional.scatter_to_grid`
+reports each frame's occupied cells into the active
+:class:`OccupancyContext`, and an installed context is what switches
+the quantized executors (:mod:`repro.nn.quantized`) into their dynamic
+sparse paths.
+
+The context is advisory, never load-bearing for correctness: it *gates*
+the dynamic machinery, but the windows and column subsets the executors
+act on are derived from one-pass scans of their own actual inputs
+(nonzero-support bboxes and receptive-field dilation — see
+:mod:`repro.nn.quantized`), never from the context's bbox.  A 3×3 conv
+grows the true support by a halo each layer, so a canvas bbox stops
+bounding it a few layers in; scanning the codes makes the sparse mode
+unconditionally bit-for-bit identical to dense execution — a wrong or
+stale context can only cost speed, never bits.  The context still
+carries the canvas-occupancy telemetry (:attr:`OccupancyContext.mask`,
+:meth:`OccupancyContext.occupied_fraction`) and the frame/window bbox
+for diagnostics (:meth:`OccupancyContext.window_at`).
+
+Activation is scoped and thread-local: :func:`activate_occupancy` is a
+context manager (one frame, or one micro-batched window — the bbox is
+then the union of the member frames' bboxes, because every scatter in
+the window observes into the same context), and
+:func:`current_occupancy` is how kernels find the active context, if
+any.  With no active context every kernel runs exactly as before.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+
+import numpy as np
+
+__all__ = ["OccupancyContext", "activate_occupancy", "current_occupancy"]
+
+
+class OccupancyContext:
+    """What one frame (or window) scattered onto the BEV canvas.
+
+    Attributes
+    ----------
+    grid_shape:
+        ``(H, W)`` of the observed canvas; ``None`` until the first
+        :meth:`observe`.
+    bbox:
+        ``(r0, r1, c0, c1)`` half-open bounding box of the occupied
+        cells, union across every observed scatter; ``None`` while no
+        pillar has been scattered (including the fully-empty frame).
+    mask:
+        Boolean ``(H, W)`` union of occupied cells (``None`` until the
+        first observe).
+    observed:
+        Whether any scatter has reported — distinguishes "no scatter
+        ran" (dense prediction paths) from "a scatter ran and the
+        canvas is empty" (``bbox is None`` with ``observed=True``).
+    frames:
+        Number of scatters observed (the micro-batch size).
+    """
+
+    __slots__ = ("grid_shape", "bbox", "mask", "observed", "frames",
+                 "_coherent")
+
+    def __init__(self):
+        self.grid_shape: tuple[int, int] | None = None
+        self.bbox: tuple[int, int, int, int] | None = None
+        self.mask: np.ndarray | None = None
+        self.observed = False
+        self.frames = 0
+        # False when scatters with conflicting grid shapes were
+        # observed; windows are then unavailable (dense execution).
+        self._coherent = True
+
+    # ------------------------------------------------------------------
+    def observe(self, indices: np.ndarray,
+                grid_shape: tuple[int, int]) -> None:
+        """Union one scatter's occupied cells into the context."""
+        shape = (int(grid_shape[0]), int(grid_shape[1]))
+        if self.grid_shape is None:
+            self.grid_shape = shape
+            self.mask = np.zeros(shape, dtype=bool)
+        elif self.grid_shape != shape:
+            self._coherent = False
+        self.observed = True
+        self.frames += 1
+        if not self._coherent:
+            return
+        indices = np.asarray(indices)
+        if indices.size == 0:
+            return
+        rows = indices[:, 0].astype(np.int64)
+        cols = indices[:, 1].astype(np.int64)
+        self.mask[rows, cols] = True
+        r0, r1 = int(rows.min()), int(rows.max()) + 1
+        c0, c1 = int(cols.min()), int(cols.max()) + 1
+        if self.bbox is not None:
+            pr0, pr1, pc0, pc1 = self.bbox
+            r0, r1 = min(r0, pr0), max(r1, pr1)
+            c0, c1 = min(c0, pc0), max(c1, pc1)
+        self.bbox = (r0, r1, c0, c1)
+
+    # ------------------------------------------------------------------
+    @property
+    def is_empty(self) -> bool:
+        """An observed canvas with zero occupied cells."""
+        return self.observed and self._coherent and self.bbox is None
+
+    @property
+    def canvas_cells(self) -> int:
+        """Canvas cells observed (0 before any observation)."""
+        if self.mask is None or not self._coherent:
+            return 0
+        return int(self.mask.size)
+
+    @property
+    def occupied_cells(self) -> int:
+        """Occupied canvas cells (0 before any observation)."""
+        if self.mask is None or not self._coherent:
+            return 0
+        return int(self.mask.sum())
+
+    @property
+    def occupied_fraction(self) -> float:
+        """Occupied cells / canvas cells (NaN before any observation)."""
+        if self.mask is None or not self._coherent:
+            return float("nan")
+        return float(self.mask.sum()) / float(self.mask.size)
+
+    def window_at(self, h: int, w: int) -> tuple[int, int, int, int] | None:
+        """The occupied bbox rescaled to an ``(h, w)`` feature map.
+
+        Each axis must be an integer down- or up-scaling of the canvas
+        axis (the pyramid shapes a strided backbone produces); any
+        other shape returns ``None``.  Returned windows are
+        conservative for the *canvas cells*: downscaling rounds the
+        bbox outward, so every occupied canvas cell maps inside the
+        window.  Note they do not account for the receptive-field halo
+        a conv stack grows, which is why the executors derive their
+        windows from their own inputs; this accessor serves telemetry
+        and diagnostics.
+        """
+        if not self.observed or not self._coherent \
+                or self.grid_shape is None or self.bbox is None:
+            return None
+        full_h, full_w = self.grid_shape
+        r0, r1, c0, c1 = self.bbox
+        rows = _scale_span(r0, r1, full_h, h)
+        cols = _scale_span(c0, c1, full_w, w)
+        if rows is None or cols is None:
+            return None
+        return (*rows, *cols)
+
+
+def _scale_span(a0: int, a1: int, full: int, target: int):
+    """Rescale a half-open span from a ``full``- to a ``target``-length
+    axis; ``None`` when the axes are not integer multiples."""
+    if full == target:
+        return a0, a1
+    if target > 0 and full % target == 0:
+        factor = full // target
+        return a0 // factor, min(target, -(-a1 // factor))
+    if full > 0 and target % full == 0:
+        factor = target // full
+        return a0 * factor, min(target, a1 * factor)
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Thread-local activation
+# ---------------------------------------------------------------------------
+_STATE = threading.local()
+
+
+def current_occupancy() -> OccupancyContext | None:
+    """The active context of this thread, or ``None`` (dense mode)."""
+    return getattr(_STATE, "context", None)
+
+
+@contextmanager
+def activate_occupancy(context: OccupancyContext | None = None):
+    """Install a context for the duration of the block (re-entrant).
+
+    The previous context (usually ``None``) is restored on exit even
+    when the block raises, so one frame's occupancy can never leak into
+    the next.
+    """
+    ctx = OccupancyContext() if context is None else context
+    previous = getattr(_STATE, "context", None)
+    _STATE.context = ctx
+    try:
+        yield ctx
+    finally:
+        _STATE.context = previous

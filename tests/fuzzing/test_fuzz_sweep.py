@@ -91,10 +91,32 @@ class TestCommittedBaseline:
 
     def test_baseline_covers_full_default_matrix(self):
         baseline = load_baseline(BASELINE_PATH)
-        # 6 scenarios x 4 presets x 5 conditions committed.
-        assert len(baseline["cells"]) == 120
+        # 6 scenarios x 4 presets x 6 conditions committed.
+        assert len(baseline["cells"]) == 144
         conditions = {key.split("|")[2] for key in baseline["cells"]}
         assert conditions == {"clean", "faulty", "pressure", "batched",
-                              "ladder"}
+                              "ladder", "sparse"}
         assert baseline["seed"] == 0
         assert baseline["frames_per_cell"] == 3
+
+    def test_sparse_subset_reproduces_baseline_cells(self):
+        # Composition-independent seeding again, now for the sparse
+        # execution condition: a sparse-only subset sweep must
+        # reproduce the committed full-matrix sparse cells exactly,
+        # and — because sparse lowered execution is bit-identical to
+        # dense — match the corresponding clean cells' detections.
+        sweep = FuzzConfig(scenarios=("far_sparse", "sensor_dropout"),
+                           presets=("hck", "hck-4bit"),
+                           conditions=("sparse",),
+                           frames_per_cell=3, seed=0)
+        report = run_fuzz(sweep)
+        baseline = load_baseline(BASELINE_PATH)
+        gate = check_gate(report, baseline)
+        assert gate.checked_cells == 4
+        assert gate.new_cells == []
+        assert gate.passed, gate.to_json()["failures"]
+        for key, metrics in report.cells.items():
+            clean_key = key.rsplit("|", 1)[0] + "|clean"
+            clean = baseline["cells"][clean_key]
+            assert metrics["mAP"] == clean["mAP"]
+            assert metrics["num_detections"] == clean["num_detections"]

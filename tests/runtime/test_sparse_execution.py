@@ -1,0 +1,359 @@
+"""Sparse lowered execution ≡ dense lowered execution, bit for bit.
+
+The occupancy seam's contract: ``execution="lowered-sparse"`` runs the
+same integer executors under a per-frame
+:class:`~repro.nn.occupancy.OccupancyContext`, skipping verified
+all-zero columns and windows — and every output byte must match the
+dense ``"lowered"`` mode anyway.  The suite pins that across bitwidths
+(4/8/16), executor kinds (conv/deconv/linear), batch sizes (1/2/5),
+the deferred-quantization fast path, the empty-frame boundary, the
+watchdog fallback and ladder swaps, and asserts the new dynamic-skip
+and occupancy telemetry counters actually move.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core import UPAQCompressor, hck_config
+from repro.hardware import default_devices
+from repro.models import PointPillars
+from repro.nn import Tensor
+from repro.nn.occupancy import (OccupancyContext, activate_occupancy,
+                                current_occupancy)
+from repro.nn.quantized import (QuantizedConv2d, QuantizedConvTranspose2d,
+                                QuantizedLinear, activation_scale)
+from repro.pointcloud import make_scenario_scenes
+from repro.runtime import DegradationPolicy, InferenceEngine
+from repro.runtime.telemetry import LayerTelemetry, aggregate_telemetry
+
+from tests.models.conftest import TINY_PILLARS
+
+BITWIDTHS = (4, 8, 16)
+BATCH_SIZES = (1, 2, 5)
+
+
+def _sparse_frames(kind, rng, count=5):
+    """Frames whose spatial support is a small cluster — zero outside."""
+    frames = []
+    for _ in range(count):
+        if kind == "linear":
+            data = np.zeros((1, 6, 18), dtype=np.float32)
+            rows = rng.integers(0, 6, size=2)
+            data[0, rows] = rng.standard_normal((2, 18)).astype(np.float32)
+        else:
+            data = np.zeros((1, 2, 12, 12), dtype=np.float32)
+            r0, c0 = rng.integers(0, 8, size=2)
+            data[0, :, r0:r0 + 3, c0:c0 + 3] = rng.standard_normal(
+                (2, 3, 3)).astype(np.float32)
+        frames.append(Tensor(data))
+    return frames
+
+
+def _make_executor(kind, bits, rng):
+    act_bits = max(8, bits)
+    frames = _sparse_frames(kind, rng)
+    scale = activation_scale(
+        np.concatenate([f.data for f in frames]), act_bits)
+    if kind == "conv":
+        layer = nn.Conv2d(2, 4, 3, padding=1, rng=np.random.default_rng(1))
+        executor = QuantizedConv2d.from_float(
+            layer, scale, weight_bits=bits, activation_bits=act_bits)
+    elif kind == "deconv":
+        layer = nn.ConvTranspose2d(2, 3, 3, stride=2, padding=1,
+                                   rng=np.random.default_rng(2))
+        executor = QuantizedConvTranspose2d.from_float(
+            layer, scale, weight_bits=bits, activation_bits=act_bits)
+    else:
+        layer = nn.Linear(18, 5, rng=np.random.default_rng(3))
+        executor = QuantizedLinear.from_float(
+            layer, scale, weight_bits=bits, activation_bits=act_bits)
+    return executor, frames
+
+
+def _stack(frames):
+    return Tensor(np.concatenate([f.data for f in frames], axis=0))
+
+
+@pytest.fixture(autouse=True)
+def _engage_dynamic_paths(monkeypatch):
+    """Drop the profitability floor so every layer size exercises the
+    dynamic machinery — the parity contract must hold regardless of
+    whether a given layer would engage it for speed."""
+    monkeypatch.setattr("repro.nn.quantized._MIN_DYNAMIC_WORK", 0)
+
+
+@pytest.mark.parametrize("batch", BATCH_SIZES)
+@pytest.mark.parametrize("kind", ["conv", "deconv", "linear"])
+@pytest.mark.parametrize("bits", BITWIDTHS)
+class TestExecutorParity:
+    """forward/reference under an occupancy context ≡ without one."""
+
+    def test_sparse_matches_dense_bytes(self, bits, kind, batch):
+        rng = np.random.default_rng(hash((kind, bits)) % 2 ** 32)
+        executor, frames = _make_executor(kind, bits, rng)
+        batched = _stack(frames[:batch])
+        for run in (executor.forward, executor.reference):
+            dense = run(batched).data
+            with activate_occupancy():
+                sparse = run(batched).data
+            assert dense.shape == sparse.shape
+            assert dense.tobytes() == sparse.tobytes()
+
+    def test_deferred_quantization_path_matches(self, bits, kind, batch):
+        # Without telemetry the conv executor defers quantization onto
+        # the gathered columns; with telemetry it quantizes eagerly.
+        # Both must agree with dense to the byte.
+        rng = np.random.default_rng(hash((kind, bits, "defer")) % 2 ** 32)
+        executor, frames = _make_executor(kind, bits, rng)
+        batched = _stack(frames[:batch])
+        dense = executor.forward(batched).data
+        with activate_occupancy():
+            deferred = executor.forward(batched).data
+        executor.telemetry = LayerTelemetry(layer="probe")
+        with activate_occupancy():
+            eager = executor.forward(batched).data
+        assert dense.tobytes() == deferred.tobytes() == eager.tobytes()
+
+    def test_all_zero_input_reconstructs_exactly(self, bits, kind, batch):
+        rng = np.random.default_rng(hash((kind, bits, "zero")) % 2 ** 32)
+        executor, frames = _make_executor(kind, bits, rng)
+        zero = Tensor(np.zeros_like(_stack(frames[:batch]).data))
+        dense = executor.forward(zero).data
+        with activate_occupancy():
+            sparse = executor.forward(zero).data
+        assert dense.tobytes() == sparse.tobytes()
+
+
+class TestDynamicCounters:
+    def test_conv_counts_dynamic_skips_separately(self):
+        rng = np.random.default_rng(11)
+        executor, frames = _make_executor("conv", 8, rng)
+        telemetry = LayerTelemetry(layer="conv")
+        executor.telemetry = telemetry
+        executor.forward(frames[0])
+        # Dense mode: pattern counters move, dynamic counters do not.
+        assert telemetry.columns_total > 0
+        assert telemetry.dynamic_columns_total == 0
+        pattern_skipped = telemetry.columns_skipped
+        with activate_occupancy():
+            executor.forward(frames[0])
+        assert telemetry.dynamic_columns_total > 0
+        assert telemetry.dynamic_columns_skipped > 0
+        # Pattern counters keep their original meaning.
+        assert telemetry.columns_skipped == 2 * pattern_skipped
+        assert 0.0 < telemetry.dynamic_skip_rate <= 1.0
+
+    def test_occupancy_counters_flow_from_context(self):
+        rng = np.random.default_rng(12)
+        executor, frames = _make_executor("conv", 8, rng)
+        telemetry = LayerTelemetry(layer="conv")
+        executor.telemetry = telemetry
+        context = OccupancyContext()
+        context.observe(np.array([[0, 0], [1, 2]]), (8, 8))
+        with activate_occupancy(context):
+            executor.forward(frames[0])
+        assert telemetry.canvas_cells_total == 64
+        assert telemetry.canvas_cells_occupied == 2
+        assert telemetry.occupied_fraction == 2 / 64
+        summary = aggregate_telemetry({"conv": telemetry})
+        assert summary["occupied_fraction"] == 2 / 64
+        assert 0.0 < summary["dynamic_skip_rate"] <= 1.0
+
+
+# ---------------------------------------------------------------------------
+# Engine-level parity on real scenario streams
+# ---------------------------------------------------------------------------
+
+def _tiny_pp(seed=1):
+    return PointPillars(seed=seed, **TINY_PILLARS)
+
+
+@pytest.fixture(scope="module")
+def compressed():
+    model = _tiny_pp(seed=1)
+    report = UPAQCompressor(hck_config()).compress(
+        model, *model.example_inputs())
+    report.model.eval()
+    return report
+
+
+@pytest.fixture(scope="module")
+def scenes():
+    return make_scenario_scenes("far_sparse", 5, seed=3)
+
+
+@pytest.fixture(scope="module")
+def jetson():
+    return default_devices()["jetson"]
+
+
+def _box_tuples(result):
+    return [(b.x, b.y, b.z, b.dx, b.dy, b.dz, b.yaw, b.label, b.score)
+            for b in result.boxes]
+
+
+def _empty_scene(scene):
+    points = np.asarray(scene.points)
+    return dataclasses.replace(
+        scene, points=np.zeros((0, points.shape[1]), dtype=points.dtype))
+
+
+class TestEngineParity:
+    @pytest.mark.parametrize("batch", BATCH_SIZES)
+    def test_stream_matches_lowered_bit_for_bit(self, compressed, scenes,
+                                                jetson, batch):
+        def run(mode):
+            engine = InferenceEngine(compressed.model, jetson,
+                                     execution=mode, ir=compressed.ir,
+                                     batch_size=batch)
+            return engine.run(scenes)
+        dense = run("lowered")
+        sparse = run("lowered-sparse")
+        assert len(sparse.predictions) == len(scenes)
+        for d, s in zip(dense.predictions, sparse.predictions):
+            assert _box_tuples(s) == _box_tuples(d)
+
+    def test_sensor_dropout_stream_parity(self, compressed, jetson):
+        scenes = make_scenario_scenes("sensor_dropout", 4, seed=5)
+        def run(mode):
+            return InferenceEngine(compressed.model, jetson,
+                                   execution=mode,
+                                   ir=compressed.ir).run(scenes)
+        for d, s in zip(run("lowered").predictions,
+                        run("lowered-sparse").predictions):
+            assert _box_tuples(s) == _box_tuples(d)
+
+    def test_sparse_mode_installs_occupancy_context(self, compressed,
+                                                    jetson):
+        engine = InferenceEngine(compressed.model, jetson,
+                                 execution="lowered-sparse",
+                                 ir=compressed.ir)
+        seen = {}
+        with engine.program.attached(compressed.model):
+            seen["inside"] = current_occupancy()
+        assert seen["inside"] is not None
+        assert current_occupancy() is None
+
+    def test_dynamic_counters_move_on_real_stream(self, compressed,
+                                                  scenes, jetson):
+        engine = InferenceEngine(compressed.model, jetson,
+                                 execution="lowered-sparse",
+                                 ir=compressed.ir, telemetry=True)
+        report = engine.run(scenes)
+        counters = list(report.telemetry.values())
+        assert sum(t.dynamic_columns_total for t in counters) > 0
+        assert sum(t.dynamic_columns_skipped for t in counters) > 0
+        summary = aggregate_telemetry(report.telemetry)
+        assert 0.0 < summary["dynamic_skip_rate"] < 1.0
+        assert 0.0 < summary["occupied_fraction"] < 1.0
+        # Pattern skips stay a separate axis with their own rate.
+        assert sum(t.columns_skipped for t in counters) > 0
+        assert summary["pattern_skip_rate"] != summary["dynamic_skip_rate"]
+
+    def test_dense_stream_leaves_dynamic_counters_empty(self, compressed,
+                                                        scenes, jetson):
+        engine = InferenceEngine(compressed.model, jetson,
+                                 execution="lowered",
+                                 ir=compressed.ir, telemetry=True)
+        report = engine.run(scenes)
+        counters = list(report.telemetry.values())
+        assert sum(t.dynamic_columns_total for t in counters) == 0
+        assert sum(t.canvas_cells_total for t in counters) == 0
+        summary = aggregate_telemetry(report.telemetry)
+        assert np.isnan(summary["dynamic_skip_rate"])
+        assert np.isnan(summary["occupied_fraction"])
+
+
+class TestEmptyFrameBoundary:
+    """An all-zero canvas must yield a valid all-background prediction —
+    never a degenerate 0×0 plan — and stay bit-identical to dense."""
+
+    def test_empty_scene_predicts_in_every_mode(self, compressed, scenes,
+                                                jetson):
+        empty = _empty_scene(scenes[0])
+        outputs = {}
+        for mode in ("reference", "lowered", "lowered-sparse"):
+            engine = InferenceEngine(compressed.model, jetson,
+                                     execution=mode, ir=compressed.ir)
+            result = engine._predict(empty)
+            assert result.boxes is not None
+            outputs[mode] = _box_tuples(result)
+        assert outputs["lowered-sparse"] == outputs["lowered"]
+        assert outputs["lowered"] == outputs["reference"]
+
+    def test_empty_scene_inside_batched_window(self, compressed, scenes,
+                                               jetson):
+        window = [scenes[0], _empty_scene(scenes[1]), scenes[2]]
+        def run(mode):
+            engine = InferenceEngine(compressed.model, jetson,
+                                     execution=mode, ir=compressed.ir,
+                                     batch_size=3)
+            return engine._predict_window(window)
+        dense = run("lowered")
+        sparse = run("lowered-sparse")
+        assert [len(r.boxes) for r in sparse] \
+            == [len(r.boxes) for r in dense]
+        for d, s in zip(dense, sparse):
+            assert _box_tuples(s) == _box_tuples(d)
+
+    def test_scatter_reports_empty_canvas(self, compressed, scenes):
+        empty = _empty_scene(scenes[0])
+        with activate_occupancy() as context:
+            compressed.model.predict(empty)
+            assert context.observed
+            assert context.is_empty
+            assert context.occupied_cells == 0
+
+
+class TestFallbackAndLadderInteraction:
+    def test_watchdog_fallback_parity(self, compressed, scenes, jetson):
+        # An impossible deadline arms the watchdog mid-stream; the swap
+        # must not disturb sparse/dense parity on any frame.
+        fallback = _tiny_pp(seed=2)
+        fb = UPAQCompressor(hck_config()).compress(
+            fallback, *fallback.example_inputs())
+        fb.model.eval()
+        def run(mode):
+            engine = InferenceEngine(
+                compressed.model, jetson, deadline_s=1e-9,
+                policy=DegradationPolicy(max_consecutive_misses=2),
+                fallback_model=fb.model, execution=mode,
+                ir=compressed.ir)
+            return engine.run(scenes)
+        dense = run("lowered")
+        sparse = run("lowered-sparse")
+        assert dense.fallback_activations == sparse.fallback_activations
+        assert dense.fallback_activations >= 1
+        for d, s in zip(dense.predictions, sparse.predictions):
+            assert _box_tuples(s) == _box_tuples(d)
+
+    def test_ladder_swap_parity(self, compressed, scenes, jetson):
+        from repro.runtime import DegradationLadder, LadderRung
+        lck = _tiny_pp(seed=1)
+        low = UPAQCompressor(hck_config(quant_bits=(4,))).compress(
+            lck, *lck.example_inputs())
+        low.model.eval()
+        def run(mode):
+            ladder = DegradationLadder(
+                [LadderRung(name="primary", model=compressed.model,
+                            ir=compressed.ir),
+                 LadderRung(name="low", model=low.model, ir=low.ir)],
+                promote_after=2)
+            def pressure(frame_id, latency, energy):
+                if frame_id < 2:
+                    return latency * 1e6, energy
+                return latency, energy
+            engine = InferenceEngine(
+                None, jetson, deadline_s=0.05,
+                policy=DegradationPolicy(max_consecutive_misses=1),
+                ladder=ladder, cost_hook=pressure, execution=mode)
+            return engine.run(scenes)
+        dense = run("lowered")
+        sparse = run("lowered-sparse")
+        assert dense.demotions == sparse.demotions >= 1
+        assert dense.promotions == sparse.promotions
+        for d, s in zip(dense.predictions, sparse.predictions):
+            assert _box_tuples(s) == _box_tuples(d)
