@@ -1,0 +1,192 @@
+"""Load-generator benchmark: multi-stream serving vs independent engines.
+
+Drives a :class:`~repro.runtime.serving.ServingEngine` with N
+concurrent synthetic client streams and compares aggregate throughput
+against the no-serving deployment — one independent per-frame
+:class:`~repro.runtime.engine.InferenceEngine` per client, run
+back-to-back.  The serving side wins by filling ``batch_size=N``
+micro-batch windows with frames from *different* streams (one gather +
+one gemm per layer instead of N), which a single-client engine can
+never do.
+
+Also reports wall-clock service latency (submit → record emitted)
+p50/p99 at two offered loads: unthrottled, and paced at ~75% of the
+measured unthrottled capacity — the latency-vs-load curve a capacity
+planner actually reads.
+
+Writes the ``serving`` section of ``BENCH_throughput.json``.  The
+per-stream reports under the scheduler are byte-equal to solo runs
+(pinned by ``tests/runtime/test_serving.py``), so this file only
+measures — plus a guard that cross-stream batching actually pays
+(>= 1.0x aggregate throughput vs independent engines; the floor
+relaxes to 0.8x under ``REPRO_BENCH_TINY=1`` where runs are sized for
+shared CI runners and the effect is inside scheduler noise).
+
+Run with ``PYTHONPATH=src python -m pytest benchmarks/test_serving_load.py -q``.
+"""
+
+import json
+import os
+import time
+
+import numpy as np
+
+from repro.core import UPAQCompressor, hck_config
+from repro.hardware import default_devices
+from repro.models import PointPillars
+from repro.pointcloud import (LidarConfig, PillarConfig, SceneConfig,
+                              SceneGenerator)
+from repro.runtime import InferenceEngine, ServingEngine
+
+TINY = os.environ.get("REPRO_BENCH_TINY", "0") == "1"
+STREAMS = 4
+FRAMES = 4 if TINY else 12
+REPEATS = 1 if TINY else 2
+OUT_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..",
+                        "BENCH_throughput.json")
+
+
+def _merge_report(update: dict) -> dict:
+    report = {}
+    if os.path.exists(OUT_PATH):
+        with open(OUT_PATH) as handle:
+            report = json.load(handle)
+    report.update(update)
+    with open(OUT_PATH, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return report
+
+
+def _compressed_tiny():
+    model = PointPillars(
+        pillar_config=PillarConfig(x_range=(0, 25.6), y_range=(-12.8, 12.8)),
+        pfn_channels=8, stage_channels=(8, 16, 32), stage_depths=(1, 1, 1),
+        upsample_channels=8, seed=1)
+    report = UPAQCompressor(hck_config()).compress(
+        model, *model.example_inputs())
+    report.model.eval()
+    return report
+
+
+def _streams(prefix: str):
+    cfg = SceneConfig(x_range=(5, 24), y_range=(-10, 10),
+                      lidar=LidarConfig(channels=10, azimuth_steps=80))
+    streams = {}
+    for index in range(STREAMS):
+        generator = SceneGenerator(cfg, seed=index)
+        streams[f"{prefix}{index}"] = [
+            generator.generate(1000 * index + frame, with_image=False)
+            for frame in range(FRAMES)]
+    return streams
+
+
+def _percentiles(latencies):
+    if not latencies:
+        return 0.0, 0.0
+    return (float(np.percentile(latencies, 50)) * 1e3,
+            float(np.percentile(latencies, 99)) * 1e3)
+
+
+def test_serving_load_report():
+    compressed = _compressed_tiny()
+    jetson = default_devices()["jetson"]
+    total_frames = STREAMS * FRAMES
+
+    # Baseline: one independent per-frame engine per client, no
+    # cross-stream batching possible.  Warm each engine's compiled
+    # state before timing, exactly like the serving side.
+    engines = {}
+    warm = _streams("warm")
+    for name, scenes in zip(_streams("base"), warm.values()):
+        engine = InferenceEngine(compressed.model, jetson,
+                                 ir=compressed.ir, execution="lowered",
+                                 batch_size=1)
+        engine.run(scenes[:1])
+        engines[name] = engine
+    base_streams = _streams("base")
+    independent_s = float("inf")
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        for name, scenes in base_streams.items():
+            engines[name].run(scenes)
+        independent_s = min(independent_s,
+                            time.perf_counter() - start)
+    independent_fps = total_frames / independent_s
+
+    # Serving: the same four client streams, concurrent, batched
+    # across streams into batch_size=4 windows.
+    engine = InferenceEngine(compressed.model, jetson, ir=compressed.ir,
+                             execution="lowered", batch_size=STREAMS)
+    serving = ServingEngine(engine, max_streams=2 * STREAMS + 2)
+    serving.serve({name: scenes[:1]
+                   for name, scenes in warm.items()})      # warm plans
+    serving_s = float("inf")
+    latencies = []
+    cross_windows = 0
+    for repeat in range(REPEATS):
+        streams = _streams(f"run{repeat}-")
+        before = serving.stats().cross_stream_windows
+        start = time.perf_counter()
+        serving.serve(streams)
+        elapsed = time.perf_counter() - start
+        if elapsed < serving_s:
+            serving_s = elapsed
+            latencies = [lat for name in streams
+                         for lat in serving.service_latencies(name)]
+        cross_windows = serving.stats().cross_stream_windows - before
+    serving_fps = total_frames / serving_s
+    p50_ms, p99_ms = _percentiles(latencies)
+
+    # Latency vs offered load: pace each client at ~75% of measured
+    # per-stream capacity and read the p50/p99 the planner would see.
+    paced_rate = serving_fps / STREAMS * 0.75
+    paced_streams = _streams("paced")
+    start = time.perf_counter()
+    serving.serve(paced_streams, interval_s=1.0 / paced_rate)
+    paced_elapsed = time.perf_counter() - start
+    paced_latencies = [lat for name in paced_streams
+                       for lat in serving.service_latencies(name)]
+    paced_p50_ms, paced_p99_ms = _percentiles(paced_latencies)
+    serving.shutdown()
+
+    speedup = serving_fps / independent_fps
+    report = {"serving": {
+        "tiny": TINY,
+        "streams": STREAMS,
+        "frames_per_stream": FRAMES,
+        "independent_fps": independent_fps,
+        "serving_fps": serving_fps,
+        "serving_speedup_vs_independent": speedup,
+        "cross_stream_windows": cross_windows,
+        "latency_vs_load": {
+            "unthrottled": {
+                "offered_fps_per_stream": None,
+                "service_p50_ms": p50_ms,
+                "service_p99_ms": p99_ms,
+            },
+            "paced_75pct": {
+                "offered_fps_per_stream": paced_rate,
+                "achieved_fps": total_frames / paced_elapsed,
+                "service_p50_ms": paced_p50_ms,
+                "service_p99_ms": paced_p99_ms,
+            },
+        },
+    }}
+    _merge_report(report)
+
+    print(f"\nserving: independent {independent_fps:.2f} fps, "
+          f"serving {serving_fps:.2f} fps ({speedup:.2f}x), "
+          f"{cross_windows} cross-stream windows")
+    print(f"service latency p50/p99: unthrottled "
+          f"{p50_ms:.1f}/{p99_ms:.1f} ms, paced@{paced_rate:.2f}fps "
+          f"{paced_p50_ms:.1f}/{paced_p99_ms:.1f} ms")
+
+    # Cross-stream batching must actually form windows and pay on
+    # aggregate throughput.  (Strict win outside TINY; shared CI
+    # runners only have to stay in the same ballpark.)
+    assert cross_windows > 0, "no cross-stream window ever formed"
+    floor = 0.8 if TINY else 1.0
+    assert speedup >= floor, (
+        f"serving only {speedup:.2f}x over {STREAMS} independent "
+        f"engines (floor {floor}x)")

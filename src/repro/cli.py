@@ -10,6 +10,7 @@ Subcommands mirror the library's workflow::
     python -m repro.cli table2 --model pointpillars --scale quick  # Table 2
     python -m repro.cli sensitivity --model pointpillars           # analysis
     python -m repro.cli stream --inject-faults --fault-seed 7      # chaos
+    python -m repro.cli serve --streams 4 --offered-load 30        # serving
     python -m repro.cli pack-archive --model tiny --out fleet.upak # archive
     python -m repro.cli archive ls fleet.upak                      # inspect
     python -m repro.cli stream --archive fleet.upak \\
@@ -24,6 +25,7 @@ from __future__ import annotations
 import argparse
 import math
 import sys
+import time
 
 
 def _cmd_generate(args) -> int:
@@ -298,6 +300,116 @@ def _cmd_stream(args) -> int:
                 f"{entry.layer} ({entry.latency_s * 1e3:.3f} ms)"
                 for entry in offenders)
             print(f"deadline-miss attribution: {worst}")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    """Serve N synthetic client streams through a ServingEngine."""
+    import json
+
+    import numpy as np
+
+    from repro.core import UPAQCompressor, hck_config, lck_config
+    from repro.hardware import default_devices
+    from repro.pointcloud import SceneGenerator
+    from repro.runtime import InferenceEngine, ServingEngine
+
+    if args.streams < 1:
+        print(f"error: --streams must be >= 1, got {args.streams}",
+              file=sys.stderr)
+        return 2
+    if args.frames < 1:
+        print(f"error: --frames must be >= 1, got {args.frames}",
+              file=sys.stderr)
+        return 2
+    if args.batch < 1:
+        print(f"error: --batch must be >= 1, got {args.batch}",
+              file=sys.stderr)
+        return 2
+    if args.queue_depth < 1:
+        print(f"error: --queue-depth must be >= 1, got "
+              f"{args.queue_depth}", file=sys.stderr)
+        return 2
+    if args.offered_load is not None and args.offered_load <= 0:
+        print(f"error: --offered-load must be > 0 fps, got "
+              f"{args.offered_load}", file=sys.stderr)
+        return 2
+    presets = {"hck": hck_config, "lck": lck_config}
+    model = _build_stream_model(args.model)
+    if args.preset != "none":
+        model = UPAQCompressor(presets[args.preset]()).compress(
+            model, *model.example_inputs()).model
+    engine = InferenceEngine(model, default_devices()[args.device],
+                             deadline_s=args.deadline_ms / 1e3,
+                             execution=args.execution,
+                             batch_size=args.batch)
+    serving = ServingEngine(engine, max_streams=args.streams,
+                            queue_depth=args.queue_depth)
+    streams = {}
+    for index in range(args.streams):
+        generator = SceneGenerator(seed=args.seed + index)
+        streams[f"stream{index}"] = [
+            generator.generate(frame, with_image=False)
+            for frame in range(args.frames)]
+    interval = 0.0 if args.offered_load is None \
+        else 1.0 / args.offered_load
+    start = time.perf_counter()
+    reports = serving.serve(streams, interval_s=interval)
+    elapsed = time.perf_counter() - start
+    stats = serving.stats()
+    per_stream = {}
+    all_latencies = []
+    for name, report in sorted(reports.items()):
+        latencies = serving.service_latencies(name)
+        all_latencies.extend(latencies)
+        p50 = float(np.percentile(latencies, 50)) if latencies else 0.0
+        p99 = float(np.percentile(latencies, 99)) if latencies else 0.0
+        per_stream[name] = {
+            "frames": report.num_frames,
+            "ok": report.ok_frames,
+            "service_p50_ms": p50 * 1e3,
+            "service_p99_ms": p99 * 1e3,
+        }
+        print(f"{name}: {report.summary().splitlines()[0]}")
+        print(f"{name}: wall service p50/p99 "
+              f"{p50 * 1e3:.3f}/{p99 * 1e3:.3f} ms")
+    serving.shutdown()
+    total_frames = sum(r.num_frames for r in reports.values())
+    throughput = total_frames / elapsed if elapsed > 0 else 0.0
+    agg_p50 = float(np.percentile(all_latencies, 50)) \
+        if all_latencies else 0.0
+    agg_p99 = float(np.percentile(all_latencies, 99)) \
+        if all_latencies else 0.0
+    print(stats.summary())
+    print(f"aggregate: {total_frames} frames in {elapsed:.3f}s "
+          f"({throughput:.1f} fps), wall service p50/p99 "
+          f"{agg_p50 * 1e3:.3f}/{agg_p99 * 1e3:.3f} ms")
+    if args.report:
+        payload = {
+            "streams": args.streams,
+            "frames_per_stream": args.frames,
+            "offered_load_fps": args.offered_load,
+            "batch": args.batch,
+            "execution": args.execution,
+            "aggregate": {
+                "frames": total_frames,
+                "elapsed_s": elapsed,
+                "throughput_fps": throughput,
+                "service_p50_ms": agg_p50 * 1e3,
+                "service_p99_ms": agg_p99 * 1e3,
+            },
+            "per_stream": per_stream,
+            "scheduler": {
+                "windows": stats.windows,
+                "cross_stream_windows": stats.cross_stream_windows,
+                "batched_frames": stats.batched_frames,
+                "frames_rejected": stats.frames_rejected,
+            },
+        }
+        with open(args.report, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"serving report → {args.report}")
     return 0
 
 
@@ -691,6 +803,41 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write the swap events, per-frame rung "
                         "attribution and residency as JSON")
     p.set_defaults(func=_cmd_stream)
+
+    p = sub.add_parser("serve",
+                       help="serve N concurrent synthetic client "
+                            "streams through a ServingEngine with "
+                            "cross-stream micro-batching (see "
+                            "docs/SERVING.md)")
+    p.add_argument("--streams", type=int, default=4,
+                   help="number of concurrent client streams")
+    p.add_argument("--frames", type=int, default=8,
+                   help="frames per stream")
+    p.add_argument("--offered-load", type=float, default=None,
+                   metavar="FPS",
+                   help="per-stream submission rate in frames/s "
+                        "(default: submit as fast as possible)")
+    p.add_argument("--model", default="tiny")
+    p.add_argument("--preset", default="hck",
+                   choices=["none", "hck", "lck"],
+                   help="compress the served model with this preset")
+    p.add_argument("--execution", default="lowered",
+                   choices=["reference", "lowered", "lowered-sparse"])
+    p.add_argument("--batch", type=int, default=4, metavar="N",
+                   help="micro-batch window size filled across streams")
+    p.add_argument("--deadline-ms", type=float, default=50.0)
+    p.add_argument("--device", default="jetson",
+                   choices=["jetson", "rtx4080"])
+    p.add_argument("--queue-depth", type=int, default=8,
+                   help="per-stream pipeline bound (backpressure past "
+                        "this many queued + in-flight frames)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="scene generator base seed (stream i uses "
+                        "seed + i)")
+    p.add_argument("--report", default=None, metavar="PATH",
+                   help="write per-stream and aggregate p50/p99 wall "
+                        "service latency + throughput as JSON")
+    p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser("pack-archive",
                        help="compress preset variants into one "

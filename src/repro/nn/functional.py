@@ -236,6 +236,11 @@ _GEOMETRY_STATS = {"hits": 0, "misses": 0}
 
 
 def _cached_plan(key: tuple, build):
+    """Get-or-build on the shared geometry LRU, safe for concurrent
+    callers: ``build`` runs outside the lock (it materializes large
+    index arrays), and the insert re-checks the cache so two threads
+    racing on a cold key converge on one canonical plan object —
+    every caller then shares the same immutable indices."""
     with _GEOMETRY_LOCK:
         plan = _GEOMETRY_CACHE.get(key)
         if plan is not None:
@@ -245,6 +250,10 @@ def _cached_plan(key: tuple, build):
         _GEOMETRY_STATS["misses"] += 1
     plan = build()
     with _GEOMETRY_LOCK:
+        racing = _GEOMETRY_CACHE.get(key)
+        if racing is not None:
+            _GEOMETRY_CACHE.move_to_end(key)
+            return racing
         _GEOMETRY_CACHE[key] = plan
         _GEOMETRY_CACHE.move_to_end(key)
         while len(_GEOMETRY_CACHE) > _GEOMETRY_CAPACITY:

@@ -64,7 +64,7 @@ class OccupancyContext:
     """
 
     __slots__ = ("grid_shape", "bbox", "mask", "observed", "frames",
-                 "_coherent")
+                 "_coherent", "_lock")
 
     def __init__(self):
         self.grid_shape: tuple[int, int] | None = None
@@ -75,34 +75,45 @@ class OccupancyContext:
         # False when scatters with conflicting grid shapes were
         # observed; windows are then unavailable (dense execution).
         self._coherent = True
+        # observe() mutates multi-field state (mask + bbox + counters);
+        # a shared window context may be observed from worker threads
+        # (the serving engine's cross-stream micro-batches), so the
+        # union must be atomic.  Activation stays thread-local — the
+        # lock only protects the observation side.
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
     def observe(self, indices: np.ndarray,
                 grid_shape: tuple[int, int]) -> None:
-        """Union one scatter's occupied cells into the context."""
+        """Union one scatter's occupied cells into the context.
+
+        Thread-safe: scatters running on different worker threads may
+        observe into one shared (micro-batch window) context.
+        """
         shape = (int(grid_shape[0]), int(grid_shape[1]))
-        if self.grid_shape is None:
-            self.grid_shape = shape
-            self.mask = np.zeros(shape, dtype=bool)
-        elif self.grid_shape != shape:
-            self._coherent = False
-        self.observed = True
-        self.frames += 1
-        if not self._coherent:
-            return
         indices = np.asarray(indices)
-        if indices.size == 0:
-            return
-        rows = indices[:, 0].astype(np.int64)
-        cols = indices[:, 1].astype(np.int64)
-        self.mask[rows, cols] = True
-        r0, r1 = int(rows.min()), int(rows.max()) + 1
-        c0, c1 = int(cols.min()), int(cols.max()) + 1
-        if self.bbox is not None:
-            pr0, pr1, pc0, pc1 = self.bbox
-            r0, r1 = min(r0, pr0), max(r1, pr1)
-            c0, c1 = min(c0, pc0), max(c1, pc1)
-        self.bbox = (r0, r1, c0, c1)
+        with self._lock:
+            if self.grid_shape is None:
+                self.grid_shape = shape
+                self.mask = np.zeros(shape, dtype=bool)
+            elif self.grid_shape != shape:
+                self._coherent = False
+            self.observed = True
+            self.frames += 1
+            if not self._coherent:
+                return
+            if indices.size == 0:
+                return
+            rows = indices[:, 0].astype(np.int64)
+            cols = indices[:, 1].astype(np.int64)
+            self.mask[rows, cols] = True
+            r0, r1 = int(rows.min()), int(rows.max()) + 1
+            c0, c1 = int(cols.min()), int(cols.max()) + 1
+            if self.bbox is not None:
+                pr0, pr1, pc0, pc1 = self.bbox
+                r0, r1 = min(r0, pr0), max(r1, pr1)
+                c0, c1 = min(c0, pc0), max(c1, pc1)
+            self.bbox = (r0, r1, c0, c1)
 
     # ------------------------------------------------------------------
     @property
@@ -188,6 +199,15 @@ def activate_occupancy(context: OccupancyContext | None = None):
     The previous context (usually ``None``) is restored on exit even
     when the block raises, so one frame's occupancy can never leak into
     the next.
+
+    Activation is strictly per thread: each thread keeps its own
+    LIFO stack of contexts, so concurrent streams on worker threads —
+    one sparse, one dense — can never see each other's context, and
+    the sparse fallback's per-frame re-entry (a frame context nested
+    inside the attachment's window context) unwinds correctly on the
+    thread that opened it.  A context *object* may still be shared
+    across threads (a micro-batch window observed by several workers);
+    only :meth:`OccupancyContext.observe` synchronizes for that.
     """
     ctx = OccupancyContext() if context is None else context
     previous = getattr(_STATE, "context", None)

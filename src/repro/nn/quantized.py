@@ -78,6 +78,8 @@ static weight-pattern skips:
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 
 from .functional import (col2im_plan, col2im_window_plan, im2col_plan,
@@ -97,6 +99,33 @@ _EXACT_ACC_LIMIT = 2 ** 53
 
 #: Per-executor cap on memoized input-shape (and windowed) plans.
 _MAX_SHAPE_PLANS = 16
+
+
+def _memoized_plan(plans: dict, lock: threading.Lock, key, build):
+    """Thread-safe get-or-build on an executor's bounded plan memo.
+
+    The forward path is documented concurrency-safe (concurrent
+    serving streams share one compiled program — see
+    ``docs/SERVING.md``), so every get / FIFO-evict / insert on the
+    per-executor ``_plans`` dict happens under its lock.  ``build``
+    runs *outside* the lock (plan construction gathers large index
+    arrays); when two threads race on a cold key, the first insert
+    wins and both return the same entry, keeping every caller
+    consistent.
+    """
+    with lock:
+        entry = plans.get(key)
+    if entry is not None:
+        return entry
+    built = build()
+    with lock:
+        entry = plans.get(key)
+        if entry is None:
+            while len(plans) >= _MAX_SHAPE_PLANS:
+                plans.pop(next(iter(plans)))
+            plans[key] = built
+            entry = built
+    return entry
 
 #: Sentinel window: the layer input is verified all-zero, so the whole
 #: accumulator is reconstructed as zeros without touching a matmul.
@@ -345,38 +374,38 @@ class QuantizedConv2d(Module):
         # the shared BLAS gemm path.
         self._use_gemm = self._kept * max_w * act_max < _EXACT_ACC_LIMIT
         self._plans: dict = {}
+        # Guards every get/evict/insert on _plans: the forward path may
+        # be driven by concurrent serving streams.  (Re)compaction
+        # itself stays a single-threaded construction-time operation.
+        self._plans_lock = threading.Lock()
 
     def _shape_plan(self, c: int, h: int, w: int):
         """Kept-column gather indices + geometry for one input shape."""
-        key = (c, h, w)
-        entry = self._plans.get(key)
-        if entry is None:
+
+        def build():
             kernel = self.weight_codes.shape[-1]
             geometry = im2col_plan(c, h, w, kernel, self.stride,
                                    self.padding)
             idx = geometry.indices if self._keep_cols.all() \
                 else geometry.indices[self._keep_cols]
-            if len(self._plans) >= _MAX_SHAPE_PLANS:
-                self._plans.pop(next(iter(self._plans)))
-            entry = (idx.ravel(), geometry)
-            self._plans[key] = entry
-        return entry
+            return (idx.ravel(), geometry)
+
+        return _memoized_plan(self._plans, self._plans_lock,
+                              (c, h, w), build)
 
     def _window_plan(self, c: int, h: int, w: int, window: tuple):
         """Kept-column gather indices restricted to an output window."""
-        key = (c, h, w, window)
-        entry = self._plans.get(key)
-        if entry is None:
+
+        def build():
             kernel = self.weight_codes.shape[-1]
             plan = im2col_window_plan(c, h, w, kernel, self.stride,
                                       self.padding, window)
             idx = plan.indices if self._keep_cols.all() \
                 else plan.indices[self._keep_cols]
-            if len(self._plans) >= _MAX_SHAPE_PLANS:
-                self._plans.pop(next(iter(self._plans)))
-            entry = (idx.ravel(), plan)
-            self._plans[key] = entry
-        return entry
+            return (idx.ravel(), plan)
+
+        return _memoized_plan(self._plans, self._plans_lock,
+                              (c, h, w, window), build)
 
     def _dynamic_window(self, occ: np.ndarray, h: int, w: int,
                         geometry):
@@ -676,21 +705,22 @@ class QuantizedConvTranspose2d(Module):
         self._use_gemm = (kernel * kernel * in_c * max_w * act_max
                           < _EXACT_ACC_LIMIT)
         self._plans: dict = {}
+        # Same discipline as QuantizedConv2d: the memo must be safe
+        # under concurrent forward callers.
+        self._plans_lock = threading.Lock()
 
     def _shape_plan(self, h: int, w: int):
         """The kept-column scatter plan for one input spatial shape."""
-        key = (h, w)
-        plan = self._plans.get(key)
-        if plan is None:
+
+        def build():
             _, out_c, kernel, _ = self.weight_codes.shape
             out_h = (h - 1) * self.stride - 2 * self.padding + kernel
             out_w = (w - 1) * self.stride - 2 * self.padding + kernel
-            plan = col2im_plan(out_c, out_h, out_w, kernel, self.stride,
+            return col2im_plan(out_c, out_h, out_w, kernel, self.stride,
                                self.padding).restrict(self._keep_cols)
-            if len(self._plans) >= _MAX_SHAPE_PLANS:
-                self._plans.pop(next(iter(self._plans)))
-            self._plans[key] = plan
-        return plan
+
+        return _memoized_plan(self._plans, self._plans_lock,
+                              (h, w), build)
 
     def _out_shape(self, h: int, w: int) -> tuple[int, int]:
         kernel = self.weight_codes.shape[-1]
@@ -699,18 +729,16 @@ class QuantizedConvTranspose2d(Module):
 
     def _window_scatter_plan(self, h: int, w: int, out_window: tuple):
         """Kept-column scatter plan over an output-cell window."""
-        key = (h, w, out_window)
-        plan = self._plans.get(key)
-        if plan is None:
+
+        def build():
             _, out_c, kernel, _ = self.weight_codes.shape
             out_h, out_w = self._out_shape(h, w)
-            plan = col2im_window_plan(out_c, out_h, out_w, kernel,
+            return col2im_window_plan(out_c, out_h, out_w, kernel,
                                       self.stride, self.padding,
                                       out_window).restrict(self._keep_cols)
-            if len(self._plans) >= _MAX_SHAPE_PLANS:
-                self._plans.pop(next(iter(self._plans)))
-            self._plans[key] = plan
-        return plan
+
+        return _memoized_plan(self._plans, self._plans_lock,
+                              (h, w, out_window), build)
 
     def _dynamic_window(self, occ: np.ndarray, h: int, w: int):
         """The occupancy-derived *input* window, if one applies.

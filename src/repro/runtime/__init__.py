@@ -13,7 +13,10 @@ policies, and the deadline watchdog — lives in
 ``docs/ROBUSTNESS.md`` for the taxonomy.  Opt-in observability —
 per-layer executor counters and per-frame deadline-miss cost
 attribution — lives in :mod:`repro.runtime.telemetry`; see
-``docs/OBSERVABILITY.md``.
+``docs/OBSERVABILITY.md``.  Multi-stream serving — N concurrent client
+streams multiplexed over shared compiled programs with per-stream SLOs,
+admission control, backpressure and cross-stream micro-batching — lives
+in :mod:`repro.runtime.serving`; see ``docs/SERVING.md``.
 """
 
 from .engine import (DegradationLadder, DegradationPolicy, FrameRecord,
@@ -21,6 +24,9 @@ from .engine import (DegradationLadder, DegradationPolicy, FrameRecord,
                      SwapEvent)
 from .executors import EXECUTION_MODES, LoweredProgram
 from .faults import FaultInjector, FaultSpec, FrameFaults
+from .serving import (AdmissionError, BackpressureError, ServingEngine,
+                      ServingError, ServingStats, StreamHandle,
+                      StreamSLO)
 from .telemetry import (LayerAttribution, LayerTelemetry, TraceEvent,
                         aggregate_telemetry, export_trace)
 
@@ -29,4 +35,6 @@ __all__ = ["InferenceEngine", "StreamReport", "FrameRecord",
            "SwapEvent", "FaultInjector", "FaultSpec",
            "FrameFaults", "LoweredProgram", "EXECUTION_MODES",
            "LayerTelemetry", "TraceEvent", "LayerAttribution",
-           "aggregate_telemetry", "export_trace"]
+           "aggregate_telemetry", "export_trace",
+           "ServingEngine", "StreamSLO", "StreamHandle", "ServingStats",
+           "ServingError", "AdmissionError", "BackpressureError"]

@@ -268,8 +268,13 @@ class StreamReport:
         frames only — degraded and dropped frames never ran inference,
         so their 0 ms placeholders would drag tail estimates down.  NaN
         on an empty (or fully dropped/degraded) stream, matching
-        :attr:`mean_latency_s`.
+        :attr:`mean_latency_s`.  ``q`` outside [0, 100] (or NaN) raises
+        :class:`ValueError` — silently extrapolating a percentile would
+        report a latency no frame ever had.
         """
+        if not 0.0 <= q <= 100.0:       # also rejects NaN
+            raise ValueError(
+                f"percentile q must be in [0, 100], got {q!r}")
         processed = [f.device_latency_s for f in self.frames
                      if f.status == "ok"]
         if not processed:
@@ -357,11 +362,17 @@ class StreamReport:
         hit_text = "n/a" if math.isnan(hit) else f"{hit:.0%}"
         mean = self.mean_latency_s
         mean_text = "n/a" if math.isnan(mean) else f"{mean * 1e3:.3f} ms"
+
+        def pct_text(q):
+            value = self.latency_percentile(q)
+            return "n/a" if math.isnan(value) else f"{value * 1e3:.3f} ms"
+
         text = (f"stream: {self.num_frames} frames "
                 f"({self.ok_frames} ok, {self.degraded_frames} degraded, "
                 f"{self.dropped_frames} dropped), "
                 f"deadline hit rate {hit_text}, "
                 f"mean latency {mean_text}, "
+                f"p50/p99 latency {pct_text(50)}/{pct_text(99)}, "
                 f"total energy {self.total_energy_j * 1e3:.1f} mJ")
         if self.fallback_activations:
             text += (f", watchdog fallbacks: {self.fallback_activations}")
@@ -389,6 +400,48 @@ class _LadderLevel:
         self.plan: CompiledPlan | None = None
         self.program: LoweredProgram | None = None
         self.layer_costs: tuple | None = None
+
+
+#: Sentinel distinguishing "inherit the engine's value" from an
+#: explicit ``None`` override in :meth:`InferenceEngine._new_session`.
+_INHERIT = object()
+
+
+class _StreamSession:
+    """Sequential per-stream state: one client's report in progress.
+
+    Everything the degradation machinery mutates while a stream runs —
+    the last-good hold, the watchdog counters, the serving rung index,
+    the report under construction — lives here rather than on the
+    engine, so any number of sessions can advance concurrently over the
+    same engine's compiled :class:`_LadderLevel` pool (the seam
+    :class:`~repro.runtime.serving.ServingEngine` multiplexes streams
+    through).  A session is strictly sequential: only one thread may
+    advance it at a time, which the serving scheduler guarantees by
+    keeping at most one in-flight window per stream.
+    """
+
+    __slots__ = ("report", "deadline_s", "policy", "fault_injector",
+                 "trace", "collectors", "last_good", "misses", "hits",
+                 "probation", "active")
+
+    def __init__(self, *, deadline_s: float, policy: DegradationPolicy,
+                 fault_injector, trace: bool, collectors):
+        self.report = StreamReport(deadline_s=deadline_s)
+        self.deadline_s = deadline_s
+        self.policy = policy
+        self.fault_injector = fault_injector
+        self.trace = trace
+        #: ``layer name → LayerTelemetry`` for this stream, or ``None``
+        #: when telemetry is off — each session owns its counters, so
+        #: concurrent streams never mix theirs.
+        self.collectors = collectors
+        self.last_good: DetectionResult | None = None
+        self.misses = 0
+        self.hits = 0
+        self.probation = 0
+        #: This stream's serving rung (index into the engine's levels).
+        self.active = 0
 
 
 class InferenceEngine:
@@ -534,41 +587,48 @@ class InferenceEngine:
     def _level(self) -> _LadderLevel:
         return self._levels[self._active]
 
-    @property
-    def ir(self) -> ModelIR:
-        """The active model's IR — the single source for plan + program.
+    def _level_ir(self, level: _LadderLevel) -> ModelIR:
+        """A level's IR — the single source for its plan + program.
 
         Extracted lazily only for rungs constructed without one (the
         legacy ``fallback_model`` path); archive-built ladders carry
         every rung's IR, so no trace ever happens after construction.
         """
-        level = self._level
         if level.ir is None:
             level.ir = extract_ir(level.rung.model,
                                   *level.rung.model.example_inputs())
         return level.ir
 
-    @property
-    def plan(self) -> CompiledPlan:
-        level = self._level
+    def _level_plan(self, level: _LadderLevel) -> CompiledPlan:
         if level.plan is None:
-            level.plan = lower_to_plan(self.ir)
+            level.plan = lower_to_plan(self._level_ir(level))
         return level.plan
 
-    @property
-    def program(self) -> LoweredProgram:
-        """Integer executors lowered from the shared IR (lazy)."""
-        level = self._level
+    def _level_program(self, level: _LadderLevel) -> LoweredProgram:
         if level.program is None:
             level.program = LoweredProgram(
-                lower_executors(self.ir, level.rung.model),
+                lower_executors(self._level_ir(level), level.rung.model),
                 mode=self.execution)
             if self.telemetry:
                 level.program.enable_telemetry(self._collectors)
         return level.program
 
-    def _cost_model(self) -> tuple:
-        """Cached per-layer cost split of the active plan.
+    @property
+    def ir(self) -> ModelIR:
+        """The active model's IR (see :meth:`_level_ir`)."""
+        return self._level_ir(self._level)
+
+    @property
+    def plan(self) -> CompiledPlan:
+        return self._level_plan(self._level)
+
+    @property
+    def program(self) -> LoweredProgram:
+        """Integer executors lowered from the shared IR (lazy)."""
+        return self._level_program(self._level)
+
+    def _level_costs(self, level: _LadderLevel) -> tuple:
+        """Cached per-layer cost split of one level's plan.
 
         Returns ``(breakdown, base_latency, base_energy, overhead_lat,
         overhead_energy)`` where ``breakdown`` is the plan's per-layer
@@ -576,9 +636,8 @@ class InferenceEngine:
         non-kernel remainders, computed by subtraction so the parts sum
         to the whole-plan base costs exactly.
         """
-        level = self._level
         if level.layer_costs is None:
-            plan = self.plan
+            plan = self._level_plan(level)
             breakdown = plan.cost_breakdown(self.device)
             base_latency = self.device.latency(plan)
             base_energy = self.device.energy(plan)
@@ -589,8 +648,12 @@ class InferenceEngine:
                                  base_energy - kernel_energy)
         return level.layer_costs
 
-    def _trace_events(self, frame_id: int, latency_s: float,
-                      energy_j: float,
+    def _cost_model(self) -> tuple:
+        """Cached cost split of the *active* plan (see _level_costs)."""
+        return self._level_costs(self._level)
+
+    def _trace_events(self, session: _StreamSession, frame_id: int,
+                      latency_s: float, energy_j: float,
                       jitter_s: float) -> list[TraceEvent]:
         """Attribute one frame's recorded cost to the plan's layers.
 
@@ -601,7 +664,7 @@ class InferenceEngine:
         reproduce the frame's recorded totals within float tolerance.
         """
         breakdown, base_lat, base_energy, over_lat, over_energy = \
-            self._cost_model()
+            self._level_costs(self._levels[session.active])
         lat_scale = latency_s / base_lat if base_lat > 0 else 0.0
         energy_scale = energy_j / base_energy if base_energy > 0 else 0.0
         events = [TraceEvent(frame_id=frame_id, layer=name,
@@ -631,6 +694,38 @@ class InferenceEngine:
         if not scenes:
             return []
         return self.program.predict_window(self.model, scenes)
+
+    def _window_results(self, level: _LadderLevel, scenes,
+                        collectors=None) -> list[DetectionResult]:
+        """One micro-batch through a specific level's program.
+
+        ``collectors`` names the telemetry store the window should
+        count into: the engine's own long-lived collectors need no
+        work (they are attached at program build when the engine was
+        constructed with ``telemetry=True``), while a session-owned
+        store is swapped in around the window and the engine's state
+        restored after — this is how concurrent serving streams keep
+        per-stream counters without sharing them.  Swapping mutates
+        the program's executor slots, so callers running windows
+        concurrently must serialize per program (the serving scheduler
+        leases one window per program replica at a time).
+        """
+        if not scenes:
+            return []
+        program = self._level_program(level)
+        model = level.rung.model
+        base = self._collectors if self.telemetry else None
+        swap = collectors is not None and collectors is not base
+        if swap:
+            program.enable_telemetry(collectors)
+        try:
+            return program.predict_window(model, scenes)
+        finally:
+            if swap:
+                if base is not None:
+                    program.enable_telemetry(base)
+                else:
+                    program.disable_telemetry()
 
     @property
     def on_fallback(self) -> bool:
@@ -699,6 +794,132 @@ class InferenceEngine:
                                frame_id=frame_id)
 
     # ------------------------------------------------------------------
+    # Per-stream session machinery (the seam the serving engine uses)
+    # ------------------------------------------------------------------
+    def _new_session(self, *, deadline_s: float | None = None,
+                     policy: DegradationPolicy | None = None,
+                     fault_injector=_INHERIT, trace: bool | None = None,
+                     collectors=None) -> _StreamSession:
+        """A fresh sequential stream session over this engine's levels.
+
+        Every ``None`` (or ``_INHERIT`` for the injector, where ``None``
+        is a meaningful override) inherits the engine's own setting.
+        ``collectors`` is the session's telemetry store (``None`` keeps
+        telemetry off for the stream).
+        """
+        return _StreamSession(
+            deadline_s=self.deadline_s if deadline_s is None
+            else deadline_s,
+            policy=self.policy if policy is None else policy,
+            fault_injector=self.fault_injector
+            if fault_injector is _INHERIT else fault_injector,
+            trace=self.trace if trace is None else trace,
+            collectors=collectors)
+
+    def _classify(self, session: _StreamSession, scene) -> tuple:
+        """Fault-inject + validate one arriving frame.
+
+        Returns the pending-queue entry ``(kind, frame_id, scene,
+        faults)`` with ``kind`` one of ``"dropped"`` / ``"corrupt"`` /
+        ``"run"`` — classification is stateless per frame (the injector
+        is seeded by frame id), so it can happen ahead of emission.
+        """
+        frame_id = scene.frame_id
+        injector = session.fault_injector
+        faults = injector.faults_for(frame_id) if injector is not None \
+            else FrameFaults(frame_id=frame_id)
+        incoming = injector.apply(scene, faults) \
+            if injector is not None else scene
+        if incoming is None:            # dropped before the engine
+            return ("dropped", frame_id, None, faults)
+        if not self._scene_valid(incoming):
+            return ("corrupt", frame_id, None, faults)
+        return ("run", frame_id, incoming, faults)
+
+    def _session_rung(self, session: _StreamSession) -> str | None:
+        if session.active == 0:
+            return None
+        return self._levels[session.active].rung.name
+
+    def _session_cost(self, session: _StreamSession,
+                      frame_id: int) -> tuple[float, float]:
+        """(latency s, energy J) of one frame on the session's rung."""
+        plan = self._level_plan(self._levels[session.active])
+        latency = self.device.latency(plan)
+        energy = self.device.energy(plan)
+        if self.cost_hook is not None:
+            latency, energy = self.cost_hook(frame_id, latency, energy)
+        return latency, energy
+
+    def _emit_dropped(self, session: _StreamSession,
+                      frame_id: int) -> None:
+        report = session.report
+        report.predictions.append(
+            DetectionResult(boxes=[], frame_id=frame_id))
+        report.frames.append(FrameRecord(
+            frame_id=frame_id, num_detections=0,
+            device_latency_s=0.0, device_energy_j=0.0,
+            deadline_met=True, status="dropped",
+            fallback=session.active > 0,
+            rung=self._session_rung(session)))
+
+    def _emit_corrupt(self, session: _StreamSession,
+                      frame_id: int) -> None:
+        """Corrupt frame: no inference, degrade per the policy."""
+        if session.policy.on_corrupt == "skip":
+            status = "dropped"
+            result = DetectionResult(boxes=[], frame_id=frame_id)
+        else:
+            status = "degraded"
+            result = self._held_result(frame_id, session.last_good)
+        report = session.report
+        report.predictions.append(result)
+        report.frames.append(FrameRecord(
+            frame_id=frame_id, num_detections=len(result.boxes),
+            device_latency_s=0.0, device_energy_j=0.0,
+            deadline_met=True, status=status,
+            fallback=session.active > 0,
+            rung=self._session_rung(session)))
+
+    def _emit_result(self, session: _StreamSession, frame_id: int,
+                     result: DetectionResult, faults) -> bool:
+        """Record one executed frame; True when the watchdog swapped.
+
+        The per-frame step the batched window fans results through:
+        charge the device cost (through the cost hook), trace, check
+        the deadline, append the record, update the last-good hold, and
+        advance the watchdog.  A ``True`` return means frames already
+        predicted on the old rung must be re-run (the swap takes effect
+        from the next frame).
+        """
+        latency, energy = self._session_cost(session, frame_id)
+        report = session.report
+        if session.trace:
+            report.trace.extend(self._trace_events(
+                session, frame_id, latency, energy, faults.jitter_s))
+        latency += faults.jitter_s
+        deadline_met = latency <= session.deadline_s
+        report.predictions.append(result)
+        report.frames.append(FrameRecord(
+            frame_id=frame_id,
+            num_detections=len(result.boxes),
+            device_latency_s=latency,
+            device_energy_j=energy,
+            deadline_met=deadline_met,
+            status="ok",
+            fallback=session.active > 0,
+            rung=self._session_rung(session)))
+        session.last_good = result
+        return self._watchdog_step(session, frame_id, deadline_met)
+
+    def _finish_session(self, session: _StreamSession) -> StreamReport:
+        if session.collectors is not None:
+            session.report.telemetry = {
+                name: counter.snapshot()
+                for name, counter in session.collectors.items()}
+        return session.report
+
+    # ------------------------------------------------------------------
     def run(self, scenes) -> StreamReport:
         """Process a scene stream; returns the accounting report.
 
@@ -719,40 +940,25 @@ class InferenceEngine:
         evaluated exactly as in the sequential path — the batched pass
         itself is byte-identical to per-frame execution.
         """
-        report = StreamReport(deadline_s=self.deadline_s)
-        self._run_last_good: DetectionResult | None = None
-        self._run_misses = 0
-        self._run_hits = 0
-        self._run_probation = 0
+        session = self._new_session(
+            collectors=self._collectors if self.telemetry else None)
         pending: list[tuple] = []
         for scene in scenes:
-            frame_id = scene.frame_id
-            faults = self.fault_injector.faults_for(frame_id) \
-                if self.fault_injector is not None \
-                else FrameFaults(frame_id=frame_id)
-            incoming = self.fault_injector.apply(scene, faults) \
-                if self.fault_injector is not None else scene
-
-            if incoming is None:        # dropped before the engine
-                pending.append(("dropped", frame_id, None, faults))
-            elif not self._scene_valid(incoming):
-                pending.append(("corrupt", frame_id, None, faults))
-            else:
-                pending.append(("run", frame_id, incoming, faults))
+            pending.append(self._classify(session, scene))
             if sum(1 for kind, *_ in pending if kind == "run") \
                     >= self.batch_size:
-                self._flush_window(pending, report)
+                self._flush_window(session, pending)
                 pending = []
         if pending:
-            self._flush_window(pending, report)
-        if self.telemetry:
-            report.telemetry = {name: counter.snapshot()
-                                for name, counter
-                                in self._collectors.items()}
-        return report
+            self._flush_window(session, pending)
+        # Sync the engine's notion of the active rung with where the
+        # stream ended, preserving post-run introspection
+        # (``on_fallback`` / ``active_rung`` / ``model``).
+        self._switch(session.active)
+        return self._finish_session(session)
 
-    def _flush_window(self, pending: list[tuple],
-                      report: StreamReport) -> None:
+    def _flush_window(self, session: _StreamSession,
+                      pending: list[tuple]) -> None:
         """Emit one buffered window's frames, in arrival order.
 
         The window's valid frames run as one batched pass; records are
@@ -761,71 +967,29 @@ class InferenceEngine:
         not-yet-emitted frames are re-predicted on the new rung —
         exactly what sequential execution would have done.
         """
-        policy = self.policy
         idx = 0
         while idx < len(pending):
-            results = self._predict_window(
+            results = self._window_results(
+                self._levels[session.active],
                 [scene for kind, _, scene, _ in pending[idx:]
-                 if kind == "run"])
+                 if kind == "run"],
+                collectors=session.collectors)
             results = list(reversed(results))       # pop() in order
             restarted = False
             while idx < len(pending):
                 kind, frame_id, scene, faults = pending[idx]
                 idx += 1
                 if kind == "dropped":
-                    report.predictions.append(
-                        DetectionResult(boxes=[], frame_id=frame_id))
-                    report.frames.append(FrameRecord(
-                        frame_id=frame_id, num_detections=0,
-                        device_latency_s=0.0, device_energy_j=0.0,
-                        deadline_met=True, status="dropped",
-                        fallback=self.on_fallback,
-                        rung=self.active_rung))
+                    self._emit_dropped(session, frame_id)
                     continue
                 if kind == "corrupt":
-                    # Corrupt frame: no inference, degrade per policy.
-                    if policy.on_corrupt == "skip":
-                        status = "dropped"
-                        result = DetectionResult(boxes=[],
-                                                 frame_id=frame_id)
-                    else:
-                        status = "degraded"
-                        result = self._held_result(frame_id,
-                                                   self._run_last_good)
-                    report.predictions.append(result)
-                    report.frames.append(FrameRecord(
-                        frame_id=frame_id,
-                        num_detections=len(result.boxes),
-                        device_latency_s=0.0, device_energy_j=0.0,
-                        deadline_met=True, status=status,
-                        fallback=self.on_fallback,
-                        rung=self.active_rung))
+                    self._emit_corrupt(session, frame_id)
                     continue
-
-                result = results.pop()
-                latency, energy = self.frame_cost(frame_id=frame_id)
-                if self.trace:
-                    report.trace.extend(self._trace_events(
-                        frame_id, latency, energy, faults.jitter_s))
-                latency += faults.jitter_s
-                deadline_met = latency <= self.deadline_s
-                report.predictions.append(result)
-                report.frames.append(FrameRecord(
-                    frame_id=frame_id,
-                    num_detections=len(result.boxes),
-                    device_latency_s=latency,
-                    device_energy_j=energy,
-                    deadline_met=deadline_met,
-                    status="ok",
-                    fallback=self.on_fallback,
-                    rung=self.active_rung))
-                self._run_last_good = result
-
                 # Deadline watchdog: consecutive misses demote rung by
                 # rung; with promotion enabled, consecutive on-deadline
                 # frames climb back up through a probation window.
-                swapped = self._watchdog_step(frame_id, deadline_met,
-                                              report)
+                swapped = self._emit_result(session, frame_id,
+                                            results.pop(), faults)
                 if swapped and results:
                     # Remaining window frames must run on the new
                     # rung, as sequentially.
@@ -834,65 +998,66 @@ class InferenceEngine:
             if not restarted:
                 break
 
-    def _watchdog_step(self, frame_id: int, deadline_met: bool,
-                       report: StreamReport) -> bool:
+    def _watchdog_step(self, session: _StreamSession, frame_id: int,
+                       deadline_met: bool) -> bool:
         """Advance watchdog state after one processed frame.
 
-        Returns True when the serving rung changed (demotion or
-        promotion), so a batched window can restart on the new rung.
+        Returns True when the stream's serving rung changed (demotion
+        or promotion), so a batched window can restart on the new rung.
         The swap takes effect from the *next* frame — the triggering
         frame's record was already emitted on the old rung.
         """
         ladder = self.ladder
         if deadline_met:
-            self._run_misses = 0
-            if self._run_probation > 0:
-                self._run_probation -= 1
-            if self._active > 0 and ladder.promote_after > 0:
-                self._run_hits += 1
-                if self._run_hits >= ladder.promote_after \
-                        and self._run_probation == 0:
-                    from_rung = self.active_rung
-                    self._promote()
-                    report.swap_events.append(SwapEvent(
+            session.misses = 0
+            if session.probation > 0:
+                session.probation -= 1
+            if session.active > 0 and ladder.promote_after > 0:
+                session.hits += 1
+                if session.hits >= ladder.promote_after \
+                        and session.probation == 0:
+                    from_rung = self._session_rung(session)
+                    session.active -= 1
+                    session.report.swap_events.append(SwapEvent(
                         frame_id=frame_id, kind="promote",
                         from_rung=from_rung,
-                        to_rung=self.active_rung))
-                    self._run_hits = 0
-                    self._run_probation = ladder.probation
+                        to_rung=self._session_rung(session)))
+                    session.hits = 0
+                    session.probation = ladder.probation
                     return True
             return False
 
-        self._run_hits = 0
-        if self._run_probation > 0:
+        session.hits = 0
+        if session.probation > 0:
             # A miss during probation falls straight back down.
-            return self._demote_now(frame_id, report)
-        self._run_misses += 1
-        limit = self._level.rung.miss_limit
+            return self._demote_now(session, frame_id)
+        session.misses += 1
+        limit = self._levels[session.active].rung.miss_limit
         if limit is None:
-            limit = self.policy.max_consecutive_misses
-        if limit and self._run_misses >= limit:
-            return self._demote_now(frame_id, report)
+            limit = session.policy.max_consecutive_misses
+        if limit and session.misses >= limit:
+            return self._demote_now(session, frame_id)
         return False
 
-    def _demote_now(self, frame_id: int,
-                    report: StreamReport) -> bool:
+    def _demote_now(self, session: _StreamSession,
+                    frame_id: int) -> bool:
         """Demote one rung, recording the swap; False at the bottom.
 
         A failed demotion (already on the last rung) leaves the miss
         counter untouched — matching the legacy single-fallback
         behavior where an exhausted ladder keeps the watchdog armed.
         """
-        from_rung = self.active_rung
-        if not self._demote():
+        if session.active + 1 >= len(self._levels):
             return False
-        report.swap_events.append(SwapEvent(
+        from_rung = self._session_rung(session)
+        session.active += 1
+        session.report.swap_events.append(SwapEvent(
             frame_id=frame_id, kind="demote",
-            from_rung=from_rung, to_rung=self.active_rung))
-        report.fallback_activations += 1
-        self._run_misses = 0
-        self._run_hits = 0
-        self._run_probation = 0
+            from_rung=from_rung, to_rung=self._session_rung(session)))
+        session.report.fallback_activations += 1
+        session.misses = 0
+        session.hits = 0
+        session.probation = 0
         return True
 
     @staticmethod

@@ -29,6 +29,7 @@ opt-in, populated by the executors while they run.
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager, nullcontext
 
 from repro.nn.graph import layer_map
@@ -71,6 +72,13 @@ class LoweredProgram:
         #: ``layer name → LayerTelemetry`` — empty until telemetry is
         #: enabled; the counters are live objects the executors update.
         self.telemetry: dict[str, LayerTelemetry] = {}
+        # Attachment mutates shared state (module.forward slots, the
+        # executors' telemetry slots), so a program shared by several
+        # workers must be attached by one at a time; the serving layer
+        # leases whole replicas, and this lock is the hard backstop.
+        # Re-entrant so one thread may enable telemetry around its own
+        # attachment.
+        self._attach_lock = threading.RLock()
         if telemetry:
             self.enable_telemetry()
 
@@ -94,20 +102,22 @@ class LoweredProgram:
         Telemetry is strictly opt-in: until this is called, executors
         carry ``telemetry = None`` and count nothing.
         """
-        store = self.telemetry if collectors is None else collectors
-        for name, executor in self.executors.items():
-            counter = store.get(name)
-            if counter is None:
-                counter = LayerTelemetry(layer=name)
-                store[name] = counter
-            object.__setattr__(executor, "telemetry", counter)
-        self.telemetry = store
-        return store
+        with self._attach_lock:
+            store = self.telemetry if collectors is None else collectors
+            for name, executor in self.executors.items():
+                counter = store.get(name)
+                if counter is None:
+                    counter = LayerTelemetry(layer=name)
+                    store[name] = counter
+                object.__setattr__(executor, "telemetry", counter)
+            self.telemetry = store
+            return store
 
     def disable_telemetry(self) -> None:
         """Detach counters from the executors (the map is kept)."""
-        for executor in self.executors.values():
-            object.__setattr__(executor, "telemetry", None)
+        with self._attach_lock:
+            for executor in self.executors.values():
+                object.__setattr__(executor, "telemetry", None)
 
     def reset_telemetry(self) -> None:
         for counter in self.telemetry.values():
@@ -145,29 +155,37 @@ class LoweredProgram:
         occupied canvas, and the executors use the resulting bbox — for
         a micro-batched window the bbox is the union across the member
         frames, because every scatter observes into this one context.
+
+        Attachment is exclusive: the whole block holds the program's
+        attach lock, because patching rewrites ``module.forward`` slots
+        that every thread sharing the model would see.  Concurrency
+        comes from a *pool* of program/model replicas (the serving
+        engine leases one per in-flight window), never from attaching
+        one replica on two threads at once.
         """
-        layers = layer_map(model)
-        patched: list[tuple[Module, object]] = []
-        for name, executor in self.executors.items():
-            module = layers.get(name)
-            if module is None:
-                continue
-            original = module.forward
-            run = self._run_fn(executor)
+        with self._attach_lock:
+            layers = layer_map(model)
+            patched: list[tuple[Module, object]] = []
+            for name, executor in self.executors.items():
+                module = layers.get(name)
+                if module is None:
+                    continue
+                original = module.forward
+                run = self._run_fn(executor)
 
-            def routed(*args, _run=run, **kwargs):
-                return _run(*args, **kwargs)
+                def routed(*args, _run=run, **kwargs):
+                    return _run(*args, **kwargs)
 
-            object.__setattr__(module, "forward", routed)
-            patched.append((module, original))
-        occupancy = (activate_occupancy()
-                     if self.mode == "lowered-sparse" else nullcontext())
-        try:
-            with occupancy:
-                yield model
-        finally:
-            for module, original in reversed(patched):
-                object.__setattr__(module, "forward", original)
+                object.__setattr__(module, "forward", routed)
+                patched.append((module, original))
+            occupancy = (activate_occupancy()
+                         if self.mode == "lowered-sparse" else nullcontext())
+            try:
+                with occupancy:
+                    yield model
+            finally:
+                for module, original in reversed(patched):
+                    object.__setattr__(module, "forward", original)
 
     def covers_kernels(self, model: Module) -> bool:
         """Whether every kernel layer of ``model`` has an executor.

@@ -1,0 +1,665 @@
+"""Multi-stream serving: N client streams over shared compiled programs.
+
+:class:`~repro.runtime.engine.InferenceEngine` owns one model and one
+stream; real deployments serve many concurrent clients whose frames
+arrive interleaved.  :class:`ServingEngine` multiplexes N client
+streams over a pool of engine replicas (each a compiled
+:class:`~repro.runtime.executors.LoweredProgram` ladder), giving every
+stream its own deadline/SLO, degradation state and
+:class:`~repro.runtime.engine.StreamReport` while sharing the compiled
+substrate.
+
+Architecture — one scheduler thread owns every stream's sequential
+state; a small worker pool only executes micro-batch windows:
+
+* **Admission control** — :meth:`ServingEngine.open_stream` rejects
+  streams past ``max_streams`` with a typed :class:`AdmissionError`;
+  submitting to an unknown or closed stream is likewise a typed
+  reject, never a silent drop.
+* **Backpressure** — each stream's pipeline (queued + classified +
+  in-flight frames) is bounded by its SLO's ``queue_depth``.
+  ``submit(block=False)`` past the bound raises
+  :class:`BackpressureError` immediately; ``block=True`` waits for
+  space (optionally with a timeout).  Space frees only when a frame's
+  record is *emitted*, so the bound covers the whole pipeline.
+* **Cross-stream micro-batching** — the scheduler opportunistically
+  fills a ``batch_size=N`` window with head frames from *different*
+  streams whose serving rung and scene signature (canvas/feature
+  shapes) match, runs the window as one batched lowered pass on a
+  leased replica, and fans the per-frame results back to the owning
+  streams in order.  A window never takes two frames from one stream
+  and a stream never has two windows in flight, so per-stream
+  semantics (last-good hold, watchdog ladder walk, swap-effective-
+  next-frame) are *exactly* the solo engine's: a swap triggered by
+  stream A's emission cannot invalidate any other window member, and
+  A's own next frame dispatches on the new rung.
+
+Because the lowered integer path is bit-for-bit identical under any
+batching factor (see ``docs/PERFORMANCE.md``), the per-stream reports
+produced under the scheduler are byte-equal to running each stream
+alone on a solo engine — ``tests/runtime/test_serving.py`` hammers
+exactly that equivalence, telemetry and swap events included.
+
+Thread-safety contract with the layers below: the geometry/plan caches
+(:mod:`repro.nn.functional`, :mod:`repro.nn.quantized`) and telemetry
+counters (:mod:`repro.runtime.telemetry`) are lock-protected, program
+attachment is exclusive per replica
+(:meth:`~repro.runtime.executors.LoweredProgram.attached`), and
+occupancy contexts are thread-local
+(:mod:`repro.nn.occupancy`) — see ``docs/SERVING.md``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, replace
+
+from .engine import _INHERIT, DegradationPolicy, InferenceEngine, StreamReport
+
+__all__ = ["ServingEngine", "StreamSLO", "StreamHandle", "ServingStats",
+           "ServingError", "AdmissionError", "BackpressureError"]
+
+
+class ServingError(RuntimeError):
+    """Base class for serving-layer failures."""
+
+
+class AdmissionError(ServingError):
+    """A stream (or frame) was refused admission — typed, not dropped.
+
+    Raised when opening a stream past ``max_streams``, reusing a live
+    stream name, or submitting to an unknown/closed stream or a
+    shut-down engine.
+    """
+
+
+class BackpressureError(ServingError):
+    """A stream's bounded pipeline is full and the caller chose not to
+    (or timed out waiting to) block."""
+
+
+@dataclass(frozen=True)
+class StreamSLO:
+    """Per-stream service-level objective and degradation overrides.
+
+    Every ``None`` field inherits the serving engine's wrapped-engine
+    setting, exactly like a solo :class:`InferenceEngine` constructed
+    with those arguments — which is what keeps serving reports
+    comparable to solo runs.
+
+    Attributes
+    ----------
+    deadline_s:
+        This stream's real-time budget per frame.
+    policy:
+        This stream's :class:`DegradationPolicy`.
+    fault_injector:
+        This stream's injector; pass ``None`` explicitly to disable
+        injection even when the wrapped engine has one.
+    trace:
+        Per-frame cost attribution into the stream's report.
+    telemetry:
+        When true the stream gets its *own* per-layer counters
+        (snapshotted into ``report.telemetry``).  Telemetry windows
+        are never shared with other streams — per-layer counts cannot
+        be split across the members of one batched pass — so a
+        telemetry stream runs single-frame windows.
+    queue_depth:
+        Bound on this stream's pipeline (queued + classified +
+        in-flight frames); ``None`` inherits the engine default.
+    """
+
+    deadline_s: float | None = None
+    policy: DegradationPolicy | None = None
+    fault_injector: object = _INHERIT
+    trace: bool | None = None
+    telemetry: bool = False
+    queue_depth: int | None = None
+
+
+@dataclass
+class ServingStats:
+    """Aggregate counters across every stream of a serving engine."""
+
+    streams_opened: int = 0
+    frames_submitted: int = 0
+    frames_rejected: int = 0
+    frames_completed: int = 0
+    #: Micro-batch windows executed (a window of one frame counts).
+    windows: int = 0
+    #: Windows whose members came from two or more streams.
+    cross_stream_windows: int = 0
+    #: Frames that rode in a window of size > 1.
+    batched_frames: int = 0
+
+    def summary(self) -> str:
+        return (f"serving: {self.streams_opened} streams, "
+                f"{self.frames_completed}/{self.frames_submitted} frames "
+                f"completed ({self.frames_rejected} rejected), "
+                f"{self.windows} windows "
+                f"({self.cross_stream_windows} cross-stream, "
+                f"{self.batched_frames} batched frames)")
+
+
+def _scene_signature(scene) -> tuple:
+    """Shape key deciding whether two scenes may share a window.
+
+    Frames only batch when the model would canvas them identically:
+    same point feature width and same (or same-absent) camera image
+    shape.  Mismatched signatures simply never share a window — they
+    are still served, just unbatched.
+    """
+    points = getattr(scene, "points", None)
+    image = getattr(scene, "image", None)
+    points_key = None if points is None else tuple(points.shape[1:])
+    image_key = None if image is None else tuple(image.shape)
+    return (points_key, image_key)
+
+
+class _Member:
+    """One frame riding in a window, with its owning lane."""
+
+    __slots__ = ("lane", "frame_id", "scene", "faults", "t_submit")
+
+    def __init__(self, lane, frame_id, scene, faults, t_submit):
+        self.lane = lane
+        self.frame_id = frame_id
+        self.scene = scene
+        self.faults = faults
+        self.t_submit = t_submit
+
+
+class _Window:
+    """One dispatched micro-batch: members + the leased replica."""
+
+    __slots__ = ("replica", "rung", "members", "collectors")
+
+    def __init__(self, replica, rung, members, collectors):
+        self.replica = replica
+        self.rung = rung
+        self.members = members
+        self.collectors = collectors
+
+
+class _Lane:
+    """One client stream's scheduler-side state.
+
+    All fields are guarded by the serving engine's single lock; the
+    scheduler thread is the only mutator of the session (emission),
+    which is what guarantees per-stream sequential semantics.
+    """
+
+    __slots__ = ("name", "session", "queue", "classified", "queue_depth",
+                 "inflight", "closed", "finalized", "done", "report",
+                 "service_latencies", "partition")
+
+    def __init__(self, name: str, session, queue_depth: int,
+                 telemetry: bool):
+        self.name = name
+        self.session = session
+        #: raw submitted ``(scene, t_submit)`` pairs, arrival order
+        self.queue: deque = deque()
+        #: classified ``((kind, frame_id, scene, faults), t_submit)``
+        self.classified: deque = deque()
+        self.queue_depth = queue_depth
+        #: frames of this lane inside a dispatched, not-yet-emitted
+        #: window (0 or 1 — at most one window in flight per lane)
+        self.inflight = 0
+        self.closed = False
+        self.finalized = False
+        self.done = threading.Event()
+        self.report: StreamReport | None = None
+        #: wall-clock submit→emit seconds per frame (not the simulated
+        #: device latency inside the report)
+        self.service_latencies: list[float] = []
+        #: telemetry streams never share windows (``None`` = mixable)
+        self.partition = name if telemetry else None
+
+    @property
+    def depth(self) -> int:
+        return len(self.queue) + len(self.classified) + self.inflight
+
+
+class StreamHandle:
+    """Client-side handle to one open stream (thin, thread-safe)."""
+
+    def __init__(self, engine: "ServingEngine", name: str):
+        self._engine = engine
+        self.name = name
+
+    def submit(self, scene, *, block: bool = True,
+               timeout: float | None = None) -> None:
+        self._engine.submit(self.name, scene, block=block, timeout=timeout)
+
+    def close(self) -> None:
+        self._engine.close_stream(self.name)
+
+    def result(self, timeout: float | None = None) -> StreamReport:
+        return self._engine.result(self.name, timeout=timeout)
+
+    @property
+    def service_latencies(self) -> list[float]:
+        return self._engine.service_latencies(self.name)
+
+
+class ServingEngine:
+    """Serve N concurrent client streams over shared compiled programs.
+
+    Parameters
+    ----------
+    engine:
+        The wrapped :class:`InferenceEngine` (its deadline, policy,
+        injector, execution mode and ``batch_size`` become the
+        defaults every stream inherits), or a zero-argument factory
+        returning identical engines — required for ``replicas > 1``,
+        since concurrent windows need separate model instances to
+        attach to.  Engines must be constructed with
+        ``telemetry=False``: per-stream telemetry flows through
+        :class:`StreamSLO` instead, so streams never share counters.
+    replicas:
+        Size of the worker/replica pool — the number of windows that
+        may execute concurrently.  Replica 0 additionally owns every
+        stream's sequential emission state.
+    max_streams:
+        Admission bound on concurrently open streams.
+    queue_depth:
+        Default per-stream pipeline bound (see :class:`StreamSLO`).
+
+    Windows fill up to the wrapped engine's ``batch_size`` with head
+    frames from distinct streams whose rung and scene signature match.
+    All compiled state (IR → plan → program per ladder rung) is
+    pre-warmed at construction, so workers never race a lazy build.
+    """
+
+    def __init__(self, engine, *, replicas: int = 1,
+                 max_streams: int = 16, queue_depth: int = 8):
+        if replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {replicas!r}")
+        if max_streams < 1:
+            raise ValueError(
+                f"max_streams must be >= 1, got {max_streams!r}")
+        if queue_depth < 1:
+            raise ValueError(
+                f"queue_depth must be >= 1, got {queue_depth!r}")
+        if isinstance(engine, InferenceEngine):
+            if replicas != 1:
+                raise ValueError(
+                    "replicas > 1 needs an engine factory — concurrent "
+                    "windows attach to separate model instances")
+            pool = [engine]
+        else:
+            pool = [engine() for _ in range(replicas)]
+        primary = pool[0]
+        for replica in pool:
+            if not isinstance(replica, InferenceEngine):
+                raise TypeError(
+                    f"engine (factory) must yield InferenceEngine, "
+                    f"got {type(replica).__name__}")
+            if replica.telemetry:
+                raise ValueError(
+                    "serving engines must wrap telemetry=False engines; "
+                    "per-stream telemetry is configured via StreamSLO")
+            if len(replica._levels) != len(primary._levels) \
+                    or replica.execution != primary.execution \
+                    or replica.batch_size != primary.batch_size:
+                raise ValueError(
+                    "replica engines must be identical (ladder depth, "
+                    "execution mode, batch_size)")
+            # Pre-warm every rung's compiled state so worker threads
+            # never race a lazy IR extraction / lowering.
+            for level in replica._levels:
+                replica._level_costs(level)
+                replica._level_program(level)
+        self._engine = primary
+        self._default_queue_depth = queue_depth
+        self.max_streams = max_streams
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._lanes: dict[str, _Lane] = {}
+        self._free_replicas: list[InferenceEngine] = list(pool)
+        self._completions: deque = deque()
+        self._inflight_windows = 0
+        self._stats = ServingStats()
+        self._stopping = False
+        self._fatal: BaseException | None = None
+        self._rotate = 0
+        import concurrent.futures
+        self._workers = concurrent.futures.ThreadPoolExecutor(
+            max_workers=len(pool), thread_name_prefix="repro-serve")
+        self._scheduler = threading.Thread(
+            target=self._loop, name="repro-serve-scheduler", daemon=True)
+        self._scheduler.start()
+
+    # ------------------------------------------------------------------
+    # Client API
+    # ------------------------------------------------------------------
+    def open_stream(self, name: str,
+                    slo: StreamSLO | None = None) -> StreamHandle:
+        """Admit a new stream; typed reject past ``max_streams``."""
+        slo = slo or StreamSLO()
+        depth = slo.queue_depth
+        if depth is None:
+            depth = self._default_queue_depth
+        if depth < 1:
+            raise ValueError(
+                f"queue_depth must be >= 1, got {depth!r}")
+        with self._cond:
+            self._check_fatal_locked()
+            if self._stopping:
+                raise AdmissionError(
+                    "serving engine is shutting down; no new streams")
+            if name in self._lanes:
+                raise AdmissionError(
+                    f"stream {name!r} already exists — stream names "
+                    f"are unique for the life of the engine")
+            live = sum(1 for lane in self._lanes.values()
+                       if not lane.finalized)
+            if live >= self.max_streams:
+                raise AdmissionError(
+                    f"admission refused: {live} live streams at the "
+                    f"max_streams={self.max_streams} bound")
+            session = self._engine._new_session(
+                deadline_s=slo.deadline_s, policy=slo.policy,
+                fault_injector=slo.fault_injector, trace=slo.trace,
+                collectors={} if slo.telemetry else None)
+            self._lanes[name] = _Lane(name, session, depth, slo.telemetry)
+            self._stats.streams_opened += 1
+            self._cond.notify_all()
+        return StreamHandle(self, name)
+
+    def submit(self, name: str, scene, *, block: bool = True,
+               timeout: float | None = None) -> None:
+        """Enqueue one frame on a stream.
+
+        Blocks while the stream's bounded pipeline is full
+        (``block=True``; a ``timeout`` raises
+        :class:`BackpressureError` on expiry), or raises
+        :class:`BackpressureError` immediately (``block=False``).
+        Unknown or closed streams raise :class:`AdmissionError`.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            lane = self._lane_locked(name)
+            while True:
+                self._check_fatal_locked()
+                if lane.closed or self._stopping:
+                    raise AdmissionError(
+                        f"stream {name!r} is closed; frame refused")
+                if lane.depth < lane.queue_depth:
+                    break
+                if not block:
+                    self._stats.frames_rejected += 1
+                    raise BackpressureError(
+                        f"stream {name!r} pipeline full "
+                        f"({lane.queue_depth} frames); frame rejected")
+                remaining = None if deadline is None \
+                    else deadline - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    self._stats.frames_rejected += 1
+                    raise BackpressureError(
+                        f"stream {name!r} still full after "
+                        f"{timeout:.3f}s; frame rejected")
+                self._cond.wait(remaining if remaining is not None
+                                else 0.1)
+            lane.queue.append((scene, time.perf_counter()))
+            self._stats.frames_submitted += 1
+            self._cond.notify_all()
+
+    def close_stream(self, name: str) -> None:
+        """Mark a stream end-of-input; its report finalizes once the
+        pipeline drains.  Idempotent."""
+        with self._cond:
+            lane = self._lane_locked(name)
+            lane.closed = True
+            self._cond.notify_all()
+
+    def result(self, name: str,
+               timeout: float | None = None) -> StreamReport:
+        """The stream's finished :class:`StreamReport` (blocks until
+        the closed stream drains)."""
+        with self._cond:
+            lane = self._lane_locked(name)
+        if not lane.done.wait(timeout):
+            raise ServingError(
+                f"stream {name!r} did not finish within {timeout}s "
+                f"(was it closed?)")
+        with self._cond:
+            self._check_fatal_locked()
+            if lane.report is None:
+                raise ServingError(
+                    f"stream {name!r} was aborted before finishing")
+            return lane.report
+
+    def service_latencies(self, name: str) -> list[float]:
+        """Wall-clock submit→emit seconds per emitted frame."""
+        with self._cond:
+            return list(self._lane_locked(name).service_latencies)
+
+    def stats(self) -> ServingStats:
+        with self._cond:
+            return replace(self._stats)
+
+    def serve(self, streams: dict, slos: dict | None = None,
+              interval_s: float = 0.0) -> dict:
+        """Convenience: run whole scene iterables as concurrent streams.
+
+        One paced client thread per stream submits with ``block=True``
+        (``interval_s`` spaces submissions — ``1 / offered_load``),
+        closes, and the call returns ``{name: StreamReport}``.
+        Running the clients concurrently is what lets cross-stream
+        windows actually form.
+        """
+        slos = slos or {}
+        handles = {name: self.open_stream(name, slos.get(name))
+                   for name in streams}
+
+        def client(name):
+            for scene in streams[name]:
+                if interval_s > 0:
+                    time.sleep(interval_s)
+                handles[name].submit(scene, block=True)
+            handles[name].close()
+
+        threads = [threading.Thread(target=client, args=(name,),
+                                    name=f"repro-serve-client-{name}")
+                   for name in streams]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        return {name: handles[name].result() for name in streams}
+
+    def shutdown(self, timeout: float | None = None) -> None:
+        """Close every stream, drain, and stop the scheduler."""
+        with self._cond:
+            self._stopping = True
+            for lane in self._lanes.values():
+                lane.closed = True
+            self._cond.notify_all()
+        self._scheduler.join(timeout)
+        self._workers.shutdown(wait=True)
+        with self._cond:
+            self._check_fatal_locked()
+
+    def __enter__(self) -> "ServingEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    # ------------------------------------------------------------------
+    # Scheduler internals (single scheduler thread + leased workers)
+    # ------------------------------------------------------------------
+    def _lane_locked(self, name: str) -> _Lane:
+        lane = self._lanes.get(name)
+        if lane is None:
+            raise AdmissionError(
+                f"unknown stream {name!r} — open_stream() it first")
+        return lane
+
+    def _check_fatal_locked(self) -> None:
+        if self._fatal is not None:
+            raise ServingError(
+                "serving engine aborted on an internal error"
+            ) from self._fatal
+
+    def _loop(self) -> None:
+        while True:
+            dispatches: list[_Window] = []
+            with self._cond:
+                self._drain_completions_locked()
+                self._drain_lanes_locked()
+                if self._fatal is not None:
+                    if self._inflight_windows == 0:
+                        self._abort_locked()
+                        return
+                else:
+                    dispatches = self._form_windows_locked()
+                if not dispatches:
+                    if self._stopping and self._inflight_windows == 0 \
+                            and not self._completions \
+                            and all(lane.finalized
+                                    for lane in self._lanes.values()):
+                        return
+                    self._cond.wait(0.05)
+            for window in dispatches:
+                self._workers.submit(self._run_window, window)
+
+    def _drain_lanes_locked(self) -> None:
+        """Classify queued frames and emit what needs no inference.
+
+        Classification is stateless per frame (the injector is seeded
+        by frame id), so it can run ahead; dropped/corrupt frames at
+        the head of a lane with no window in flight emit immediately —
+        in exactly the arrival order the solo engine would have used.
+        Closed, fully drained lanes finalize their reports here.
+        """
+        engine = self._engine
+        for lane in self._lanes.values():
+            while lane.queue:
+                scene, t_submit = lane.queue.popleft()
+                entry = engine._classify(lane.session, scene)
+                lane.classified.append((entry, t_submit))
+            emitted = False
+            while not lane.inflight and lane.classified \
+                    and lane.classified[0][0][0] != "run":
+                (kind, frame_id, _, _), t_submit = \
+                    lane.classified.popleft()
+                if kind == "dropped":
+                    engine._emit_dropped(lane.session, frame_id)
+                else:
+                    engine._emit_corrupt(lane.session, frame_id)
+                lane.service_latencies.append(
+                    time.perf_counter() - t_submit)
+                self._stats.frames_completed += 1
+                emitted = True
+            if emitted:
+                self._cond.notify_all()     # pipeline space freed
+            if lane.closed and not lane.finalized and not lane.inflight \
+                    and not lane.queue and not lane.classified:
+                lane.report = engine._finish_session(lane.session)
+                lane.finalized = True
+                lane.done.set()
+                self._cond.notify_all()
+
+    def _form_windows_locked(self) -> list[_Window]:
+        """Group head frames into shape-compatible windows.
+
+        A window takes at most one frame per stream (so a mid-window
+        rung swap in one stream can never invalidate another member —
+        nor the swapping stream's own, since its next frame dispatches
+        after emission) and only groups streams whose serving rung,
+        scene signature and telemetry partition match.  Lane order
+        rotates per pass so no stream starves.
+        """
+        if not self._free_replicas:
+            return []
+        lanes = [lane for lane in self._lanes.values()
+                 if not lane.inflight and not lane.finalized
+                 and lane.classified
+                 and lane.classified[0][0][0] == "run"]
+        if not lanes:
+            return []
+        self._rotate = (self._rotate + 1) % max(len(lanes), 1)
+        lanes = lanes[self._rotate:] + lanes[:self._rotate]
+        buckets: dict[tuple, list[_Lane]] = {}
+        for lane in lanes:
+            entry, _ = lane.classified[0]
+            key = (lane.session.active,
+                   _scene_signature(entry[2]),
+                   lane.partition)
+            buckets.setdefault(key, []).append(lane)
+        windows: list[_Window] = []
+        batch = self._engine.batch_size
+        for (rung, _, partition), members in buckets.items():
+            while members and self._free_replicas:
+                group, members = members[:batch], members[batch:]
+                window_members = []
+                for lane in group:
+                    (_, frame_id, scene, faults), t_submit = \
+                        lane.classified.popleft()
+                    lane.inflight += 1
+                    window_members.append(_Member(
+                        lane, frame_id, scene, faults, t_submit))
+                collectors = group[0].session.collectors \
+                    if partition is not None else None
+                windows.append(_Window(self._free_replicas.pop(),
+                                       rung, window_members, collectors))
+                self._inflight_windows += 1
+        return windows
+
+    def _run_window(self, window: _Window) -> None:
+        """Worker: one batched lowered pass on the leased replica."""
+        try:
+            results = window.replica._window_results(
+                window.replica._levels[window.rung],
+                [member.scene for member in window.members],
+                collectors=window.collectors)
+        except BaseException as exc:    # propagate, never hang clients
+            results = exc
+        with self._cond:
+            self._completions.append((window, results))
+            self._cond.notify_all()
+
+    def _drain_completions_locked(self) -> None:
+        """Fan finished windows' results back to their owning streams.
+
+        Emission (cost, deadline, record, last-good, watchdog) runs on
+        the scheduler thread against each stream's session, in window
+        order — per-stream order is total because a stream never has
+        two windows in flight.
+        """
+        engine = self._engine
+        while self._completions:
+            window, results = self._completions.popleft()
+            self._inflight_windows -= 1
+            self._free_replicas.append(window.replica)
+            if isinstance(results, BaseException):
+                if self._fatal is None:
+                    self._fatal = results
+                for member in window.members:
+                    member.lane.inflight -= 1
+                continue
+            self._stats.windows += 1
+            if len(window.members) > 1:
+                self._stats.batched_frames += len(window.members)
+            if len({member.lane.name for member in window.members}) > 1:
+                self._stats.cross_stream_windows += 1
+            now = time.perf_counter()
+            for member, result in zip(window.members, results):
+                lane = member.lane
+                engine._emit_result(lane.session, member.frame_id,
+                                    result, member.faults)
+                lane.service_latencies.append(now - member.t_submit)
+                lane.inflight -= 1
+                self._stats.frames_completed += 1
+            self._cond.notify_all()
+
+    def _abort_locked(self) -> None:
+        """Fatal error: wake every waiter so nothing blocks forever."""
+        for lane in self._lanes.values():
+            lane.finalized = True
+            lane.done.set()
+        self._cond.notify_all()

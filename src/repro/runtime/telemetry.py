@@ -32,6 +32,7 @@ Counter semantics are documented in ``docs/OBSERVABILITY.md``.
 from __future__ import annotations
 
 import math
+import threading
 from dataclasses import asdict, dataclass, replace
 
 __all__ = ["ACC_EXACT_BITS", "LayerTelemetry", "TraceEvent",
@@ -54,6 +55,13 @@ class LayerTelemetry:
     Populated by the :mod:`repro.nn.quantized` executors when attached
     (``executor.telemetry = counter``); all fields accumulate across
     forward calls until :meth:`reset`.
+
+    Recording is thread-safe: a counter may be attached to executors
+    driven by concurrent serving workers, so every ``record_*`` /
+    :meth:`reset` / :meth:`snapshot` runs under an internal lock (a
+    plain attribute set in ``__post_init__`` — not a dataclass field,
+    so equality, ``replace`` and ``asdict`` see counters only).
+    Totals then equal the serial sum regardless of interleaving.
     """
 
     layer: str = ""
@@ -86,12 +94,16 @@ class LayerTelemetry:
     acc_min: int | None = None
     acc_max: int | None = None
 
+    def __post_init__(self):
+        self._lock = threading.Lock()
+
     # ------------------------------------------------------------------
     # Recording (called by the executors)
     # ------------------------------------------------------------------
     def record_quantization(self, total: int, saturated: int) -> None:
-        self.activations_total += int(total)
-        self.activations_saturated += int(saturated)
+        with self._lock:
+            self.activations_total += int(total)
+            self.activations_saturated += int(saturated)
 
     def record_matmul(self, macs: int, columns_total: int,
                       columns_skipped: int, frames: int = 1) -> None:
@@ -102,10 +114,11 @@ class LayerTelemetry:
         of the ``frames`` single-frame calls it replaced — the batching
         telemetry contract ``tests/nn/test_batched_quantized.py`` pins.
         """
-        self.calls += int(frames)
-        self.macs += int(macs)
-        self.columns_total += int(columns_total)
-        self.columns_skipped += int(columns_skipped)
+        with self._lock:
+            self.calls += int(frames)
+            self.macs += int(macs)
+            self.columns_total += int(columns_total)
+            self.columns_skipped += int(columns_skipped)
 
     def record_dynamic(self, total: int, skipped: int) -> None:
         """Record one call's runtime (activation-zero) skip opportunity.
@@ -115,18 +128,23 @@ class LayerTelemetry:
         plain lowered/reference execution, keeping old exports and
         digests byte-compatible.
         """
-        self.dynamic_columns_total += int(total)
-        self.dynamic_columns_skipped += int(skipped)
+        with self._lock:
+            self.dynamic_columns_total += int(total)
+            self.dynamic_columns_skipped += int(skipped)
 
     def record_occupancy(self, cells_total: int, cells_occupied: int) -> None:
         """Record the observed canvas occupancy behind one call."""
-        self.canvas_cells_total += int(cells_total)
-        self.canvas_cells_occupied += int(cells_occupied)
+        with self._lock:
+            self.canvas_cells_total += int(cells_total)
+            self.canvas_cells_occupied += int(cells_occupied)
 
     def record_accumulator(self, lo: int, hi: int) -> None:
         lo, hi = int(lo), int(hi)
-        self.acc_min = lo if self.acc_min is None else min(self.acc_min, lo)
-        self.acc_max = hi if self.acc_max is None else max(self.acc_max, hi)
+        with self._lock:
+            self.acc_min = lo if self.acc_min is None \
+                else min(self.acc_min, lo)
+            self.acc_max = hi if self.acc_max is None \
+                else max(self.acc_max, hi)
 
     # ------------------------------------------------------------------
     # Derived views
@@ -196,22 +214,28 @@ class LayerTelemetry:
 
     # ------------------------------------------------------------------
     def reset(self) -> None:
-        self.calls = 0
-        self.macs = 0
-        self.columns_total = 0
-        self.columns_skipped = 0
-        self.dynamic_columns_total = 0
-        self.dynamic_columns_skipped = 0
-        self.canvas_cells_total = 0
-        self.canvas_cells_occupied = 0
-        self.activations_total = 0
-        self.activations_saturated = 0
-        self.acc_min = None
-        self.acc_max = None
+        with self._lock:
+            self.calls = 0
+            self.macs = 0
+            self.columns_total = 0
+            self.columns_skipped = 0
+            self.dynamic_columns_total = 0
+            self.dynamic_columns_skipped = 0
+            self.canvas_cells_total = 0
+            self.canvas_cells_occupied = 0
+            self.activations_total = 0
+            self.activations_saturated = 0
+            self.acc_min = None
+            self.acc_max = None
 
     def snapshot(self) -> "LayerTelemetry":
-        """An independent copy (reports keep these, not live views)."""
-        return replace(self)
+        """An independent copy (reports keep these, not live views).
+
+        Taken under the lock so a snapshot never tears a concurrent
+        ``record_*`` across fields.
+        """
+        with self._lock:
+            return replace(self)
 
     def merge(self, other: "LayerTelemetry") -> "LayerTelemetry":
         """Fold another counter into this one (e.g. across streams)."""

@@ -1,0 +1,193 @@
+"""Occupancy context thread-locality: no leaks across streams.
+
+Regression suite for the serving-era fix: ``activate_occupancy`` keeps
+a strictly per-thread context stack, so two interleaved streams — one
+``lowered-sparse``, one ``lowered`` (dense) — running on worker
+threads can never see each other's context, and the sparse fallback's
+per-frame re-entry (a frame context nested inside the attachment's
+window context) unwinds on the thread that opened it.  The shared
+*context object* is separately safe to observe from many threads.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core import UPAQCompressor, hck_config
+from repro.hardware import default_devices
+from repro.models import PointPillars
+from repro.nn.occupancy import (OccupancyContext, activate_occupancy,
+                                current_occupancy)
+from repro.pointcloud import (LidarConfig, PillarConfig, SceneConfig,
+                              SceneGenerator)
+from repro.runtime import InferenceEngine
+
+
+def _tiny_pp(seed=1):
+    return PointPillars(
+        pillar_config=PillarConfig(x_range=(0, 25.6), y_range=(-12.8, 12.8)),
+        pfn_channels=8, stage_channels=(8, 16, 32), stage_depths=(1, 1, 1),
+        upsample_channels=8, seed=seed)
+
+
+@pytest.fixture(scope="module")
+def compressed():
+    model = _tiny_pp()
+    report = UPAQCompressor(hck_config()).compress(
+        model, *model.example_inputs())
+    report.model.eval()
+    return report
+
+
+@pytest.fixture(scope="module")
+def scenes():
+    cfg = SceneConfig(x_range=(5, 24), y_range=(-10, 10),
+                      lidar=LidarConfig(channels=10, azimuth_steps=80))
+    generator = SceneGenerator(cfg, seed=0)
+    return [generator.generate(i, with_image=False) for i in range(4)]
+
+
+def _boxes(report):
+    return [[(b.x, b.y, b.z, b.dx, b.dy, b.dz, b.yaw, b.label, b.score)
+             for b in p.boxes] for p in report.predictions]
+
+
+def test_interleaved_sparse_and_dense_streams(compressed, scenes):
+    """One sparse and one dense stream advancing in lockstep on two
+    threads match their solo runs — neither thread's context gates (or
+    un-gates) the other's execution — and both threads end clean."""
+    jetson = default_devices()["jetson"]
+
+    def engine(execution):
+        return InferenceEngine(compressed.model, jetson,
+                               ir=compressed.ir, execution=execution,
+                               batch_size=1)
+
+    solo = {mode: engine(mode).run(scenes)
+            for mode in ("lowered-sparse", "lowered")}
+
+    barrier = threading.Barrier(2)
+    results = {}
+    errors = []
+
+    def stream(mode):
+        try:
+            eng = engine(mode)
+            eng._predict(scenes[0])         # warm before the barrier
+            report_frames = []
+            for scene in scenes:            # interleave frame by frame
+                barrier.wait()
+                report_frames.append(eng._predict(scene))
+                assert current_occupancy() is None, (
+                    f"{mode}: context leaked out of a frame")
+            results[mode] = report_frames
+        except BaseException as exc:        # noqa: BLE001
+            errors.append(exc)
+            barrier.abort()
+
+    threads = [threading.Thread(target=stream, args=(mode,))
+               for mode in ("lowered-sparse", "lowered")]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    if errors:
+        raise errors[0]
+
+    for mode in ("lowered-sparse", "lowered"):
+        got = [[(b.x, b.y, b.z, b.dx, b.dy, b.dz, b.yaw, b.label,
+                 b.score) for b in r.boxes] for r in results[mode]]
+        assert got == _boxes(solo[mode])
+    assert current_occupancy() is None
+
+
+def test_context_nesting_restores_lifo():
+    """Nested activations unwind LIFO even when the block raises, and
+    never bleed to other threads."""
+    outer = OccupancyContext()
+    inner = OccupancyContext()
+    seen_on_thread = []
+
+    with activate_occupancy(outer):
+        assert current_occupancy() is outer
+
+        def probe():
+            # A fresh thread starts dense, regardless of this thread's
+            # active stack.
+            seen_on_thread.append(current_occupancy())
+            with activate_occupancy():
+                seen_on_thread.append(current_occupancy())
+            seen_on_thread.append(current_occupancy())
+
+        thread = threading.Thread(target=probe)
+        thread.start()
+        thread.join()
+        assert seen_on_thread[0] is None
+        assert seen_on_thread[1] is not None
+        assert seen_on_thread[2] is None
+        assert current_occupancy() is outer     # untouched by the thread
+
+        with activate_occupancy(inner):
+            assert current_occupancy() is inner
+            with pytest.raises(RuntimeError):
+                with activate_occupancy():
+                    raise RuntimeError("boom")
+            assert current_occupancy() is inner
+        assert current_occupancy() is outer
+    assert current_occupancy() is None
+
+
+def test_shared_context_concurrent_observe_is_union():
+    """Many threads observing into one shared (window) context produce
+    exactly the serial union — mask, bbox and frame count."""
+    grid = (32, 32)
+    rng = np.random.default_rng(0)
+    scatters = [rng.integers(0, 32, size=(20, 2)) for _ in range(16)]
+
+    serial = OccupancyContext()
+    for indices in scatters:
+        serial.observe(indices, grid)
+
+    shared = OccupancyContext()
+    barrier = threading.Barrier(4)
+
+    def worker(index):
+        barrier.wait()
+        for indices in scatters[index::4]:
+            shared.observe(indices, grid)
+
+    threads = [threading.Thread(target=worker, args=(i,))
+               for i in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    assert shared.frames == serial.frames == len(scatters)
+    assert shared.bbox == serial.bbox
+    assert np.array_equal(shared.mask, serial.mask)
+    assert shared.occupied_cells == serial.occupied_cells
+
+
+def test_empty_and_incoherent_observation_under_threads():
+    """Shape-conflicting scatters from racing threads degrade the
+    context exactly like serial ones: incoherent, windows unavailable."""
+    shared = OccupancyContext()
+    barrier = threading.Barrier(2)
+
+    def worker(shape):
+        barrier.wait()
+        for _ in range(50):
+            shared.observe(np.zeros((0, 2), dtype=np.int64), shape)
+
+    threads = [threading.Thread(target=worker, args=(shape,))
+               for shape in ((16, 16), (8, 8))]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert shared.observed
+    assert shared.frames == 100
+    assert shared.canvas_cells == 0         # incoherent → unavailable
+    assert shared.window_at(16, 16) is None

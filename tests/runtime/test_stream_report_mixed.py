@@ -98,6 +98,37 @@ class TestLatencyPercentile:
     def test_empty_stream_is_nan(self):
         assert math.isnan(StreamReport().latency_percentile(50))
 
+    @pytest.mark.parametrize("q", [-0.001, -1, 100.001, 150,
+                                   float("nan"), float("inf"),
+                                   float("-inf")])
+    def test_out_of_range_q_raises(self, mixed_report, q):
+        # Silent extrapolation would report a latency no frame ever
+        # had; NaN q is rejected by the same comparison.
+        with pytest.raises(ValueError, match=r"\[0, 100\]"):
+            mixed_report.latency_percentile(q)
+
+    def test_out_of_range_q_raises_even_on_empty_stream(self):
+        # Argument validation precedes the empty-stream NaN path.
+        with pytest.raises(ValueError):
+            StreamReport().latency_percentile(-5)
+
+    def test_boundaries_are_valid(self, mixed_report):
+        # q=0 and q=100 are legitimate (min/max), not out-of-range.
+        assert mixed_report.latency_percentile(0) <= \
+            mixed_report.latency_percentile(100)
+
+    def test_summary_renders_nan_percentiles_as_na(self):
+        # Empty stream: p50/p99 render "n/a" like the other counters,
+        # not "nan ms".
+        text = StreamReport().summary()
+        assert "p50/p99 latency n/a/n/a" in text
+        assert "nan" not in text
+
+    def test_summary_renders_real_percentiles(self, mixed_report):
+        text = mixed_report.summary()
+        p50 = mixed_report.latency_percentile(50)
+        assert f"p50/p99 latency {p50 * 1e3:.3f} ms" in text
+
     def test_all_dropped_is_nan(self, model, scenes):
         injector = FaultInjector(FaultSpec(drop_rate=1.0, seed=0))
         engine = InferenceEngine(model, default_devices()["jetson"],
