@@ -14,13 +14,22 @@ p50/p99 at two offered loads: unthrottled, and paced at ~75% of the
 measured unthrottled capacity — the latency-vs-load curve a capacity
 planner actually reads.
 
-Writes the ``serving`` section of ``BENCH_throughput.json``.  The
-per-stream reports under the scheduler are byte-equal to solo runs
-(pinned by ``tests/runtime/test_serving.py``), so this file only
-measures — plus a guard that cross-stream batching actually pays
-(>= 1.0x aggregate throughput vs independent engines; the floor
-relaxes to 0.8x under ``REPRO_BENCH_TINY=1`` where runs are sized for
-shared CI runners and the effect is inside scheduler noise).
+Writes the ``serving`` and ``serving_process`` sections of
+``BENCH_throughput.json``.  The per-stream reports under the scheduler
+are byte-equal to solo runs (pinned by
+``tests/runtime/test_serving.py`` and
+``tests/runtime/test_serving_process.py``), so this file only
+measures — plus guards that the optimizations actually pay:
+
+* cross-stream batching: >= 1.0x aggregate throughput vs independent
+  engines (0.8x under ``REPRO_BENCH_TINY=1`` where runs are sized for
+  shared CI runners and the effect is inside scheduler noise);
+* the process backend: >= 3.0x aggregate throughput at 4 replicas vs
+  the single-replica thread backend — *when the host actually has 4
+  cores to scale onto*.  Process replicas buy parallelism, not
+  per-frame speed, so on fewer cores the honest expectation is
+  parity, and the floor relaxes to 0.8x (the recorded entry carries
+  ``cpus`` so a reader can tell which regime produced it).
 
 Run with ``PYTHONPATH=src python -m pytest benchmarks/test_serving_load.py -q``.
 """
@@ -190,3 +199,76 @@ def test_serving_load_report():
     assert speedup >= floor, (
         f"serving only {speedup:.2f}x over {STREAMS} independent "
         f"engines (floor {floor}x)")
+
+
+def test_process_backend_throughput_report():
+    """GIL-cap benchmark: 4 process replicas vs 1 thread replica.
+
+    Both sides run ``batch_size=1`` windows so the measurement
+    isolates window *parallelism* (what process replicas add) from
+    cross-stream batching (measured above).  The thread baseline with
+    one replica is exactly the GIL-capped deployment the process
+    backend exists to break.
+    """
+    compressed = _compressed_tiny()
+    jetson = default_devices()["jetson"]
+    cpus = os.cpu_count() or 1
+    replicas = 4
+    total_frames = STREAMS * FRAMES
+
+    def build_engine():
+        return InferenceEngine(compressed.model, jetson,
+                               ir=compressed.ir, execution="lowered",
+                               batch_size=1)
+
+    def measure(backend, replicas):
+        serving = ServingEngine(build_engine(), backend=backend,
+                                replicas=replicas,
+                                max_streams=2 * STREAMS + 2)
+        warm = _streams(f"warm-{backend}-")
+        serving.serve({name: scenes[:1]
+                       for name, scenes in warm.items()})
+        best = float("inf")
+        for repeat in range(REPEATS):
+            streams = _streams(f"{backend}{repeat}-")
+            start = time.perf_counter()
+            serving.serve(streams)
+            best = min(best, time.perf_counter() - start)
+        stats = serving.stats()
+        serving.shutdown()
+        return total_frames / best, stats
+
+    thread_fps, _ = measure("thread", 1)
+    process_fps, stats = measure("process", replicas)
+    assert stats.backend == "process", \
+        "process backend silently fell back to threads"
+    speedup = process_fps / thread_fps
+
+    _merge_report({"serving_process": {
+        "tiny": TINY,
+        "cpus": cpus,
+        "streams": STREAMS,
+        "frames_per_stream": FRAMES,
+        "replicas": stats.replicas,
+        "backend": stats.backend,
+        "thread_1replica_fps": thread_fps,
+        "process_fps": process_fps,
+        "process_speedup_vs_thread": speedup,
+        "windows_by_replica": stats.windows_by_replica,
+        "pool_failures": stats.pool_failures,
+        "window_timeouts": stats.window_timeouts,
+    }})
+
+    print(f"\nprocess backend: thread/1 {thread_fps:.2f} fps, "
+          f"process/{replicas} {process_fps:.2f} fps "
+          f"({speedup:.2f}x) on {cpus} cpu(s), "
+          f"windows by replica {stats.windows_by_replica}")
+
+    # Honest scaling floor: 4 replicas can only beat 1 when the host
+    # has cores for them.  With >= 4 cores and a non-tiny run the
+    # optimization must deliver >= 3x; otherwise demand parity-ish
+    # (process IPC overhead stays bounded).
+    floor = 3.0 if (not TINY and cpus >= 4) else 0.8
+    assert speedup >= floor, (
+        f"process backend only {speedup:.2f}x over the single-replica "
+        f"thread backend on {cpus} cpu(s) (floor {floor}x)")

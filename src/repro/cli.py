@@ -334,17 +334,36 @@ def _cmd_serve(args) -> int:
         print(f"error: --offered-load must be > 0 fps, got "
               f"{args.offered_load}", file=sys.stderr)
         return 2
+    if args.replicas < 1:
+        print(f"error: --replicas must be >= 1, got {args.replicas}",
+              file=sys.stderr)
+        return 2
     presets = {"hck": hck_config, "lck": lck_config}
-    model = _build_stream_model(args.model)
-    if args.preset != "none":
-        model = UPAQCompressor(presets[args.preset]()).compress(
-            model, *model.example_inputs()).model
-    engine = InferenceEngine(model, default_devices()[args.device],
-                             deadline_s=args.deadline_ms / 1e3,
-                             execution=args.execution,
-                             batch_size=args.batch)
-    serving = ServingEngine(engine, max_streams=args.streams,
+
+    def build_engine():
+        model = _build_stream_model(args.model)
+        if args.preset != "none":
+            model = UPAQCompressor(presets[args.preset]()).compress(
+                model, *model.example_inputs()).model
+        return InferenceEngine(model, default_devices()[args.device],
+                               deadline_s=args.deadline_ms / 1e3,
+                               execution=args.execution,
+                               batch_size=args.batch)
+
+    # The process backend derives replica specs from one engine; the
+    # thread backend needs a factory for replicas > 1 (each replica
+    # attaches to its own model instance).  Compression is seeded, so
+    # factory-built engines are identical.
+    engine = build_engine() \
+        if args.backend == "process" or args.replicas == 1 \
+        else build_engine
+    serving = ServingEngine(engine, replicas=args.replicas,
+                            backend=args.backend,
+                            max_streams=args.streams,
                             queue_depth=args.queue_depth)
+    if args.backend == "process" and serving.backend != "process":
+        print("warning: process backend unavailable on this platform; "
+              "fell back to thread replicas", file=sys.stderr)
     streams = {}
     for index in range(args.streams):
         generator = SceneGenerator(seed=args.seed + index)
@@ -391,6 +410,9 @@ def _cmd_serve(args) -> int:
             "offered_load_fps": args.offered_load,
             "batch": args.batch,
             "execution": args.execution,
+            "backend": stats.backend,
+            "backend_requested": args.backend,
+            "replicas": stats.replicas,
             "aggregate": {
                 "frames": total_frames,
                 "elapsed_s": elapsed,
@@ -404,6 +426,14 @@ def _cmd_serve(args) -> int:
                 "cross_stream_windows": stats.cross_stream_windows,
                 "batched_frames": stats.batched_frames,
                 "frames_rejected": stats.frames_rejected,
+                "frames_failed": stats.frames_failed,
+                "failed_windows": stats.failed_windows,
+                "window_holds": stats.window_holds,
+                "deadline_dispatches": stats.deadline_dispatches,
+                "window_timeouts": stats.window_timeouts,
+                "pool_failures": stats.pool_failures,
+                "windows_by_replica": stats.windows_by_replica,
+                "windows_by_rung": stats.windows_by_rung,
             },
         }
         with open(args.report, "w") as handle:
@@ -831,6 +861,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--queue-depth", type=int, default=8,
                    help="per-stream pipeline bound (backpressure past "
                         "this many queued + in-flight frames)")
+    p.add_argument("--backend", default="thread",
+                   choices=["thread", "process"],
+                   help="window-execution backend: in-process threads "
+                        "or a pool of replica worker processes "
+                        "(GIL-free; falls back to threads when no "
+                        "multiprocessing start method is usable)")
+    p.add_argument("--replicas", type=int, default=1, metavar="K",
+                   help="replica pool size — windows that may execute "
+                        "concurrently")
     p.add_argument("--seed", type=int, default=0,
                    help="scene generator base seed (stream i uses "
                         "seed + i)")

@@ -307,6 +307,11 @@ class ArchiveReader:
     """
 
     def __init__(self, source):
+        #: Filesystem path when constructed via :meth:`open`, else
+        #: ``None`` — lets consumers that must rebuild the reader in
+        #: another process (serving replica specs) ship the path
+        #: instead of the bytes.
+        self.path: str | None = None
         self._source = _ByteSource(source)
         head_len = len(_ARCHIVE_MAGIC) + 5
         head = self._source.read_at(0, head_len)
@@ -351,7 +356,9 @@ class ArchiveReader:
 
     @classmethod
     def open(cls, path) -> "ArchiveReader":
-        return cls(open(path, "rb"))
+        reader = cls(open(path, "rb"))
+        reader.path = str(path)
+        return reader
 
     # ------------------------------------------------------------------
     @property

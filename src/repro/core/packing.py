@@ -51,8 +51,9 @@ from repro.nn.module import Module
 
 __all__ = ["pack_bits", "unpack_bits", "pack_layer", "unpack_layer",
            "pack_model", "unpack_model", "restore_model", "RestoreReport",
-           "packed_size_report", "BlobError", "BlobCorruptionError",
-           "BlobVersionError", "BlobArchitectureError"]
+           "pack_ladder", "packed_size_report", "BlobError",
+           "BlobCorruptionError", "BlobVersionError",
+           "BlobArchitectureError"]
 
 _MAGIC = b"UPAQ"
 _VERSION = 4
@@ -369,6 +370,29 @@ def pack_model(model: Module, ir: ModelIR | None = None) -> bytes:
             + struct.pack("<I", len(ir_bytes)) + ir_bytes
             + manifest.getvalue() + payload.getvalue())
     return body + _checksum(body)
+
+
+def pack_ladder(rungs) -> list:
+    """Pack every rung of a degradation ladder into blob-v4 bytes.
+
+    ``rungs`` is any iterable of rung-shaped objects with ``name``,
+    ``model`` and ``ir`` attributes (duck-typed — the runtime's
+    :class:`~repro.runtime.engine.LadderRung` qualifies without this
+    module importing the runtime).  Each blob embeds its rung's IR, so
+    the receiving side (a serving replica spec rebuilding the ladder in
+    a worker process) restores with zero re-trace; a rung *without* an
+    IR raises :class:`ValueError` — extract it first, or the restored
+    ladder would silently trace on every swap.
+    """
+    blobs = []
+    for rung in rungs:
+        if rung.ir is None:
+            raise ValueError(
+                f"rung {rung.name!r} has no extracted ModelIR — a packed "
+                f"ladder must round-trip every rung's IR so restores "
+                f"never re-trace")
+        blobs.append(pack_model(rung.model, ir=rung.ir))
+    return blobs
 
 
 def _parse_manifest(buffer: io.BytesIO, count: int) -> list[_ManifestEntry]:

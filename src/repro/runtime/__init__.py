@@ -24,7 +24,8 @@ from .engine import (DegradationLadder, DegradationPolicy, FrameRecord,
                      SwapEvent)
 from .executors import EXECUTION_MODES, LoweredProgram
 from .faults import FaultInjector, FaultSpec, FrameFaults
-from .serving import (AdmissionError, BackpressureError, ServingEngine,
+from .serving import (SERVING_BACKENDS, AdmissionError,
+                      BackpressureError, ReplicaSpec, ServingEngine,
                       ServingError, ServingStats, StreamHandle,
                       StreamSLO)
 from .telemetry import (LayerAttribution, LayerTelemetry, TraceEvent,
@@ -37,4 +38,5 @@ __all__ = ["InferenceEngine", "StreamReport", "FrameRecord",
            "LayerTelemetry", "TraceEvent", "LayerAttribution",
            "aggregate_telemetry", "export_trace",
            "ServingEngine", "StreamSLO", "StreamHandle", "ServingStats",
+           "ReplicaSpec", "SERVING_BACKENDS",
            "ServingError", "AdmissionError", "BackpressureError"]

@@ -45,7 +45,7 @@ __all__ = ["FrameRecord", "StreamReport", "DegradationPolicy",
            "SwapEvent", "LadderRung", "DegradationLadder",
            "InferenceEngine"]
 
-FRAME_STATUSES = ("ok", "degraded", "dropped")
+FRAME_STATUSES = ("ok", "degraded", "dropped", "failed")
 
 
 @dataclass
@@ -59,7 +59,10 @@ class FrameRecord:
     deadline_met: bool
     #: ``ok`` — inference ran on a valid frame; ``degraded`` — the frame
     #: was corrupt and the policy substituted detections; ``dropped`` —
-    #: the frame never reached (or was discarded by) the engine.
+    #: the frame never reached (or was discarded by) the engine;
+    #: ``failed`` — an admitted frame's execution raised (e.g. a worker
+    #: crash mid-window) and the frame was finalized with an empty
+    #: prediction instead of stalling its stream.
     status: str = "ok"
     #: True while the watchdog has execution on any rung below the
     #: primary (the legacy "on the fallback model" flag).
@@ -239,6 +242,10 @@ class StreamReport:
         return sum(1 for f in self.frames if f.status == "dropped")
 
     @property
+    def failed_frames(self) -> int:
+        return sum(1 for f in self.frames if f.status == "failed")
+
+    @property
     def status_counts(self) -> dict:
         return {status: sum(1 for f in self.frames if f.status == status)
                 for status in FRAME_STATUSES}
@@ -367,9 +374,11 @@ class StreamReport:
             value = self.latency_percentile(q)
             return "n/a" if math.isnan(value) else f"{value * 1e3:.3f} ms"
 
+        failed = self.failed_frames
+        failed_text = f", {failed} failed" if failed else ""
         text = (f"stream: {self.num_frames} frames "
                 f"({self.ok_frames} ok, {self.degraded_frames} degraded, "
-                f"{self.dropped_frames} dropped), "
+                f"{self.dropped_frames} dropped{failed_text}), "
                 f"deadline hit rate {hit_text}, "
                 f"mean latency {mean_text}, "
                 f"p50/p99 latency {pct_text(50)}/{pct_text(99)}, "
@@ -880,6 +889,39 @@ class InferenceEngine:
             deadline_met=True, status=status,
             fallback=session.active > 0,
             rung=self._session_rung(session)))
+
+    def _emit_failed(self, session: _StreamSession,
+                     frame_id: int) -> None:
+        """Finalize an admitted frame whose execution raised.
+
+        The frame gets an empty prediction and a typed ``failed``
+        status so the stream's report stays aligned with its inputs and
+        its in-flight slot can be released — a window-level crash must
+        never stall the stream.  No cost is charged (the work never
+        ran), the last-good hold is untouched (an execution error says
+        nothing about scene content), and the watchdog does not step
+        (no deadline outcome was observed).
+        """
+        report = session.report
+        report.predictions.append(
+            DetectionResult(boxes=[], frame_id=frame_id))
+        report.frames.append(FrameRecord(
+            frame_id=frame_id, num_detections=0,
+            device_latency_s=0.0, device_energy_j=0.0,
+            deadline_met=False, status="failed",
+            fallback=session.active > 0,
+            rung=self._session_rung(session)))
+
+    def _session_window_cost(self, session: _StreamSession) -> float:
+        """Estimated device latency of one window on the session's rung.
+
+        The plan's base latency (no cost hook, no jitter — both are
+        per-frame perturbations unknown before emission): the signal
+        the serving scheduler compares against a queued frame's
+        deadline slack to decide when holding a partial window for
+        more co-batching members stops being safe.
+        """
+        return self._level_costs(self._levels[session.active])[1]
 
     def _emit_result(self, session: _StreamSession, frame_id: int,
                      result: DetectionResult, faults) -> bool:

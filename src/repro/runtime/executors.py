@@ -85,6 +85,19 @@ class LoweredProgram:
     def __len__(self) -> int:
         return len(self.executors)
 
+    # ------------------------------------------------------------------
+    # Pickling (process-backed serving replicas)
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        """Everything but the attach lock, which is process-local."""
+        state = dict(self.__dict__)
+        del state["_attach_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._attach_lock = threading.RLock()
+
     @property
     def layer_names(self) -> list[str]:
         return list(self.executors)

@@ -40,6 +40,34 @@ produced under the scheduler are byte-equal to running each stream
 alone on a solo engine — ``tests/runtime/test_serving.py`` hammers
 exactly that equivalence, telemetry and swap events included.
 
+Two execution backends share the scheduler:
+
+* ``backend="thread"`` (default) — windows run on a thread pool over
+  in-process engine replicas; wins come from cross-stream batching.
+* ``backend="process"`` — windows run in worker *processes*, each
+  holding its own replica built once from a pickled
+  :class:`ReplicaSpec` (models + blob-v4-round-tripped IRs, so workers
+  never trace).  Only prediction crosses the process boundary: the
+  scheduler ships ``(rung, scenes, want_telemetry)`` per window and
+  merges the returned results + telemetry deltas back into per-stream
+  state, so classification, emission, cost accounting and the watchdog
+  all stay scheduler-side and per-stream reports remain byte-equal to
+  solo runs.  Resilience follows :mod:`repro.core.search`: per-window
+  timeout (local re-execution), ``BrokenProcessPool`` →
+  respawn-and-redispatch, and graceful fallback to the thread backend
+  when no multiprocessing start method is usable
+  (``ServingStats.backend`` records what actually ran).
+
+Two scheduler policies ride on top (both backends): **rung-aware
+co-batching** — streams the ladder demoted to the same rung bucket
+together, and a partial window is *held* while a compatible stream
+still has a window in flight, widening windows under exactly the load
+that caused the demotion — and **dynamic window deadlines** — a held
+partial window dispatches as soon as its oldest member's deadline
+slack drops below the rung's estimated window cost (from
+``CompiledPlan.cost_breakdown``), instead of a fixed head-of-line
+fill.
+
 Thread-safety contract with the layers below: the geometry/plan caches
 (:mod:`repro.nn.functional`, :mod:`repro.nn.quantized`) and telemetry
 counters (:mod:`repro.runtime.telemetry`) are lock-protected, program
@@ -51,15 +79,23 @@ occupancy contexts are thread-local
 
 from __future__ import annotations
 
+import concurrent.futures
+import os
+import pickle
 import threading
 import time
 from collections import deque
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 
-from .engine import _INHERIT, DegradationPolicy, InferenceEngine, StreamReport
+from .engine import (_INHERIT, DegradationLadder, DegradationPolicy,
+                     InferenceEngine, LadderRung, StreamReport)
 
 __all__ = ["ServingEngine", "StreamSLO", "StreamHandle", "ServingStats",
-           "ServingError", "AdmissionError", "BackpressureError"]
+           "ReplicaSpec", "SERVING_BACKENDS", "ServingError",
+           "AdmissionError", "BackpressureError"]
+
+#: Window-execution backends a :class:`ServingEngine` can run on.
+SERVING_BACKENDS = ("thread", "process")
 
 
 class ServingError(RuntimeError):
@@ -78,6 +114,201 @@ class AdmissionError(ServingError):
 class BackpressureError(ServingError):
     """A stream's bounded pipeline is full and the caller chose not to
     (or timed out waiting to) block."""
+
+
+@dataclass(frozen=True)
+class ReplicaSpec:
+    """A picklable recipe for building identical engine replicas.
+
+    The process backend ships one of these (pickled) to every worker
+    process, which builds its replica exactly once at pool init.  Three
+    sources, all round-tripping each rung's :class:`~repro.ir.ModelIR`
+    so workers never re-trace:
+
+    * :meth:`from_engine` — pickle the live rung models + IRs directly
+      (simplest; what :class:`ServingEngine` derives automatically);
+    * :meth:`from_blobs` — blob-v4 bytes per rung (e.g. from
+      :func:`repro.core.packing.pack_ladder`) + a model factory — the
+      compact wire form;
+    * :meth:`from_archive` — an archive *path* + entry names + a model
+      factory; each worker opens and restores the archive itself.
+
+    The factory forms require a picklable (module-level) callable.
+    Parent-side-only concerns — fault injectors, cost hooks, tracing,
+    per-stream SLOs — are deliberately absent: workers only ever
+    *predict*; classification, emission and the watchdog stay on the
+    scheduler, which is what keeps per-stream reports byte-equal to
+    solo runs.
+    """
+
+    kind: str                           # "rungs" | "blobs" | "archive"
+    payload: tuple
+    device: object
+    deadline_s: float = 0.1
+    policy: DegradationPolicy | None = None
+    execution: str = "lowered"
+    batch_size: int = 1
+    promote_after: int = 0
+    probation: int = 0
+
+    @staticmethod
+    def from_engine(engine: InferenceEngine) -> "ReplicaSpec":
+        """Derive a spec from a live engine (models + IRs pickled).
+
+        Forces every rung's IR extraction *now*, so even ladders built
+        without pre-extracted IRs (the legacy ``fallback_model`` path)
+        ship one and workers never trace.
+        """
+        rungs = []
+        for level in engine._levels:
+            ir = engine._level_ir(level)
+            rungs.append((level.rung.name, level.rung.model, ir,
+                          level.rung.miss_limit))
+        return ReplicaSpec(
+            kind="rungs", payload=tuple(rungs), device=engine.device,
+            deadline_s=engine.deadline_s, policy=engine.policy,
+            execution=engine.execution, batch_size=engine.batch_size,
+            promote_after=engine.ladder.promote_after,
+            probation=engine.ladder.probation)
+
+    @staticmethod
+    def from_blobs(named_blobs, model_factory, device, *,
+                   deadline_s: float = 0.1,
+                   policy: DegradationPolicy | None = None,
+                   execution: str = "lowered", batch_size: int = 1,
+                   promote_after: int = 5, probation: int = 3,
+                   miss_limits=None) -> "ReplicaSpec":
+        """Spec from per-rung blob-v4 bytes (primary first).
+
+        ``named_blobs`` is ``[(rung_name, blob_bytes), ...]`` — e.g.
+        ``zip(ladder.names, pack_ladder(ladder.rungs))``.
+        """
+        miss_limits = dict(miss_limits or {})
+        entries = tuple((name, blob, miss_limits.get(name))
+                        for name, blob in named_blobs)
+        if not entries:
+            raise ValueError("named_blobs must name at least one rung")
+        return ReplicaSpec(
+            kind="blobs", payload=(entries, model_factory), device=device,
+            deadline_s=deadline_s, policy=policy, execution=execution,
+            batch_size=batch_size, promote_after=promote_after,
+            probation=probation)
+
+    @staticmethod
+    def from_archive(path, names, model_factory, device, *,
+                     deadline_s: float = 0.1,
+                     policy: DegradationPolicy | None = None,
+                     execution: str = "lowered", batch_size: int = 1,
+                     promote_after: int = 5, probation: int = 3,
+                     miss_limits=None) -> "ReplicaSpec":
+        """Spec carrying only an archive path — each worker restores
+        the named entries itself (see
+        :meth:`~repro.runtime.engine.DegradationLadder.from_archive`)."""
+        miss_limits = dict(miss_limits or {})
+        return ReplicaSpec(
+            kind="archive",
+            payload=(str(path), tuple(names), model_factory,
+                     tuple(sorted(miss_limits.items()))),
+            device=device, deadline_s=deadline_s, policy=policy,
+            execution=execution, batch_size=batch_size,
+            promote_after=promote_after, probation=probation)
+
+    def build(self) -> InferenceEngine:
+        """Construct one engine replica (zero re-trace by contract)."""
+        if self.kind == "rungs":
+            rungs = [LadderRung(name=name, model=model, ir=ir,
+                                miss_limit=miss_limit)
+                     for name, model, ir, miss_limit in self.payload]
+            ladder = DegradationLadder(rungs,
+                                       promote_after=self.promote_after,
+                                       probation=self.probation)
+        elif self.kind == "blobs":
+            from repro.core.packing import restore_model
+            entries, factory = self.payload
+            rungs = []
+            for name, blob, miss_limit in entries:
+                model = factory()
+                report = restore_model(blob, model)
+                if report.ir is None:
+                    raise ValueError(
+                        f"replica blob for rung {name!r} embeds no "
+                        f"ModelIR — pack with pack_model(model, ir=...)")
+                model.eval()
+                rungs.append(LadderRung(name=name, model=model,
+                                        ir=report.ir,
+                                        miss_limit=miss_limit))
+            ladder = DegradationLadder(rungs,
+                                       promote_after=self.promote_after,
+                                       probation=self.probation)
+        elif self.kind == "archive":
+            from repro.core.archive import ArchiveReader
+            path, names, factory, miss_limits = self.payload
+            ladder = DegradationLadder.from_archive(
+                ArchiveReader.open(path), names, factory,
+                promote_after=self.promote_after,
+                probation=self.probation, miss_limits=dict(miss_limits))
+        else:
+            raise ValueError(f"unknown replica spec kind {self.kind!r}")
+        return InferenceEngine(
+            None, self.device, self.deadline_s, policy=self.policy,
+            execution=self.execution, batch_size=self.batch_size,
+            ladder=ladder)
+
+
+# ---------------------------------------------------------------------------
+# Process-backend worker side (module-level: importable under spawn)
+# ---------------------------------------------------------------------------
+
+#: The worker process's replica engine, built once by :func:`_replica_init`.
+_WORKER_ENGINE: InferenceEngine | None = None
+
+
+def _replica_init(spec_bytes: bytes) -> None:
+    """Pool initializer: build and pre-warm this worker's replica."""
+    global _WORKER_ENGINE
+    engine = pickle.loads(spec_bytes).build()
+    for level in engine._levels:
+        engine._level_program(level)    # no lazy builds mid-window
+    _WORKER_ENGINE = engine
+
+
+def _replica_ready(delay_s: float = 0.0) -> int:
+    """Warm-up probe; the delay keeps all workers busy so every pool
+    slot actually spawns (and forks happen before scheduler threads)."""
+    if delay_s:
+        time.sleep(delay_s)
+    return os.getpid()
+
+
+def _replica_window(rung: int, scenes, want_telemetry: bool) -> tuple:
+    """Execute one micro-batch window on this worker's replica.
+
+    Returns ``(pid, results, telemetry_delta)`` — the delta is a fresh
+    per-window collector map (or ``None``) the scheduler merges into
+    the owning stream's counters; summed deltas equal the thread
+    backend's direct accumulation.
+    """
+    engine = _WORKER_ENGINE
+    collectors: dict | None = {} if want_telemetry else None
+    results = engine._window_results(engine._levels[rung], scenes,
+                                     collectors=collectors)
+    return os.getpid(), results, collectors
+
+
+def _resolve_mp_context():
+    """The multiprocessing context for replica pools, or ``None``.
+
+    Prefers ``fork`` (workers inherit warmed module state cheaply),
+    falls back to ``spawn`` (the spec travels by pickle either way);
+    ``None`` means the platform offers neither and the serving engine
+    should fall back to the thread backend instead of failing.
+    """
+    import multiprocessing
+    methods = multiprocessing.get_all_start_methods()
+    for method in ("fork", "spawn"):
+        if method in methods:
+            return multiprocessing.get_context(method)
+    return None
 
 
 @dataclass(frozen=True)
@@ -121,26 +352,73 @@ class StreamSLO:
 
 @dataclass
 class ServingStats:
-    """Aggregate counters across every stream of a serving engine."""
+    """Aggregate counters across every stream of a serving engine.
 
+    Self-describing: the worker topology (``backend``, ``replicas``,
+    per-replica window counts) travels with the counters so a recorded
+    throughput number always says what produced it.
+    """
+
+    #: Backend that actually executed windows — ``"thread"`` even for
+    #: ``backend="process"`` requests when the platform forced the
+    #: graceful fallback.
+    backend: str = "thread"
+    #: Replica-pool size (concurrent-window bound).
+    replicas: int = 1
     streams_opened: int = 0
     frames_submitted: int = 0
     frames_rejected: int = 0
+    #: Frames whose record was emitted — ok/degraded/dropped *and*
+    #: ``failed`` frames all count; every admitted frame ends up here.
     frames_completed: int = 0
+    #: Admitted frames finalized with status ``failed`` because their
+    #: window's execution raised (the poisoned-frame path).
+    frames_failed: int = 0
     #: Micro-batch windows executed (a window of one frame counts).
     windows: int = 0
+    #: Windows whose execution raised — every member frame was
+    #: finalized as ``failed`` and its pipeline slot freed.
+    failed_windows: int = 0
     #: Windows whose members came from two or more streams.
     cross_stream_windows: int = 0
     #: Frames that rode in a window of size > 1.
     batched_frames: int = 0
+    #: Scheduler passes that held a partial window open for more
+    #: same-rung members (rung-aware co-batching).
+    window_holds: int = 0
+    #: Partial windows dispatched because the oldest member's deadline
+    #: slack dropped below the rung's estimated window cost.
+    deadline_dispatches: int = 0
+    #: Process-backend windows that timed out and re-ran locally.
+    window_timeouts: int = 0
+    #: Times the worker pool broke (e.g. a killed worker) and was
+    #: respawned.
+    pool_failures: int = 0
+    #: Successful window executions per replica — keys are
+    #: ``"replica<slot>"`` (thread), ``"pid:<pid>"`` (process) or
+    #: ``"local"`` (process-backend local fallback after a timeout or
+    #: a twice-broken pool).
+    windows_by_replica: dict = field(default_factory=dict)
+    #: Successful window executions per ladder-rung name.
+    windows_by_rung: dict = field(default_factory=dict)
 
     def summary(self) -> str:
-        return (f"serving: {self.streams_opened} streams, "
+        text = (f"serving: {self.streams_opened} streams over "
+                f"{self.replicas} {self.backend} replica(s), "
                 f"{self.frames_completed}/{self.frames_submitted} frames "
                 f"completed ({self.frames_rejected} rejected), "
                 f"{self.windows} windows "
                 f"({self.cross_stream_windows} cross-stream, "
-                f"{self.batched_frames} batched frames)")
+                f"{self.batched_frames} batched frames, "
+                f"{self.window_holds} holds, "
+                f"{self.deadline_dispatches} deadline dispatches)")
+        if self.failed_windows or self.window_timeouts \
+                or self.pool_failures:
+            text += (f"; faults: {self.failed_windows} failed windows "
+                     f"({self.frames_failed} frames), "
+                     f"{self.window_timeouts} timeouts, "
+                     f"{self.pool_failures} pool failures")
+        return text
 
 
 def _scene_signature(scene) -> tuple:
@@ -172,15 +450,20 @@ class _Member:
 
 
 class _Window:
-    """One dispatched micro-batch: members + the leased replica."""
+    """One dispatched micro-batch: members + the leased replica slot."""
 
-    __slots__ = ("replica", "rung", "members", "collectors")
+    __slots__ = ("slot", "rung", "members", "collectors",
+                 "want_telemetry")
 
-    def __init__(self, replica, rung, members, collectors):
-        self.replica = replica
+    def __init__(self, slot, rung, members, collectors):
+        self.slot = slot
         self.rung = rung
         self.members = members
+        #: the owning stream's live counter map for telemetry windows
+        #: (thread backend counts into it directly; the process backend
+        #: merges the worker's returned delta into it), else ``None``
         self.collectors = collectors
+        self.want_telemetry = collectors is not None
 
 
 class _Lane:
@@ -253,19 +536,41 @@ class ServingEngine:
         The wrapped :class:`InferenceEngine` (its deadline, policy,
         injector, execution mode and ``batch_size`` become the
         defaults every stream inherits), or a zero-argument factory
-        returning identical engines — required for ``replicas > 1``,
-        since concurrent windows need separate model instances to
-        attach to.  Engines must be constructed with
+        returning identical engines — the thread backend requires a
+        factory for ``replicas > 1``, since concurrent windows need
+        separate model instances to attach to (the process backend
+        accepts an instance at any replica count: workers build their
+        own from the spec).  Engines must be constructed with
         ``telemetry=False``: per-stream telemetry flows through
         :class:`StreamSLO` instead, so streams never share counters.
     replicas:
         Size of the worker/replica pool — the number of windows that
-        may execute concurrently.  Replica 0 additionally owns every
-        stream's sequential emission state.
+        may execute concurrently.
     max_streams:
         Admission bound on concurrently open streams.
     queue_depth:
         Default per-stream pipeline bound (see :class:`StreamSLO`).
+    backend:
+        ``"thread"`` (default) executes windows on an in-process
+        thread pool; ``"process"`` on a pool of worker processes each
+        holding a :class:`ReplicaSpec`-built replica (GIL-free window
+        execution).  When no multiprocessing start method is usable
+        the engine falls back to the thread backend — building the
+        replicas locally from the spec — and records the actual
+        backend in :class:`ServingStats`.
+    spec:
+        Optional explicit :class:`ReplicaSpec` for the process
+        backend (e.g. :meth:`ReplicaSpec.from_archive` so workers
+        restore from the archive file instead of unpickling models);
+        derived automatically via :meth:`ReplicaSpec.from_engine` when
+        omitted.  Must round-trip ``pickle`` — verified at
+        construction, never mid-stream.
+    window_timeout_s:
+        Process-backend per-window deadline: a window whose worker
+        does not answer in time is re-executed locally on the
+        scheduler's own engine (counted in
+        ``ServingStats.window_timeouts``), so a hung worker can only
+        cost latency, never a stream.
 
     Windows fill up to the wrapped engine's ``batch_size`` with head
     frames from distinct streams whose rung and scene signature match.
@@ -274,7 +579,10 @@ class ServingEngine:
     """
 
     def __init__(self, engine, *, replicas: int = 1,
-                 max_streams: int = 16, queue_depth: int = 8):
+                 max_streams: int = 16, queue_depth: int = 8,
+                 backend: str = "thread",
+                 spec: ReplicaSpec | None = None,
+                 window_timeout_s: float = 30.0):
         if replicas < 1:
             raise ValueError(f"replicas must be >= 1, got {replicas!r}")
         if max_streams < 1:
@@ -283,11 +591,56 @@ class ServingEngine:
         if queue_depth < 1:
             raise ValueError(
                 f"queue_depth must be >= 1, got {queue_depth!r}")
-        if isinstance(engine, InferenceEngine):
+        if backend not in SERVING_BACKENDS:
+            raise ValueError(f"unknown backend {backend!r}; expected "
+                             f"one of {SERVING_BACKENDS}")
+        if spec is not None and backend != "process":
+            raise ValueError(
+                "spec is only consumed by the process backend")
+        if window_timeout_s <= 0:
+            raise ValueError(
+                f"window_timeout_s must be > 0, got {window_timeout_s!r}")
+        self._backend = backend
+        self._replicas = replicas
+        self._window_timeout_s = window_timeout_s
+        self._spec: ReplicaSpec | None = None
+        self._spec_bytes: bytes | None = None
+        self._pool = None
+        self._pool_lock = threading.Lock()
+        self._pool_generation = 0
+        self._worker_pids: list[int] = []
+        if backend == "process":
+            primary = engine if isinstance(engine, InferenceEngine) \
+                else engine()
+            self._spec = spec if spec is not None \
+                else ReplicaSpec.from_engine(primary)
+            # Fail at construction, never mid-stream, when the spec
+            # cannot cross the process boundary.
+            self._spec_bytes = pickle.dumps(self._spec)
+            # The pool must exist (and its workers fork) before the
+            # scheduler/worker threads below start — fork-after-threads
+            # is the classic multiprocessing deadlock.
+            if self._start_pool_locked(replicas):
+                pool = [primary]
+            else:
+                # Graceful fallback: no usable start method (or the
+                # pool refused to come up) — build the replicas
+                # locally and serve on threads instead of failing.
+                # Each replica comes from a pickle round-trip of the
+                # spec, exactly as a worker process would build it, so
+                # replicas never share mutable model objects with the
+                # parent (thread windows patch their model's forward
+                # slots and must own them exclusively).
+                self._backend = "thread"
+                pool = [primary] + [
+                    pickle.loads(self._spec_bytes).build()
+                    for _ in range(replicas - 1)]
+        elif isinstance(engine, InferenceEngine):
             if replicas != 1:
                 raise ValueError(
-                    "replicas > 1 needs an engine factory — concurrent "
-                    "windows attach to separate model instances")
+                    "replicas > 1 needs an engine factory on the thread "
+                    "backend — concurrent windows attach to separate "
+                    "model instances (or use backend='process')")
             pool = [engine]
         else:
             pool = [engine() for _ in range(replicas)]
@@ -313,24 +666,88 @@ class ServingEngine:
                 replica._level_costs(level)
                 replica._level_program(level)
         self._engine = primary
+        #: in-process replica engines, indexed by slot (thread backend;
+        #: the process backend keeps only the scheduler's own engine)
+        self._replica_engines: list[InferenceEngine] = pool
         self._default_queue_depth = queue_depth
         self.max_streams = max_streams
         self._lock = threading.Lock()
         self._cond = threading.Condition(self._lock)
         self._lanes: dict[str, _Lane] = {}
-        self._free_replicas: list[InferenceEngine] = list(pool)
+        #: free replica *slots* — just lease tokens bounding concurrent
+        #: windows; the process pool does its own worker scheduling
+        slots = replicas if self._backend == "process" else len(pool)
+        self._free_replicas: list[int] = list(range(slots))
         self._completions: deque = deque()
         self._inflight_windows = 0
-        self._stats = ServingStats()
+        self._stats = ServingStats(backend=self._backend, replicas=slots)
         self._stopping = False
         self._fatal: BaseException | None = None
         self._rotate = 0
-        import concurrent.futures
         self._workers = concurrent.futures.ThreadPoolExecutor(
-            max_workers=len(pool), thread_name_prefix="repro-serve")
+            max_workers=slots, thread_name_prefix="repro-serve")
         self._scheduler = threading.Thread(
             target=self._loop, name="repro-serve-scheduler", daemon=True)
         self._scheduler.start()
+
+    # ------------------------------------------------------------------
+    # Process-pool lifecycle (the core/search.py resilience template)
+    # ------------------------------------------------------------------
+    def _start_pool_locked(self, replicas: int) -> bool:
+        """Create and warm the worker pool; False → thread fallback."""
+        ctx = _resolve_mp_context()
+        if ctx is None:
+            return False
+        try:
+            pool = concurrent.futures.ProcessPoolExecutor(
+                max_workers=replicas, mp_context=ctx,
+                initializer=_replica_init,
+                initargs=(self._spec_bytes,))
+        except (OSError, ValueError):
+            return False
+        try:
+            # One probe per slot, each briefly busy, so every worker
+            # spawns (and builds its replica) before any stream opens.
+            futures = [pool.submit(_replica_ready, 0.1)
+                       for _ in range(replicas)]
+            pids = sorted({future.result(timeout=300.0)
+                           for future in futures})
+        except Exception:
+            pool.shutdown(wait=False)
+            return False
+        self._pool = pool
+        self._worker_pids = pids
+        return True
+
+    def _respawn_pool(self, generation: int) -> None:
+        """Replace a broken pool exactly once per generation.
+
+        Concurrent window threads all observing the same broken pool
+        race here; the generation check makes one of them respawn and
+        the rest reuse the fresh pool.
+        """
+        with self._pool_lock:
+            if self._pool_generation != generation:
+                return
+            old = self._pool
+            ctx = _resolve_mp_context()
+            self._pool = concurrent.futures.ProcessPoolExecutor(
+                max_workers=self._replicas, mp_context=ctx,
+                initializer=_replica_init,
+                initargs=(self._spec_bytes,))
+            self._pool_generation += 1
+        old.shutdown(wait=False)
+
+    @property
+    def worker_pids(self) -> list[int]:
+        """PIDs of the initial process-backend workers (empty on the
+        thread backend) — exposed for kill-and-recover testing."""
+        return list(self._worker_pids)
+
+    @property
+    def backend(self) -> str:
+        """The backend actually executing windows (after any fallback)."""
+        return self._backend
 
     # ------------------------------------------------------------------
     # Client API
@@ -439,7 +856,10 @@ class ServingEngine:
 
     def stats(self) -> ServingStats:
         with self._cond:
-            return replace(self._stats)
+            return replace(
+                self._stats,
+                windows_by_replica=dict(self._stats.windows_by_replica),
+                windows_by_rung=dict(self._stats.windows_by_rung))
 
     def serve(self, streams: dict, slos: dict | None = None,
               interval_s: float = 0.0) -> dict:
@@ -480,6 +900,8 @@ class ServingEngine:
             self._cond.notify_all()
         self._scheduler.join(timeout)
         self._workers.shutdown(wait=True)
+        if self._pool is not None:
+            self._pool.shutdown(wait=False)
         with self._cond:
             self._check_fatal_locked()
 
@@ -509,16 +931,25 @@ class ServingEngine:
         while True:
             dispatches: list[_Window] = []
             with self._cond:
-                self._drain_completions_locked()
-                self._drain_lanes_locked()
+                # Window *execution* errors are per-window (typed
+                # ``failed`` frames, handled in the completion drain);
+                # an exception here means the scheduler itself broke —
+                # that is the only fatal path left.
+                try:
+                    self._drain_completions_locked()
+                    self._drain_lanes_locked()
+                    if self._fatal is None:
+                        dispatches = self._form_windows_locked()
+                except BaseException as exc:
+                    if self._fatal is None:
+                        self._fatal = exc
                 if self._fatal is not None:
                     if self._inflight_windows == 0:
                         self._abort_locked()
                         return
-                else:
-                    dispatches = self._form_windows_locked()
                 if not dispatches:
-                    if self._stopping and self._inflight_windows == 0 \
+                    if self._stopping and self._fatal is None \
+                            and self._inflight_windows == 0 \
                             and not self._completions \
                             and all(lane.finalized
                                     for lane in self._lanes.values()):
@@ -571,8 +1002,18 @@ class ServingEngine:
         rung swap in one stream can never invalidate another member —
         nor the swapping stream's own, since its next frame dispatches
         after emission) and only groups streams whose serving rung,
-        scene signature and telemetry partition match.  Lane order
-        rotates per pass so no stream starves.
+        scene signature and telemetry partition match — streams the
+        ladder demoted to the same rung bucket (and so batch)
+        together.  Lane order rotates per pass so no stream starves.
+
+        A *partial* window (fewer members than ``batch_size``) is not
+        dispatched head-of-line: while another compatible lane still
+        has a window in flight — so the bucket can plausibly grow when
+        it emits — the group is held, unless the oldest member's
+        deadline slack has dropped below the rung's estimated window
+        cost (:meth:`_hold_partial_locked`).  The wait is bounded by
+        construction: in-flight windows always complete, and when none
+        are left everything dispatches.
         """
         if not self._free_replicas:
             return []
@@ -593,9 +1034,16 @@ class ServingEngine:
             buckets.setdefault(key, []).append(lane)
         windows: list[_Window] = []
         batch = self._engine.batch_size
+        now = time.perf_counter()
         for (rung, _, partition), members in buckets.items():
             while members and self._free_replicas:
-                group, members = members[:batch], members[batch:]
+                group, rest = members[:batch], members[batch:]
+                if len(group) < batch and partition is None \
+                        and not self._stopping \
+                        and self._hold_partial_locked(group, rung, now):
+                    self._stats.window_holds += 1
+                    break           # keep the whole remainder queued
+                members = rest
                 window_members = []
                 for lane in group:
                     (_, frame_id, scene, faults), t_submit = \
@@ -610,18 +1058,114 @@ class ServingEngine:
                 self._inflight_windows += 1
         return windows
 
+    def _hold_partial_locked(self, group: list[_Lane], rung: int,
+                             now: float) -> bool:
+        """Whether a partial window should wait for more members.
+
+        Hold only while growth is *possible* — some other mixable,
+        unfinished lane has a window in flight whose emission could
+        feed this bucket (on the same rung: that is the rung-aware
+        co-batching bet, and under demotion-inducing load it usually
+        pays).  Dynamic deadline: the moment the group's tightest
+        member's remaining slack (its stream deadline minus the time
+        already queued) no longer covers the rung's estimated window
+        cost, dispatch rather than risk the miss.
+        """
+        growth = any(
+            lane.partition is None and not lane.finalized
+            and lane.inflight > 0
+            and (not lane.closed or lane.queue or lane.classified)
+            and lane not in group
+            for lane in self._lanes.values())
+        if not growth:
+            return False
+        window_cost = self._engine._level_costs(
+            self._engine._levels[rung])[1]
+        slack = min(
+            lane.session.deadline_s - (now - lane.classified[0][1])
+            for lane in group)
+        if slack <= window_cost:
+            self._stats.deadline_dispatches += 1
+            return False
+        return True
+
     def _run_window(self, window: _Window) -> None:
-        """Worker: one batched lowered pass on the leased replica."""
+        """Worker thread: execute one window on the leased backend slot.
+
+        An exception is *returned* through the completion queue, never
+        raised — the scheduler finalizes every member frame with a
+        typed ``failed`` status so no client blocks on a crashed
+        window.
+        """
+        delta = None
+        key = "local"
         try:
-            results = window.replica._window_results(
-                window.replica._levels[window.rung],
-                [member.scene for member in window.members],
-                collectors=window.collectors)
+            if self._backend == "process":
+                results, delta, key = self._execute_process(window)
+            else:
+                replica = self._replica_engines[window.slot]
+                key = f"replica{window.slot}"
+                results = replica._window_results(
+                    replica._levels[window.rung],
+                    [member.scene for member in window.members],
+                    collectors=window.collectors)
         except BaseException as exc:    # propagate, never hang clients
             results = exc
         with self._cond:
-            self._completions.append((window, results))
+            self._completions.append((window, results, delta, key))
             self._cond.notify_all()
+
+    def _execute_process(self, window: _Window) -> tuple:
+        """One window on the process pool, with the search-engine
+        resilience template.
+
+        Returns ``(results, telemetry_delta, replica_key)``.  A broken
+        pool (killed worker) is respawned once per generation and the
+        window re-dispatched; a second break — or a per-window timeout
+        — re-executes the window locally on the scheduler's own engine
+        (deterministic prediction makes the result identical, so
+        byte-equality survives every recovery path).  Exceptions the
+        *task* raised (a poisoned frame) are returned for typed
+        per-frame failure, not retried — the frame would poison every
+        replica alike.
+        """
+        scenes = [member.scene for member in window.members]
+        for _ in range(2):
+            with self._pool_lock:
+                pool = self._pool
+                generation = self._pool_generation
+            try:
+                future = pool.submit(_replica_window, window.rung,
+                                     scenes, window.want_telemetry)
+            except (concurrent.futures.BrokenExecutor, RuntimeError):
+                with self._cond:
+                    self._stats.pool_failures += 1
+                self._respawn_pool(generation)
+                continue
+            try:
+                pid, results, delta = future.result(
+                    self._window_timeout_s)
+                return results, delta, f"pid:{pid}"
+            except concurrent.futures.TimeoutError:
+                future.cancel()
+                with self._cond:
+                    self._stats.window_timeouts += 1
+                break
+            except concurrent.futures.BrokenExecutor:
+                with self._cond:
+                    self._stats.pool_failures += 1
+                self._respawn_pool(generation)
+                continue
+            except BaseException as exc:
+                return exc, None, "local"
+        # Local fallback: the scheduler's own engine runs the window in
+        # this worker thread (program attachment serializes engine
+        # access, so concurrent fallbacks are safe, just unparallel).
+        collectors: dict | None = {} if window.want_telemetry else None
+        results = self._engine._window_results(
+            self._engine._levels[window.rung], scenes,
+            collectors=collectors)
+        return results, collectors, "local"
 
     def _drain_completions_locked(self) -> None:
         """Fan finished windows' results back to their owning streams.
@@ -629,25 +1173,49 @@ class ServingEngine:
         Emission (cost, deadline, record, last-good, watchdog) runs on
         the scheduler thread against each stream's session, in window
         order — per-stream order is total because a stream never has
-        two windows in flight.
+        two windows in flight.  A window whose execution raised
+        finalizes every member with a typed ``failed`` record instead:
+        the frames stay report-aligned with their inputs and their
+        pipeline slots free, so a poisoned frame costs its window, not
+        its streams.
         """
         engine = self._engine
         while self._completions:
-            window, results = self._completions.popleft()
+            window, results, delta, key = self._completions.popleft()
             self._inflight_windows -= 1
-            self._free_replicas.append(window.replica)
+            self._free_replicas.append(window.slot)
+            now = time.perf_counter()
             if isinstance(results, BaseException):
-                if self._fatal is None:
-                    self._fatal = results
+                self._stats.failed_windows += 1
                 for member in window.members:
-                    member.lane.inflight -= 1
+                    lane = member.lane
+                    engine._emit_failed(lane.session, member.frame_id)
+                    lane.service_latencies.append(now - member.t_submit)
+                    lane.inflight -= 1
+                    self._stats.frames_failed += 1
+                    self._stats.frames_completed += 1
+                self._cond.notify_all()
                 continue
+            if delta and window.collectors is not None:
+                # Process backend: merge the worker's per-window
+                # counter delta into the owning stream's collectors —
+                # summed deltas equal direct accumulation.
+                for name, counter in delta.items():
+                    existing = window.collectors.get(name)
+                    if existing is None:
+                        window.collectors[name] = counter
+                    else:
+                        existing.merge(counter)
             self._stats.windows += 1
+            self._stats.windows_by_replica[key] = \
+                self._stats.windows_by_replica.get(key, 0) + 1
+            rung_name = engine._levels[window.rung].rung.name
+            self._stats.windows_by_rung[rung_name] = \
+                self._stats.windows_by_rung.get(rung_name, 0) + 1
             if len(window.members) > 1:
                 self._stats.batched_frames += len(window.members)
             if len({member.lane.name for member in window.members}) > 1:
                 self._stats.cross_stream_windows += 1
-            now = time.perf_counter()
             for member, result in zip(window.members, results):
                 lane = member.lane
                 engine._emit_result(lane.session, member.frame_id,

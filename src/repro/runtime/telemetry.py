@@ -98,6 +98,27 @@ class LayerTelemetry:
         self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
+    # Pickling (cross-process telemetry deltas)
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        """Counters only — the lock is process-local and unpicklable.
+
+        Serving's process backend ships per-window counter deltas from
+        worker processes back to the scheduler, so a counter must cross
+        a pickle boundary; taken under the lock so the state never
+        tears a concurrent ``record_*``.
+        """
+        with self._lock:
+            state = {field: getattr(self, field)
+                     for field in self.__dataclass_fields__}
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        for field, value in state.items():
+            setattr(self, field, value)
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
     # Recording (called by the executors)
     # ------------------------------------------------------------------
     def record_quantization(self, total: int, saturated: int) -> None:
